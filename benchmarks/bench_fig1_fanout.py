@@ -1,0 +1,44 @@
+"""Figure 1 benchmark: shared-output nodes bound fan-out correctly."""
+
+import pytest
+
+from repro.core import Location, measure_graph
+from repro.core.tracker import TraceBuilder
+from repro.shadow.bitmask import width_mask
+
+
+def fanout_trace(copies):
+    """c1 = c2 = ... = a + b with every copy written to output."""
+    tracker = TraceBuilder()
+    loc = lambda p: Location("fig1", p)
+    a = tracker.secret_value(loc(1), 32)
+    b = tracker.secret_value(loc(2), 32)
+    total = tracker.operation(loc(3), width_mask(32), [a, b])
+    for i in range(copies):
+        tracker.output(loc(10 + i), [tracker.copy(total)])
+    return tracker, tracker.finish()
+
+
+def test_fig1_two_copies(benchmark):
+    def run():
+        tracker, graph = fanout_trace(2)
+        return tracker, measure_graph(graph, collapse="none")
+
+    tracker, report = benchmark(run)
+    print("\n### Figure 1: c = d = a + b")
+    print("max-flow bound : %d bits (the correct 32)" % report.bits)
+    print("tainting bound : %d bits (all copies tainted)"
+          % tracker.stats["tainted_output_bits"])
+    assert report.bits == 32
+    assert tracker.stats["tainted_output_bits"] == 64
+
+
+@pytest.mark.parametrize("copies", [2, 8, 64])
+def test_fanout_stays_bounded(benchmark, copies):
+    def run():
+        _, graph = fanout_trace(copies)
+        return measure_graph(graph, collapse="none")
+
+    report = benchmark(run)
+    # However many copies escape, the operation node caps flow at 32.
+    assert report.bits == 32

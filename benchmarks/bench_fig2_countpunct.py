@@ -1,0 +1,26 @@
+"""Figure 2 / §2.4 benchmark: count_punct through both frontends."""
+
+from benchmarks.tables import table_fig2
+from repro.apps.countpunct import PAPER_INPUT, measure_flowlang, measure_python
+
+
+def test_fig2_table(benchmark):
+    text, results = benchmark(table_fig2)
+    print(text)
+    assert results["flowlang"] == 9
+    assert results["python"] == 9
+
+
+def test_flowlang_measurement_speed(benchmark):
+    result = benchmark(measure_flowlang, PAPER_INPUT)
+    assert result.bits == 9
+
+
+def test_python_measurement_speed(benchmark):
+    report = benchmark(measure_python, PAPER_INPUT)
+    assert report.bits == 9
+
+
+def test_scaling_with_input_length(benchmark):
+    result = benchmark(measure_flowlang, b"." * 500 + b"?" * 100)
+    assert result.bits == 9  # the cut stays at the 8-bit counter + compare

@@ -1,0 +1,39 @@
+"""Figure 3 benchmark: compressor flow vs input size.
+
+Regenerates the paper's series (flow bound, input-size line, and
+output-size band) over a sweep of π-in-English inputs, and checks the
+claimed shape: the bound equals the input size until compression kicks
+in, then tracks the compressed-output size.
+"""
+
+import pytest
+
+from benchmarks.tables import table_fig3
+from repro.apps.bzip2 import measure_compression_flow
+from repro.apps.pi import workload_of_size
+
+
+def test_fig3_series(benchmark):
+    text, points = benchmark.pedantic(table_fig3, rounds=1, iterations=1)
+    print(text)
+    for point in points:
+        # The bound never exceeds either side of min(input, output).
+        assert point.flow_bits <= point.input_bits
+        assert point.flow_bits <= point.payload_output_bits + 8
+    # Small inputs are incompressible: flow == input size.
+    assert points[0].flow_bits == points[0].input_bits
+    # Large inputs compress: flow == compressed size, well below input.
+    last = points[-1]
+    assert last.flow_bits == last.payload_output_bits
+    assert last.flow_bits < last.input_bits // 2
+    # Monotone growth, like the paper's curve.
+    flows = [p.flow_bits for p in points]
+    assert flows == sorted(flows)
+
+
+@pytest.mark.parametrize("size", [256, 1024, 4096])
+def test_flow_measurement_speed(benchmark, size):
+    data = workload_of_size(size)
+    result = benchmark.pedantic(measure_compression_flow, args=(data,),
+                                rounds=1, iterations=1)
+    assert result.flow_bits > 0

@@ -1,0 +1,13 @@
+"""Figure 4 / Section 8 benchmark: all five case-study policies."""
+
+from benchmarks.tables import table_fig4
+
+
+def test_fig4_inventory(benchmark):
+    text, bits = benchmark.pedantic(table_fig4, rounds=1, iterations=1)
+    print(text)
+    assert bits["battleship"] == 3     # 1 miss + 1 non-fatal hit
+    assert bits["sshauth"] == 128      # the MD5 digest, exactly
+    assert bits["imagelib"] == 600     # the 5x5 intermediate form
+    assert bits["scheduler"] == 10     # quantized slot cut (paper: 12)
+    assert bits["xserver"] == 21       # bounding box (paper: 21)

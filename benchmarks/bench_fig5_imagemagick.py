@@ -1,0 +1,26 @@
+"""Figure 5 benchmark: pixelate vs blur vs swirl information flow."""
+
+import pytest
+
+from benchmarks.tables import table_fig5
+from repro.apps.imagelib import measure_transform, synthetic_portrait
+
+
+def test_fig5_table(benchmark):
+    text, results = benchmark.pedantic(table_fig5, rounds=1, iterations=1)
+    print(text)
+    # The paper's shape: pixelate < blur-ish, both tiny; swirl = input.
+    input_bits = synthetic_portrait(25).data_bits
+    assert results["pixelate"] == 600
+    assert results["blur"] == 600
+    assert results["swirl"] >= 0.9 * input_bits
+    assert results["swirl"] > 10 * results["pixelate"]
+
+
+@pytest.mark.parametrize("name", ["pixelate", "blur", "swirl"])
+def test_transform_measurement_speed(benchmark, name):
+    image = synthetic_portrait(15)
+    audit = benchmark.pedantic(measure_transform, args=(name,),
+                               kwargs={"image": image},
+                               rounds=1, iterations=1)
+    assert audit.bits > 0

@@ -1,0 +1,41 @@
+"""Figure 6 benchmark: scoring the pilot enclosure inference.
+
+Runs the §8.6 pilot analysis over the FlowLang case-study sources and
+regenerates the Figure 6 table (hand annotations / need-length /
+missed-expansion / missed-interprocedural / found).  The paper's pilot
+found 72% of annotations overall; this reproduction's corpus lands in
+the same band, with every miss category represented.
+"""
+
+from repro.apps.flowlang_sources import FIGURE6_PROGRAMS
+from repro.infer import classify_annotations, figure6_table
+from repro.lang.checker import check_program
+from repro.lang.parser import parse
+
+
+def score_all():
+    scores = []
+    for name, source in sorted(FIGURE6_PROGRAMS.items()):
+        program = check_program(parse(source, filename=name))
+        scores.append(classify_annotations(program, name))
+    return scores
+
+
+def test_fig6_table(benchmark):
+    scores = benchmark(score_all)
+    print()
+    print("### Figure 6: pilot inference vs hand annotations "
+          "(paper overall: 72%)")
+    print(figure6_table(scores))
+    total_hand = sum(s.hand_annotations for s in scores)
+    total_found = sum(s.found for s in scores)
+    fraction = total_found / total_hand
+    assert 0.5 <= fraction <= 0.9, fraction
+    # Every miss category from the paper appears in the corpus.
+    assert sum(s.missed_expansion for s in scores) > 0
+    assert sum(s.missed_interprocedural for s in scores) > 0
+    assert sum(s.need_length for s in scores) > 0
+    # Accounting identity: found + missed == hand annotations.
+    for s in scores:
+        assert (s.found + s.missed_expansion + s.missed_interprocedural
+                == s.hand_annotations)

@@ -1,0 +1,45 @@
+"""Section 3.2 benchmark: multi-run consistency and Kraft soundness."""
+
+from fractions import Fraction
+
+from benchmarks.tables import table_sec32
+from repro.lang import compile_source, measure, measure_many
+
+UNARY_PRINTER = """
+fn main() {
+    var n: u8 = secret_u8();
+    while (n != 0) { print_char('x'); n = n - 1; }
+}
+"""
+
+
+def test_kraft_table(benchmark):
+    text, verdict = benchmark(table_sec32)
+    print(text)
+    assert verdict["kraft_sum"] == Fraction(503, 256)
+    assert not verdict["sound"]
+
+
+def test_combining_runs(benchmark):
+    compiled = compile_source(UNARY_PRINTER)
+    inputs = [bytes([n]) for n in (0, 3, 5, 200)]
+
+    def combine():
+        return measure_many(compiled, inputs)
+
+    combined, per_run = benchmark.pedantic(combine, rounds=1, iterations=1)
+    individual = [r.bits for r in per_run]
+    print("\n### Section 3.2: independent vs combined bounds")
+    print("independent min(8, n+1) bounds:", individual)
+    print("combined single-cut bound     :", combined.bits)
+    assert individual == [1, 4, 6, 8]
+    # The combined bound charges every run at one consistent place; it
+    # is never smaller than any independent bound and reflects a real
+    # code (here: the binary counter cut for all four runs).
+    assert combined.bits == 4 * 8
+
+
+def test_single_run_measurement_speed(benchmark):
+    compiled = compile_source(UNARY_PRINTER)
+    result = benchmark(measure, compiled, secret_input=b"\x30")
+    assert result.bits == 8

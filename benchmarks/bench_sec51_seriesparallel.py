@@ -1,0 +1,63 @@
+"""Section 5.1 benchmark: series-parallel structure of trace graphs.
+
+The paper explored SPQR trees and found real trace graphs keep an
+irreducible core -- for bzip2 "the largest non-series-parallel
+structure represents 16% of the graph size over a range of input
+sizes", a constant fraction that dooms exact linear-time hopes.  This
+benchmark runs the series/parallel reduction over compressor trace
+graphs at several input sizes and reports the surviving fraction.
+"""
+
+import pytest
+
+from repro.apps.bzip2.compressor import compress
+from repro.apps.pi import workload_of_size
+from repro.graph.generators import grid_graph, series_parallel
+from repro.graph.seriesparallel import reduce_series_parallel
+from repro.pytrace import Session
+
+SIZES = (128, 256, 512, 1024)
+
+
+def trace_graph(size):
+    session = Session()
+    data = session.secret_bytes(workload_of_size(size))
+    out = compress(data, session=session)
+    session.output_bytes(out)
+    return session.finish()
+
+
+def test_irreducible_core_over_sizes(benchmark):
+    def sweep():
+        return [(size, reduce_series_parallel(trace_graph(size)))
+                for size in SIZES]
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\n### Section 5.1: series-parallel reduction of compressor "
+          "trace graphs (paper: ~16% irreducible)")
+    print("%8s %10s %10s %12s" % ("bytes", "edges", "surviving",
+                                  "irreducible"))
+    fractions = []
+    for size, reduction in results:
+        fractions.append(reduction.irreducible_fraction)
+        print("%8d %10d %10d %11.1f%%" % (
+            size, reduction.original_edges, reduction.reduced_edges,
+            100.0 * reduction.irreducible_fraction))
+    # The paper's observation: none of these graphs fully reduce, and
+    # the irreducible share does not vanish as inputs grow.
+    for size, reduction in results:
+        assert not reduction.is_series_parallel
+    assert fractions[-1] > 0.01
+
+
+def test_sp_graphs_reduce_fully(benchmark):
+    graph, flow = series_parallel(10, seed=3)
+    reduction = benchmark(reduce_series_parallel, graph)
+    assert reduction.is_series_parallel
+    assert reduction.flow_if_sp == flow
+
+
+def test_grid_graphs_do_not_reduce(benchmark):
+    graph = grid_graph(12, 12, seed=1)
+    reduction = benchmark(reduce_series_parallel, graph)
+    assert not reduction.is_series_parallel

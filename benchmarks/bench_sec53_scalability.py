@@ -1,0 +1,73 @@
+"""Section 5.3 benchmark: graph collapsing and max-flow scalability.
+
+The paper's claims, reproduced on the compressor workload:
+
+* the raw trace graph grows with the runtime of the execution;
+* the collapsed graph grows only with code coverage, which plateaus;
+* max-flow on the collapsed graph takes well under a second.
+"""
+
+import time
+
+import pytest
+
+from repro.apps.bzip2.compressor import compress
+from repro.apps.pi import workload_of_size
+from repro.graph.collapse import collapse_graph
+from repro.graph.maxflow import dinic_max_flow
+from repro.pytrace import Session
+
+SIZES = (128, 512, 2048)
+
+
+def trace_graph(size):
+    session = Session()
+    data = session.secret_bytes(workload_of_size(size))
+    out = compress(data, session=session)
+    session.output_bytes(out)
+    return session.finish()
+
+
+def test_collapsed_size_tracks_coverage(benchmark):
+    def sweep():
+        rows = []
+        for size in SIZES:
+            graph = trace_graph(size)
+            collapsed, stats = collapse_graph(graph,
+                                              context_sensitive=False)
+            t0 = time.perf_counter()
+            flow, _ = dinic_max_flow(collapsed)
+            solve_seconds = time.perf_counter() - t0
+            rows.append((size, stats, flow, solve_seconds))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\n### Section 5.3: raw vs collapsed graph size, max-flow time")
+    print("%8s %12s %12s %10s %12s" % ("bytes", "raw-edges",
+                                       "collapsed", "flow", "solve(s)"))
+    for size, stats, flow, seconds in rows:
+        print("%8d %12d %12d %10d %12.4f" % (
+            size, stats.original_edges, stats.collapsed_edges, flow,
+            seconds))
+    raw = [stats.original_edges for _, stats, _, _ in rows]
+    collapsed = [stats.collapsed_edges for _, stats, _, _ in rows]
+    # Raw graphs grow ~linearly with the run; collapsed graphs plateau.
+    assert raw[-1] > 4 * raw[0]
+    assert collapsed[-1] < 2 * collapsed[0]
+    # "The time to compute a maximum flow on the collapsed graph was
+    # less than a second in all cases."
+    for _, _, _, seconds in rows:
+        assert seconds < 1.0
+
+
+def test_collapse_speed(benchmark):
+    graph = trace_graph(512)
+    collapsed, _ = benchmark(collapse_graph, graph)
+    assert collapsed.num_edges < graph.num_edges
+
+
+def test_maxflow_speed_on_collapsed(benchmark):
+    graph = trace_graph(512)
+    collapsed, _ = collapse_graph(graph)
+    flow, _ = benchmark(dinic_max_flow, collapsed)
+    assert flow > 0

@@ -1,0 +1,51 @@
+"""Section 6 benchmark: checking is cheaper than measuring.
+
+Compares, on the same program and input, the cost of (a) full
+measurement (graph construction + max-flow), (b) the tainting-based
+checker of §6.2 (no graph), and (c) the lockstep output-comparison
+checker of §6.3 (two nearly uninstrumented runs).  The paper's ordering
+-- measure > taint-check > lockstep-per-copy -- should hold.
+"""
+
+import pytest
+
+from repro.apps.countpunct import FLOWLANG_SOURCE
+from repro.core.policy import CutPolicy
+from repro.lang import check, compile_source, lockstep, measure
+from repro.lang.runner import execute
+from repro.lang.vm import NullTracker
+
+INPUT = (b"." * 120 + b"?" * 40) * 2
+DUMMY = (b"?" * 120 + b"." * 40) * 2
+
+COMPILED = compile_source(FLOWLANG_SOURCE)
+POLICY = CutPolicy.from_report(
+    measure(COMPILED, secret_input=INPUT).report)
+
+
+def test_measure_cost(benchmark):
+    result = benchmark(measure, COMPILED, secret_input=INPUT)
+    assert result.bits == 9
+
+
+def test_taint_check_cost(benchmark):
+    result = benchmark(check, COMPILED, POLICY, secret_input=INPUT)
+    assert result.ok
+
+
+def test_lockstep_cost(benchmark):
+    result = benchmark(lockstep, COMPILED, POLICY,
+                       real_secret=INPUT, dummy_secret=DUMMY)
+    assert result.ok
+
+
+def test_uninstrumented_baseline_cost(benchmark):
+    """One bare run (NullTracker): the §6.3 'factor of two' baseline."""
+    def bare():
+        vm, _ = execute(COMPILED, secret_input=INPUT,
+                        tracker=NullTracker(), region_check="off",
+                        lazy_regions=False)
+        return vm
+
+    vm = benchmark(bare)
+    assert vm.output_bytes

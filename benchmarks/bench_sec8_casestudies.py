@@ -1,0 +1,70 @@
+"""Section 8 per-case-study benchmarks (§8.1, §8.2, §8.4, §8.5).
+
+Each test regenerates that case study's headline measurement and
+asserts the paper's number (or our scaled analog; see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.apps.battleship import play_and_measure
+from repro.apps.scheduler import measure_meeting_request
+from repro.apps.sshauth import run_authentication
+from repro.apps.xserver import measure_draw_text, measure_paste
+
+
+class TestBattleship81:
+    def test_miss_one_bit(self, benchmark):
+        audit = benchmark(play_and_measure, [(7, 7)])
+        assert audit.bits == 1
+
+    def test_nonfatal_hit_two_bits(self, benchmark):
+        audit = benchmark(play_and_measure, [(0, 0)])
+        assert audit.bits == 2
+
+    def test_buggy_leaks_more(self, benchmark):
+        audit = benchmark.pedantic(play_and_measure, args=([(0, 0)],),
+                                   kwargs={"buggy": True},
+                                   rounds=1, iterations=1)
+        assert audit.bits > 2
+
+    def test_full_game(self, benchmark):
+        shots = [(x, y) for x in range(0, 10, 3) for y in range(0, 10, 3)]
+        audit = benchmark.pedantic(play_and_measure, args=(shots,),
+                                   rounds=1, iterations=1)
+        assert audit.bits == audit.expected_patched_bits
+
+
+class TestSSHAuth82:
+    def test_exactly_128_bits(self, benchmark):
+        report, succeeded = benchmark.pedantic(run_authentication,
+                                               rounds=1, iterations=1)
+        print("\n### §8.2: host auth reveals %d bits of the %d-bit key "
+              "(paper: 128)" % (report.bits,
+                                report.stats["secret_input_bits"]))
+        assert succeeded
+        assert report.bits == 128
+
+
+class TestScheduler84:
+    def test_single_appointment(self, benchmark):
+        report, grid = benchmark(measure_meeting_request, [(600, 720)])
+        print("\n### §8.4: grid %r, %d bits (paper: 12 at the "
+              "intersection cut)" % (grid, report.bits))
+        assert report.bits == 10
+
+    def test_display_cut_crossover(self, benchmark):
+        report, _ = benchmark(measure_meeting_request,
+                              [(600, 720), (800, 860)])
+        assert report.bits == 18
+
+
+class TestXServer85:
+    def test_hello_world_bounding_box(self, benchmark):
+        report, box = benchmark(measure_draw_text, b"Hello, world!")
+        print("\n### §8.5: bounding box reveals %d bits (paper: 21)"
+              % report.bits)
+        assert report.bits == 21
+
+    def test_paste_pure_data(self, benchmark):
+        report, pasted = benchmark(measure_paste, b"clipboard contents")
+        assert report.bits == 8 * len(b"clipboard contents")

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Regenerate every paper table/figure in one run (no pytest needed).
+
+Prints the reproduction's number for each table and figure of the
+paper; EXPERIMENTS.md records these side by side with the paper's
+values.
+
+Run:  python benchmarks/run_all.py
+"""
+
+import sys
+import time
+
+sys.path.insert(0, ".")  # allow running from the repo root
+
+from benchmarks.tables import (table_fig2, table_fig3, table_fig4,
+                               table_fig5, table_sec32)
+from repro.apps.bzip2.compressor import compress
+from repro.apps.flowlang_sources import FIGURE6_PROGRAMS
+from repro.apps.pi import workload_of_size
+from repro.graph.collapse import collapse_graph
+from repro.graph.maxflow import dinic_max_flow
+from repro.graph.seriesparallel import reduce_series_parallel
+from repro.infer import classify_annotations, figure6_table
+from repro.lang.checker import check_program
+from repro.lang.parser import parse
+from repro.pytrace import Session
+
+
+def trace_graph(size):
+    session = Session()
+    data = session.secret_bytes(workload_of_size(size))
+    out = compress(data, session=session)
+    session.output_bytes(out)
+    return session.finish()
+
+
+def section51():
+    print("\n### Section 5.1: series-parallel reduction of trace graphs"
+          " (paper: ~16% irreducible for bzip2)")
+    print("%8s %10s %12s" % ("bytes", "edges", "irreducible"))
+    for size in (128, 512, 2048):
+        reduction = reduce_series_parallel(trace_graph(size))
+        print("%8d %10d %11.1f%%" % (size, reduction.original_edges,
+                                     100 * reduction.irreducible_fraction))
+
+
+def section53():
+    print("\n### Section 5.3: collapsing and max-flow time")
+    print("%8s %12s %12s %10s %10s" % ("bytes", "raw-edges", "collapsed",
+                                       "flow", "solve(s)"))
+    for size in (128, 512, 2048):
+        graph = trace_graph(size)
+        collapsed, stats = collapse_graph(graph, context_sensitive=False)
+        t0 = time.perf_counter()
+        flow, _ = dinic_max_flow(collapsed)
+        seconds = time.perf_counter() - t0
+        print("%8d %12d %12d %10d %10.4f" % (
+            size, stats.original_edges, stats.collapsed_edges, flow,
+            seconds))
+
+
+def figure6():
+    scores = []
+    for name, source in sorted(FIGURE6_PROGRAMS.items()):
+        program = check_program(parse(source, filename=name))
+        scores.append(classify_annotations(program, name))
+    print("\n### Figure 6: pilot enclosure inference (paper overall: 72%)")
+    print(figure6_table(scores))
+
+
+def main():
+    for fn in (table_fig2, table_fig3, table_fig4, table_fig5,
+               table_sec32):
+        text, _ = fn()
+        print(text)
+    figure6()
+    section51()
+    section53()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Case study walkthrough: how anonymized is an anonymized image? (§8.3)
+
+Figure 5's experiment: pixelation, blurring, and swirling all make a
+face unrecognizable to the eye, but they preserve wildly different
+amounts of information.  The flow bound makes the difference
+quantitative -- and explains why a swirl can be (approximately)
+un-swirled while a pixelation cannot be un-pixelated.
+
+Run:  python examples/image_redaction.py
+"""
+
+from repro.apps.imagelib import (measure_transform, swirl,
+                                 synthetic_portrait)
+
+
+def ascii_preview(image, label):
+    """A coarse luminance preview so the terminal shows the transforms."""
+    ramp = " .:-=+*#%@"
+    print("   %s" % label)
+    for y in range(0, image.height, 2):
+        line = []
+        for x in range(image.width):
+            r, g, b = image.pixels[y][x]
+            luma = (int(r) * 3 + int(g) * 6 + int(b)) // 10
+            line.append(ramp[min(luma * len(ramp) // 256, len(ramp) - 1)])
+        print("     " + "".join(line))
+
+
+def main():
+    image = synthetic_portrait(25)
+    print("original: %d pixels, %d bits of secret image data"
+          % (image.width * image.height, image.data_bits))
+    ascii_preview(image, "original")
+
+    results = {}
+    for name in ("pixelate", "blur", "swirl"):
+        audit = measure_transform(name, image=image)
+        results[name] = audit
+        print("== %-8s reveals %5d of %d bits (%.1f%%)"
+              % (name, audit.bits, audit.input_bits,
+                 100.0 * audit.bits / audit.input_bits))
+
+    # The punchline: swirling back recovers the image.
+    twisted = swirl(image, 720.0)
+    recovered = swirl(twisted, -720.0)
+    ascii_preview(twisted, "swirled (visually unrecognizable)")
+    ascii_preview(recovered, "swirled back (the information never left)")
+
+    assert results["pixelate"].bits < results["swirl"].bits / 4
+    print("pixelate/blur bottleneck at the 5x5 intermediate; swirl has "
+          "no bottleneck at all.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Kept so that ``pip install -e .`` works in offline environments where the
+``wheel`` package (required by PEP 660 editable builds) is unavailable:
+pip then falls back to the legacy ``setup.py develop`` path.  All project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,16 @@
+"""Case-study applications (Section 8) and the bzip2 workload (§5.3).
+
+Each subpackage re-implements, against this library's tracked-value
+frontend, the program analyzed in the corresponding case study of the
+paper, together with an ``audit`` module that runs the paper's security
+policy and returns the measured flows:
+
+* :mod:`.countpunct`  -- the running example of Figure 2 / §2.4;
+* :mod:`.battleship`  -- §8.1 KBattleship (with the shipTypeAt bug);
+* :mod:`.sshauth`     -- §8.2 OpenSSH host authentication (toy RSA + MD5);
+* :mod:`.imagelib`    -- §8.3 ImageMagick transforms (pixelate/blur/swirl);
+* :mod:`.scheduler`   -- §8.4 OpenGroupware appointment grid;
+* :mod:`.xserver`     -- §8.5 X server text drawing and cut-and-paste;
+* :mod:`.bzip2`       -- §5.3 block-sorting compressor (Figure 3);
+* :mod:`.pi`          -- the π-digits-in-English workload generator.
+"""

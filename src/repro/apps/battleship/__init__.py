@@ -1,0 +1,12 @@
+"""§8.1 case study: KBattleship, buggy and patched."""
+
+from .game import (BOARD_SIZE, FLEET_LENGTHS, Board, Ship, ShotOutcome,
+                   evaluate_shot, render_board, respond_buggy,
+                   respond_patched)
+from .audit import DEFAULT_PLACEMENT, GameAudit, play_and_measure
+
+__all__ = [
+    "BOARD_SIZE", "FLEET_LENGTHS", "Board", "Ship", "ShotOutcome",
+    "evaluate_shot", "render_board", "respond_buggy", "respond_patched",
+    "DEFAULT_PLACEMENT", "GameAudit", "play_and_measure",
+]

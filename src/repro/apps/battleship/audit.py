@@ -1,0 +1,70 @@
+"""Measurement harness for the battleship policy (§8.1).
+
+Plays a scripted sequence of opponent shots against a board and
+measures how much information about the ship layout reached the
+network.  Expected per the paper: 1 bit per miss, 2 bits per non-fatal
+hit; the shipTypeAt bug leaks more.
+"""
+
+from __future__ import annotations
+
+from ...pytrace import Session
+from .game import Board, render_board, respond_buggy, respond_patched
+
+#: A legal default placement: (row, col, horizontal) for lengths 4,3,2,1.
+DEFAULT_PLACEMENT = [(0, 0, True), (2, 3, False), (5, 5, True), (9, 9, True)]
+
+
+class GameAudit:
+    """Result of measuring one scripted game."""
+
+    def __init__(self, report, replies, misses, hits, fatal_hits):
+        self.report = report
+        self.replies = replies
+        self.misses = misses
+        self.hits = hits
+        self.fatal_hits = fatal_hits
+
+    @property
+    def bits(self):
+        return self.report.bits
+
+    @property
+    def expected_patched_bits(self):
+        """The paper's accounting: 1/miss + 2/hit (fatal or not)."""
+        return self.misses + 2 * self.hits
+
+    def __repr__(self):
+        return ("GameAudit(bits=%d, misses=%d, hits=%d, fatal=%d)"
+                % (self.bits, self.misses, self.hits, self.fatal_hits))
+
+
+def play_and_measure(shots, placements=None, buggy=False,
+                     collapse="none", show_gui=False):
+    """Play ``shots`` (list of (x, y)) and measure the network leak."""
+    session = Session()
+    board = Board(session, placements or DEFAULT_PLACEMENT)
+    if show_gui:
+        # The GUI shows the player their own board; the paper excludes
+        # it from the policy by declassification.
+        render_board(board)
+    respond = respond_buggy if buggy else respond_patched
+    replies = []
+    misses = hits = fatal = 0
+    for x, y in shots:
+        reply = respond(board, x, y)
+        replies.append(reply)
+        if buggy:
+            if reply[0]:
+                hits += 1
+            else:
+                misses += 1
+        else:
+            if reply[0]:
+                hits += 1
+                if reply[1]:
+                    fatal += 1
+            else:
+                misses += 1
+    report = session.measure(collapse=collapse, exit_observable=False)
+    return GameAudit(report, replies, misses, hits, fatal)

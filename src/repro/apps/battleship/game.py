@@ -1,0 +1,148 @@
+"""§8.1 case study: the Battleship game with the shipTypeAt bug.
+
+A networked Battleship where the local player's ship placement is the
+secret.  The server answers the opponent's shots; two reply
+implementations are provided:
+
+* :func:`respond_patched` -- the fixed protocol: a hit/miss bit, plus a
+  fatal/non-fatal bit when hit (the paper: "a miss reveals one bit; a
+  non-fatal hit reveals two bits");
+* :func:`respond_buggy` -- KBattleship 3.3.2's bug: the reply carries
+  the return value of ``shipTypeAt``, i.e. the *length* of the ship at
+  the shot location, revealing extra information about adjacent cells.
+"""
+
+from __future__ import annotations
+
+from ...pytrace import concrete_of
+
+BOARD_SIZE = 10
+#: Classic fleet: one ship of each length.
+FLEET_LENGTHS = (4, 3, 2, 1)
+
+
+class Ship:
+    """One ship with tracked position/orientation and plain hit count."""
+
+    def __init__(self, session, length, row, col, horizontal, index):
+        self.length = length
+        self.row = session.secret_int(row, width=4,
+                                      name="ship%d.row" % index)
+        self.col = session.secret_int(col, width=4,
+                                      name="ship%d.col" % index)
+        self.horizontal = session.secret_int(1 if horizontal else 0,
+                                             width=1,
+                                             name="ship%d.dir" % index)
+        self.hits = 0
+
+    def covers(self, x, y):
+        """Whether this ship occupies board cell (x, y).
+
+        All comparisons branch on secrets; callers run this inside an
+        enclosure region.
+        """
+        if self.horizontal:
+            return (y == self.row) and (self.col <= x) \
+                and (x < self.col + self.length)
+        return (x == self.col) and (self.row <= y) \
+            and (y < self.row + self.length)
+
+
+class Board:
+    """The local player's secret fleet."""
+
+    def __init__(self, session, placements):
+        """``placements``: list of (row, col, horizontal) per fleet ship."""
+        if len(placements) != len(FLEET_LENGTHS):
+            raise ValueError("need %d placements" % len(FLEET_LENGTHS))
+        self.session = session
+        self.ships = [Ship(session, length, row, col, horizontal, i)
+                      for i, (length, (row, col, horizontal))
+                      in enumerate(zip(FLEET_LENGTHS, placements))]
+
+    def remaining(self):
+        """Ships not yet sunk (plain bookkeeping)."""
+        return sum(1 for s in self.ships if s.hits < s.length)
+
+
+class ShotOutcome:
+    """Tracked reply values computed for one shot."""
+
+    __slots__ = ("hit", "fatal", "ship_type")
+
+    def __init__(self, hit, fatal, ship_type):
+        self.hit = hit
+        self.fatal = fatal
+        self.ship_type = ship_type
+
+
+def evaluate_shot(board, x, y):
+    """Resolve a shot inside an enclosure region; returns a ShotOutcome.
+
+    The concrete game-state updates (hit counters) are plain; their
+    secrecy is captured by the region's implicit flows, and the reply
+    values leave the region as tracked outputs.
+    """
+    session = board.session
+    with session.enclose("shot") as region:
+        hit = 0
+        fatal = 0
+        ship_type = 0
+        for ship in board.ships:
+            if ship.covers(x, y):
+                hit = 1
+                ship_type = ship.length
+                ship.hits += 1
+                if ship.hits >= ship.length:
+                    fatal = 1
+    return ShotOutcome(
+        region.wrap(hit, width=1, name="hit"),
+        region.wrap(fatal, width=1, name="fatal"),
+        region.wrap(ship_type, width=3, name="ship_type"),
+    )
+
+
+def respond_patched(board, x, y):
+    """The fixed network reply: hit bit, plus fatal bit on hits.
+
+    Returns the concrete reply tuple for the opponent's client.
+    """
+    session = board.session
+    outcome = evaluate_shot(board, x, y)
+    session.output(outcome.hit, name="reply-hit")
+    # Branching on the (tracked) hit bit here is sound *and* free: the
+    # value's 1-bit node capacity already bounds the io edge and this
+    # implicit flow together to one bit.
+    if outcome.hit:
+        session.output(outcome.fatal, name="reply-fatal")
+        return (1, concrete_of(outcome.fatal))
+    return (0, None)
+
+
+def respond_buggy(board, x, y):
+    """KBattleship 3.3.2: the reply carries shipTypeAt's return value."""
+    session = board.session
+    outcome = evaluate_shot(board, x, y)
+    session.output(outcome.ship_type, name="reply-type")
+    return (concrete_of(outcome.ship_type),)
+
+
+def render_board(board):
+    """The local GUI view of the player's own board.
+
+    The display legitimately shows the player their own ships; the
+    paper excludes the GUI from the analysis by declassifying the data
+    handed to the drawing routines -- reproduced here.
+    """
+    session = board.session
+    grid = [["." for _ in range(BOARD_SIZE)] for _ in range(BOARD_SIZE)]
+    for ship in board.ships:
+        row = session.declassify(ship.row)
+        col = session.declassify(ship.col)
+        horizontal = session.declassify(ship.horizontal)
+        for offset in range(ship.length):
+            y = row if horizontal else row + offset
+            x = col + offset if horizontal else col
+            if 0 <= x < BOARD_SIZE and 0 <= y < BOARD_SIZE:
+                grid[y][x] = str(ship.length)
+    return "\n".join("".join(line) for line in grid)

@@ -1,0 +1,28 @@
+"""Block-sorting compressor: the Section 5.3 / Figure 3 workload.
+
+A from-scratch bzip2 analog (RLE -> BWT -> MTF -> Huffman) whose
+compression path can run over tracked secret bytes; see
+:mod:`.compressor` and :func:`.audit.measure_compression_flow`.
+"""
+
+from .bitio import BitReader, BitWriter
+from .bwt import bwt_forward, bwt_inverse, rotation_sort
+from .compressor import (DEFAULT_BLOCK_SIZE, MAGIC, compress,
+                         compressed_size, decompress)
+from .huffman import Decoder, canonical_codes, code_lengths, encode
+from .mtf import mtf_decode, mtf_encode
+from .rle import rle_decode, rle_encode
+from .rle2 import ALPHABET, RUNA, RUNB, rle2_decode, rle2_encode
+from .audit import measure_compression_flow
+
+__all__ = [
+    "BitReader", "BitWriter",
+    "bwt_forward", "bwt_inverse", "rotation_sort",
+    "DEFAULT_BLOCK_SIZE", "MAGIC", "compress", "compressed_size",
+    "decompress",
+    "Decoder", "canonical_codes", "code_lengths", "encode",
+    "mtf_decode", "mtf_encode",
+    "rle_decode", "rle_encode",
+    "ALPHABET", "RUNA", "RUNB", "rle2_decode", "rle2_encode",
+    "measure_compression_flow",
+]

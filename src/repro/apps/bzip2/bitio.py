@@ -1,0 +1,67 @@
+"""Bit-level I/O for the block-sorting compressor.
+
+The writer accepts plain ints; the compressor's bit stream is public
+data (its secrecy is accounted for by the enclosing region), so no
+tracked arithmetic is needed here.  The reader mirrors it for the
+decompressor.
+"""
+
+from __future__ import annotations
+
+
+class BitWriter:
+    """Accumulates bits (MSB-first) and packs them into bytes."""
+
+    def __init__(self):
+        self._bits = []
+
+    def write_bit(self, bit):
+        self._bits.append(1 if bit else 0)
+
+    def write_bits(self, value, count):
+        """Write ``count`` bits of ``value``, most-significant first."""
+        for shift in range(count - 1, -1, -1):
+            self._bits.append((value >> shift) & 1)
+
+    def __len__(self):
+        """Number of bits written so far."""
+        return len(self._bits)
+
+    def to_bytes(self):
+        """Pack into bytes, zero-padding the final partial byte."""
+        out = []
+        bits = self._bits
+        for start in range(0, len(bits), 8):
+            chunk = bits[start:start + 8]
+            byte = 0
+            for bit in chunk:
+                byte = (byte << 1) | bit
+            byte <<= 8 - len(chunk)
+            out.append(byte)
+        return bytes(out)
+
+
+class BitReader:
+    """Reads bits (MSB-first) from a byte string."""
+
+    def __init__(self, data):
+        self._data = data
+        self._pos = 0  # bit position
+
+    @property
+    def bits_remaining(self):
+        return len(self._data) * 8 - self._pos
+
+    def read_bit(self):
+        if self._pos >= len(self._data) * 8:
+            raise EOFError("bit stream exhausted")
+        byte = self._data[self._pos >> 3]
+        bit = (byte >> (7 - (self._pos & 7))) & 1
+        self._pos += 1
+        return bit
+
+    def read_bits(self, count):
+        value = 0
+        for _ in range(count):
+            value = (value << 1) | self.read_bit()
+        return value

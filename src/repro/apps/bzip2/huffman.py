@@ -1,0 +1,158 @@
+"""Canonical Huffman coding for the compressor's entropy stage.
+
+By the time symbols reach this stage they are plain MTF indices (their
+dependence on the secret block was charged at the earlier indexed
+accesses), so the coder is ordinary public arithmetic: build optimal
+code lengths from frequencies, derive the canonical code, and serialize
+lengths compactly for the decompressor.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from .bitio import BitReader, BitWriter
+
+#: Lengths are stored in 4 bits (1..15); the tree is shallow for the
+#: 256-symbol alphabets these blocks produce.
+MAX_LENGTH = 15
+
+
+def code_lengths(frequencies):
+    """Optimal prefix-code lengths (Huffman) for ``frequencies``.
+
+    Returns a list parallel to ``frequencies``; unused symbols get 0.
+    Single-symbol alphabets get length 1.  Lengths above
+    :data:`MAX_LENGTH` are flattened by the standard repeated-halving
+    fallback (rare at these block sizes).
+    """
+    heap = [(freq, sym) for sym, freq in enumerate(frequencies) if freq]
+    lengths = [0] * len(frequencies)
+    if not heap:
+        return lengths
+    if len(heap) == 1:
+        lengths[heap[0][1]] = 1
+        return lengths
+    counter = len(frequencies)
+    trees = [(freq, counter + i, (sym,)) for i, (freq, sym)
+             in enumerate(heap)]
+    heapq.heapify(trees)
+    counter += len(trees)
+    while len(trees) > 1:
+        f1, _, s1 = heapq.heappop(trees)
+        f2, _, s2 = heapq.heappop(trees)
+        for sym in s1 + s2:
+            lengths[sym] += 1
+        heapq.heappush(trees, (f1 + f2, counter, s1 + s2))
+        counter += 1
+    while max(lengths) > MAX_LENGTH:
+        # Flatten: halve all frequencies (rounding up) and retry.
+        frequencies = [(f + 1) // 2 if f else 0 for f in frequencies]
+        return code_lengths(frequencies)
+    return lengths
+
+
+def canonical_codes(lengths):
+    """Canonical code values from lengths: list of (code, length) or None."""
+    symbols = sorted((length, sym) for sym, length in enumerate(lengths)
+                     if length)
+    codes = [None] * len(lengths)
+    code = 0
+    previous_length = 0
+    for length, sym in symbols:
+        code <<= (length - previous_length)
+        codes[sym] = (code, length)
+        code += 1
+        previous_length = length
+    return codes
+
+
+def write_lengths(writer, lengths):
+    """Serialize the code-length table: 256 x 4 bits, run-compressed.
+
+    Format: repeated (4-bit length, 8-bit run count) pairs covering all
+    256 symbols in order.
+    """
+    sym = 0
+    while sym < len(lengths):
+        run = 1
+        while (sym + run < len(lengths) and run < 255
+               and lengths[sym + run] == lengths[sym]):
+            run += 1
+        writer.write_bits(lengths[sym], 4)
+        writer.write_bits(run, 8)
+        sym += run
+
+
+def read_lengths(reader, count=256):
+    """Inverse of :func:`write_lengths`."""
+    lengths = []
+    while len(lengths) < count:
+        length = reader.read_bits(4)
+        run = reader.read_bits(8)
+        lengths.extend([length] * run)
+    if len(lengths) != count:
+        raise ValueError("corrupt length table")
+    return lengths
+
+
+def encode(symbols, lengths, writer):
+    """Append the Huffman encoding of ``symbols`` to ``writer``."""
+    codes = canonical_codes(lengths)
+    for sym in symbols:
+        entry = codes[sym]
+        if entry is None:
+            raise ValueError("symbol %d has no code" % sym)
+        writer.write_bits(entry[0], entry[1])
+
+
+class Decoder:
+    """Canonical Huffman decoder (table-walking, bit at a time)."""
+
+    def __init__(self, lengths):
+        self._first_code = {}
+        self._first_index = {}
+        self._symbols = [sym for _, sym in
+                         sorted((length, sym)
+                                for sym, length in enumerate(lengths)
+                                if length)]
+        code = 0
+        index = 0
+        previous_length = 0
+        for length, sym in sorted((length, sym)
+                                  for sym, length in enumerate(lengths)
+                                  if length):
+            code <<= (length - previous_length)
+            if length not in self._first_code:
+                self._first_code[length] = code
+                self._first_index[length] = index
+            code += 1
+            index += 1
+            previous_length = length
+
+    def decode_one(self, reader):
+        code = 0
+        length = 0
+        while True:
+            code = (code << 1) | reader.read_bit()
+            length += 1
+            if length > MAX_LENGTH:
+                raise ValueError("corrupt Huffman stream")
+            first = self._first_code.get(length)
+            if first is None:
+                continue
+            # Number of codes of this length:
+            index = self._first_index[length]
+            offset = code - first
+            next_first = None
+            count = len(self._symbols) - index
+            # Bound by the next populated length's start.
+            for other_length in sorted(self._first_code):
+                if other_length > length:
+                    count = self._first_index[other_length] - index
+                    break
+            if 0 <= offset < count:
+                return self._symbols[index + offset]
+
+    def decode(self, reader, count):
+        return [self.decode_one(reader) for _ in range(count)]

@@ -1,0 +1,44 @@
+"""Move-to-front coding (the stage between BWT and entropy coding).
+
+Encoding maintains the symbol ordering both as a list (``order``) and
+its inverse (``position``).  Looking up a tracked byte's position
+indexes an array with a secret -- the 8-bit implicit flow that accounts
+for everything the resulting *public* index reveals; from there on all
+bookkeeping runs on plain ints (``order[index]`` recovers the concrete
+symbol without touching the tracked value again).
+"""
+
+from __future__ import annotations
+
+
+def mtf_encode(data):
+    """Encode a byte sequence (tracked or plain) to plain MTF indices."""
+    order = list(range(256))
+    position = list(range(256))
+    out = []
+    for byte in data:
+        index = position[byte]  # tracked byte -> implicit flow
+        out.append(index)
+        if index:
+            symbol = order[index]
+            # Shift everything before `index` up by one slot.
+            for j in range(index, 0, -1):
+                moved = order[j - 1]
+                order[j] = moved
+                position[moved] = j
+            order[0] = symbol
+            position[symbol] = 0
+    return out
+
+
+def mtf_decode(indices):
+    """Decode plain MTF indices back to the byte sequence."""
+    order = list(range(256))
+    out = []
+    for index in indices:
+        symbol = order[index]
+        out.append(symbol)
+        if index:
+            del order[index]
+            order.insert(0, symbol)
+    return out

@@ -1,0 +1,59 @@
+"""Initial run-length encoding (bzip2's first stage).
+
+Runs of four or more equal bytes are emitted as four literals followed
+by a count byte (0..251 extra repeats), protecting the block sorter
+from degenerate inputs.  Comparing adjacent tracked bytes produces the
+usual 1-bit implicit flows, charged to the enclosing region.
+"""
+
+from __future__ import annotations
+
+#: Maximum extra repeats encoded in the count byte.
+MAX_EXTRA = 251
+
+
+def rle_encode(data):
+    """Encode ``data`` (tracked or plain bytes); output mirrors input kind.
+
+    The emitted literals are the original values (tracked bytes keep
+    their provenance); count bytes are plain ints.
+    """
+    out = []
+    i = 0
+    n = len(data)
+    while i < n:
+        run = 1
+        while (i + run < n and run < 4 + MAX_EXTRA
+               and data[i + run] == data[i]):
+            run += 1
+        if run >= 4:
+            out.extend(data[i:i + 4])
+            out.append(run - 4)
+            i += run
+        else:
+            out.extend(data[i:i + run])
+            i += run
+    return out
+
+
+def rle_decode(data):
+    """Inverse of :func:`rle_encode` over plain ints."""
+    out = []
+    i = 0
+    n = len(data)
+    while i < n:
+        byte = data[i]
+        out.append(byte)
+        run = 1
+        j = i + 1
+        while j < n and run < 4 and data[j] == byte:
+            out.append(byte)
+            run += 1
+            j += 1
+        if run == 4:
+            if j >= n:
+                raise ValueError("truncated RLE stream")
+            out.extend([byte] * data[j])
+            j += 1
+        i = j
+    return out

@@ -1,0 +1,72 @@
+"""Zero-run encoding of MTF output (bzip2's "RLE2" stage).
+
+After move-to-front, well-behaved blocks are dominated by zeros (runs
+of repeated context).  bzip2 encodes each zero run in a bijective
+base-2 numeral over two dedicated symbols, RUNA and RUNB, shifting the
+remaining MTF indices up by one.  This implementation follows that
+scheme exactly:
+
+* run length n >= 1 is written as the digits of n+1 in binary, least
+  significant first, dropping the leading 1 -- digit 0 -> RUNA,
+  digit 1 -> RUNB (so 1 -> A, 2 -> B, 3 -> AA, 4 -> BA, 5 -> AB, ...);
+* a non-zero MTF index i becomes symbol i + 1.
+
+The alphabet grows to 257 symbols (RUNA=0, RUNB=1, indices 2..256).
+"""
+
+from __future__ import annotations
+
+RUNA = 0
+RUNB = 1
+
+#: Symbol alphabet size after shifting (256 indices + RUNA/RUNB - the
+#: zero index, which is never emitted directly).
+ALPHABET = 257
+
+
+def _emit_run(length, out):
+    """Bijective base-2 digits of the run length (least significant
+    first): repeatedly take (length-1) % 2 as the digit, halve."""
+    while length > 0:
+        length -= 1
+        out.append(RUNB if (length & 1) else RUNA)
+        length >>= 1
+
+
+def rle2_encode(indices):
+    """Encode MTF indices (0..255) to run symbols (0..256)."""
+    out = []
+    run = 0
+    for index in indices:
+        if index == 0:
+            run += 1
+            continue
+        if run:
+            _emit_run(run, out)
+            run = 0
+        out.append(index + 1)
+    if run:
+        _emit_run(run, out)
+    return out
+
+
+def rle2_decode(symbols):
+    """Inverse of :func:`rle2_encode`."""
+    out = []
+    run_value = 0
+    run_place = 1
+    for symbol in symbols:
+        if symbol in (RUNA, RUNB):
+            run_value += run_place * (1 if symbol == RUNA else 2)
+            run_place <<= 1
+            continue
+        if run_place > 1:
+            out.extend([0] * run_value)
+            run_value = 0
+            run_place = 1
+        if not (2 <= symbol < ALPHABET):
+            raise ValueError("bad RLE2 symbol %r" % (symbol,))
+        out.append(symbol - 1)
+    if run_place > 1:
+        out.extend([0] * run_value)
+    return out

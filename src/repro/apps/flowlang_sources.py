@@ -1,0 +1,160 @@
+"""FlowLang sources with hand-written enclosure annotations (Figure 6).
+
+The Section 8.6 experiment scores the pilot static inference against
+the hand annotations used in the case studies.  These FlowLang programs
+mirror the annotation *shapes* that occurred there:
+
+* direct scalar outputs (the common case the pilot finds);
+* array outputs written at non-constant indices (*missed/expansion*);
+* outputs written inside called functions (*missed/interprocedural*);
+* unsized array outputs carrying an explicit ``[.. n]`` bound
+  (*need length*).
+
+Every program type-checks and runs; the Figure 6 benchmark feeds their
+ASTs to :func:`repro.infer.classify_annotations`.
+"""
+
+from __future__ import annotations
+
+from .countpunct import FLOWLANG_SOURCE as COUNTPUNCT_SOURCE
+
+#: A bzip2-flavoured program: heavy array use, helper functions, and a
+#: dynamically-sized output buffer.  Annotation shapes: one direct
+#: scalar (found), dynamic-index arrays (expansion), an output buffer
+#: with an explicit length (need length + expansion), and a global
+#: counter bumped in a callee (interprocedural).
+CHECKSUM_SOURCE = '''
+var blocks_done: u32 = 0;
+
+fn note_block() {
+    blocks_done = blocks_done + 1;
+}
+
+fn build_table(data: u8[], n: u32, table: u8[]) {
+    var i: u32 = 0;
+    while (i < n) {
+        table[u32(data[i])] = 1;
+        i = i + 1;
+    }
+}
+
+fn checksum_block(data: u8[], n: u32, out: u8[], out_len: u32): u32 {
+    var table: u8[256];
+    var total: u32 = 0;
+    enclose (table[..], total, blocks_done) {
+        var i: u32 = 0;
+        while (i < n) {
+            if (data[i] > 127) {
+                total = total + 1;
+            }
+            i = i + 1;
+        }
+        build_table(data, n, table);
+        note_block();
+    }
+    enclose (out[.. out_len], total) {
+        var j: u32 = 0;
+        while (j < out_len) {
+            out[j] = u8(total % 251);
+            total = total / 251;
+            j = j + 1;
+        }
+    }
+    return total;
+}
+
+fn main() {
+    var buf: u8[64];
+    var out: u8[8];
+    var n: u32 = read_secret(buf, 64);
+    var rest: u32 = checksum_block(buf, n, out, 8);
+    output_bytes(out, 8);
+    output(rest & 0xFF);
+}
+'''
+
+#: An xserver-flavoured program: a metrics region whose width total is
+#: accumulated by a helper (interprocedural) while the height max is
+#: updated directly (found).
+METRICS_SOURCE = '''
+var width_total: u32 = 0;
+
+fn add_width(w: u32) {
+    width_total = width_total + w;
+}
+
+fn glyph_width(ch: u8): u32 {
+    if (ch == 'i') { return 3; }
+    if (ch == 'm') { return 11; }
+    return 7;
+}
+
+fn measure_text(text: u8[], n: u32): u32 {
+    var height_max: u32 = 0;
+    width_total = 0;
+    enclose (width_total, height_max) {
+        var i: u32 = 0;
+        while (i < n) {
+            add_width(glyph_width(text[i]));
+            if (text[i] > 'Z') {
+                if (height_max < 10) { height_max = 10; }
+            } else {
+                if (height_max < 14) { height_max = 14; }
+            }
+            i = i + 1;
+        }
+    }
+    output(width_total & 0xFFFF);
+    output(height_max & 0x1F);
+    return width_total;
+}
+
+fn main() {
+    var text: u8[32];
+    var n: u32 = read_secret(text, 32);
+    var w: u32 = measure_text(text, n);
+}
+'''
+
+#: A scheduler-flavoured program: literal-index grid writes (found) and
+#: two directly-assigned scalars (found), plus one whole-array output
+#: written through a loop index (expansion).
+GRID_SOURCE = '''
+fn mark_slots(start: u8, end: u8) {
+    var flags: u8[4];
+    var first: u8 = 0;
+    var last: u8 = 0;
+    enclose (first, last) {
+        first = start / 8;
+        last = end / 8;
+        if (first > 3) { first = 3; }
+        if (last > 3) { last = 3; }
+    }
+    enclose (flags[..]) {
+        flags[0] = 0;
+        flags[1] = 0;
+        flags[2] = 0;
+        flags[3] = 0;
+        var s: u8 = first;
+        while (s < last) {
+            flags[u32(s)] = 1;
+            s = s + 1;
+        }
+    }
+    output_bytes(flags, 4);
+}
+
+fn main() {
+    var start: u8 = secret_u8();
+    var end: u8 = secret_u8();
+    mark_slots(start, end);
+}
+'''
+
+#: All the sources the Figure 6 experiment scores, by program name.
+FIGURE6_PROGRAMS = {
+    "count_punct": COUNTPUNCT_SOURCE,
+    "checksum": CHECKSUM_SOURCE,
+    "metrics": METRICS_SOURCE,
+    "grid": GRID_SOURCE,
+}

@@ -1,0 +1,13 @@
+"""§8.3 case study: image transformations (Figure 5)."""
+
+from .image import Raster, load_secret, synthetic_portrait
+from .transforms import (bilinear_resize, blur, box_resize, pixelate,
+                         sample_resize, swirl)
+from .audit import TransformAudit, measure_all, measure_transform
+
+__all__ = [
+    "Raster", "load_secret", "synthetic_portrait",
+    "bilinear_resize", "blur", "box_resize", "pixelate", "sample_resize",
+    "swirl",
+    "TransformAudit", "measure_all", "measure_transform",
+]

@@ -1,0 +1,69 @@
+"""Figure 5 measurements: how much of the original image survives?
+
+Each transform is measured end-to-end: load the image as secret,
+transform, serialize to PPM, output.  The paper's expectation (scaled
+to our raster size): pixelate and blur reveal roughly the intermediate
+form's bits, while swirl's bound equals the full image size.
+"""
+
+from __future__ import annotations
+
+from ...pytrace import Session
+from .image import Raster, load_secret, synthetic_portrait
+from .transforms import blur, pixelate, swirl
+
+
+class TransformAudit:
+    """Measured information revealed by one transform."""
+
+    def __init__(self, name, report, input_bits, intermediate_bits):
+        self.name = name
+        self.report = report
+        self.input_bits = input_bits
+        self.intermediate_bits = intermediate_bits
+
+    @property
+    def bits(self):
+        return self.report.bits
+
+    def __repr__(self):
+        return "TransformAudit(%s: %d of %d input bits)" % (
+            self.name, self.bits, self.input_bits)
+
+
+def measure_transform(name, image=None, grid=5, degrees=720.0,
+                      collapse="none"):
+    """Measure one of ``pixelate``/``blur``/``swirl``/``identity``.
+
+    Measured uncollapsed by default: these graphs are small, and
+    location-collapsing merges the per-value node capacities that form
+    the pixelate/blur bottleneck (the precision loss Section 5.2 warns
+    about), inflating the bound while remaining sound.
+    """
+    base = image if image is not None else synthetic_portrait()
+    session = Session()
+    secret = load_secret(session, base)
+    if name == "pixelate":
+        result = pixelate(secret, grid)
+    elif name == "blur":
+        result = blur(secret, grid)
+    elif name == "swirl":
+        result = swirl(secret, degrees)
+    elif name == "identity":
+        result = secret
+    else:
+        raise ValueError("unknown transform %r" % name)
+    header, data = result.to_ppm()
+    session.output_bytes(list(header), name="ppm-header")
+    session.output_bytes(data, name="ppm-data")
+    report = session.measure(collapse=collapse)
+    intermediate_bits = 8 * grid * grid * 3 if name in ("pixelate", "blur") \
+        else None
+    return TransformAudit(name, report, base.data_bits, intermediate_bits)
+
+
+def measure_all(image=None, grid=5, degrees=720.0):
+    """Measure the three Figure 5 transforms; returns a dict by name."""
+    return {name: measure_transform(name, image=image, grid=grid,
+                                    degrees=degrees)
+            for name in ("pixelate", "blur", "swirl")}

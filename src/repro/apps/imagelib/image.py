@@ -1,0 +1,104 @@
+"""Raster images over (optionally tracked) pixel data (§8.3).
+
+A minimal RGB raster with 8-bit channels, PPM serialization, and a
+synthetic "portrait" generator so the case study needs no image files.
+When loaded as secret, every channel byte is a tracked value; geometry
+(width/height) stays public, mirroring the analysis granularity we can
+afford (the paper additionally marked the header secret, adding a small
+constant number of bits to its totals).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ...pytrace import concrete_of
+
+
+class Raster:
+    """An RGB image: ``pixels[y][x]`` is an (r, g, b) tuple."""
+
+    def __init__(self, width, height, pixels=None):
+        self.width = width
+        self.height = height
+        if pixels is None:
+            pixels = [[(0, 0, 0) for _ in range(width)]
+                      for _ in range(height)]
+        self.pixels = pixels
+
+    @property
+    def channel_count(self):
+        return self.width * self.height * 3
+
+    @property
+    def data_bits(self):
+        """Total pixel-data bits (8 per channel)."""
+        return 8 * self.channel_count
+
+    def get(self, x, y):
+        return self.pixels[y][x]
+
+    def set(self, x, y, rgb):
+        self.pixels[y][x] = rgb
+
+    def map_channels(self, fn):
+        """A new raster with ``fn`` applied to every channel value."""
+        out = Raster(self.width, self.height)
+        for y in range(self.height):
+            for x in range(self.width):
+                r, g, b = self.pixels[y][x]
+                out.pixels[y][x] = (fn(r), fn(g), fn(b))
+        return out
+
+    def concrete(self):
+        """A plain-int copy (drops tracking; for display/tests)."""
+        return self.map_channels(concrete_of)
+
+    def to_ppm(self):
+        """Serialize to binary PPM (P6); header public, data as given.
+
+        Returns ``(header_bytes, data_values)`` -- the data is a flat
+        list of channel values that may be tracked.
+        """
+        header = ("P6\n%d %d\n255\n" % (self.width, self.height)).encode()
+        data = []
+        for y in range(self.height):
+            for x in range(self.width):
+                data.extend(self.pixels[y][x])
+        return header, data
+
+
+def synthetic_portrait(size=25):
+    """A deterministic test 'photo': gradient background + face blob.
+
+    Structured (compressible, recognizable) content so that transform
+    comparisons are meaningful.
+    """
+    image = Raster(size, size)
+    cx = cy = (size - 1) / 2.0
+    for y in range(size):
+        for x in range(size):
+            r = (x * 255) // max(size - 1, 1)
+            g = (y * 255) // max(size - 1, 1)
+            b = ((x + y) * 255) // max(2 * (size - 1), 1)
+            distance = math.hypot(x - cx, y - cy)
+            if distance < size * 0.3:
+                r, g, b = 224, 172, 105  # the "face"
+                if distance > size * 0.25:
+                    r, g, b = 96, 64, 32  # outline
+            image.pixels[y][x] = (r, g, b)
+    return image
+
+
+def load_secret(session, image):
+    """A tracked copy of ``image``: every channel byte becomes secret."""
+    out = Raster(image.width, image.height)
+    for y in range(image.height):
+        row_values = []
+        for x in range(image.width):
+            row_values.extend(image.pixels[y][x])
+        tracked = session.secret_bytes(bytes(row_values),
+                                       name="row%d" % y)
+        for x in range(image.width):
+            out.pixels[y][x] = tuple(tracked[3 * x:3 * x + 3])
+    return out

@@ -1,0 +1,138 @@
+"""The Figure 5 transforms: pixelate, blur, swirl.
+
+* ``pixelate(image, n)``: shrink to an n x n intermediate by sampling,
+  then enlarge back -- information is bottlenecked at the intermediate
+  form (ImageMagick's ``-sample 5x5 -sample 125x125``);
+* ``blur(image, n)``: shrink by *box averaging* then enlarge with
+  bilinear interpolation (``-resize 5x5 -resize 125x125``) -- the same
+  bottleneck, slightly different arithmetic;
+* ``swirl(image, degrees)``: rotate pixels around the center by an
+  angle falling off with radius, sampling bilinearly -- a continuous,
+  near-invertible transformation with *no* bottleneck: the flow bound
+  equals the image size.
+
+All arithmetic runs over possibly-tracked channel values; geometry and
+trigonometry use public floats (coordinates are public).
+"""
+
+from __future__ import annotations
+
+import math
+
+from .image import Raster
+
+
+def sample_resize(image, new_width, new_height):
+    """Nearest-neighbor resize (ImageMagick ``-sample``)."""
+    out = Raster(new_width, new_height)
+    for y in range(new_height):
+        src_y = (y * image.height) // new_height
+        for x in range(new_width):
+            src_x = (x * image.width) // new_width
+            out.pixels[y][x] = image.pixels[src_y][src_x]
+    return out
+
+
+def box_resize(image, new_width, new_height):
+    """Box-filter downscale (averages whole source blocks)."""
+    out = Raster(new_width, new_height)
+    for y in range(new_height):
+        y0 = (y * image.height) // new_height
+        y1 = max(((y + 1) * image.height) // new_height, y0 + 1)
+        for x in range(new_width):
+            x0 = (x * image.width) // new_width
+            x1 = max(((x + 1) * image.width) // new_width, x0 + 1)
+            count = (y1 - y0) * (x1 - x0)
+            sums = [0, 0, 0]
+            for sy in range(y0, y1):
+                for sx in range(x0, x1):
+                    pixel = image.pixels[sy][sx]
+                    for c in range(3):
+                        # Plain 0 + tracked byte adopts a width that
+                        # grows with the operands; the final division
+                        # and mask keep the result an 8-bit channel.
+                        sums[c] = sums[c] + pixel[c]
+            out.pixels[y][x] = tuple((sums[c] // count) & 0xFF
+                                     for c in range(3))
+    return out
+
+
+def bilinear_resize(image, new_width, new_height):
+    """Bilinear upscale with 8-bit fixed-point weights."""
+    out = Raster(new_width, new_height)
+    for y in range(new_height):
+        fy = y * (image.height - 1) / max(new_height - 1, 1)
+        y0 = int(fy)
+        y1 = min(y0 + 1, image.height - 1)
+        wy = int((fy - y0) * 256)
+        for x in range(new_width):
+            fx = x * (image.width - 1) / max(new_width - 1, 1)
+            x0 = int(fx)
+            x1 = min(x0 + 1, image.width - 1)
+            wx = int((fx - x0) * 256)
+            out.pixels[y][x] = _bilinear_sample(
+                image, x0, y0, x1, y1, wx, wy)
+    return out
+
+
+def _bilinear_sample(image, x0, y0, x1, y1, wx, wy):
+    p00 = image.pixels[y0][x0]
+    p10 = image.pixels[y0][x1]
+    p01 = image.pixels[y1][x0]
+    p11 = image.pixels[y1][x1]
+    result = []
+    for c in range(3):
+        top = (p00[c] * (256 - wx) + p10[c] * wx) >> 8
+        bottom = (p01[c] * (256 - wx) + p11[c] * wx) >> 8
+        value = ((top * (256 - wy) + bottom * wy) >> 8) & 0xFF
+        result.append(value)
+    return tuple(result)
+
+
+def pixelate(image, grid=5):
+    """Figure 5 left: sample down to ``grid`` x ``grid``, sample back up."""
+    small = sample_resize(image, grid, grid)
+    return sample_resize(small, image.width, image.height)
+
+
+def blur(image, grid=5):
+    """Figure 5 middle: box-average down, bilinear back up."""
+    small = box_resize(image, grid, grid)
+    return bilinear_resize(small, image.width, image.height)
+
+
+def swirl(image, degrees=720.0):
+    """Figure 5 right: twist around the center, bilinear sampling.
+
+    Inverse mapping: each output pixel samples the input at its
+    position rotated by ``degrees * (1 - r/R)^2`` (ImageMagick's
+    falloff), interpolating between the four neighbors.
+    """
+    out = Raster(image.width, image.height)
+    cx = (image.width - 1) / 2.0
+    cy = (image.height - 1) / 2.0
+    radius = max(cx, cy) * math.sqrt(2.0)
+    total = math.radians(degrees)
+    for y in range(image.height):
+        for x in range(image.width):
+            dx = x - cx
+            dy = y - cy
+            r = math.hypot(dx, dy)
+            if r >= radius:
+                out.pixels[y][x] = image.pixels[y][x]
+                continue
+            factor = (1.0 - r / radius) ** 2
+            angle = total * factor
+            cos_a, sin_a = math.cos(angle), math.sin(angle)
+            sx = cx + dx * cos_a - dy * sin_a
+            sy = cy + dx * sin_a + dy * cos_a
+            sx = min(max(sx, 0.0), image.width - 1.001)
+            sy = min(max(sy, 0.0), image.height - 1.001)
+            x0, y0 = int(sx), int(sy)
+            x1 = min(x0 + 1, image.width - 1)
+            y1 = min(y0 + 1, image.height - 1)
+            wx = int((sx - x0) * 256)
+            wy = int((sy - y0) * 256)
+            out.pixels[y][x] = _bilinear_sample(
+                image, x0, y0, x1, y1, wx, wy)
+    return out

@@ -1,0 +1,67 @@
+"""The Figure 3 workload: digits of pi written out in English words.
+
+The paper compresses "the digits of pi, written out in English words,
+as in 'three point one four one five nine'" -- a highly compressible
+input whose size is easy to scale.  The digits come from a spigot
+algorithm (Rabinowitz & Wagon, 1995), so the workload is reproducible
+without any data files.
+"""
+
+from __future__ import annotations
+
+_DIGIT_WORDS = ["zero", "one", "two", "three", "four", "five", "six",
+                "seven", "eight", "nine"]
+
+
+def pi_digits(count):
+    """First ``count`` decimal digits of pi (3, 1, 4, 1, 5, ...).
+
+    Implements the Rabinowitz-Wagon streaming spigot with the standard
+    Gibbons formulation (exact integer arithmetic, no precision loss).
+    """
+    if count <= 0:
+        return []
+    digits = []
+    q, r, t, k, n, l = 1, 0, 1, 1, 3, 3
+    while len(digits) < count:
+        if 4 * q + r - t < n * t:
+            digits.append(n)
+            q, r, t, k, n, l = (
+                10 * q, 10 * (r - n * t), t, k,
+                (10 * (3 * q + r)) // t - 10 * n, l)
+        else:
+            q, r, t, k, n, l = (
+                q * k, (2 * q + r) * l, t * l, k + 1,
+                (q * (7 * k + 2) + r * l) // (t * l), l + 2)
+    return digits
+
+
+def pi_in_english(num_digits):
+    """Pi spelled out in words: ``b"three point one four one five ..."``.
+
+    The first digit is followed by "point", mirroring the paper's
+    example text.
+    """
+    digits = pi_digits(num_digits)
+    words = []
+    for i, digit in enumerate(digits):
+        words.append(_DIGIT_WORDS[digit])
+        if i == 0:
+            words.append("point")
+    return " ".join(words).encode("ascii")
+
+
+def workload_of_size(num_bytes):
+    """An English-pi byte string of exactly ``num_bytes`` bytes.
+
+    Generates enough digits and truncates; about 4.4 characters per
+    digit, so the digit count is padded generously.
+    """
+    if num_bytes <= 0:
+        return b""
+    digits = max(2, num_bytes // 3)
+    text = pi_in_english(digits)
+    while len(text) < num_bytes:
+        digits *= 2
+        text = pi_in_english(digits)
+    return text[:num_bytes]

@@ -1,0 +1,12 @@
+"""§8.4 case study: appointment scheduling free/busy grid."""
+
+from .calendar import (NUM_SLOTS, SLOT_MINUTES, WINDOW_END, WINDOW_START,
+                       Appointment, busy_grid, load_calendar,
+                       measure_meeting_request, quantize_appointment,
+                       render_grid)
+
+__all__ = [
+    "NUM_SLOTS", "SLOT_MINUTES", "WINDOW_END", "WINDOW_START",
+    "Appointment", "busy_grid", "load_calendar",
+    "measure_meeting_request", "quantize_appointment", "render_grid",
+]

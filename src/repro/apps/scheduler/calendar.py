@@ -1,0 +1,110 @@
+"""§8.4 case study: the groupware appointment grid.
+
+A meeting-request feature: given a target user's (secret) appointment
+list and a proposal window, display an 18-square half-hour free/busy
+grid for a 9:00-18:00 working day.  Appointment boundaries must not be
+revealed beyond the half-hour granularity.
+
+The information structure mirrors the paper's (post-fix) OpenGroupware
+code: per appointment, the intersection computation quantizes the start
+and end to half-hour slot numbers -- two small tracked values plus the
+window-clamping branches -- and everything downstream (the 18 busy
+bits) derives from them.  The tool therefore finds two sound cuts: one
+at the quantized slot values (more precise for few appointments), one
+at the 18-square display (more precise for many), the paper's §8.4
+observation.
+"""
+
+from __future__ import annotations
+
+from ...pytrace import Session, concrete_of
+
+#: Working-day window: 9:00 to 18:00, in minutes since midnight.
+WINDOW_START = 9 * 60
+WINDOW_END = 18 * 60
+SLOT_MINUTES = 30
+NUM_SLOTS = (WINDOW_END - WINDOW_START) // SLOT_MINUTES  # 18
+
+#: Slot numbers fit in 5 bits (0..18 after clamping).
+SLOT_MASK = 0x1F
+
+
+class Appointment:
+    """One calendar entry with tracked start/end times (minutes)."""
+
+    def __init__(self, session, start_minute, end_minute, index):
+        self.start = session.secret_int(start_minute, width=16,
+                                        name="appt%d.start" % index)
+        self.end = session.secret_int(end_minute, width=16,
+                                      name="appt%d.end" % index)
+
+
+def load_calendar(session, appointments):
+    """Mark a list of (start_minute, end_minute) pairs as secret."""
+    return [Appointment(session, s, e, i)
+            for i, (s, e) in enumerate(appointments)]
+
+
+def quantize_appointment(session, appointment):
+    """Quantize one appointment to clamped slot numbers.
+
+    Returns tracked ``(first_slot, end_slot)``; this is the paper's
+    fixed intersection computation, working at the display's half-hour
+    granularity.  The enclosure region absorbs the clamping branches;
+    the two 5-bit outputs are the precise cut for a single appointment.
+    """
+    with session.enclose("quantize") as region:
+        # The session's arithmetic is unsigned: clamp *before* the
+        # subtraction can underflow for appointments outside the window.
+        if appointment.start < WINDOW_START:
+            start_clamped = WINDOW_START
+        else:
+            start_clamped = appointment.start
+        if appointment.end < WINDOW_START:
+            end_clamped = WINDOW_START
+        else:
+            end_clamped = appointment.end
+        first = ((start_clamped - WINDOW_START) // SLOT_MINUTES) & SLOT_MASK
+        end = ((end_clamped - WINDOW_START + SLOT_MINUTES - 1)
+               // SLOT_MINUTES) & SLOT_MASK
+        if appointment.start > WINDOW_END:
+            first = NUM_SLOTS
+        if appointment.end > WINDOW_END:
+            end = NUM_SLOTS
+    first = region.wrap(first, width=5, name="first_slot")
+    end = region.wrap(end, width=5, name="end_slot")
+    return first, end
+
+
+def busy_grid(session, calendar):
+    """The 18-square free/busy grid (tracked 1-bit flags)."""
+    grid = [0] * NUM_SLOTS
+    for appointment in calendar:
+        first, end = quantize_appointment(session, appointment)
+        with session.enclose("mark") as region:
+            for slot in range(NUM_SLOTS):
+                occupied = (first <= slot) and (slot < end)
+                if occupied:
+                    grid[slot] = 1
+        grid = region.wrap_all(grid, width=1, name="grid")
+    return grid
+
+
+def render_grid(session, grid):
+    """Send the grid to the requesting user: one output per square."""
+    for slot, flag in enumerate(grid):
+        session.output(flag, name="square")
+    return "".join("#" if concrete_of(f) else "." for f in grid)
+
+
+def measure_meeting_request(appointments, collapse="none"):
+    """Full flow: secret calendar -> grid display; returns the report.
+
+    ``appointments``: list of (start_minute, end_minute).
+    """
+    session = Session()
+    calendar = load_calendar(session, appointments)
+    grid = busy_grid(session, calendar)
+    rendered = render_grid(session, grid)
+    report = session.measure(collapse=collapse)
+    return report, rendered

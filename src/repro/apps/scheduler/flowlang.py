@@ -1,0 +1,79 @@
+"""The §8.4 scheduler in FlowLang: cross-frontend validation.
+
+The same meeting-request computation as :mod:`.calendar`, but written
+in FlowLang and executed on the instrumented VM.  The two frontends
+share nothing except the measurement core, so agreement on the measured
+bounds (10 bits for one appointment, 18 at the display crossover) is a
+strong end-to-end check.
+
+Secret input wire format: per appointment, start and end minutes as
+little-endian u16 (``secret_u16()`` reads).  The appointment count is
+public input (one byte).
+"""
+
+from __future__ import annotations
+
+from ...lang import measure as lang_measure
+
+FLOWLANG_SOURCE = '''
+/* 9:00-18:00 working day, 18 half-hour slots. */
+
+fn quantize(t: u16, round_up: u16): u8 {
+    var slot: u8 = 0;
+    enclose (slot) {
+        var clamped: u16 = t;
+        if (clamped < 540) { clamped = 540; }
+        slot = u8(((clamped - 540) + round_up) / 30) & 0x1F;
+        if (t > 1080) { slot = 18; }
+    }
+    return slot;
+}
+
+fn main() {
+    /* bool squares: one bit of capacity each, like the real display. */
+    var grid: bool[18];
+    var count: u32 = u32(input_u8());
+    var a: u32 = 0;
+    while (a < count) {
+        var start: u16 = secret_u16();
+        var end: u16 = secret_u16();
+        var first: u8 = quantize(start, 0);
+        var last: u8 = quantize(end, 29);
+        enclose (grid[..]) {
+            var s: u8 = 0;
+            while (s < 18) {
+                if (first <= s && s < last) {
+                    grid[u32(s)] = true;
+                }
+                s = s + 1;
+            }
+        }
+        a = a + 1;
+    }
+    var out: u32 = 0;
+    while (out < 18) {
+        output(grid[out]);
+        out = out + 1;
+    }
+}
+'''
+
+
+def encode_appointments(appointments):
+    """Little-endian u16 pairs for the secret input stream."""
+    data = bytearray()
+    for start, end in appointments:
+        data += int(start).to_bytes(2, "little")
+        data += int(end).to_bytes(2, "little")
+    return bytes(data)
+
+
+def measure_flowlang_scheduler(appointments, collapse="none"):
+    """Run the FlowLang scheduler; returns ``(report, grid_string)``."""
+    result = lang_measure(
+        FLOWLANG_SOURCE,
+        secret_input=encode_appointments(appointments),
+        public_input=bytes([len(appointments)]),
+        collapse=collapse)
+    grid = "".join("#" if b else "." for b in result.output_bytes)
+    return result.report, grid

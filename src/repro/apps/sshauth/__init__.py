@@ -1,0 +1,17 @@
+"""§8.2 case study: SSH-style host authentication.
+
+Measures how much of the host's RSA private key an authentication
+exchange reveals; the paper's answer -- exactly the 128 bits of the MD5
+digest -- reproduces here with :func:`run_authentication`.
+"""
+
+from .md5 import md5_bytes, md5_hexdigest
+from .rsa import E, KEY_BITS, P, Q, decrypt_tracked, encrypt, make_keypair, modexp
+from .protocol import Server, client_authenticate, run_authentication
+
+__all__ = [
+    "md5_bytes", "md5_hexdigest",
+    "E", "KEY_BITS", "P", "Q", "decrypt_tracked", "encrypt",
+    "make_keypair", "modexp",
+    "Server", "client_authenticate", "run_authentication",
+]

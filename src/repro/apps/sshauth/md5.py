@@ -1,0 +1,102 @@
+"""MD5 over tracked values (the §8.2 bottleneck computation).
+
+A complete MD5 implementation (RFC 1321) that runs identically on plain
+ints and on tracked :class:`~repro.pytrace.values.SecretInt` bytes: all
+operations are 32-bit adds, rotates, and bitwise logic, which the
+transfer functions of Section 2.3 handle precisely.  When the input is
+secret, the 128-bit digest is secret -- and becomes the minimum cut of
+the host-authentication flow, exactly as the paper reports.
+
+Tested against :mod:`hashlib` on plain inputs.
+"""
+
+from __future__ import annotations
+
+_S = [7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+      5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20,
+      4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+      6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21]
+
+_K = [
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee,
+    0xf57c0faf, 0x4787c62a, 0xa8304613, 0xfd469501,
+    0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be,
+    0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821,
+    0xf61e2562, 0xc040b340, 0x265e5a51, 0xe9b6c7aa,
+    0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+    0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed,
+    0xa9e3e905, 0xfcefa3f8, 0x676f02d9, 0x8d2a4c8a,
+    0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c,
+    0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70,
+    0x289b7ec6, 0xeaa127fa, 0xd4ef3085, 0x04881d05,
+    0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+    0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039,
+    0x655b59c3, 0x8f0ccc92, 0xffeff47d, 0x85845dd1,
+    0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1,
+    0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391]
+
+_MASK = 0xFFFFFFFF
+
+
+def _rotl(x, s):
+    return ((x << s) & _MASK) | (x >> (32 - s))
+
+
+def md5_bytes(data):
+    """MD5 digest of ``data`` (a sequence of plain or tracked bytes).
+
+    Returns a list of 16 byte values, tracked iff the input was.
+    """
+    message = list(data)
+    length_bits = (len(message) * 8) & ((1 << 64) - 1)
+    message.append(0x80)
+    while len(message) % 64 != 56:
+        message.append(0x00)
+    for shift in range(0, 64, 8):
+        message.append((length_bits >> shift) & 0xFF)
+
+    a0, b0, c0, d0 = 0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476
+
+    for block_start in range(0, len(message), 64):
+        block = message[block_start:block_start + 64]
+        words = []
+        for i in range(0, 64, 4):
+            word = (block[i]
+                    | (block[i + 1] << 8)
+                    | (block[i + 2] << 16)
+                    | (block[i + 3] << 24))
+            words.append(word)
+        a, b, c, d = a0, b0, c0, d0
+        for i in range(64):
+            if i < 16:
+                f = (b & c) | ((~b & _MASK) & d)
+                g = i
+            elif i < 32:
+                f = (d & b) | ((~d & _MASK) & c)
+                g = (5 * i + 1) % 16
+            elif i < 48:
+                f = b ^ c ^ d
+                g = (3 * i + 5) % 16
+            else:
+                f = c ^ (b | (~d & _MASK))
+                g = (7 * i) % 16
+            f = (f + a + _K[i] + words[g]) & _MASK
+            a = d
+            d = c
+            c = b
+            b = (b + _rotl(f, _S[i])) & _MASK
+        a0 = (a0 + a) & _MASK
+        b0 = (b0 + b) & _MASK
+        c0 = (c0 + c) & _MASK
+        d0 = (d0 + d) & _MASK
+
+    digest = []
+    for word in (a0, b0, c0, d0):
+        for shift in (0, 8, 16, 24):
+            digest.append((word >> shift) & 0xFF)
+    return digest
+
+
+def md5_hexdigest(data):
+    """Hex digest over plain bytes (convenience for tests)."""
+    return "".join("%02x" % b for b in md5_bytes(data))

@@ -1,0 +1,76 @@
+"""The §8.2 host-authentication exchange.
+
+Model of OpenSSH's RSA host authentication: the server encrypts a
+random challenge with the client host's public key; the client decrypts
+it with the *private* key (the secret), derives a session key, and
+returns ``MD5(session_key || session_id)``.  The private key must be
+used but never leaked: the acceptable disclosure is exactly the 128-bit
+digest, and the paper's tool measures exactly 128 bits with the cut at
+the MD5 output.
+"""
+
+from __future__ import annotations
+
+from ...pytrace import Session
+from .md5 import md5_bytes
+from .rsa import KEY_BITS, decrypt_tracked, encrypt, make_keypair
+
+
+class Server:
+    """The remote sshd: issues challenges and verifies responses."""
+
+    def __init__(self, public_n, public_e, session_id):
+        self.n = public_n
+        self.e = public_e
+        self.session_id = session_id
+        self._challenge = None
+
+    def issue_challenge(self, rng_value):
+        """Encrypt a challenge under the client host's public key."""
+        self._challenge = rng_value % self.n
+        return encrypt(self._challenge, self.n, self.e)
+
+    def expected_response(self):
+        key_bytes = [(self._challenge >> (8 * i)) & 0xFF for i in range(16)]
+        return bytes(md5_bytes(key_bytes + list(self.session_id)))
+
+
+def client_authenticate(session, private_d, modulus, encrypted_challenge,
+                        session_id):
+    """The client side, with the private key marked secret.
+
+    Returns the response digest bytes that were sent (tracked).  The
+    RSA decryption runs inside an enclosure region (its information
+    content is the decrypted challenge); the digest of the derived
+    session key is the only public output.
+    """
+    d = session.secret_int(private_d, width=KEY_BITS, name="private_key")
+    with session.enclose("rsa-decrypt") as region:
+        decrypted = decrypt_tracked(encrypted_challenge, d, modulus)
+    decrypted = region.wrap(decrypted, width=KEY_BITS, name="decrypted")
+    # Derive the 128-bit session key from the low bytes of the challenge.
+    key_bytes = [(decrypted >> (8 * i)) & 0xFF for i in range(16)]
+    digest = md5_bytes(key_bytes + list(session_id))
+    session.output_bytes(digest, name="auth-response")
+    return digest
+
+
+def run_authentication(rng_value=0x1F2E3D4C5B6A7988,
+                       session_id=b"session-id-0123",
+                       collapse="location"):
+    """Full exchange; returns ``(report, succeeded)``.
+
+    ``succeeded`` confirms the protocol ran correctly (the tracked
+    digest equals the server's expectation); ``report.bits`` is the
+    measured leak about the private key.
+    """
+    n, e, d = make_keypair()
+    server = Server(n, e, session_id)
+    cipher = server.issue_challenge(rng_value)
+    session = Session()
+    digest = client_authenticate(session, d, n, cipher, session_id)
+    sent = bytes(b.concrete() if hasattr(b, "concrete") else b
+                 for b in digest)
+    succeeded = sent == server.expected_response()
+    report = session.measure(collapse=collapse)
+    return report, succeeded

@@ -1,0 +1,71 @@
+"""Toy RSA for the host-authentication case study (§8.2).
+
+A textbook RSA keypair over fixed 256-bit primes (512-bit modulus) and
+square-and-multiply modular exponentiation that runs over tracked
+values.  With a secret private exponent, every bit inspected by the
+exponentiation loop is a 1-bit implicit flow -- the paper's tool sees
+the same storm of branches inside OpenSSH's bignum code, which is why
+the RSA computation sits inside an enclosure region.
+
+This is *not* cryptographically serious (fixed primes, no padding); it
+exists to reproduce the information-flow structure of the protocol.
+"""
+
+from __future__ import annotations
+
+from ...pytrace.values import SecretInt, concrete_of
+
+# Fixed demonstration primes: 2^255 - 19 (the Curve25519 prime) and
+# 2^256 - 189 (the largest prime below 2^256); product = 511-bit modulus.
+P = 2 ** 255 - 19
+Q = 2 ** 256 - 189
+
+#: Public exponent.
+E = 65537
+
+KEY_BITS = 512
+
+
+def make_keypair():
+    """Return ``(n, e, d)`` for the fixed demonstration primes."""
+    n = P * Q
+    phi = (P - 1) * (Q - 1)
+    d = pow(E, -1, phi)
+    return n, E, d
+
+
+def encrypt(message, n=None, e=E):
+    """Public-key operation on a plain message (challenge generation)."""
+    if n is None:
+        n = P * Q
+    return pow(message, e, n)
+
+
+def modexp(base, exponent, modulus, bits=KEY_BITS):
+    """``base ** exponent mod modulus`` by square-and-multiply.
+
+    ``exponent`` may be tracked: the per-bit test ``(exponent >> i) & 1``
+    branches on a secret, recording one implicit flow per key bit.
+    ``base`` and ``modulus`` are public ints here (the challenge and the
+    public modulus).
+    """
+    result = 1
+    power = base % modulus
+    for i in range(bits):
+        bit = (exponent >> i) & 1
+        if bit:
+            result = (result * power) % modulus
+        power = (power * power) % modulus
+    return result
+
+
+def decrypt_tracked(cipher, private_exponent, modulus, bits=KEY_BITS):
+    """Private-key operation with a tracked exponent.
+
+    Note the asymmetry: the *result* is numerically correct but, as
+    computed here, its data provenance flows only through the implicit
+    branches (``result`` accumulates public multiplications selected by
+    secret bits) -- exactly the situation enclosure regions exist for.
+    Callers must wrap this in a region whose output is the result.
+    """
+    return modexp(cipher, private_exponent, modulus, bits)

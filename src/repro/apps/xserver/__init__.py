@@ -1,0 +1,8 @@
+"""§8.5 case study: display-server information flow."""
+
+from .font import HEIGHTS, WIDTHS, text_width
+from .server import (BoundingBox, DisplayServer, measure_draw_text,
+                     measure_paste)
+
+__all__ = ["HEIGHTS", "WIDTHS", "text_width", "BoundingBox",
+           "DisplayServer", "measure_draw_text", "measure_paste"]

@@ -1,0 +1,58 @@
+"""A proportional font for the §8.5 text-drawing case study.
+
+Public per-character metrics (advance width and height), with the
+property that made the paper's redaction observation interesting:
+different characters have different widths, so the *sum* of widths (a
+bounding box) constrains which characters were drawn.
+"""
+
+from __future__ import annotations
+
+#: Advance width per code point (public).  Synthetic but shaped like a
+#: real proportional font: narrow 'i'/'l', wide 'm'/'w', etc.
+_BASE_WIDTHS = {
+    " ": 4, "!": 3, ",": 3, ".": 3, "'": 2, ":": 3, ";": 3, "-": 4,
+    "i": 3, "j": 3, "l": 3, "f": 4, "t": 4, "r": 5,
+    "a": 7, "b": 7, "c": 6, "d": 7, "e": 7, "g": 7, "h": 7, "k": 6,
+    "n": 7, "o": 7, "p": 7, "q": 7, "s": 6, "u": 7, "v": 6, "x": 6,
+    "y": 6, "z": 6,
+    "m": 11, "w": 10,
+    "A": 9, "B": 8, "C": 9, "D": 9, "E": 8, "F": 7, "G": 9, "H": 9,
+    "I": 3, "J": 5, "K": 8, "L": 7, "M": 11, "N": 9, "O": 10, "P": 8,
+    "Q": 10, "R": 8, "S": 8, "T": 8, "U": 9, "V": 9, "W": 13, "X": 8,
+    "Y": 8, "Z": 8,
+    "0": 7, "1": 7, "2": 7, "3": 7, "4": 7, "5": 7, "6": 7, "7": 7,
+    "8": 7, "9": 7,
+}
+
+#: Glyph height above baseline per code point (public); descenders and
+#: capitals differ, so the bounding-box height carries a little
+#: information too.
+_TALL = set("bdfhklt" + "ABCDEFGHIJKLMNOPQRSTUVWXYZ" + "0123456789")
+_DESCENDERS = set("gjpqy")
+
+
+def _height(ch):
+    if ch in _TALL:
+        return 14
+    if ch in _DESCENDERS:
+        return 12
+    return 10
+
+
+#: 256-entry lookup tables, indexable by (possibly tracked) byte value.
+WIDTHS = [6] * 256
+HEIGHTS = [10] * 256
+for _ch, _w in _BASE_WIDTHS.items():
+    WIDTHS[ord(_ch)] = _w
+for _code in range(256):
+    _c = chr(_code)
+    HEIGHTS[_code] = _height(_c)
+
+#: Maximum glyph height fits in 4 bits; the audit masks to 5 for slack.
+HEIGHT_MASK = 0x1F
+
+
+def text_width(text):
+    """Public helper: pixel width of a plain string."""
+    return sum(WIDTHS[ord(c)] for c in text)

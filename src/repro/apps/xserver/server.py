@@ -1,0 +1,155 @@
+"""§8.5 case study: the display server.
+
+Models the X server's mediating role for the two request families the
+paper analyzed:
+
+* **Text drawing** (``draw_text``): client-provided text is secret.
+  Drawing changes framebuffer pixels (not a public output), but as a
+  side effect the server computes a *bounding box* for later redraws --
+  and the box's dimensions constrain the sum of the glyph widths, the
+  same way a redaction rectangle's width leaks the text behind it.  The
+  width/height computation is enclosed; its outputs measure 21 bits
+  (16-bit width + 5-bit height) regardless of the string.
+* **Cut and paste** (``store_selection`` / ``paste_selection``): the
+  bytes are uninterpreted by the server -- pure data flows, no implicit
+  flows, 8 bits per pasted byte.
+
+:func:`rogue_scan` simulates the paper's injected-code attack (an
+exploited server walking memory for credit-card-like digit strings and
+exfiltrating them); the tainting-based checker flags it as a flow the
+text/paste policy never sanctioned.
+"""
+
+from __future__ import annotations
+
+from ...pytrace import Session, concrete_of
+from .font import HEIGHT_MASK, HEIGHTS, WIDTHS
+
+
+class BoundingBox:
+    """The redraw bounding box computed as a side effect of drawing."""
+
+    __slots__ = ("x", "y", "width", "height")
+
+    def __init__(self, x, y, width, height):
+        self.x = x
+        self.y = y
+        self.width = width
+        self.height = height
+
+
+class DisplayServer:
+    """A single-display server mediating between clients."""
+
+    def __init__(self, session, width=1024, height=768):
+        self.session = session
+        self.width = width
+        self.height = height
+        # The framebuffer is *not* a public output (§8.5): clients
+        # cannot read it back through this server.
+        self.framebuffer = {}
+        self.selections = {}
+        self.damage = []
+
+    # ------------------------------------------------------------------
+    # Text drawing
+
+    def draw_text(self, x, y, text_bytes, client="app"):
+        """Draw secret text; returns the (tracked) bounding box.
+
+        ``text_bytes`` may be tracked.  Pixel writes go only to the
+        framebuffer; the information that escapes into later protocol
+        traffic is the bounding box.
+        """
+        session = self.session
+        with session.enclose("text-metrics") as region:
+            total_width = 0
+            max_height = 0
+            pen_x = x
+            for ch in text_bytes:
+                glyph_width = WIDTHS[ch]    # indexed flow per character
+                glyph_height = HEIGHTS[ch]
+                self._draw_glyph(pen_x, y, glyph_width, glyph_height)
+                pen_x += glyph_width
+                total_width += glyph_width
+                if glyph_height > max_height:
+                    max_height = glyph_height
+        box = BoundingBox(
+            x, y,
+            region.wrap(total_width, width=16, name="bbox-width"),
+            region.wrap(max_height & HEIGHT_MASK, width=5,
+                        name="bbox-height"),
+        )
+        self.damage.append(box)
+        return box
+
+    def _draw_glyph(self, x, y, glyph_width, glyph_height):
+        # A block glyph: which pixels change is public geometry once the
+        # (charged) metrics are known; pixel values are constant ink.
+        for dx in range(glyph_width):
+            self.framebuffer[(x + dx, y)] = 1
+
+    def report_damage(self, box):
+        """Send a redraw/damage notification: the bbox goes on the wire."""
+        self.session.output(box.width, box.height, name="damage-event")
+
+    # ------------------------------------------------------------------
+    # Cut and paste
+
+    def store_selection(self, name, data_bytes):
+        """A client publishes a selection; bytes are uninterpreted."""
+        self.selections[name] = list(data_bytes)
+
+    def paste_selection(self, name, client="other-app"):
+        """Another client requests the selection: bytes go on the wire."""
+        data = self.selections.get(name, [])
+        self.session.output_bytes(data, name="paste")
+        return bytes(concrete_of(b) & 0xFF for b in data)
+
+    # ------------------------------------------------------------------
+    # The simulated exploit (§8.5's integer-overflow attack payload)
+
+    def rogue_scan(self):
+        """Injected code: walk stored selections for digit runs, leak them.
+
+        Emulates the paper's simulated exploitation: code supplied via a
+        network request scans memory for strings of digits that resemble
+        credit-card numbers and writes them out.  Every leaked byte is a
+        tainted output the cut policy never sanctioned.
+        """
+        leaked = []
+        for data in self.selections.values():
+            run = []
+            for byte in data:
+                if (byte >= ord("0")) and (byte <= ord("9")):
+                    run.append(byte)
+                else:
+                    run = []
+                if len(run) >= 12:  # looks like a card number
+                    leaked.extend(run)
+                    run = []
+        if leaked:
+            self.session.output_bytes(leaked, name="exfiltrate")
+        return leaked
+
+
+def measure_draw_text(text=b"Hello, world!", collapse="none"):
+    """Measure the §8.5 text-drawing policy; returns (report, bbox)."""
+    session = Session()
+    server = DisplayServer(session)
+    secret = session.secret_bytes(text, name="text-request")
+    box = server.draw_text(10, 20, secret)
+    server.report_damage(box)
+    report = session.measure(collapse=collapse)
+    return report, box
+
+
+def measure_paste(data=b"the secret clipboard", collapse="none"):
+    """Measure the cut-and-paste path: pure data flow, 8 bits/byte."""
+    session = Session()
+    server = DisplayServer(session)
+    secret = session.secret_bytes(data, name="selection")
+    server.store_selection("PRIMARY", secret)
+    pasted = server.paste_selection("PRIMARY")
+    report = session.measure(collapse=collapse)
+    return report, pasted

@@ -1,0 +1,221 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+The tool workflow from the paper, on FlowLang programs:
+
+* ``measure`` — run once under full instrumentation, print the flow
+  bound and minimum cut, optionally save the cut as a JSON policy or
+  the graph as DOT;
+* ``check``  — §6.2 tainting-based check of a run against a policy;
+* ``lockstep`` — §6.3 two-copy output-comparison check;
+* ``static`` — the §10.2 all-static bound, given per-loop trip counts;
+* ``disasm`` — show the compiled bytecode.
+
+Secret/public inputs come from ``--secret``/``--public`` (text),
+``--secret-hex`` (hex bytes), or ``--secret-file``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .core.policy import CutPolicy
+from .errors import PolicyViolation, ReproError
+from .lang import check as lang_check
+from .lang import compile_source
+from .lang import lockstep as lang_lockstep
+from .lang import measure as lang_measure
+
+
+def _read_program(path):
+    with open(path) as handle:
+        return handle.read()
+
+
+def _input_bytes(args, prefix):
+    text = getattr(args, prefix, None)
+    hex_text = getattr(args, prefix + "_hex", None)
+    path = getattr(args, prefix + "_file", None)
+    chosen = [v for v in (text, hex_text, path) if v is not None]
+    if len(chosen) > 1:
+        raise SystemExit("choose one of --%s / --%s-hex / --%s-file"
+                         % (prefix, prefix, prefix))
+    if text is not None:
+        return text.encode()
+    if hex_text is not None:
+        return bytes.fromhex(hex_text)
+    if path is not None:
+        with open(path, "rb") as handle:
+            return handle.read()
+    return b""
+
+
+def _add_input_flags(parser, prefix, help_noun):
+    parser.add_argument("--%s" % prefix, help="%s as literal text"
+                        % help_noun)
+    parser.add_argument("--%s-hex" % prefix, dest="%s_hex" % prefix,
+                        help="%s as hex bytes" % help_noun)
+    parser.add_argument("--%s-file" % prefix, dest="%s_file" % prefix,
+                        help="%s read from a file" % help_noun)
+
+
+def cmd_measure(args):
+    source = _read_program(args.program)
+    result = lang_measure(source, secret_input=_input_bytes(args, "secret"),
+                          public_input=_input_bytes(args, "public"),
+                          collapse=args.collapse, filename=args.program)
+    if args.json:
+        cut = CutPolicy.from_report(result.report)
+        print(json.dumps({
+            "bits": result.bits,
+            "outputs": [o for o in result.outputs],
+            "cut": cut.to_dict(),
+            "warnings": result.report.warnings,
+        }, indent=2))
+    else:
+        print(result.report.describe())
+        if result.output_bytes:
+            print("program output: %r" % bytes(result.output_bytes))
+    if args.save_policy:
+        policy = CutPolicy.from_report(result.report)
+        with open(args.save_policy, "w") as handle:
+            json.dump(policy.to_dict(), handle, indent=2)
+        print("policy written to %s" % args.save_policy)
+    if args.dot:
+        from .graph.dot import write_dot
+        write_dot(args.dot, result.report.graph, result.report.mincut,
+                  title="%s: %d bits" % (args.program, result.bits))
+        print("graph written to %s" % args.dot)
+    return 0
+
+
+def _load_policy(path):
+    with open(path) as handle:
+        return CutPolicy.from_dict(json.load(handle))
+
+
+def cmd_check(args):
+    source = _read_program(args.program)
+    result = lang_check(source, _load_policy(args.policy),
+                        secret_input=_input_bytes(args, "secret"),
+                        public_input=_input_bytes(args, "public"),
+                        filename=args.program)
+    print(repr(result))
+    try:
+        result.enforce()
+    except PolicyViolation as violation:
+        print("VIOLATION: %s" % violation)
+        return 1
+    print("PASS: %d bits revealed within the %d-bit budget"
+          % (result.revealed_bits, result.policy.max_bits))
+    return 0
+
+
+def cmd_lockstep(args):
+    source = _read_program(args.program)
+    result = lang_lockstep(source, _load_policy(args.policy),
+                           real_secret=_input_bytes(args, "secret"),
+                           dummy_secret=_input_bytes(args, "dummy"),
+                           public_input=_input_bytes(args, "public"),
+                           filename=args.program)
+    print(repr(result))
+    try:
+        result.enforce()
+    except PolicyViolation as violation:
+        print("VIOLATION: %s" % violation)
+        return 1
+    print("PASS: outputs agree; %d bits forwarded at the cut"
+          % result.bits_forwarded)
+    return 0
+
+
+def cmd_static(args):
+    from .infer.staticflow import StaticFlowAnalysis
+    from .lang.checker import check_program
+    from .lang.parser import parse
+    program = check_program(parse(_read_program(args.program),
+                                  args.program))
+    analysis = StaticFlowAnalysis(program, function=args.function)
+    bounds = {}
+    for item in args.bound or []:
+        line, _, count = item.partition("=")
+        bounds[int(line)] = int(count)
+    if args.formula:
+        print(analysis.formula())
+    print("loops at lines: %s" % analysis.loop_lines)
+    print("static bound: %d bits (default loop bound %d)"
+          % (analysis.bound(bounds, args.default_bound),
+             args.default_bound))
+    return 0
+
+
+def cmd_disasm(args):
+    compiled = compile_source(_read_program(args.program), args.program)
+    print(compiled.disassemble())
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Quantitative information flow as network flow "
+                    "capacity (PLDI 2008 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("measure", help="measure one execution's flow")
+    p.add_argument("program", help="FlowLang source file")
+    _add_input_flags(p, "secret", "secret input")
+    _add_input_flags(p, "public", "public input")
+    p.add_argument("--collapse", default="context",
+                   choices=["none", "context", "location"])
+    p.add_argument("--json", action="store_true")
+    p.add_argument("--save-policy", metavar="FILE")
+    p.add_argument("--dot", metavar="FILE",
+                   help="write the (collapsed) graph + cut as Graphviz")
+    p.set_defaults(func=cmd_measure)
+
+    p = sub.add_parser("check", help="taint-check a run against a policy")
+    p.add_argument("program")
+    p.add_argument("--policy", required=True)
+    _add_input_flags(p, "secret", "secret input")
+    _add_input_flags(p, "public", "public input")
+    p.set_defaults(func=cmd_check)
+
+    p = sub.add_parser("lockstep",
+                       help="output-comparison check (two copies)")
+    p.add_argument("program")
+    p.add_argument("--policy", required=True)
+    _add_input_flags(p, "secret", "real secret input")
+    _add_input_flags(p, "dummy", "dummy secret input")
+    _add_input_flags(p, "public", "public input")
+    p.set_defaults(func=cmd_lockstep)
+
+    p = sub.add_parser("static", help="all-static bound (§10.2 subset)")
+    p.add_argument("program")
+    p.add_argument("--function", default="main")
+    p.add_argument("--bound", action="append", metavar="LINE=N",
+                   help="loop trip-count bound (repeatable)")
+    p.add_argument("--default-bound", type=int, default=1)
+    p.add_argument("--formula", action="store_true",
+                   help="print the symbolic edge list")
+    p.set_defaults(func=cmd_static)
+
+    p = sub.add_parser("disasm", help="show compiled bytecode")
+    p.add_argument("program")
+    p.set_defaults(func=cmd_disasm)
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

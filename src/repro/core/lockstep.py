@@ -1,0 +1,146 @@
+"""Output-comparison checking (Section 6.3).
+
+The cheapest enforcement mode runs two copies of the program: one on the
+real secret input, one on a non-sensitive dummy input of the same size.
+Both run (mostly) uninstrumented; only at the policy's cut points does
+the secret-holding copy send its concrete values to the shadow copy,
+which substitutes them for its own.  If the copies then produce the same
+public output, the data forwarded at the cut is the only secret
+information the output depends on and the policy holds; divergence means
+an unsanctioned flow exists.
+
+The two copies are realized as two sequential executions coordinated by
+interceptors: the first run records (cut values, outputs); the second
+replays the cut values and its outputs are compared.  This preserves the
+technique's semantics (lockstep scheduling only matters for wall-clock
+overlap, which a simulation does not need).
+"""
+
+from __future__ import annotations
+
+from ..errors import PolicyViolation
+
+
+class RecordingInterceptor:
+    """First copy: runs on the real secret; records cut values + outputs."""
+
+    def __init__(self, policy):
+        self.policy = policy
+        self.cut_values = []
+        self.cut_bits = 0
+        self.outputs = []
+
+    def at_cut(self, kind, location):
+        """Whether ``(kind, location)`` is a sanctioned cut point."""
+        return self.policy.allows_location(kind, location)
+
+    def intercept(self, kind, location, value, width):
+        """Called by the frontend for every potential cut event.
+
+        Returns the value the program should continue with (always the
+        original, for the recording copy).
+        """
+        if self.at_cut(kind, location):
+            self.cut_values.append((kind, str(location), value))
+            self.cut_bits += width
+        return value
+
+    def output(self, value):
+        self.outputs.append(value)
+
+
+class ReplayInterceptor:
+    """Second copy: runs on the dummy secret; substitutes cut values."""
+
+    def __init__(self, policy, cut_values):
+        self.policy = policy
+        self._queue = list(cut_values)
+        self._pos = 0
+        self.outputs = []
+        self.desynchronized = False
+
+    def at_cut(self, kind, location):
+        return self.policy.allows_location(kind, location)
+
+    def intercept(self, kind, location, value, width):
+        if not self.at_cut(kind, location):
+            return value
+        if self._pos >= len(self._queue):
+            self.desynchronized = True
+            return value
+        rec_kind, rec_loc, rec_value = self._queue[self._pos]
+        if rec_kind != kind or rec_loc != str(location):
+            # The copies reached cut points in different orders: control
+            # flow already diverged, itself a policy violation.
+            self.desynchronized = True
+            return value
+        self._pos += 1
+        return rec_value
+
+    def output(self, value):
+        self.outputs.append(value)
+
+    @property
+    def fully_consumed(self):
+        return self._pos == len(self._queue)
+
+
+class LockstepResult:
+    """Outcome of an output-comparison check."""
+
+    def __init__(self, ok, bits_forwarded, real_outputs, shadow_outputs,
+                 desynchronized, policy):
+        self.ok = ok
+        self.bits_forwarded = bits_forwarded
+        self.real_outputs = real_outputs
+        self.shadow_outputs = shadow_outputs
+        self.desynchronized = desynchronized
+        self.policy = policy
+
+    def enforce(self):
+        """Raise :class:`PolicyViolation` unless the copies agreed."""
+        if self.desynchronized:
+            raise PolicyViolation(
+                "lockstep copies reached cut points inconsistently",
+                measured=None, allowed=self.policy.max_bits)
+        if not self.ok:
+            raise PolicyViolation(
+                "public outputs diverged between the secret-holding and "
+                "dummy copies: an information flow bypasses the cut",
+                measured=None, allowed=self.policy.max_bits)
+        self.policy.check(self.bits_forwarded)
+        return self
+
+    def __repr__(self):
+        return ("LockstepResult(ok=%s, bits_forwarded=%d, outputs=%d/%d)"
+                % (self.ok, self.bits_forwarded,
+                   len(self.real_outputs), len(self.shadow_outputs)))
+
+
+def run_lockstep(run, real_secret, dummy_secret, policy):
+    """Run the two-copy output-comparison check.
+
+    Args:
+        run: callable ``run(secret_input, interceptor)`` executing the
+            program; it must route every potential cut event through
+            ``interceptor.intercept(kind, location, value, width)`` and
+            every public output through ``interceptor.output(value)``.
+            Both frontends provide such adapters.
+        real_secret: the sensitive input for the first copy.
+        dummy_secret: a non-sensitive input of the same size/shape for
+            the second copy (it must keep the enclosed code from
+            crashing or looping, per Section 6.3).
+        policy: a :class:`~repro.core.policy.CutPolicy`.
+
+    Returns:
+        a :class:`LockstepResult` (call ``enforce()`` to raise on
+        violations).
+    """
+    recorder = RecordingInterceptor(policy)
+    run(real_secret, recorder)
+    replayer = ReplayInterceptor(policy, recorder.cut_values)
+    run(dummy_secret, replayer)
+    desync = replayer.desynchronized or not replayer.fully_consumed
+    ok = (not desync) and recorder.outputs == replayer.outputs
+    return LockstepResult(ok, recorder.cut_bits, recorder.outputs,
+                          replayer.outputs, desync, policy)

@@ -1,0 +1,112 @@
+"""Flow policies (Sections 6 and 7).
+
+A quantitative policy is a whole number of bits; a *cut policy* extends
+it with the minimum cut discovered during measurement, giving the
+deployment checkers of Sections 6.2 and 6.3 the static program points at
+which declassification-and-counting is allowed.
+
+Cut policies serialize to plain dicts (JSON-friendly) so a bound found
+under testing can be shipped alongside the program and enforced later.
+"""
+
+from __future__ import annotations
+
+from ..errors import PolicyViolation
+from ..graph.flowgraph import INF
+
+
+class FlowPolicy:
+    """A plain numeric bound: at most ``max_bits`` may be revealed."""
+
+    def __init__(self, max_bits):
+        if max_bits < 0:
+            raise ValueError("a flow bound cannot be negative")
+        self.max_bits = max_bits
+
+    def check(self, measured_bits, location=None):
+        """Raise :class:`PolicyViolation` if ``measured_bits`` exceeds the bound."""
+        if measured_bits > self.max_bits:
+            raise PolicyViolation(
+                "flow of %s bits exceeds policy bound of %d bits"
+                % (measured_bits, self.max_bits),
+                measured=measured_bits, allowed=self.max_bits,
+                location=location)
+        return measured_bits
+
+    def permits(self, measured_bits):
+        """Boolean form of :meth:`check`."""
+        return measured_bits <= self.max_bits
+
+    def __repr__(self):
+        return "FlowPolicy(max_bits=%d)" % self.max_bits
+
+
+class CutPolicy(FlowPolicy):
+    """A numeric bound plus the minimum cut that witnesses it.
+
+    ``cut_points`` maps ``(kind, location_string)`` pairs -- the static
+    identity of a cut edge -- to the bit capacity measured across that
+    edge.  The checkers treat these locations as sanctioned
+    declassification points; the capacities document the expected flow
+    but enforcement is against :attr:`max_bits` (the cut is "an
+    untrusted hint to assist enforcement", Section 9.1).
+    """
+
+    def __init__(self, max_bits, cut_points):
+        super().__init__(max_bits)
+        self.cut_points = dict(cut_points)
+
+    #: Edge kinds as seen by the checkers: every edge that represents
+    #: "the value produced at this location" (the node-split edge, the
+    #: operand data edges, the region/input feeds) normalizes to
+    #: ``"value"``; implicit-flow and output-data edges keep their kinds.
+    KIND_NORMALIZATION = {
+        "value": "value", "data": "value", "region": "value",
+        "input": "value", "implicit": "implicit", "io": "io",
+        "chain": "chain", "output": "io",
+    }
+
+    @classmethod
+    def from_report(cls, report, slack_bits=0):
+        """Build a policy from a :class:`~repro.core.report.FlowReport`.
+
+        ``slack_bits`` loosens the numeric bound without moving the cut,
+        for policies meant to tolerate slightly larger runs.
+        """
+        points = {}
+        for kind, loc, _ctx, cap in report.cut:
+            if loc is None:
+                continue
+            key = (cls.KIND_NORMALIZATION.get(kind, kind), str(loc))
+            prev = points.get(key, 0)
+            points[key] = INF if (cap >= INF or prev >= INF) else prev + cap
+        return cls(report.bits + slack_bits, points)
+
+    def allows_location(self, kind, location):
+        """Whether ``(kind, location)`` is a sanctioned cut point."""
+        return (kind, str(location)) in self.cut_points
+
+    def to_dict(self):
+        """JSON-serializable form."""
+        return {
+            "max_bits": self.max_bits,
+            "cut_points": [
+                {"kind": kind, "location": loc,
+                 "bits": ("inf" if cap >= INF else cap)}
+                for (kind, loc), cap in sorted(self.cut_points.items())
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        """Inverse of :meth:`to_dict`."""
+        points = {}
+        for entry in data["cut_points"]:
+            cap = entry["bits"]
+            points[(entry["kind"], entry["location"])] = (
+                INF if cap == "inf" else int(cap))
+        return cls(int(data["max_bits"]), points)
+
+    def __repr__(self):
+        return "CutPolicy(max_bits=%d, cut_points=%d)" % (
+            self.max_bits, len(self.cut_points))

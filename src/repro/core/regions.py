@@ -1,0 +1,108 @@
+"""Enclosure-region frontend bookkeeping (Section 2.2).
+
+The graph-side mechanics of enclosure regions live in
+:class:`~repro.core.tracker.TraceBuilder`; this module holds the pieces
+shared by the frontends: the description of a region's declared outputs
+and the dynamic soundness check that every location written inside a
+region was declared (the paper's runtime check for annotations).
+
+Frontends identify storage locations by opaque hashable keys (the
+FlowLang VM uses ``("local", frame_id, slot)`` / ``("heap", addr)``
+tuples; the Python frontend uses user-supplied cell objects).
+"""
+
+from __future__ import annotations
+
+from ..errors import RegionError
+
+
+class DeclaredOutput:
+    """One declared output of an enclosure region.
+
+    ``key`` identifies a storage location (or, for arrays, the base); for
+    array outputs ``length`` gives the declared element count -- the
+    "need length" annotations of Figure 6 -- and ``key`` covers the keys
+    ``base .. base+length-1`` as interpreted by the frontend.
+    """
+
+    __slots__ = ("key", "width", "length")
+
+    def __init__(self, key, width, length=1):
+        self.key = key
+        self.width = width
+        self.length = length
+
+    def __repr__(self):
+        if self.length == 1:
+            return "DeclaredOutput(%r, %d bits)" % (self.key, self.width)
+        return "DeclaredOutput(%r, %d bits x %d)" % (
+            self.key, self.width, self.length)
+
+
+class RegionWriteChecker:
+    """Tracks writes during an enclosure region and validates them.
+
+    The paper notes the tool "can also dynamically check that the
+    soundness requirements for an enclosure region hold at runtime".
+    Frontends call :meth:`note_write` for every store while a region is
+    active; :meth:`validate` raises :class:`RegionError` (strict mode) or
+    returns the undeclared keys (audit mode) at region exit.
+    """
+
+    def __init__(self, declared, location, strict=True):
+        self.location = location
+        self.strict = strict
+        self._declared = set()
+        for out in declared:
+            if out.length == 1:
+                self._declared.add(out.key)
+            else:
+                base = out.key
+                for i in range(out.length):
+                    self._declared.add(self._element_key(base, i))
+        self._undeclared = []
+
+    @staticmethod
+    def _element_key(base, index):
+        """Key of element ``index`` of an array whose base key is ``base``.
+
+        Array bases are ``(kind, addr)`` tuples in both frontends, so the
+        element key offsets the address component.
+        """
+        if isinstance(base, tuple) and len(base) >= 2 and isinstance(base[-1], int):
+            return base[:-1] + (base[-1] + index,)
+        if isinstance(base, int):
+            return base + index
+        raise RegionError(
+            "array output %r at %s has a base that cannot be indexed"
+            % (base, index))
+
+    def covers(self, key):
+        """Whether ``key`` is a declared output location."""
+        return key in self._declared
+
+    def declare_local(self, key):
+        """Exempt a location declared *inside* the region from checking.
+
+        A variable whose scope is contained in the region cannot carry
+        information out of it, so writes to it need no annotation.
+        """
+        self._declared.add(key)
+
+    def note_write(self, key):
+        """Record a store to ``key`` while the region is active."""
+        if key not in self._declared:
+            self._undeclared.append(key)
+
+    def validate(self):
+        """Check the region's writes; returns the undeclared keys.
+
+        Raises :class:`RegionError` in strict mode when any write target
+        was not declared as an output.
+        """
+        if self._undeclared and self.strict:
+            sample = self._undeclared[:5]
+            raise RegionError(
+                "region at %s wrote %d undeclared location(s), e.g. %r"
+                % (self.location, len(self._undeclared), sample))
+        return list(self._undeclared)

@@ -1,0 +1,106 @@
+"""Measurement results (what the tool reports to the developer).
+
+A :class:`FlowReport` bundles the headline number -- the max-flow bound
+on bits revealed -- with the artifacts around it: the minimum cut (the
+checkable policy of Section 6), graph sizes before and after collapsing
+(the Section 5.3 statistics), and the coarser bound plain tainting would
+have produced (the Section 7 comparison).
+"""
+
+from __future__ import annotations
+
+from ..graph.flowgraph import INF
+
+
+class CutDescription:
+    """A minimum cut rendered in program terms: labelled edges with bits."""
+
+    __slots__ = ("entries",)
+
+    def __init__(self, mincut):
+        # entries: list of (kind, location, context, capacity)
+        self.entries = []
+        for ce in mincut.edges:
+            if ce.label is None:
+                self.entries.append((None, None, None, ce.capacity))
+            else:
+                self.entries.append((ce.label.kind, ce.label.location,
+                                     ce.label.context, ce.capacity))
+
+    def __len__(self):
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def locations(self):
+        """The distinct (kind, location) pairs crossing the cut."""
+        return sorted({(kind, str(loc)) for kind, loc, _, _ in self.entries
+                       if loc is not None})
+
+    def describe(self):
+        """Multi-line human-readable rendering."""
+        lines = []
+        for kind, loc, _ctx, cap in self.entries:
+            cap_text = "inf" if cap >= INF else "%d bits" % cap
+            where = "%s at %s" % (kind, loc) if loc is not None else "(unlabelled)"
+            lines.append("  %-9s %s" % (cap_text, where))
+        return "\n".join(lines)
+
+
+class FlowReport:
+    """Result of measuring one (or a combined set of) execution(s).
+
+    Attributes:
+        bits: the max-flow bound on secret bits revealed.
+        cut: a :class:`CutDescription` of the minimum cut.
+        mincut: the underlying :class:`~repro.graph.mincut.MinCut`.
+        graph: the (possibly collapsed) graph that was solved.
+        secret_input_bits: total secret bits read (an upper bound from
+            the input side).
+        tainted_output_bits: bits a plain tainting analysis would report
+            (total tainted output width, Section 7).
+        collapse_stats: sizes before/after collapsing, or ``None``.
+        stats: raw event counters from the trace builder(s).
+        warnings: list of human-readable soundness/precision notes
+            (e.g. undeclared region writes in audit mode).
+    """
+
+    def __init__(self, bits, mincut, graph, secret_input_bits=None,
+                 tainted_output_bits=None, collapse_stats=None, stats=None,
+                 warnings=None):
+        self.bits = bits
+        self.mincut = mincut
+        self.cut = CutDescription(mincut)
+        self.graph = graph
+        self.secret_input_bits = secret_input_bits
+        self.tainted_output_bits = tainted_output_bits
+        self.collapse_stats = collapse_stats
+        self.stats = stats or {}
+        self.warnings = list(warnings or [])
+
+    def describe(self):
+        """Multi-line summary in the style of the paper's reports."""
+        lines = ["flow bound: %s bits"
+                 % ("inf" if self.bits >= INF else self.bits)]
+        if self.secret_input_bits is not None:
+            lines.append("secret input: %d bits" % self.secret_input_bits)
+        if self.tainted_output_bits is not None:
+            lines.append("tainting would report: %d bits"
+                         % self.tainted_output_bits)
+        if self.collapse_stats is not None:
+            cs = self.collapse_stats
+            lines.append("graph: %d nodes / %d edges (collapsed from %d / %d)"
+                         % (cs.collapsed_nodes, cs.collapsed_edges,
+                            cs.original_nodes, cs.original_edges))
+        else:
+            lines.append("graph: %d nodes / %d edges"
+                         % (self.graph.num_nodes, self.graph.num_edges))
+        lines.append("minimum cut (%d edges):" % len(self.cut))
+        lines.append(self.cut.describe())
+        for w in self.warnings:
+            lines.append("warning: %s" % w)
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return "FlowReport(bits=%s, cut_edges=%d)" % (self.bits, len(self.cut))

@@ -1,0 +1,368 @@
+"""Trace-to-graph construction (Sections 2 and 4.2).
+
+:class:`TraceBuilder` is the measurement core: frontends (the FlowLang VM
+and the Python ``pytrace`` frontend) report execution events to it --
+secret inputs, operations, branches, indexed accesses, enclosure-region
+entry/exit, outputs -- and it incrementally builds the flow graph whose
+maximum s-t flow bounds the information revealed.
+
+Graph shape (one value = one split node, per Figure 1):
+
+* A value with secrecy mask ``m`` becomes a capped node of capacity
+  ``popcount(m)``; fully-public results create no node at all (the
+  paper's tag 0).
+* An operation adds edges from each secret operand's node to the result
+  node, each with capacity equal to the operand's secret-bit count.
+* Copies reuse the operand's node (no new nodes or edges, Section 2.1).
+* A branch on a secret condition adds a ⌈log2(arms)⌉-bit *implicit* edge
+  from the condition's node to the innermost enclosure target; an
+  indexed access through a secret index contributes ``popcount(index
+  mask)`` bits the same way (Section 2.2).
+* The default, whole-program enclosure target is a time-ordered chain of
+  output events: an implicit flow can escape through any *subsequent*
+  public output, and program termination itself is the final observable
+  event (which is how the unary-encoding loop of Section 3.2 measures
+  n+1 bits).
+* When an enclosure region exits having absorbed implicit flows, each of
+  its declared output locations receives a fresh all-secret value fed by
+  both its previous node and the region node.
+
+Every edge carries an :class:`~repro.graph.flowgraph.EdgeLabel` with the
+reporting code location and the current calling-context hash, enabling
+the collapsing and multi-run combining of Sections 3.2 and 5.2.
+"""
+
+from __future__ import annotations
+
+from ..errors import TraceError
+from ..graph.flowgraph import INF, EdgeLabel, FlowGraph
+from ..shadow.bitmask import popcount, width_mask
+from .locations import ContextHasher, Location
+
+_LOG2_CACHE = {1: 0, 2: 1}
+
+
+def bits_for_arms(arms):
+    """Bits revealed by an ``arms``-way control transfer: ⌈log2(arms)⌉."""
+    bits = _LOG2_CACHE.get(arms)
+    if bits is None:
+        if arms < 1:
+            raise ValueError("a control transfer needs at least one arm")
+        bits = (arms - 1).bit_length()
+        _LOG2_CACHE[arms] = bits
+    return bits
+
+
+class Provenance:
+    """A value's graph identity: its secrecy mask and (outer) node id.
+
+    ``node is None`` means the value is untracked (tag 0 in the paper);
+    its mask is then necessarily zero.
+    """
+
+    __slots__ = ("mask", "node")
+
+    def __init__(self, mask, node):
+        self.mask = mask
+        self.node = node
+
+    @property
+    def is_public(self):
+        return self.node is None
+
+    @property
+    def bits(self):
+        """Secret-bit capacity of this value."""
+        return popcount(self.mask)
+
+    def __repr__(self):
+        if self.node is None:
+            return "Provenance(public)"
+        return "Provenance(mask=%#x, node=%d)" % (self.mask, self.node)
+
+
+#: The shared provenance of all untracked values.
+PUBLIC = Provenance(0, None)
+
+
+class RegionExit:
+    """Token returned by :meth:`TraceBuilder.leave_region`.
+
+    ``node`` is the region's collector node, or ``None`` when no implicit
+    flow occurred inside the region (in which case region outputs keep
+    their old provenance unchanged).
+    """
+
+    __slots__ = ("node", "location", "implicit_bits")
+
+    def __init__(self, node, location, implicit_bits):
+        self.node = node
+        self.location = location
+        self.implicit_bits = implicit_bits
+
+    @property
+    def had_implicit_flows(self):
+        return self.node is not None
+
+
+class _Region:
+    __slots__ = ("node", "location")
+
+    def __init__(self, location):
+        self.node = None  # created lazily on the first implicit flow
+        self.location = location
+
+
+class TraceBuilder:
+    """Builds a flow graph from a stream of execution events.
+
+    Args:
+        context_sensitive: attach the calling-context hash to edge labels
+            (can be stripped later by context-insensitive collapsing).
+    """
+
+    def __init__(self, context_sensitive=True):
+        self.graph = FlowGraph()
+        self.context = ContextHasher()
+        self.context_sensitive = context_sensitive
+        self._regions = []
+        self._pending = self.graph.add_node()  # tail of the output chain
+        self._finished = False
+        self._output_events = 0
+        self._implicit_events = 0
+        self._operation_events = 0
+        self._secret_input_bits = 0
+        self._tainted_output_bits = 0
+        #: category -> list of input-edge indices (Section 10.1).
+        self.category_edges = {}
+
+    # ------------------------------------------------------------------
+    # Labels and bookkeeping
+
+    def _label(self, location, kind):
+        ctx = self.context.current if self.context_sensitive else None
+        return EdgeLabel(location, ctx, kind)
+
+    def _check_live(self):
+        if self._finished:
+            raise TraceError("trace already finished")
+
+    def push_call(self, callsite_id):
+        """Record entry to a callee (updates the calling-context hash)."""
+        self.context.push_call(callsite_id)
+
+    def pop_call(self):
+        """Record return to the caller."""
+        self.context.pop_call()
+
+    # ------------------------------------------------------------------
+    # Values
+
+    def public(self):
+        """Provenance for an untracked value."""
+        return PUBLIC
+
+    def secret_value(self, location, width, mask=None, category=None):
+        """Introduce a secret input value of ``width`` bits.
+
+        ``mask`` defaults to all-secret; the source feeds the new node
+        with the mask's full bit count.  ``category`` optionally tags
+        the input's secret class for per-category analysis (§10.1, see
+        :mod:`repro.core.multisecret`).
+        """
+        self._check_live()
+        if mask is None:
+            mask = width_mask(width)
+        if mask == 0:
+            return PUBLIC
+        bits = popcount(mask)
+        self._secret_input_bits += bits
+        inner, outer = self.graph.add_capped_node(
+            bits, self._label(location, "value"))
+        edge_index = self.graph.add_edge(
+            self.graph.source, inner, bits, self._label(location, "input"))
+        if category is not None:
+            self.category_edges.setdefault(category, []).append(edge_index)
+        return Provenance(mask, outer)
+
+    def operation(self, location, result_mask, operands):
+        """Record a basic operation producing a value with ``result_mask``.
+
+        ``operands`` is an iterable of :class:`Provenance`.  Returns the
+        result's provenance; public results (mask 0) create no node.
+        """
+        self._check_live()
+        self._operation_events += 1
+        if result_mask == 0:
+            return PUBLIC
+        bits = popcount(result_mask)
+        inner, outer = self.graph.add_capped_node(
+            bits, self._label(location, "value"))
+        seen_input = False
+        for op in operands:
+            if op.node is not None and op.mask:
+                self.graph.add_edge(op.node, inner, popcount(op.mask),
+                                    self._label(location, "data"))
+                seen_input = True
+        if not seen_input:
+            # A secret result must have a secret ancestor; frontends only
+            # report non-zero result masks when some operand was secret,
+            # so this indicates a transfer-function/frontend mismatch.
+            raise TraceError(
+                "operation at %s produced secret mask %#x from public operands"
+                % (location, result_mask))
+        return Provenance(result_mask, outer)
+
+    def copy(self, provenance):
+        """Copies create no nodes or edges (Section 2.1)."""
+        return provenance
+
+    def declassify(self, provenance):
+        """Deliberately mark a value as public (Section 8.1's GUI carve-out)."""
+        return PUBLIC
+
+    # ------------------------------------------------------------------
+    # Implicit flows and enclosure regions
+
+    def _implicit_target(self, location):
+        if self._regions:
+            region = self._regions[-1]
+            if region.node is None:
+                region.node = self.graph.add_node()
+            return region.node
+        return self._pending
+
+    def implicit_flow(self, location, provenance, bits):
+        """An implicit flow of up to ``bits`` bits from ``provenance``.
+
+        No-op for public values or zero capacities.
+        """
+        self._check_live()
+        if provenance.node is None or bits == 0 or provenance.mask == 0:
+            return
+        self._implicit_events += 1
+        target = self._implicit_target(location)
+        self.graph.add_edge(provenance.node, target, bits,
+                            self._label(location, "implicit"))
+
+    def branch(self, location, condition, arms=2):
+        """A control-flow branch on ``condition`` with ``arms`` targets."""
+        self.implicit_flow(location, condition, bits_for_arms(arms))
+
+    def indexed(self, location, index):
+        """An indirect load/store/jump through ``index``.
+
+        Capacity is the number of secret bits in the index (Section 2.2).
+        """
+        self.implicit_flow(location, index, index.bits)
+
+    def enter_region(self, location):
+        """Enter an enclosure region (ENTER_ENCLOSE)."""
+        self._check_live()
+        self._regions.append(_Region(location))
+
+    def leave_region(self, location):
+        """Leave the innermost region; returns a :class:`RegionExit`.
+
+        The caller is responsible for routing every *declared output* of
+        the region through :meth:`region_output` with the returned token.
+        """
+        self._check_live()
+        if not self._regions:
+            raise TraceError("leave_region at %s without a matching enter"
+                             % (location,))
+        region = self._regions.pop()
+        implicit_bits = 0
+        if region.node is not None:
+            for e in self.graph.in_edges(region.node):
+                implicit_bits += e.capacity
+        return RegionExit(region.node, location, implicit_bits)
+
+    def region_output(self, location, region_exit, old_provenance, width):
+        """Produce the post-region provenance of one declared output.
+
+        If the region saw no implicit flow the old provenance is returned
+        unchanged.  Otherwise the location's value becomes all-secret at
+        ``width`` bits, fed by the region node (capacity ``width``) and
+        by its previous node (its previous capacity).
+        """
+        self._check_live()
+        if region_exit.node is None:
+            return old_provenance
+        mask = width_mask(width)
+        inner, outer = self.graph.add_capped_node(
+            width, self._label(location, "value"))
+        self.graph.add_edge(region_exit.node, inner, width,
+                            self._label(location, "region"))
+        if old_provenance.node is not None and old_provenance.mask:
+            self.graph.add_edge(old_provenance.node, inner,
+                                popcount(old_provenance.mask),
+                                self._label(location, "data"))
+        return Provenance(mask, outer)
+
+    @property
+    def region_depth(self):
+        """Number of currently active enclosure regions."""
+        return len(self._regions)
+
+    # ------------------------------------------------------------------
+    # Outputs and termination
+
+    def output(self, location, provenances):
+        """A public output event carrying the given values.
+
+        Creates the next link of the output chain; earlier implicit flows
+        (attached to the previous pending node) can escape through it.
+        """
+        self._check_live()
+        self._output_events += 1
+        event = self.graph.add_node()
+        self.graph.add_edge(self._pending, event, INF,
+                            self._label(location, "chain"))
+        for prov in provenances:
+            if prov.node is not None and prov.mask:
+                bits = popcount(prov.mask)
+                self._tainted_output_bits += bits
+                self.graph.add_edge(prov.node, event, bits,
+                                    self._label(location, "io"))
+        self.graph.add_edge(event, self.graph.sink, INF,
+                            self._label(location, "output"))
+        new_pending = self.graph.add_node()
+        self.graph.add_edge(self._pending, new_pending, INF,
+                            self._label(location, "chain"))
+        self._pending = new_pending
+
+    def finish(self, exit_observable=True):
+        """End the trace; returns the completed :class:`FlowGraph`.
+
+        With ``exit_observable`` (the default), program termination is a
+        final output event, so implicit flows after the last explicit
+        output still escape -- the choice that makes a loop printing n
+        items reveal n+1 bits under a per-iteration cut (Section 3.2).
+        """
+        self._check_live()
+        if self._regions:
+            raise TraceError("trace finished with %d open enclosure regions"
+                             % len(self._regions))
+        if exit_observable:
+            self.graph.add_edge(self._pending, self.graph.sink, INF,
+                                self._label(Location("<program>", "exit"),
+                                            "output"))
+        self._finished = True
+        return self.graph
+
+    # ------------------------------------------------------------------
+    # Statistics
+
+    @property
+    def stats(self):
+        """Event counts: dict with operations/implicit/outputs/input bits."""
+        return {
+            "operations": self._operation_events,
+            "implicit_flows": self._implicit_events,
+            "outputs": self._output_events,
+            "secret_input_bits": self._secret_input_bits,
+            "tainted_output_bits": self._tainted_output_bits,
+            "graph_nodes": self.graph.num_nodes,
+            "graph_edges": self.graph.num_edges,
+        }

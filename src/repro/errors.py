@@ -1,0 +1,87 @@
+"""Shared exception hierarchy for the Flowcheck reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch a single type at API boundaries.  Frontend-specific
+errors (the FlowLang compiler, the trace builder, policy checking) refine
+it with enough structure for programmatic handling.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class GraphError(ReproError):
+    """Raised for structurally invalid flow-graph operations."""
+
+
+class TraceError(ReproError):
+    """Raised when trace events arrive in an impossible order.
+
+    Examples: leaving an enclosure region that was never entered, or
+    emitting events after the trace has been finished.
+    """
+
+
+class RegionError(TraceError):
+    """Raised for enclosure-region soundness violations.
+
+    The paper's dynamic check (Section 2.2): a write inside an enclosure
+    region to a location that the region did not declare as an output.
+    """
+
+
+class PolicyViolation(ReproError):
+    """Raised by the checkers of Section 6 when a flow policy is exceeded.
+
+    Attributes:
+        measured: bits observed to flow (or ``None`` when the violation is
+            structural, e.g. lockstep output divergence).
+        allowed: the policy bound in bits.
+        location: human-readable description of where the leak was seen.
+    """
+
+    def __init__(self, message, measured=None, allowed=None, location=None):
+        super().__init__(message)
+        self.measured = measured
+        self.allowed = allowed
+        self.location = location
+
+
+class LangError(ReproError):
+    """Base class for FlowLang frontend errors (lex/parse/type/compile)."""
+
+    def __init__(self, message, line=None, column=None):
+        if line is not None:
+            message = "line %d:%d: %s" % (line, column or 0, message)
+        super().__init__(message)
+        self.line = line
+        self.column = column
+
+
+class LexError(LangError):
+    """Raised on malformed FlowLang source text."""
+
+
+class ParseError(LangError):
+    """Raised on FlowLang syntax errors."""
+
+
+class TypeCheckError(LangError):
+    """Raised on FlowLang semantic (typing/scoping) errors."""
+
+
+class CompileError(LangError):
+    """Raised when a checked AST cannot be lowered to bytecode."""
+
+
+class VMError(ReproError):
+    """Raised for runtime faults in the FlowLang virtual machine."""
+
+    def __init__(self, message, location=None):
+        if location is not None:
+            message = "%s: %s" % (location, message)
+        super().__init__(message)
+        self.location = location

@@ -1,0 +1,32 @@
+"""Flow-network substrate: graphs, max-flow, min-cut, collapsing.
+
+This package implements the graph-theoretic half of the paper: the
+capacitated flow networks that model executions (Section 2), the maximum
+flow algorithms that bound information leakage (Section 5), the min-cut
+extraction that yields checkable policies (Section 6.1), and the
+label-driven collapsing/combining of Sections 3.2 and 5.2.
+"""
+
+from .flowgraph import INF, Edge, EdgeLabel, FlowGraph
+from .maxflow import ResidualNetwork, dinic_max_flow, max_flow_value
+from .edmonds_karp import edmonds_karp_max_flow
+from .push_relabel import push_relabel_max_flow
+from .mincut import CutEdge, MinCut, min_cut, min_cut_from_residual
+from .collapse import (CollapseStats, collapse_graph, collapse_graphs,
+                       combine_runs)
+from .seriesparallel import SPReduction, reduce_series_parallel
+from .unionfind import UnionFind
+from .dot import to_dot, write_dot
+from .serialize import dump_graph, load_graph, read_graph, save_graph
+
+__all__ = [
+    "INF", "Edge", "EdgeLabel", "FlowGraph",
+    "ResidualNetwork", "dinic_max_flow", "max_flow_value",
+    "edmonds_karp_max_flow", "push_relabel_max_flow",
+    "CutEdge", "MinCut", "min_cut", "min_cut_from_residual",
+    "CollapseStats", "collapse_graph", "collapse_graphs", "combine_runs",
+    "SPReduction", "reduce_series_parallel",
+    "UnionFind",
+    "to_dot", "write_dot",
+    "dump_graph", "load_graph", "read_graph", "save_graph",
+]

@@ -1,0 +1,154 @@
+"""Graph collapsing and multi-run combination (Sections 3.2 and 5.2).
+
+Both operations are the same union-find construction, applied either to a
+single run's graph (to shrink it from runtime-sized to coverage-sized,
+Section 5.2) or across the graphs of several runs (to force consistent
+cut placement, Section 3.2):
+
+    for each edge (u, v) with mergeable label l:
+        union(u, placeholder("src", l));  union(v, placeholder("dst", l))
+
+then rebuild the graph over the union-find classes, summing the
+capacities of edges that share a label and dropping self-loops.  Any sum
+of flows possible in the original graph(s) remains possible in the
+combined graph, so bounds computed on it are still sound; cuts are
+restricted to consistently-placed ones, which is exactly the point.
+
+Labels can be merged context-sensitively (location + calling-context
+hash) or context-insensitively (location only); the latter produces the
+smaller graph whose size tracks code coverage.
+"""
+
+from __future__ import annotations
+
+from ..errors import GraphError
+from .flowgraph import INF, FlowGraph
+from .unionfind import UnionFind
+
+
+class CollapseStats:
+    """Before/after sizes of a collapse, for the Section 5.3 benchmarks."""
+
+    __slots__ = ("original_nodes", "original_edges", "collapsed_nodes",
+                 "collapsed_edges")
+
+    def __init__(self, original_nodes, original_edges, collapsed_nodes,
+                 collapsed_edges):
+        self.original_nodes = original_nodes
+        self.original_edges = original_edges
+        self.collapsed_nodes = collapsed_nodes
+        self.collapsed_edges = collapsed_edges
+
+    def __repr__(self):
+        return ("CollapseStats(nodes %d->%d, edges %d->%d)"
+                % (self.original_nodes, self.collapsed_nodes,
+                   self.original_edges, self.collapsed_edges))
+
+
+def _edge_key(label, context_sensitive):
+    if label is None:
+        return None
+    return label.key(context_sensitive)
+
+
+def collapse_graphs(graphs, context_sensitive=True):
+    """Combine one or more flow graphs by merging same-labelled edges.
+
+    Args:
+        graphs: iterable of :class:`FlowGraph`; one graph collapses it,
+            several combines them (their sources are identified, as are
+            their sinks).
+        context_sensitive: whether the calling-context hash participates
+            in the merge key.
+
+    Returns:
+        ``(combined_graph, stats)`` where ``stats`` is a
+        :class:`CollapseStats`.
+    """
+    graphs = list(graphs)
+    if not graphs:
+        raise ValueError("collapse_graphs needs at least one graph")
+
+    uf = UnionFind()
+    # Keys: ("n", graph_index, node_id) for concrete nodes and
+    # ("s", label_key) / ("d", label_key) for per-label placeholders.
+    for gi, g in enumerate(graphs):
+        uf.union(("n", 0, g.source), ("n", gi, g.source))
+        uf.union(("n", 0, g.sink), ("n", gi, g.sink))
+        for e in g.edges:
+            key = _edge_key(e.label, context_sensitive)
+            if key is None:
+                continue
+            uf.union(("n", gi, e.tail), ("s", key))
+            uf.union(("n", gi, e.head), ("d", key))
+
+    source_root = uf.find(("n", 0, graphs[0].source))
+    sink_root = uf.find(("n", 0, graphs[0].sink))
+    if source_root == sink_root:
+        # Labels are meant to identify "the same program location"; a
+        # label shared between a source-adjacent and sink-adjacent edge
+        # breaks that contract and would silently destroy the graph.
+        raise GraphError(
+            "collapsing merged the source with the sink: edge labels are "
+            "inconsistent with the edges' structural roles")
+    combined = FlowGraph()
+    node_of_root = {source_root: combined.source, sink_root: combined.sink}
+
+    def node_for(gi, node):
+        root = uf.find(("n", gi, node))
+        mapped = node_of_root.get(root)
+        if mapped is None:
+            mapped = combined.add_node()
+            node_of_root[root] = mapped
+        return mapped
+
+    # Accumulate capacities: labelled edges merge by key; unlabelled edges
+    # merge by (endpoints, None), which is always sound for max-flow.
+    merged = {}
+    label_of = {}
+    original_nodes = sum(g.num_nodes for g in graphs)
+    original_edges = sum(g.num_edges for g in graphs)
+    for gi, g in enumerate(graphs):
+        for e in g.edges:
+            tail = node_for(gi, e.tail)
+            head = node_for(gi, e.head)
+            if tail == head:
+                continue  # self-loops carry no s-t flow
+            key = _edge_key(e.label, context_sensitive)
+            if key is None:
+                bucket = (tail, head, e.label.kind if e.label else None, None)
+            else:
+                bucket = key
+            prev = merged.get(bucket, 0)
+            if prev >= INF or e.capacity >= INF:
+                merged[bucket] = INF
+            else:
+                merged[bucket] = prev + e.capacity
+            if bucket not in label_of:
+                # Preserve a representative label (context dropped when
+                # merging context-insensitively) and the endpoints.
+                label = e.label
+                if label is not None and not context_sensitive:
+                    label = label.drop_context()
+                label_of[bucket] = (tail, head, label)
+
+    for bucket, capacity in merged.items():
+        tail, head, label = label_of[bucket]
+        combined.add_edge(tail, head, capacity, label)
+
+    stats = CollapseStats(original_nodes, original_edges,
+                          combined.num_nodes, combined.num_edges)
+    return combined, stats
+
+
+def collapse_graph(graph, context_sensitive=True):
+    """Collapse a single graph by code location (Section 5.2)."""
+    return collapse_graphs([graph], context_sensitive=context_sensitive)
+
+
+def combine_runs(graphs, context_sensitive=True):
+    """Combine the graphs of multiple runs (Section 3.2).
+
+    Alias of :func:`collapse_graphs`, named for the multi-run use case.
+    """
+    return collapse_graphs(graphs, context_sensitive=context_sensitive)

@@ -1,0 +1,225 @@
+"""Capacitated flow graphs (Section 2.1).
+
+A :class:`FlowGraph` records an execution as a directed network: nodes are
+operations/values, edges carry integer capacities measured in *bits* of
+secret information.  Two distinguished nodes act as the source (all secret
+inputs) and the sink (all public outputs).
+
+Edges optionally carry a *label* identifying the static program location
+(and, context-sensitively, a hash of the calling context) that created
+them.  Labels drive the collapsing and multi-run combining of Sections 3.2
+and 5.2: edges with equal labels are merged and their capacities summed.
+
+Node capacity limits (Figure 1: an operation has only one output) are
+expressed by node splitting, which :meth:`FlowGraph.add_capped_node`
+performs: it allocates an ``(inner, outer)`` pair joined by an edge of the
+node's capacity.
+"""
+
+from __future__ import annotations
+
+from ..errors import GraphError
+
+#: Effectively-unbounded capacity.  A large integer rather than a float so
+#: that all flow arithmetic stays exact.
+INF = 1 << 62
+
+
+class EdgeLabel:
+    """Identity of the program point that created an edge.
+
+    Attributes:
+        location: opaque hashable location id (e.g. ``"file.fl:14"`` or a
+            bytecode address).  ``None`` labels are never merged.
+        context: optional 64-bit calling-context hash (Bond–McKinley style);
+            ``None`` for context-insensitive labels.
+        kind: short string tagging the edge's role (``"data"``,
+            ``"implicit"``, ``"region"``, ``"chain"``, ``"io"``); part of
+            the merge key so that, say, a data edge and an implicit edge at
+            the same location stay distinct.
+    """
+
+    __slots__ = ("location", "context", "kind")
+
+    def __init__(self, location, context=None, kind="data"):
+        self.location = location
+        self.context = context
+        self.kind = kind
+
+    def key(self, context_sensitive=True):
+        """Merge key for collapsing; ``None`` means "never merge"."""
+        if self.location is None:
+            return None
+        if context_sensitive:
+            return (self.kind, self.location, self.context)
+        return (self.kind, self.location)
+
+    def drop_context(self):
+        """A copy of this label without the calling-context hash."""
+        return EdgeLabel(self.location, None, self.kind)
+
+    def __eq__(self, other):
+        return (isinstance(other, EdgeLabel)
+                and self.location == other.location
+                and self.context == other.context
+                and self.kind == other.kind)
+
+    def __hash__(self):
+        return hash((self.location, self.context, self.kind))
+
+    def __repr__(self):
+        ctx = "" if self.context is None else "@%x" % (self.context & 0xFFFFFFFFFFFFFFFF)
+        return "<%s %s%s>" % (self.kind, self.location, ctx)
+
+
+class Edge:
+    """A directed capacitated edge."""
+
+    __slots__ = ("tail", "head", "capacity", "label")
+
+    def __init__(self, tail, head, capacity, label=None):
+        self.tail = tail
+        self.head = head
+        self.capacity = capacity
+        self.label = label
+
+    def __repr__(self):
+        cap = "inf" if self.capacity >= INF else str(self.capacity)
+        return "Edge(%d->%d, cap=%s, %r)" % (self.tail, self.head, cap, self.label)
+
+
+class FlowGraph:
+    """A directed graph with integer edge capacities and s/t terminals.
+
+    Node 0 is always the source and node 1 always the sink; further nodes
+    are allocated densely by :meth:`add_node`.
+    """
+
+    SOURCE = 0
+    SINK = 1
+
+    def __init__(self):
+        self._num_nodes = 2
+        self.edges = []
+
+    # ------------------------------------------------------------------
+    # Construction
+
+    @property
+    def num_nodes(self):
+        return self._num_nodes
+
+    @property
+    def num_edges(self):
+        return len(self.edges)
+
+    @property
+    def source(self):
+        return self.SOURCE
+
+    @property
+    def sink(self):
+        return self.SINK
+
+    def add_node(self):
+        """Allocate and return a fresh node id."""
+        node = self._num_nodes
+        self._num_nodes += 1
+        return node
+
+    def add_nodes(self, count):
+        """Allocate ``count`` fresh node ids; return the first."""
+        if count < 0:
+            raise GraphError("cannot allocate %d nodes" % count)
+        first = self._num_nodes
+        self._num_nodes += count
+        return first
+
+    def add_edge(self, tail, head, capacity, label=None):
+        """Add a directed edge; returns its index.
+
+        Zero-capacity edges are legal (they arise from fully-public values)
+        but carry no flow.  Capacities must be non-negative integers or
+        :data:`INF`.
+        """
+        if not (0 <= tail < self._num_nodes and 0 <= head < self._num_nodes):
+            raise GraphError(
+                "edge %d->%d references unknown node (have %d)"
+                % (tail, head, self._num_nodes))
+        if capacity < 0:
+            raise GraphError("negative capacity %r on %d->%d" % (capacity, tail, head))
+        self.edges.append(Edge(tail, head, capacity, label))
+        return len(self.edges) - 1
+
+    def add_capped_node(self, capacity, label=None):
+        """Node splitting: allocate an ``(inner, outer)`` node pair.
+
+        Edges into the conceptual node should target ``inner``; edges out
+        of it should leave from ``outer``.  The connecting edge carries
+        ``capacity``, realizing the node-capacity limit of Figure 1.
+        """
+        inner = self.add_node()
+        outer = self.add_node()
+        self.add_edge(inner, outer, capacity, label)
+        return inner, outer
+
+    # ------------------------------------------------------------------
+    # Queries
+
+    def out_edges(self, node):
+        """All edges leaving ``node`` (linear scan; for tests/small graphs)."""
+        return [e for e in self.edges if e.tail == node]
+
+    def in_edges(self, node):
+        """All edges entering ``node`` (linear scan; for tests/small graphs)."""
+        return [e for e in self.edges if e.head == node]
+
+    def total_capacity(self):
+        """Sum of all finite edge capacities."""
+        return sum(e.capacity for e in self.edges if e.capacity < INF)
+
+    def adjacency(self):
+        """Return ``(heads, caps, firsts, nexts)`` forward-star arrays.
+
+        A compact adjacency used by the max-flow algorithms: edge ``i`` of
+        ``self.edges`` appears at index ``i`` of ``heads``/``caps``;
+        ``firsts[u]`` chains through ``nexts`` over the edges leaving
+        ``u``.
+        """
+        n = self._num_nodes
+        firsts = [-1] * n
+        nexts = [-1] * len(self.edges)
+        heads = [0] * len(self.edges)
+        caps = [0] * len(self.edges)
+        for i, e in enumerate(self.edges):
+            heads[i] = e.head
+            caps[i] = e.capacity
+            nexts[i] = firsts[e.tail]
+            firsts[e.tail] = i
+        return heads, caps, firsts, nexts
+
+    def validate(self):
+        """Check structural invariants; raise :class:`GraphError` if broken.
+
+        Invariants: every edge references allocated nodes, no edge enters
+        the source or leaves the sink is *not* required (such edges are
+        merely useless), capacities are non-negative.
+        """
+        for e in self.edges:
+            if not (0 <= e.tail < self._num_nodes):
+                raise GraphError("edge tail %d out of range" % e.tail)
+            if not (0 <= e.head < self._num_nodes):
+                raise GraphError("edge head %d out of range" % e.head)
+            if e.capacity < 0:
+                raise GraphError("negative capacity on %r" % (e,))
+        return True
+
+    def copy(self):
+        """A deep copy (labels are shared; they are immutable in practice)."""
+        g = FlowGraph()
+        g._num_nodes = self._num_nodes
+        g.edges = [Edge(e.tail, e.head, e.capacity, e.label) for e in self.edges]
+        return g
+
+    def __repr__(self):
+        return "FlowGraph(nodes=%d, edges=%d)" % (self._num_nodes, len(self.edges))

@@ -1,0 +1,176 @@
+"""Maximum-flow computation (Section 5).
+
+The primary algorithm is Dinic's blocking-flow method, which is fast on
+the shallow, layered graphs produced by collapsing execution traces by
+code location.  :class:`ResidualNetwork` is shared with the alternative
+algorithms (:mod:`.edmonds_karp`, :mod:`.push_relabel`) and with min-cut
+extraction (:mod:`.mincut`).
+
+All capacities are integers, so the computed flows are exact.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..errors import GraphError
+from .flowgraph import INF
+
+
+class ResidualNetwork:
+    """Forward-star residual representation of a :class:`FlowGraph`.
+
+    Each original edge ``i`` becomes residual arc ``2*i`` and its reverse
+    arc ``2*i + 1``; the pairing lets algorithms find an arc's partner as
+    ``arc ^ 1``.  After a max-flow run, ``flow_on(i)`` reports the flow
+    routed over original edge ``i``.
+    """
+
+    __slots__ = ("num_nodes", "source", "sink", "head", "cap", "first",
+                 "nxt", "_orig_cap")
+
+    def __init__(self, graph):
+        n = graph.num_nodes
+        m = len(graph.edges)
+        self.num_nodes = n
+        self.source = graph.source
+        self.sink = graph.sink
+        self.head = [0] * (2 * m)
+        self.cap = [0] * (2 * m)
+        self.first = [-1] * n
+        self.nxt = [-1] * (2 * m)
+        self._orig_cap = [0] * m
+        for i, e in enumerate(graph.edges):
+            self._orig_cap[i] = e.capacity
+            fwd, rev = 2 * i, 2 * i + 1
+            self.head[fwd] = e.head
+            self.cap[fwd] = e.capacity
+            self.nxt[fwd] = self.first[e.tail]
+            self.first[e.tail] = fwd
+            self.head[rev] = e.tail
+            self.cap[rev] = 0
+            self.nxt[rev] = self.first[e.head]
+            self.first[e.head] = rev
+
+    def flow_on(self, edge_index):
+        """Flow routed over original edge ``edge_index``."""
+        return self._orig_cap[edge_index] - self.cap[2 * edge_index]
+
+    def residual(self, edge_index):
+        """Remaining (unused) capacity on original edge ``edge_index``."""
+        return self.cap[2 * edge_index]
+
+    def source_side(self):
+        """Nodes reachable from the source along positive-residual arcs.
+
+        This is the S side of the canonical minimum cut (Section 6.1's
+        depth-first search over excess capacity); meaningful after a
+        max-flow algorithm has saturated the network.
+        """
+        seen = [False] * self.num_nodes
+        seen[self.source] = True
+        stack = [self.source]
+        head, cap, first, nxt = self.head, self.cap, self.first, self.nxt
+        while stack:
+            u = stack.pop()
+            a = first[u]
+            while a != -1:
+                v = head[a]
+                if cap[a] > 0 and not seen[v]:
+                    seen[v] = True
+                    stack.append(v)
+                a = nxt[a]
+        return seen
+
+
+def dinic_max_flow(graph):
+    """Compute the maximum s-t flow of ``graph`` with Dinic's algorithm.
+
+    Returns ``(value, residual)`` where ``residual`` is the saturated
+    :class:`ResidualNetwork` (usable for min-cut extraction).  The value
+    is exact; ``INF`` is returned when the sink is reachable from the
+    source over unbounded-capacity edges only... which cannot happen for
+    trace graphs, whose source edges are always finite.
+    """
+    net = ResidualNetwork(graph)
+    s, t = net.source, net.sink
+    if s == t:
+        raise GraphError("source and sink coincide")
+    n = net.num_nodes
+    head, cap, first, nxt = net.head, net.cap, net.first, net.nxt
+    total = 0
+    level = [0] * n
+    it = [0] * n
+
+    def bfs():
+        for i in range(n):
+            level[i] = -1
+        level[s] = 0
+        q = deque([s])
+        while q:
+            u = q.popleft()
+            a = first[u]
+            while a != -1:
+                v = head[a]
+                if cap[a] > 0 and level[v] < 0:
+                    level[v] = level[u] + 1
+                    q.append(v)
+                a = nxt[a]
+        return level[t] >= 0
+
+    # An explicit-stack blocking-flow DFS, to stay safe on very deep trace
+    # graphs (Python's recursion limit is easily hit by an uncollapsed
+    # loop of a few thousand iterations).
+    def blocking_flow():
+        pushed_total = 0
+        while True:
+            path = []
+            u = s
+            while True:
+                if u == t:
+                    bottleneck = min(cap[a] for a in path)
+                    for a in path:
+                        cap[a] -= bottleneck
+                        cap[a ^ 1] += bottleneck
+                    pushed_total += bottleneck
+                    # Retreat to the first saturated arc on the path.
+                    for idx, a in enumerate(path):
+                        if cap[a] == 0:
+                            del path[idx:]
+                            break
+                    u = head[path[-1]] if path else s
+                    continue
+                a = it[u]
+                advanced = False
+                while a != -1:
+                    v = head[a]
+                    if cap[a] > 0 and level[v] == level[u] + 1:
+                        it[u] = a
+                        path.append(a)
+                        u = v
+                        advanced = True
+                        break
+                    a = nxt[a]
+                if advanced:
+                    continue
+                it[u] = -1
+                level[u] = -1
+                if not path:
+                    return pushed_total
+                a = path.pop()
+                u = head[a ^ 1]
+                it[u] = nxt[it[u]]
+
+    while bfs():
+        for i in range(n):
+            it[i] = first[i]
+        total += blocking_flow()
+        if total >= INF:
+            return INF, net
+    return total, net
+
+
+def max_flow_value(graph):
+    """Convenience wrapper returning only the max-flow value."""
+    value, _ = dinic_max_flow(graph)
+    return value

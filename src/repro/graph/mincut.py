@@ -1,0 +1,80 @@
+"""Minimum-cut extraction (Section 6.1).
+
+After a maximum flow has been computed, the canonical minimum cut is
+recovered by a reachability search from the source over arcs with excess
+(residual) capacity: nodes reached form the source side S, and the cut is
+the set of original edges from S to its complement.
+
+The cut is the artifact the checking techniques of Sections 6.2 and 6.3
+consume: each cut edge names a static program location (via its label)
+and a bit capacity, together forming a compact, checkable flow policy.
+"""
+
+from __future__ import annotations
+
+from .flowgraph import INF
+from .maxflow import dinic_max_flow
+
+
+class CutEdge:
+    """One edge of a minimum cut."""
+
+    __slots__ = ("edge_index", "tail", "head", "capacity", "label")
+
+    def __init__(self, edge_index, tail, head, capacity, label):
+        self.edge_index = edge_index
+        self.tail = tail
+        self.head = head
+        self.capacity = capacity
+        self.label = label
+
+    def __repr__(self):
+        return "CutEdge(#%d %d->%d cap=%d %r)" % (
+            self.edge_index, self.tail, self.head, self.capacity, self.label)
+
+
+class MinCut:
+    """A minimum s-t cut: the source side and the crossing edges."""
+
+    def __init__(self, graph, source_side_mask):
+        self.graph = graph
+        self.source_side = source_side_mask
+        self.edges = []
+        for i, e in enumerate(graph.edges):
+            if source_side_mask[e.tail] and not source_side_mask[e.head]:
+                self.edges.append(CutEdge(i, e.tail, e.head, e.capacity, e.label))
+
+    @property
+    def capacity(self):
+        """Total capacity crossing the cut (equals the max-flow value)."""
+        total = 0
+        for ce in self.edges:
+            if ce.capacity >= INF:
+                return INF
+            total += ce.capacity
+        return total
+
+    def labels(self):
+        """The labels of the crossing edges (``None`` entries omitted)."""
+        return [ce.label for ce in self.edges if ce.label is not None]
+
+    def __len__(self):
+        return len(self.edges)
+
+    def __iter__(self):
+        return iter(self.edges)
+
+    def __repr__(self):
+        return "MinCut(capacity=%s, edges=%d)" % (self.capacity, len(self.edges))
+
+
+def min_cut_from_residual(graph, residual):
+    """Extract the canonical minimum cut from a saturated residual network."""
+    return MinCut(graph, residual.source_side())
+
+
+def min_cut(graph):
+    """Compute ``(flow_value, MinCut)`` for ``graph`` from scratch."""
+    value, residual = dinic_max_flow(graph)
+    cut = min_cut_from_residual(graph, residual)
+    return value, cut

@@ -1,0 +1,73 @@
+"""Disjoint-set (union-find) structure.
+
+Used by the graph-collapsing machinery of Sections 3.2 and 5.2, which the
+paper describes as running "in almost-linear time with a union-find
+structure", and by the series-parallel analysis.
+
+Keys may be arbitrary hashable objects; sets are created lazily on first
+mention, so callers can freely union node ids with synthetic placeholder
+keys such as ``("src", label)``.
+"""
+
+from __future__ import annotations
+
+
+class UnionFind:
+    """Union-find with path compression and union by rank."""
+
+    def __init__(self):
+        self._parent = {}
+        self._rank = {}
+        self._count = 0
+
+    def __len__(self):
+        """Number of elements ever mentioned."""
+        return len(self._parent)
+
+    @property
+    def set_count(self):
+        """Number of disjoint sets among the mentioned elements."""
+        return self._count
+
+    def find(self, key):
+        """Return the canonical representative of ``key``'s set.
+
+        Mentions ``key`` (creating a singleton set) if it is new.
+        """
+        parent = self._parent
+        if key not in parent:
+            parent[key] = key
+            self._rank[key] = 0
+            self._count += 1
+            return key
+        root = key
+        while parent[root] != root:
+            root = parent[root]
+        while parent[key] != root:
+            parent[key], key = root, parent[key]
+        return root
+
+    def union(self, a, b):
+        """Merge the sets containing ``a`` and ``b``; return the new root."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        rank = self._rank
+        if rank[ra] < rank[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        if rank[ra] == rank[rb]:
+            rank[ra] += 1
+        self._count -= 1
+        return ra
+
+    def same(self, a, b):
+        """Whether ``a`` and ``b`` are currently in the same set."""
+        return self.find(a) == self.find(b)
+
+    def groups(self):
+        """Return a mapping from representative to the list of members."""
+        out = {}
+        for key in self._parent:
+            out.setdefault(self.find(key), []).append(key)
+        return out

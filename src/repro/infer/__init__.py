@@ -1,0 +1,26 @@
+"""Static enclosure-region inference (Section 8.6).
+
+A deliberately simple ("pilot") intraprocedural, syntax-directed,
+alias-free side-effect analysis that infers the output annotations of
+``enclose`` regions, plus the classifier that scores it against hand
+annotations in the Figure 6 categories (found / need-length /
+missed-expansion / missed-interprocedural).
+"""
+
+from .sideeffects import (FunctionSummary, WriteSet, collect_writes,
+                          summarize_functions)
+from .enclosure import InferredOutput, RegionInference, infer_region_outputs
+from .classify import (FOUND, MISSED_EXPANSION, MISSED_INTERPROCEDURAL,
+                       AnnotationResult, InferenceScore,
+                       classify_annotations, figure6_table)
+from .staticflow import (StaticFlowAnalysis, UnsupportedConstruct,
+                         static_bound)
+
+__all__ = [
+    "FunctionSummary", "WriteSet", "collect_writes", "summarize_functions",
+    "InferredOutput", "RegionInference", "infer_region_outputs",
+    "FOUND", "MISSED_EXPANSION", "MISSED_INTERPROCEDURAL",
+    "AnnotationResult", "InferenceScore", "classify_annotations",
+    "figure6_table",
+    "StaticFlowAnalysis", "UnsupportedConstruct", "static_bound",
+]

@@ -1,0 +1,180 @@
+"""Figure 6: scoring the pilot inference against hand annotations.
+
+For every hand-written region output the classifier decides whether the
+pilot analysis of :mod:`.enclosure` covers it, and if not, why -- the
+same categories the paper reports:
+
+* **found** -- the pilot's outputs cover the annotation;
+* **missed/expansion** -- the pilot named only single elements (or
+  nothing) for an array the region writes at non-constant indices;
+* **missed/interprocedural** -- the write happens in a callee, which
+  the intraprocedural pass cannot see;
+* **need length** -- the annotation carries an explicit ``[.. n]``
+  element-count bound the pilot could never synthesize (tallied
+  independently, as in the paper's table).
+"""
+
+from __future__ import annotations
+
+from ..lang import types as T
+from .enclosure import infer_region_outputs
+from .sideeffects import summarize_functions
+
+FOUND = "found"
+MISSED_EXPANSION = "missed/expansion"
+MISSED_INTERPROCEDURAL = "missed/interprocedural"
+
+
+class AnnotationResult:
+    """Classification of a single hand annotation."""
+
+    __slots__ = ("function", "name", "category", "needs_length", "line")
+
+    def __init__(self, function, name, category, needs_length, line):
+        self.function = function
+        self.name = name
+        self.category = category
+        self.needs_length = needs_length
+        self.line = line
+
+    def __repr__(self):
+        tag = " +length" if self.needs_length else ""
+        return "AnnotationResult(%s.%s: %s%s)" % (
+            self.function, self.name, self.category, tag)
+
+
+class InferenceScore:
+    """Aggregated Figure 6 row for one program."""
+
+    def __init__(self, program_name, results):
+        self.program_name = program_name
+        self.results = results
+
+    @property
+    def hand_annotations(self):
+        return len(self.results)
+
+    @property
+    def found(self):
+        return sum(1 for r in self.results if r.category == FOUND)
+
+    @property
+    def missed_expansion(self):
+        return sum(1 for r in self.results
+                   if r.category == MISSED_EXPANSION)
+
+    @property
+    def missed_interprocedural(self):
+        return sum(1 for r in self.results
+                   if r.category == MISSED_INTERPROCEDURAL)
+
+    @property
+    def need_length(self):
+        return sum(1 for r in self.results if r.needs_length)
+
+    @property
+    def found_fraction(self):
+        if not self.results:
+            return 1.0
+        return self.found / len(self.results)
+
+    def row(self):
+        """The Figure 6 table row (dict form)."""
+        return {
+            "program": self.program_name,
+            "hand_annotations": self.hand_annotations,
+            "need_length": self.need_length,
+            "missed_expansion": self.missed_expansion,
+            "missed_interprocedural": self.missed_interprocedural,
+            "found": self.found,
+        }
+
+    def __repr__(self):
+        return ("InferenceScore(%s: %d hand, %d found, %d exp, %d interproc,"
+                " %d need-length)" % (
+                    self.program_name, self.hand_annotations, self.found,
+                    self.missed_expansion, self.missed_interprocedural,
+                    self.need_length))
+
+
+def _interprocedural_writes(call_nodes, symbol, summaries, decls):
+    """Whether any call in the region (transitively) writes ``symbol``."""
+    for call in call_nodes:
+        decl = decls.get(call.name)
+        if decl is None:
+            continue
+        summary = summaries.get(call.name)
+        if summary is None:
+            continue
+        if symbol.is_global and symbol in summary.written_globals:
+            return True
+        for param, arg in zip(decl.params, call.args):
+            if (param.symbol in summary.written_params
+                    and getattr(arg, "symbol", None) is symbol):
+                return True
+    return False
+
+
+def classify_annotations(program, program_name="program"):
+    """Score the pilot inference against the program's hand annotations.
+
+    ``program`` must be a checked AST.  Returns an
+    :class:`InferenceScore`.
+    """
+    summaries = summarize_functions(program)
+    decls = {f.name: f for f in program.functions}
+    results = []
+    for inference in infer_region_outputs(program):
+        writes = inference.writes
+        inferred_scalars = {o.symbol for o in inference.outputs
+                            if o.kind == "scalar"}
+        inferred_arrays = {o.symbol for o in inference.outputs
+                           if o.kind == "array-elements"}
+        for declared in inference.enclose.outputs:
+            symbol = declared.symbol
+            needs_length = declared.length is not None
+            if T.is_array(symbol.type):
+                if symbol in writes.array_dynamic:
+                    category = MISSED_EXPANSION
+                elif symbol in inferred_arrays:
+                    category = FOUND
+                elif _interprocedural_writes(writes.calls, symbol,
+                                             summaries, decls):
+                    category = MISSED_INTERPROCEDURAL
+                else:
+                    # Not written at all: the annotation is vacuous and
+                    # the pilot's empty answer suffices.
+                    category = FOUND
+            else:
+                if symbol in inferred_scalars:
+                    category = FOUND
+                elif _interprocedural_writes(writes.calls, symbol,
+                                             summaries, decls):
+                    category = MISSED_INTERPROCEDURAL
+                else:
+                    category = FOUND
+            results.append(AnnotationResult(
+                inference.function_name, declared.name, category,
+                needs_length, declared.line))
+    return InferenceScore(program_name, results)
+
+
+def figure6_table(scores):
+    """Render a list of :class:`InferenceScore` as the Figure 6 table."""
+    header = ("%-18s %6s %8s %8s %10s %6s"
+              % ("Program", "hand", "length", "exp'n", "interproc", "found"))
+    lines = [header, "-" * len(header)]
+    total_hand = total_found = 0
+    for score in scores:
+        row = score.row()
+        total_hand += row["hand_annotations"]
+        total_found += row["found"]
+        lines.append("%-18s %6d %8d %8d %10d %6d" % (
+            row["program"], row["hand_annotations"], row["need_length"],
+            row["missed_expansion"], row["missed_interprocedural"],
+            row["found"]))
+    if total_hand:
+        lines.append("overall found: %d/%d (%.0f%%)"
+                     % (total_found, total_hand,
+                        100.0 * total_found / total_hand))
+    return "\n".join(lines)

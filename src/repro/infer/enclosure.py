@@ -1,0 +1,96 @@
+"""Pilot enclosure-output inference (Section 8.6).
+
+For every ``enclose`` block of a checked program, compute the output
+annotations the pilot analysis can produce on its own, using only the
+intraprocedural, syntax-directed write collection of
+:mod:`.sideeffects`.
+"""
+
+from __future__ import annotations
+
+from ..lang import ast
+from .sideeffects import collect_writes
+
+
+class InferredOutput:
+    """One output the pilot can name at the region entrance."""
+
+    __slots__ = ("name", "symbol", "kind", "indices")
+
+    def __init__(self, name, symbol, kind, indices=None):
+        self.name = name
+        self.symbol = symbol
+        self.kind = kind          # "scalar" | "array-elements"
+        self.indices = indices    # literal indices, for array-elements
+
+    def __repr__(self):
+        if self.kind == "scalar":
+            return "InferredOutput(%s)" % self.name
+        return "InferredOutput(%s[%s])" % (
+            self.name, ",".join(map(str, sorted(self.indices))))
+
+
+class RegionInference:
+    """Inference result for one enclosure region."""
+
+    def __init__(self, function_name, enclose_node, outputs, writes):
+        self.function_name = function_name
+        self.enclose = enclose_node
+        self.outputs = outputs
+        self.writes = writes
+
+    @property
+    def declared_names(self):
+        return [o.name for o in self.enclose.outputs]
+
+    @property
+    def inferred_names(self):
+        return [o.name for o in self.outputs]
+
+    def __repr__(self):
+        return "RegionInference(%s: inferred %s, declared %s)" % (
+            self.function_name, self.inferred_names, self.declared_names)
+
+
+def _find_regions(block, found):
+    for stmt in block.statements:
+        if isinstance(stmt, ast.Enclose):
+            found.append(stmt)
+            _find_regions(stmt.body, found)
+        elif isinstance(stmt, (ast.If,)):
+            _find_regions(stmt.then_body, found)
+            if stmt.else_body is not None:
+                _find_regions(stmt.else_body, found)
+        elif isinstance(stmt, (ast.While,)):
+            _find_regions(stmt.body, found)
+        elif isinstance(stmt, ast.For):
+            _find_regions(stmt.body, found)
+        elif isinstance(stmt, ast.Block):
+            _find_regions(stmt, found)
+
+
+def infer_region_outputs(program):
+    """Run the pilot inference over every region of a checked program.
+
+    Returns a list of :class:`RegionInference`, one per ``enclose``
+    block, in source order.
+    """
+    results = []
+    for decl in program.functions:
+        regions = []
+        _find_regions(decl.body, regions)
+        for region in regions:
+            writes = collect_writes(region.body)
+            outputs = []
+            for symbol in sorted(writes.scalars, key=lambda s: s.name):
+                outputs.append(InferredOutput(symbol.name, symbol, "scalar"))
+            for symbol, indices in sorted(writes.array_literal.items(),
+                                          key=lambda kv: kv[0].name):
+                outputs.append(InferredOutput(symbol.name, symbol,
+                                              "array-elements",
+                                              frozenset(indices)))
+            # Arrays with dynamic indices are *not* emitted: the pilot
+            # cannot name them at the entrance (missed/expansion).
+            results.append(RegionInference(decl.name, region, outputs,
+                                           writes))
+    return results

@@ -1,0 +1,206 @@
+"""Side-effect collection for enclosure inference (Section 8.6).
+
+The pilot analysis in the paper is "intraprocedural, syntax-directed,
+and context-insensitive, operating as a single pass that disregards
+control flow except as implied by block structure", and "only finds
+locations that can be named by the same expression at the region
+entrance as at the modification location".  This module reproduces
+those strengths *and* limitations over FlowLang ASTs:
+
+* a direct assignment ``x = e`` to a scalar names the same location at
+  region entrance -- the pilot finds it;
+* an array store ``a[3] = e`` with a literal index is nameable -- found;
+* an array store ``a[i] = e`` whose index is not a literal cannot be
+  named at the entrance (``i`` may change) -- the pilot misses it; this
+  is the paper's *missed/expansion* category;
+* a write performed inside a called function is invisible to the
+  intraprocedural pass -- the paper's *missed/interprocedural* category.
+"""
+
+from __future__ import annotations
+
+from ..lang import ast
+
+
+class WriteSet:
+    """Writes syntactically visible inside a region body.
+
+    Attributes:
+        scalars: symbols assigned directly (``x = e``).
+        array_literal: array symbols written only at literal indices,
+            mapped to the set of those indices.
+        array_dynamic: array symbols with at least one non-literal
+            index write.
+        calls: function names invoked (candidate interprocedural
+            effects).
+        local_decls: symbols declared *inside* the region (region-local;
+            their writes need no annotation).
+    """
+
+    def __init__(self):
+        self.scalars = set()
+        self.array_literal = {}
+        self.array_dynamic = set()
+        self.calls = []
+        self.local_decls = set()
+
+    def writes_array(self, symbol):
+        return symbol in self.array_literal or symbol in self.array_dynamic
+
+    def __repr__(self):
+        return ("WriteSet(scalars=%d, arrays=%d dynamic/%d literal, "
+                "calls=%d)" % (len(self.scalars), len(self.array_dynamic),
+                               len(self.array_literal), len(self.calls)))
+
+
+def _is_literal_index(expr):
+    return isinstance(expr, ast.NumberLit)
+
+
+def collect_writes(block):
+    """Single-pass syntactic write collection over a block."""
+    writes = WriteSet()
+    _walk_block(block, writes)
+    return writes
+
+
+def _walk_block(block, writes):
+    for stmt in block.statements:
+        _walk_stmt(stmt, writes)
+
+
+def _walk_stmt(stmt, writes):
+    if isinstance(stmt, ast.VarDecl):
+        writes.local_decls.add(stmt.symbol)
+        if stmt.init is not None:
+            _walk_expr(stmt.init, writes)
+    elif isinstance(stmt, ast.Assign):
+        target = stmt.target
+        if isinstance(target, ast.Name):
+            if target.symbol not in writes.local_decls:
+                writes.scalars.add(target.symbol)
+        else:  # Index
+            symbol = target.base.symbol
+            if symbol not in writes.local_decls:
+                if _is_literal_index(target.index):
+                    writes.array_literal.setdefault(symbol, set()).add(
+                        target.index.value)
+                else:
+                    writes.array_dynamic.add(symbol)
+                    writes.array_literal.pop(symbol, None)
+            _walk_expr(target.index, writes)
+        _walk_expr(stmt.value, writes)
+    elif isinstance(stmt, ast.ExprStmt):
+        _walk_expr(stmt.expr, writes)
+    elif isinstance(stmt, ast.If):
+        _walk_expr(stmt.cond, writes)
+        _walk_block(stmt.then_body, writes)
+        if stmt.else_body is not None:
+            _walk_block(stmt.else_body, writes)
+    elif isinstance(stmt, ast.While):
+        _walk_expr(stmt.cond, writes)
+        _walk_block(stmt.body, writes)
+    elif isinstance(stmt, ast.For):
+        if stmt.init is not None:
+            _walk_stmt(stmt.init, writes)
+        if stmt.cond is not None:
+            _walk_expr(stmt.cond, writes)
+        if stmt.step is not None:
+            _walk_stmt(stmt.step, writes)
+        _walk_block(stmt.body, writes)
+    elif isinstance(stmt, ast.Enclose):
+        # A nested region's writes are still writes of the outer region.
+        _walk_block(stmt.body, writes)
+    elif isinstance(stmt, ast.Block):
+        _walk_block(stmt, writes)
+    # Break/Continue/Return: no effects.
+
+
+#: Builtins that write through their array argument.
+_WRITING_BUILTINS = {"read_secret": 0, "read_public": 0}
+
+
+def _walk_expr(expr, writes):
+    if isinstance(expr, ast.Call):
+        writes.calls.append(expr)
+        for i, arg in enumerate(expr.args):
+            if (expr.name in _WRITING_BUILTINS
+                    and i == _WRITING_BUILTINS[expr.name]
+                    and isinstance(arg, ast.Name)
+                    and arg.symbol not in writes.local_decls):
+                writes.array_dynamic.add(arg.symbol)
+            _walk_expr(arg, writes)
+    elif isinstance(expr, ast.Binary):
+        _walk_expr(expr.left, writes)
+        _walk_expr(expr.right, writes)
+    elif isinstance(expr, ast.Unary):
+        _walk_expr(expr.operand, writes)
+    elif isinstance(expr, ast.Index):
+        _walk_expr(expr.index, writes)
+    elif isinstance(expr, ast.Cast):
+        _walk_expr(expr.operand, writes)
+    # Names/literals/ArrayLen: no effects.
+
+
+class FunctionSummary:
+    """Transitive may-write summary of a function (ground truth helper).
+
+    Not part of the pilot analysis -- the classifier uses these
+    summaries to decide whether a missed annotation was missed because
+    the effect is interprocedural.
+    """
+
+    def __init__(self):
+        self.written_globals = set()
+        self.written_params = set()  # parameter symbols (arrays)
+
+
+def summarize_functions(program):
+    """Compute transitive may-write summaries for all functions."""
+    decls = {f.name: f for f in program.functions}
+    summaries = {name: FunctionSummary() for name in decls}
+
+    def local_pass(decl):
+        summary = summaries[decl.name]
+        writes = collect_writes(decl.body)
+        param_symbols = {p.symbol for p in decl.params}
+        for symbol in writes.scalars:
+            if symbol.is_global:
+                summary.written_globals.add(symbol)
+        for symbol in set(writes.array_literal) | writes.array_dynamic:
+            if symbol.is_global:
+                summary.written_globals.add(symbol)
+            elif symbol in param_symbols:
+                summary.written_params.add(symbol)
+        return writes.calls
+
+    call_sites = {name: local_pass(decl) for name, decl in decls.items()}
+
+    # Propagate to a fixpoint: effects through callees, mapping callee
+    # parameter writes back to caller arguments.
+    changed = True
+    while changed:
+        changed = False
+        for name, decl in decls.items():
+            summary = summaries[name]
+            param_symbols = {p.symbol for p in decl.params}
+            for call in call_sites[name]:
+                callee = decls.get(call.name)
+                if callee is None:
+                    continue  # builtin
+                callee_summary = summaries[call.name]
+                before = (len(summary.written_globals),
+                          len(summary.written_params))
+                summary.written_globals |= callee_summary.written_globals
+                for param, arg in zip(callee.params, call.args):
+                    if param.symbol in callee_summary.written_params \
+                            and isinstance(arg, ast.Name):
+                        if arg.symbol.is_global:
+                            summary.written_globals.add(arg.symbol)
+                        elif arg.symbol in param_symbols:
+                            summary.written_params.add(arg.symbol)
+                after = (len(summary.written_globals),
+                         len(summary.written_params))
+                if after != before:
+                    changed = True
+    return summaries

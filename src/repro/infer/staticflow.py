@@ -1,0 +1,445 @@
+"""An all-static maximum-flow analysis (Section 10.2, implemented).
+
+The paper's future-work sketch: keep the graph/max-flow machinery but
+replace the dynamic parts, bounding how often each static flow edge can
+execute "in terms of a developer-understandable parameter of the
+program input" -- so the result is a formula over loop bounds rather
+than a single number.
+
+This module implements that idea for an intraprocedural, scalar-only
+subset of FlowLang (no arrays, no user function calls -- the same kind
+of scope static QIF systems of the era supported).  It builds a static
+flow graph over *variables*:
+
+* one node per variable, plus a source and sink;
+* an assignment ``v = e`` inside loops with joint bound ``m`` adds
+  edges from every variable (or secret input) in ``e`` to ``v`` with
+  capacity ``width(v) * m``;
+* a branch on a secret-tainted condition adds a ``1 * m``-bit implicit
+  edge from each condition variable to the innermost enclosure node
+  (or the sink, for the whole-program enclosure);
+* region exits wire the region node to its declared outputs;
+* ``output(e)`` adds ``width * m`` edges to the sink.
+
+Loop bounds are symbolic: :class:`StaticFlowAnalysis` records which
+edges scale with which loop (identified by source line), and
+:meth:`StaticFlowAnalysis.bound` evaluates the max-flow for concrete
+bounds -- the "formula" is the function ``loop_bounds -> bits``.  The
+result is a sound bound for every execution whose loops respect the
+given bounds: capacities count the maximum number of bits each static
+edge could carry across all iterations, exactly the per-location
+capacity-summing that dynamic collapsing performs (§5.2), computed
+without running the program.
+"""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+from ..graph.flowgraph import FlowGraph
+from ..graph.maxflow import dinic_max_flow
+from ..lang import ast
+from ..lang import types as T
+
+#: Builtins usable in the static subset, with their secret-input widths.
+_SECRET_INPUTS = {"secret_u8": 8, "secret_u16": 16, "secret_u32": 32}
+_PUBLIC_INPUTS = {"input_u8", "input_u32"}
+_OUTPUTS = {"output", "print_char"}
+
+
+class UnsupportedConstruct(ReproError):
+    """The program uses a feature outside the static subset."""
+
+
+class _Term:
+    """A capacity term ``base * prod(loops)`` with symbolic loop factors.
+
+    ``loops`` is a tuple of loop ids (source lines); the +1 adjustment
+    for loop *tests* is expressed by ``extra_tests`` naming the loop
+    whose bound is incremented.
+    """
+
+    __slots__ = ("base", "loops", "test_loop")
+
+    def __init__(self, base, loops, test_loop=None):
+        self.base = base
+        self.loops = tuple(loops)
+        self.test_loop = test_loop
+
+    def evaluate(self, bounds, default):
+        value = self.base
+        for loop in self.loops:
+            value *= max(int(bounds.get(loop, default)), 0)
+        if self.test_loop is not None:
+            value *= int(bounds.get(self.test_loop, default)) + 1
+        return value
+
+    def render(self):
+        parts = [str(self.base)]
+        parts.extend("N%d" % loop for loop in self.loops)
+        if self.test_loop is not None:
+            parts.append("(N%d+1)" % self.test_loop)
+        return "*".join(parts)
+
+
+class StaticFlowAnalysis:
+    """Static flow bound for one FlowLang function.
+
+    Args:
+        program: a *checked* :class:`~repro.lang.ast.Program`.
+        function: which function to analyze (default ``main``).
+
+    Raises :class:`UnsupportedConstruct` for arrays, user calls, and
+    other features outside the subset.
+    """
+
+    def __init__(self, program, function="main"):
+        self.program = program
+        decls = {f.name: f for f in program.functions}
+        if function not in decls:
+            raise UnsupportedConstruct("no function %r" % function)
+        self.decl = decls[function]
+        self.loop_lines = []
+        # Edge list: (src_key, dst_key, _Term).  Keys: ("var", symbol),
+        # "source", "sink", ("region", id).
+        self._edges = []
+        # Per-variable assignment terms: the variable's static node
+        # capacity is their sum (it can hold width bits per assignment
+        # event, the same per-location capacity summing as dynamic
+        # collapsing).
+        self._var_capacity = {}
+        self._secret_vars = set()
+        self._loop_stack = []
+        self._region_stack = []
+        self._next_region = 0
+        self._analyze()
+
+    # ------------------------------------------------------------------
+
+    def _term(self, base, test_loop=None):
+        return _Term(base, self._loop_stack, test_loop)
+
+    def _implicit_target(self):
+        if self._region_stack:
+            return ("region", self._region_stack[-1])
+        return "sink"
+
+    def _analyze(self):
+        if self.decl.params:
+            raise UnsupportedConstruct(
+                "static subset: analyze parameterless entry functions")
+        changed = True
+        # Flow-insensitive taint fixpoint first (loops may feed back).
+        while changed:
+            changed = self._taint_block(self.decl.body)
+        self._build_block(self.decl.body)
+
+    # ------------------------------------------------------------------
+    # Pass 1: which variables may hold secrets?
+
+    def _taint_block(self, block):
+        changed = False
+        for stmt in block.statements:
+            changed |= self._taint_stmt(stmt)
+        return changed
+
+    def _taint_stmt(self, stmt):
+        if isinstance(stmt, (ast.VarDecl, ast.Assign)):
+            target, value = self._target_and_value(stmt)
+            if value is not None and target is not None \
+                    and self._expr_secret(value) \
+                    and target not in self._secret_vars:
+                self._secret_vars.add(target)
+                return True
+            return False
+        if isinstance(stmt, ast.If):
+            changed = self._taint_block(stmt.then_body)
+            if stmt.else_body is not None:
+                changed |= self._taint_block(stmt.else_body)
+            return changed
+        if isinstance(stmt, ast.While):
+            return self._taint_block(stmt.body)
+        if isinstance(stmt, ast.For):
+            changed = False
+            if stmt.init is not None:
+                changed |= self._taint_stmt(stmt.init)
+            if stmt.step is not None:
+                changed |= self._taint_stmt(stmt.step)
+            return changed | self._taint_block(stmt.body)
+        if isinstance(stmt, ast.Enclose):
+            changed = self._taint_block(stmt.body)
+            # Region outputs become (conservatively) secret if any
+            # implicit flow can occur inside -- statically, if any
+            # branch in the body tests a secret.
+            if self._block_branches_on_secret(stmt.body):
+                for output in stmt.outputs:
+                    if output.symbol not in self._secret_vars:
+                        self._secret_vars.add(output.symbol)
+                        changed = True
+            return changed
+        if isinstance(stmt, ast.Block):
+            return self._taint_block(stmt)
+        return False
+
+    def _block_branches_on_secret(self, block):
+        for stmt in block.statements:
+            if isinstance(stmt, (ast.If, ast.While)) \
+                    and self._expr_secret(stmt.cond):
+                return True
+            if isinstance(stmt, ast.For) and stmt.cond is not None \
+                    and self._expr_secret(stmt.cond):
+                return True
+            for inner in self._inner_blocks(stmt):
+                if self._block_branches_on_secret(inner):
+                    return True
+        return False
+
+    @staticmethod
+    def _inner_blocks(stmt):
+        if isinstance(stmt, ast.If):
+            blocks = [stmt.then_body]
+            if stmt.else_body is not None:
+                blocks.append(stmt.else_body)
+            return blocks
+        if isinstance(stmt, (ast.While, ast.For, ast.Enclose)):
+            return [stmt.body]
+        if isinstance(stmt, ast.Block):
+            return [stmt]
+        return []
+
+    def _target_and_value(self, stmt):
+        if isinstance(stmt, ast.VarDecl):
+            if stmt.symbol is not None and T.is_array(stmt.symbol.type):
+                raise UnsupportedConstruct("static subset has no arrays")
+            return stmt.symbol, stmt.init
+        target = stmt.target
+        if not isinstance(target, ast.Name):
+            raise UnsupportedConstruct("static subset has no arrays")
+        return target.symbol, stmt.value
+
+    def _expr_secret(self, expr):
+        if isinstance(expr, ast.Name):
+            return expr.symbol in self._secret_vars
+        if isinstance(expr, (ast.Binary,)):
+            return self._expr_secret(expr.left) or \
+                self._expr_secret(expr.right)
+        if isinstance(expr, ast.Unary):
+            return self._expr_secret(expr.operand)
+        if isinstance(expr, ast.Cast):
+            return self._expr_secret(expr.operand)
+        if isinstance(expr, ast.Call):
+            if expr.name in _SECRET_INPUTS:
+                return True
+            if expr.name in _PUBLIC_INPUTS or expr.name == "declassify":
+                return False
+            raise UnsupportedConstruct(
+                "static subset cannot analyze call to %r" % expr.name)
+        if isinstance(expr, (ast.NumberLit, ast.BoolLit)):
+            return False
+        if isinstance(expr, ast.ArrayLen) or isinstance(expr, ast.Index):
+            raise UnsupportedConstruct("static subset has no arrays")
+        if isinstance(expr, ast.StringLit):
+            raise UnsupportedConstruct("static subset has no arrays")
+        return False
+
+    # ------------------------------------------------------------------
+    # Pass 2: build the symbolic static graph
+
+    def _build_block(self, block):
+        for stmt in block.statements:
+            self._build_stmt(stmt)
+
+    def _build_stmt(self, stmt):
+        if isinstance(stmt, (ast.VarDecl, ast.Assign)):
+            target, value = self._target_and_value(stmt)
+            if value is not None:
+                self._assign(target, value)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._expr_effects(stmt.expr)
+        elif isinstance(stmt, ast.If):
+            self._branch(stmt.cond)
+            self._build_block(stmt.then_body)
+            if stmt.else_body is not None:
+                self._build_block(stmt.else_body)
+        elif isinstance(stmt, ast.While):
+            self._loop(stmt.line, stmt.cond, None, stmt.body)
+        elif isinstance(stmt, ast.For):
+            if stmt.init is not None:
+                self._build_stmt(stmt.init)
+            self._loop(stmt.line, stmt.cond, stmt.step, stmt.body)
+        elif isinstance(stmt, ast.Enclose):
+            region_id = self._next_region
+            self._next_region += 1
+            self._region_stack.append(region_id)
+            self._build_block(stmt.body)
+            self._region_stack.pop()
+            for output in stmt.outputs:
+                width = output.symbol.type.width
+                term = self._term(width)
+                self._edges.append((("region", region_id),
+                                    ("var", output.symbol), term))
+                self._var_capacity.setdefault(output.symbol,
+                                              []).append(term)
+        elif isinstance(stmt, ast.Block):
+            self._build_block(stmt)
+        elif isinstance(stmt, (ast.Break, ast.Continue, ast.Return)):
+            pass
+        else:
+            raise UnsupportedConstruct("static subset: %r"
+                                       % type(stmt).__name__)
+
+    def _loop(self, line, cond, step, body):
+        if line not in self.loop_lines:
+            self.loop_lines.append(line)
+        if cond is not None and self._expr_secret(cond):
+            # The test runs bound+1 times.
+            for var in self._expr_vars(cond):
+                self._edges.append(
+                    (("var", var), self._implicit_target(),
+                     _Term(1, self._loop_stack, test_loop=line)))
+            self._sources_to_target(cond, self._implicit_target(),
+                                    _Term(1, self._loop_stack,
+                                          test_loop=line))
+        self._loop_stack.append(line)
+        if step is not None:
+            self._build_stmt(step)
+        self._build_block(body)
+        self._loop_stack.pop()
+
+    def _branch(self, cond):
+        if not self._expr_secret(cond):
+            return
+        target = self._implicit_target()
+        for var in self._expr_vars(cond):
+            self._edges.append((("var", var), target, self._term(1)))
+        self._sources_to_target(cond, target, self._term(1))
+
+    def _assign(self, target, value):
+        width = target.type.width
+        term = self._term(width)
+        self._var_capacity.setdefault(target, []).append(term)
+        for var in self._expr_vars(value):
+            self._edges.append((("var", var), ("var", target), term))
+        self._sources_to_target(value, ("var", target), term)
+
+    def _sources_to_target(self, expr, target, term):
+        """Edges for secret-input builtins appearing inside ``expr``."""
+        for width in self._expr_inputs(expr):
+            self._edges.append(
+                ("source", target, _Term(width, term.loops,
+                                         term.test_loop)))
+
+    def _expr_effects(self, expr):
+        if isinstance(expr, ast.Call) and expr.name in _OUTPUTS:
+            arg = expr.args[0]
+            self._expr_secret(arg)  # validates the subset (raises on calls)
+            width = arg.type.width if arg.type else 32
+            term = self._term(width)
+            for var in self._expr_vars(arg):
+                self._edges.append((("var", var), "sink", term))
+            self._sources_to_target(arg, "sink", term)
+        elif isinstance(expr, ast.Call):
+            if expr.name in _SECRET_INPUTS or expr.name in _PUBLIC_INPUTS:
+                return  # value discarded
+            raise UnsupportedConstruct(
+                "static subset cannot analyze call to %r" % expr.name)
+
+    def _expr_vars(self, expr):
+        """Variables occurring in ``expr`` that may hold secrets."""
+        out = []
+
+        def walk(e):
+            if isinstance(e, ast.Name):
+                if e.symbol in self._secret_vars:
+                    out.append(e.symbol)
+            elif isinstance(e, ast.Binary):
+                walk(e.left)
+                walk(e.right)
+            elif isinstance(e, (ast.Unary, ast.Cast)):
+                walk(e.operand if isinstance(e, ast.Unary) else e.operand)
+            elif isinstance(e, ast.Call) and e.name == "declassify":
+                pass
+        walk(expr)
+        return out
+
+    def _expr_inputs(self, expr):
+        """Widths of secret-input builtins called inside ``expr``."""
+        out = []
+
+        def walk(e):
+            if isinstance(e, ast.Call):
+                if e.name in _SECRET_INPUTS:
+                    out.append(_SECRET_INPUTS[e.name])
+            elif isinstance(e, ast.Binary):
+                walk(e.left)
+                walk(e.right)
+            elif isinstance(e, (ast.Unary, ast.Cast)):
+                walk(e.operand)
+        walk(expr)
+        return out
+
+    # ------------------------------------------------------------------
+    # Evaluation
+
+    def formula(self):
+        """Human-readable edge list with symbolic capacities."""
+        lines = []
+        for src, dst, term in self._edges:
+            lines.append("%s -> %s : %s" % (self._key_name(src),
+                                            self._key_name(dst),
+                                            term.render()))
+        return "\n".join(lines)
+
+    @staticmethod
+    def _key_name(key):
+        if key in ("source", "sink"):
+            return key
+        kind, payload = key
+        if kind == "var":
+            return payload.name
+        return "region%d" % payload
+
+    def bound(self, loop_bounds=None, default_bound=1):
+        """Max-flow bits for concrete per-loop iteration bounds.
+
+        ``loop_bounds`` maps a loop's source line (see ``loop_lines``)
+        to its maximum trip count; missing loops use ``default_bound``.
+        """
+        loop_bounds = loop_bounds or {}
+        graph = FlowGraph()
+        # Variable nodes are split: in -> out with capacity equal to the
+        # total bits all their (statically counted) assignments can
+        # store.  Terminals and region nodes are unsplit.
+        inlets = {"source": graph.source, "sink": graph.sink}
+        outlets = {"source": graph.source, "sink": graph.sink}
+
+        def node_of(key, incoming):
+            table = inlets if incoming else outlets
+            if key not in table:
+                if isinstance(key, tuple) and key[0] == "var":
+                    capacity = sum(
+                        term.evaluate(loop_bounds, default_bound)
+                        for term in self._var_capacity.get(key[1], []))
+                    inner = graph.add_node()
+                    outer = graph.add_node()
+                    graph.add_edge(inner, outer, capacity)
+                    inlets[key] = inner
+                    outlets[key] = outer
+                else:
+                    node = graph.add_node()
+                    inlets[key] = node
+                    outlets[key] = node
+            return table[key]
+
+        for src, dst, term in self._edges:
+            capacity = term.evaluate(loop_bounds, default_bound)
+            graph.add_edge(node_of(src, incoming=False),
+                           node_of(dst, incoming=True), capacity)
+        value, _ = dinic_max_flow(graph)
+        return value
+
+
+def static_bound(program, loop_bounds=None, default_bound=1,
+                 function="main"):
+    """One-call helper: checked AST -> static flow bound in bits."""
+    analysis = StaticFlowAnalysis(program, function=function)
+    return analysis.bound(loop_bounds, default_bound)

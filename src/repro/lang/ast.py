@@ -1,0 +1,325 @@
+"""Abstract syntax tree for FlowLang.
+
+Every node records its source position; the compiler turns positions
+into the :class:`~repro.core.locations.Location` labels that drive graph
+collapsing and cut reporting.
+"""
+
+from __future__ import annotations
+
+
+class Node:
+    """Base class for AST nodes."""
+
+    __slots__ = ("line", "column")
+
+    def __init__(self, line, column):
+        self.line = line
+        self.column = column
+
+    def _fields(self):
+        out = []
+        for cls in type(self).__mro__:
+            out.extend(getattr(cls, "__slots__", ()))
+        return [f for f in out if f not in ("line", "column")]
+
+    def __repr__(self):
+        parts = ", ".join("%s=%r" % (f, getattr(self, f))
+                          for f in self._fields())
+        return "%s(%s)" % (type(self).__name__, parts)
+
+
+# ----------------------------------------------------------------------
+# Types (syntactic; resolved by the checker)
+
+class TypeName(Node):
+    """A scalar type name such as ``u8`` or ``bool``."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name, line, column):
+        super().__init__(line, column)
+        self.name = name
+
+
+class ArrayTypeName(Node):
+    """An array type: ``u8[10]`` (sized) or ``u8[]`` (unsized parameter)."""
+
+    __slots__ = ("element", "size")
+
+    def __init__(self, element, size, line, column):
+        super().__init__(line, column)
+        self.element = element
+        self.size = size  # int or None
+
+
+# ----------------------------------------------------------------------
+# Expressions
+
+class Expr(Node):
+    __slots__ = ("type",)  # filled in by the checker
+
+    def __init__(self, line, column):
+        super().__init__(line, column)
+        self.type = None
+
+
+class NumberLit(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value, line, column):
+        super().__init__(line, column)
+        self.value = value
+
+
+class BoolLit(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value, line, column):
+        super().__init__(line, column)
+        self.value = value
+
+
+class StringLit(Expr):
+    """A string literal; typed as an unsized u8 array."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value, line, column):
+        super().__init__(line, column)
+        self.value = value
+
+
+class Name(Expr):
+    __slots__ = ("ident", "symbol")
+
+    def __init__(self, ident, line, column):
+        super().__init__(line, column)
+        self.ident = ident
+        self.symbol = None  # resolved by the checker
+
+
+class Index(Expr):
+    """``base[index]`` where base names an array."""
+
+    __slots__ = ("base", "index")
+
+    def __init__(self, base, index, line, column):
+        super().__init__(line, column)
+        self.base = base
+        self.index = index
+
+
+class Unary(Expr):
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op, operand, line, column):
+        super().__init__(line, column)
+        self.op = op
+        self.operand = operand
+
+
+class Binary(Expr):
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op, left, right, line, column):
+        super().__init__(line, column)
+        self.op = op
+        self.left = left
+        self.right = right
+
+
+class Call(Expr):
+    __slots__ = ("name", "args", "symbol")
+
+    def __init__(self, name, args, line, column):
+        super().__init__(line, column)
+        self.name = name
+        self.args = args
+        self.symbol = None
+
+
+class Cast(Expr):
+    """``u16(x)`` -- explicit width/signedness conversion."""
+
+    __slots__ = ("target", "operand")
+
+    def __init__(self, target, operand, line, column):
+        super().__init__(line, column)
+        self.target = target
+        self.operand = operand
+
+
+class ArrayLen(Expr):
+    """``len(arr)`` -- static or parameter-carried element count."""
+
+    __slots__ = ("base",)
+
+    def __init__(self, base, line, column):
+        super().__init__(line, column)
+        self.base = base
+
+
+# ----------------------------------------------------------------------
+# Statements
+
+class Stmt(Node):
+    __slots__ = ()
+
+
+class VarDecl(Stmt):
+    __slots__ = ("name", "type_name", "init", "symbol")
+
+    def __init__(self, name, type_name, init, line, column):
+        super().__init__(line, column)
+        self.name = name
+        self.type_name = type_name
+        self.init = init
+        self.symbol = None
+
+
+class Assign(Stmt):
+    """``target = value`` where target is a Name or Index."""
+
+    __slots__ = ("target", "value")
+
+    def __init__(self, target, value, line, column):
+        super().__init__(line, column)
+        self.target = target
+        self.value = value
+
+
+class ExprStmt(Stmt):
+    __slots__ = ("expr",)
+
+    def __init__(self, expr, line, column):
+        super().__init__(line, column)
+        self.expr = expr
+
+
+class If(Stmt):
+    __slots__ = ("cond", "then_body", "else_body")
+
+    def __init__(self, cond, then_body, else_body, line, column):
+        super().__init__(line, column)
+        self.cond = cond
+        self.then_body = then_body
+        self.else_body = else_body
+
+
+class While(Stmt):
+    __slots__ = ("cond", "body")
+
+    def __init__(self, cond, body, line, column):
+        super().__init__(line, column)
+        self.cond = cond
+        self.body = body
+
+
+class For(Stmt):
+    """``for (init; cond; step) body`` -- all three parts optional."""
+
+    __slots__ = ("init", "cond", "step", "body")
+
+    def __init__(self, init, cond, step, body, line, column):
+        super().__init__(line, column)
+        self.init = init
+        self.cond = cond
+        self.step = step
+        self.body = body
+
+
+class Break(Stmt):
+    __slots__ = ()
+
+
+class Continue(Stmt):
+    __slots__ = ()
+
+
+class Return(Stmt):
+    __slots__ = ("value",)
+
+    def __init__(self, value, line, column):
+        super().__init__(line, column)
+        self.value = value
+
+
+class EncloseOutput(Node):
+    """One declared output of an ``enclose`` block.
+
+    ``name`` is the variable; for arrays, ``whole`` marks ``arr[..]``
+    (the entire array) and ``length`` an optional element-count
+    expression for ``arr[0 .. n]`` forms.
+    """
+
+    __slots__ = ("name", "whole", "length", "symbol")
+
+    def __init__(self, name, whole, length, line, column):
+        super().__init__(line, column)
+        self.name = name
+        self.whole = whole
+        self.length = length
+        self.symbol = None
+
+
+class Enclose(Stmt):
+    """``enclose (outputs...) { body }`` -- an enclosure region."""
+
+    __slots__ = ("outputs", "body")
+
+    def __init__(self, outputs, body, line, column):
+        super().__init__(line, column)
+        self.outputs = outputs
+        self.body = body
+
+
+class Block(Stmt):
+    __slots__ = ("statements",)
+
+    def __init__(self, statements, line, column):
+        super().__init__(line, column)
+        self.statements = statements
+
+
+# ----------------------------------------------------------------------
+# Declarations
+
+class Param(Node):
+    __slots__ = ("name", "type_name", "symbol")
+
+    def __init__(self, name, type_name, line, column):
+        super().__init__(line, column)
+        self.name = name
+        self.type_name = type_name
+        self.symbol = None
+
+
+class FuncDecl(Node):
+    __slots__ = ("name", "params", "return_type", "body", "symbol")
+
+    def __init__(self, name, params, return_type, body, line, column):
+        super().__init__(line, column)
+        self.name = name
+        self.params = params
+        self.return_type = return_type  # TypeName or None (void)
+        self.body = body
+        self.symbol = None
+
+
+class GlobalDecl(Node):
+    __slots__ = ("decl",)
+
+    def __init__(self, decl, line, column):
+        super().__init__(line, column)
+        self.decl = decl
+
+
+class Program(Node):
+    __slots__ = ("globals", "functions", "filename")
+
+    def __init__(self, globals_, functions, filename):
+        super().__init__(1, 1)
+        self.globals = globals_
+        self.functions = functions
+        self.filename = filename

@@ -1,0 +1,154 @@
+"""FlowLang builtins: the program's I/O and annotation surface.
+
+Builtins are how FlowLang programs touch the analysis: secret/public
+input, public output, and declassification.  Each builtin bundles its
+type-checking rule with its VM implementation, so adding one is a single
+registration here.
+
+I/O model (mirroring the paper's treatment of ``read``/``write`` system
+calls): the VM is given a *secret input* byte stream and a *public
+input* byte stream; ``output``/``output_bytes``/``print_char`` append to
+the public output and emit output events to the tracker.
+"""
+
+from __future__ import annotations
+
+from ..errors import TypeCheckError, VMError
+from . import types as T
+
+
+class Builtin:
+    """A builtin function: a type rule plus a VM implementation.
+
+    ``check(checker, call) -> Type`` validates and annotates the call;
+    ``execute(vm, call_loc, args) -> TV or None`` runs it (``args`` are
+    evaluated TVs, except array arguments which arrive as array
+    references).
+    """
+
+    __slots__ = ("name", "check", "execute")
+
+    def __init__(self, name, check, execute):
+        self.name = name
+        self.check = check
+        self.execute = execute
+
+
+def _expect_args(call, count):
+    if len(call.args) != count:
+        raise TypeCheckError("%s() takes %d argument(s), got %d"
+                             % (call.name, count, len(call.args)),
+                             call.line, call.column)
+
+
+def _check_array_and_len(checker, call):
+    _expect_args(call, 2)
+    array_type = checker.check_array_arg(call.args[0], call)
+    if array_type.element != T.U8:
+        raise TypeCheckError("%s() needs a u8 array" % call.name,
+                             call.line, call.column)
+    checker.check_expr(call.args[1], T.U32)
+    return T.U32
+
+
+def _check_scalar_input(return_type):
+    def check(checker, call):
+        _expect_args(call, 0)
+        return return_type
+    return check
+
+
+def _check_output(checker, call):
+    _expect_args(call, 1)
+    arg_type = checker.check_expr(call.args[0], None)
+    if not (T.is_integer(arg_type) or T.is_bool(arg_type)):
+        raise TypeCheckError("output() takes a scalar value",
+                             call.line, call.column)
+    return T.VOID
+
+
+def _check_print_char(checker, call):
+    _expect_args(call, 1)
+    checker.check_expr(call.args[0], T.U8)
+    return T.VOID
+
+
+def _check_declassify(checker, call):
+    _expect_args(call, 1)
+    arg_type = checker.check_expr(call.args[0], None)
+    if not (T.is_integer(arg_type) or T.is_bool(arg_type)):
+        raise TypeCheckError("declassify() takes a scalar value",
+                             call.line, call.column)
+    return arg_type
+
+
+def _check_check(checker, call):
+    _expect_args(call, 1)
+    checker.check_expr(call.args[0], T.BOOL)
+    return T.VOID
+
+
+# ----------------------------------------------------------------------
+# VM implementations.  ``vm`` exposes: tracker, secret_input,
+# public_input, outputs, read_secret_bytes(), etc.  TVs are
+# (value, mask, prov) triples.
+
+def _exec_read(secret):
+    def execute(vm, loc, args):
+        array_ref, max_tv = args
+        return vm.read_into_array(loc, array_ref, max_tv[0], secret=secret)
+    return execute
+
+
+def _exec_scalar_read(width, secret):
+    def execute(vm, loc, args):
+        return vm.read_scalar(loc, width, secret=secret)
+    return execute
+
+
+def _exec_output(vm, loc, args):
+    vm.write_output(loc, args[0])
+    return None
+
+
+def _exec_output_bytes(vm, loc, args):
+    array_ref, count_tv = args
+    vm.write_output_array(loc, array_ref, count_tv[0])
+    return None
+
+
+def _exec_declassify(vm, loc, args):
+    value, _mask, prov = args[0]
+    return (value, 0, vm.tracker.declassify(prov))
+
+
+def _exec_check(vm, loc, args):
+    if not args[0][0]:
+        raise VMError("check() failed", loc)
+    return None
+
+
+BUILTINS = {}
+
+
+def _register(name, check, execute):
+    BUILTINS[name] = Builtin(name, check, execute)
+
+
+_register("read_secret", _check_array_and_len, _exec_read(secret=True))
+_register("read_public", _check_array_and_len, _exec_read(secret=False))
+_register("secret_u8", _check_scalar_input(T.U8), _exec_scalar_read(8, True))
+_register("secret_u16", _check_scalar_input(T.U16), _exec_scalar_read(16, True))
+_register("secret_u32", _check_scalar_input(T.U32), _exec_scalar_read(32, True))
+_register("input_u8", _check_scalar_input(T.U8), _exec_scalar_read(8, False))
+_register("input_u32", _check_scalar_input(T.U32), _exec_scalar_read(32, False))
+def _check_output_bytes(checker, call):
+    _check_array_and_len(checker, call)
+    return T.VOID
+
+
+_register("output", _check_output, _exec_output)
+_register("output_bytes", _check_output_bytes, _exec_output_bytes)
+_register("print_char", _check_print_char, _exec_output)
+_register("declassify", _check_declassify, _exec_declassify)
+_register("check", _check_check, _exec_check)

@@ -1,0 +1,514 @@
+"""Semantic analysis (type checking and name resolution) for FlowLang.
+
+The checker is deliberately strict: operands of binary operators must
+have identical scalar types (numeric literals adapt to context), so the
+width of every value -- and hence the capacity of every flow-graph node
+-- is always unambiguous.  It annotates the AST in place: every
+expression gets ``.type`` and every name/declaration its ``.symbol``.
+"""
+
+from __future__ import annotations
+
+from ..errors import TypeCheckError
+from . import ast
+from . import types as T
+from .builtins import BUILTINS
+from .symbols import Scope, Symbol
+
+ARITH_OPS = frozenset(["+", "-", "*", "/", "%", "&", "|", "^"])
+SHIFT_OPS = frozenset(["<<", ">>"])
+COMPARE_OPS = frozenset(["==", "!=", "<", "<=", ">", ">="])
+LOGIC_OPS = frozenset(["&&", "||"])
+
+
+class FunctionInfo:
+    """Checked signature of a user function."""
+
+    __slots__ = ("name", "param_types", "return_type", "decl")
+
+    def __init__(self, name, param_types, return_type, decl):
+        self.name = name
+        self.param_types = param_types
+        self.return_type = return_type
+        self.decl = decl
+
+
+class Checker:
+    """Checks a parsed :class:`~repro.lang.ast.Program`."""
+
+    def __init__(self, program):
+        self.program = program
+        self.globals = Scope()
+        self.functions = {}
+        self._current_function = None
+        self._loop_depth = 0
+        # The scope of the expression currently being checked; builtin
+        # type rules re-enter the checker through it.
+        self._scope = self.globals
+
+    # ------------------------------------------------------------------
+    # Entry point
+
+    def check(self):
+        """Run all checks; returns the (annotated) program."""
+        for decl in self.program.functions:
+            if decl.name in BUILTINS:
+                raise TypeCheckError(
+                    "function %r shadows a builtin" % decl.name,
+                    decl.line, decl.column)
+            if decl.name in self.functions:
+                raise TypeCheckError(
+                    "duplicate function %r" % decl.name,
+                    decl.line, decl.column)
+            info = FunctionInfo(
+                decl.name,
+                [self.resolve_type(p.type_name, allow_unsized=True)
+                 for p in decl.params],
+                (self.resolve_type(decl.return_type)
+                 if decl.return_type is not None else T.VOID),
+                decl)
+            if T.is_array(info.return_type):
+                raise TypeCheckError("functions cannot return arrays",
+                                     decl.line, decl.column)
+            self.functions[decl.name] = info
+            symbol = Symbol(decl.name, Symbol.KIND_FUNCTION, info, decl)
+            decl.symbol = symbol
+            self.globals.declare(symbol, decl.line, decl.column)
+        for global_decl in self.program.globals:
+            self._check_global(global_decl.decl)
+        for decl in self.program.functions:
+            self._check_function(decl)
+        return self.program
+
+    # ------------------------------------------------------------------
+    # Types
+
+    def resolve_type(self, type_name, allow_unsized=False):
+        if isinstance(type_name, ast.TypeName):
+            return T.SCALARS[type_name.name]
+        if isinstance(type_name, ast.ArrayTypeName):
+            element = T.SCALARS[type_name.element.name]
+            if type_name.size is None and not allow_unsized:
+                raise TypeCheckError(
+                    "array declaration needs a size (unsized arrays are "
+                    "only allowed as parameters or with a string "
+                    "initializer)", type_name.line, type_name.column)
+            if type_name.size is not None and type_name.size <= 0:
+                raise TypeCheckError("array size must be positive",
+                                     type_name.line, type_name.column)
+            return T.ArrayType(element, type_name.size)
+        raise TypeCheckError("unknown type", type_name.line, type_name.column)
+
+    # ------------------------------------------------------------------
+    # Declarations
+
+    def _check_global(self, decl):
+        type_ = self._check_var_decl_common(decl, self.globals)
+        symbol = Symbol(decl.name, Symbol.KIND_GLOBAL, type_)
+        decl.symbol = symbol
+        self.globals.declare(symbol, decl.line, decl.column)
+
+    def _check_var_decl_common(self, decl, scope):
+        if isinstance(decl.type_name, ast.ArrayTypeName) \
+                and decl.type_name.size is None:
+            # Unsized array declarations are legal only with a string
+            # initializer, which fixes the size.
+            if not isinstance(decl.init, ast.StringLit):
+                raise TypeCheckError(
+                    "unsized array %r needs a string initializer"
+                    % decl.name, decl.line, decl.column)
+            element = T.SCALARS[decl.type_name.element.name]
+            if element != T.U8:
+                raise TypeCheckError("string initializers need u8 arrays",
+                                     decl.line, decl.column)
+            type_ = T.ArrayType(element, len(decl.init.value))
+            decl.init.type = type_
+            return type_
+        type_ = self.resolve_type(decl.type_name)
+        if decl.init is not None:
+            if T.is_array(type_):
+                if not isinstance(decl.init, ast.StringLit):
+                    raise TypeCheckError(
+                        "arrays can only be initialized from string "
+                        "literals", decl.line, decl.column)
+                if type_.element != T.U8:
+                    raise TypeCheckError(
+                        "string initializers need u8 arrays",
+                        decl.line, decl.column)
+                if len(decl.init.value) > type_.size:
+                    raise TypeCheckError(
+                        "string initializer longer than array",
+                        decl.line, decl.column)
+                decl.init.type = type_
+            else:
+                init_type = self.check_expr(decl.init, type_, scope)
+                if init_type != type_:
+                    raise TypeCheckError(
+                        "cannot initialize %r (%r) from %r"
+                        % (decl.name, type_, init_type),
+                        decl.line, decl.column)
+        return type_
+
+    def _check_function(self, decl):
+        self._current_function = self.functions[decl.name]
+        scope = self.globals.child()
+        for param in decl.params:
+            type_ = self.resolve_type(param.type_name, allow_unsized=True)
+            symbol = Symbol(param.name, Symbol.KIND_PARAM, type_)
+            param.symbol = symbol
+            scope.declare(symbol, param.line, param.column)
+        self._check_block(decl.body, scope)
+        self._current_function = None
+
+    # ------------------------------------------------------------------
+    # Statements
+
+    def _check_block(self, block, scope):
+        inner = scope.child()
+        for stmt in block.statements:
+            self._check_stmt(stmt, inner)
+
+    def _check_stmt(self, stmt, scope):
+        if isinstance(stmt, ast.VarDecl):
+            type_ = self._check_var_decl_common(stmt, scope)
+            symbol = Symbol(stmt.name, Symbol.KIND_LOCAL, type_)
+            stmt.symbol = symbol
+            scope.declare(symbol, stmt.line, stmt.column)
+        elif isinstance(stmt, ast.Assign):
+            self._check_assign(stmt, scope)
+        elif isinstance(stmt, ast.ExprStmt):
+            self.check_expr(stmt.expr, None, scope)
+        elif isinstance(stmt, ast.If):
+            cond = self.check_expr(stmt.cond, T.BOOL, scope)
+            if cond != T.BOOL:
+                raise TypeCheckError("if condition must be bool, got %r"
+                                     % cond, stmt.line, stmt.column)
+            self._check_block(stmt.then_body, scope)
+            if stmt.else_body is not None:
+                self._check_block(stmt.else_body, scope)
+        elif isinstance(stmt, ast.While):
+            cond = self.check_expr(stmt.cond, T.BOOL, scope)
+            if cond != T.BOOL:
+                raise TypeCheckError("while condition must be bool, got %r"
+                                     % cond, stmt.line, stmt.column)
+            self._loop_depth += 1
+            self._check_block(stmt.body, scope)
+            self._loop_depth -= 1
+        elif isinstance(stmt, ast.For):
+            inner = scope.child()
+            if stmt.init is not None:
+                self._check_stmt(stmt.init, inner)
+            if stmt.cond is not None:
+                cond = self.check_expr(stmt.cond, T.BOOL, inner)
+                if cond != T.BOOL:
+                    raise TypeCheckError(
+                        "for condition must be bool, got %r" % cond,
+                        stmt.line, stmt.column)
+            if stmt.step is not None:
+                self._check_stmt(stmt.step, inner)
+            self._loop_depth += 1
+            self._check_block(stmt.body, inner)
+            self._loop_depth -= 1
+        elif isinstance(stmt, ast.Break) or isinstance(stmt, ast.Continue):
+            if self._loop_depth == 0:
+                raise TypeCheckError("break/continue outside a loop",
+                                     stmt.line, stmt.column)
+        elif isinstance(stmt, ast.Return):
+            expected = self._current_function.return_type
+            if stmt.value is None:
+                if expected != T.VOID:
+                    raise TypeCheckError(
+                        "return without a value in a function returning %r"
+                        % expected, stmt.line, stmt.column)
+            else:
+                if expected == T.VOID:
+                    raise TypeCheckError(
+                        "void function cannot return a value",
+                        stmt.line, stmt.column)
+                actual = self.check_expr(stmt.value, expected, scope)
+                if actual != expected:
+                    raise TypeCheckError(
+                        "return type mismatch: expected %r, got %r"
+                        % (expected, actual), stmt.line, stmt.column)
+        elif isinstance(stmt, ast.Enclose):
+            self._check_enclose(stmt, scope)
+        elif isinstance(stmt, ast.Block):
+            self._check_block(stmt, scope)
+        else:
+            raise TypeCheckError("unhandled statement %r" % stmt,
+                                 stmt.line, stmt.column)
+
+    def _check_assign(self, stmt, scope):
+        target_type = self._check_lvalue(stmt.target, scope)
+        value_type = self.check_expr(stmt.value, target_type, scope)
+        if value_type != target_type:
+            raise TypeCheckError(
+                "cannot assign %r to %r" % (value_type, target_type),
+                stmt.line, stmt.column)
+
+    def _check_lvalue(self, target, scope):
+        if isinstance(target, ast.Name):
+            symbol = scope.lookup_or_fail(target.ident, target.line,
+                                          target.column)
+            if symbol.kind == Symbol.KIND_FUNCTION:
+                raise TypeCheckError("cannot assign to a function",
+                                     target.line, target.column)
+            if T.is_array(symbol.type):
+                raise TypeCheckError(
+                    "cannot assign whole arrays; assign elements",
+                    target.line, target.column)
+            target.symbol = symbol
+            target.type = symbol.type
+            return symbol.type
+        if isinstance(target, ast.Index):
+            return self._check_index(target, scope)
+        raise TypeCheckError("invalid assignment target",
+                             target.line, target.column)
+
+    def _check_enclose(self, stmt, scope):
+        for output in stmt.outputs:
+            symbol = scope.lookup_or_fail(output.name, output.line,
+                                          output.column)
+            output.symbol = symbol
+            if T.is_array(symbol.type):
+                if not output.whole and output.length is None:
+                    raise TypeCheckError(
+                        "array output %r needs [..] or [.. n]"
+                        % output.name, output.line, output.column)
+                if output.length is not None:
+                    length_type = self.check_expr(output.length, T.U32, scope)
+                    if length_type != T.U32:
+                        raise TypeCheckError(
+                            "array output length must be u32",
+                            output.line, output.column)
+                elif symbol.type.size is None:
+                    raise TypeCheckError(
+                        "unsized array output %r needs an explicit "
+                        "[.. n] length" % output.name,
+                        output.line, output.column)
+            else:
+                if output.whole or output.length is not None:
+                    raise TypeCheckError(
+                        "scalar output %r cannot take [..]" % output.name,
+                        output.line, output.column)
+        self._check_block(stmt.body, scope)
+
+    # ------------------------------------------------------------------
+    # Expressions
+
+    def check_expr(self, expr, expected, scope=None):
+        """Type-check ``expr`` (annotating ``expr.type``) and return its type.
+
+        ``expected`` guides numeric literals; it is a hint, not a
+        coercion -- mismatches still fail in the caller's comparison.
+        """
+        scope = scope if scope is not None else self._scope
+        previous = self._scope
+        self._scope = scope
+        try:
+            type_ = self._infer(expr, expected, scope)
+        finally:
+            self._scope = previous
+        expr.type = type_
+        return type_
+
+    def _infer(self, expr, expected, scope):
+        if isinstance(expr, ast.NumberLit):
+            target = expected if T.is_integer(expected) else T.U32
+            if not (target.min_value <= expr.value <= target.max_value):
+                raise TypeCheckError(
+                    "literal %d does not fit in %r" % (expr.value, target),
+                    expr.line, expr.column)
+            return target
+        if isinstance(expr, ast.BoolLit):
+            return T.BOOL
+        if isinstance(expr, ast.StringLit):
+            return T.ArrayType(T.U8, len(expr.value))
+        if isinstance(expr, ast.Name):
+            symbol = scope.lookup_or_fail(expr.ident, expr.line, expr.column)
+            if symbol.kind == Symbol.KIND_FUNCTION:
+                raise TypeCheckError(
+                    "function %r used as a value" % expr.ident,
+                    expr.line, expr.column)
+            expr.symbol = symbol
+            return symbol.type
+        if isinstance(expr, ast.Index):
+            return self._check_index(expr, scope)
+        if isinstance(expr, ast.Unary):
+            return self._check_unary(expr, expected, scope)
+        if isinstance(expr, ast.Binary):
+            return self._check_binary(expr, expected, scope)
+        if isinstance(expr, ast.Cast):
+            target = T.SCALARS[expr.target.name]
+            operand = self.check_expr(expr.operand, None, scope)
+            if target == T.BOOL:
+                raise TypeCheckError(
+                    "cannot cast to bool; compare with != 0 instead",
+                    expr.line, expr.column)
+            if not (T.is_integer(operand) or T.is_bool(operand)):
+                raise TypeCheckError("cannot cast %r" % operand,
+                                     expr.line, expr.column)
+            return target
+        if isinstance(expr, ast.Call):
+            return self._check_call(expr, scope)
+        if isinstance(expr, ast.ArrayLen):
+            base = expr.base
+            if not isinstance(base, ast.Name):
+                raise TypeCheckError("len() takes an array variable",
+                                     expr.line, expr.column)
+            symbol = scope.lookup_or_fail(base.ident, base.line, base.column)
+            if not T.is_array(symbol.type):
+                raise TypeCheckError("len() of a non-array",
+                                     expr.line, expr.column)
+            base.symbol = symbol
+            base.type = symbol.type
+            return T.U32
+        raise TypeCheckError("unhandled expression %r" % expr,
+                             expr.line, expr.column)
+
+    def _check_index(self, expr, scope):
+        if not isinstance(expr.base, ast.Name):
+            raise TypeCheckError("only named arrays can be indexed",
+                                 expr.line, expr.column)
+        symbol = scope.lookup_or_fail(expr.base.ident, expr.base.line,
+                                      expr.base.column)
+        if not T.is_array(symbol.type):
+            raise TypeCheckError("%r is not an array" % expr.base.ident,
+                                 expr.line, expr.column)
+        expr.base.symbol = symbol
+        expr.base.type = symbol.type
+        index_type = self.check_expr(expr.index, T.U32, scope)
+        if not T.is_integer(index_type) or index_type.signed:
+            raise TypeCheckError("array index must be unsigned, got %r"
+                                 % index_type, expr.line, expr.column)
+        expr.type = symbol.type.element
+        return symbol.type.element
+
+    def _check_unary(self, expr, expected, scope):
+        if expr.op == "!":
+            operand = self.check_expr(expr.operand, T.BOOL, scope)
+            if operand != T.BOOL:
+                raise TypeCheckError("! needs a bool, got %r" % operand,
+                                     expr.line, expr.column)
+            return T.BOOL
+        operand = self.check_expr(expr.operand, expected, scope)
+        if not T.is_integer(operand):
+            raise TypeCheckError("%s needs an integer, got %r"
+                                 % (expr.op, operand),
+                                 expr.line, expr.column)
+        return operand
+
+    def _check_binary(self, expr, expected, scope):
+        op = expr.op
+        if op in LOGIC_OPS:
+            left = self.check_expr(expr.left, T.BOOL, scope)
+            right = self.check_expr(expr.right, T.BOOL, scope)
+            if left != T.BOOL or right != T.BOOL:
+                raise TypeCheckError("%s needs bool operands" % op,
+                                     expr.line, expr.column)
+            return T.BOOL
+        if op in SHIFT_OPS:
+            left = self.check_expr(expr.left, expected, scope)
+            right = self.check_expr(expr.right, T.U32, scope)
+            if not T.is_integer(left):
+                raise TypeCheckError("%s needs an integer left operand" % op,
+                                     expr.line, expr.column)
+            if not T.is_integer(right) or right.signed:
+                raise TypeCheckError("shift amount must be unsigned",
+                                     expr.line, expr.column)
+            return left
+        if op in ARITH_OPS or op in COMPARE_OPS:
+            hint = expected if op in ARITH_OPS else None
+            left, right = self._unify_operands(expr, hint, scope)
+            if op in COMPARE_OPS:
+                if op in ("==", "!=") and left == T.BOOL:
+                    return T.BOOL
+                if not T.is_integer(left):
+                    raise TypeCheckError(
+                        "%s needs integer operands, got %r" % (op, left),
+                        expr.line, expr.column)
+                return T.BOOL
+            if not T.is_integer(left):
+                raise TypeCheckError(
+                    "%s needs integer operands, got %r" % (op, left),
+                    expr.line, expr.column)
+            return left
+        raise TypeCheckError("unknown operator %r" % op,
+                             expr.line, expr.column)
+
+    def _unify_operands(self, expr, hint, scope):
+        """Check both operands with literal adaptation; require equality."""
+        def is_literal(e):
+            return isinstance(e, ast.NumberLit) or (
+                isinstance(e, ast.Unary) and e.op == "-"
+                and isinstance(e.operand, ast.NumberLit))
+
+        left_lit, right_lit = is_literal(expr.left), is_literal(expr.right)
+        if left_lit and not right_lit:
+            right = self.check_expr(expr.right, hint, scope)
+            left = self.check_expr(expr.left,
+                                   right if T.is_integer(right) else hint,
+                                   scope)
+        else:
+            left = self.check_expr(expr.left, hint, scope)
+            right = self.check_expr(expr.right,
+                                    left if T.is_integer(left) else hint,
+                                    scope)
+        if left != right:
+            raise TypeCheckError(
+                "operand type mismatch: %r vs %r (FlowLang has no "
+                "implicit conversions; cast explicitly)" % (left, right),
+                expr.line, expr.column)
+        return left, right
+
+    def _check_call(self, call, scope):
+        builtin = BUILTINS.get(call.name)
+        if builtin is not None:
+            call.symbol = builtin
+            return builtin.check(self, call)
+        info = self.functions.get(call.name)
+        if info is None:
+            raise TypeCheckError("call to undeclared function %r" % call.name,
+                                 call.line, call.column)
+        call.symbol = info
+        if len(call.args) != len(info.param_types):
+            raise TypeCheckError(
+                "%s() takes %d argument(s), got %d"
+                % (call.name, len(info.param_types), len(call.args)),
+                call.line, call.column)
+        for arg, param_type in zip(call.args, info.param_types):
+            if T.is_array(param_type):
+                arg_type = self.check_array_arg(arg, call)
+                if arg_type.element != param_type.element:
+                    raise TypeCheckError(
+                        "array element type mismatch: expected %r, got %r"
+                        % (param_type.element, arg_type.element),
+                        call.line, call.column)
+            else:
+                arg_type = self.check_expr(arg, param_type, scope)
+                if arg_type != param_type:
+                    raise TypeCheckError(
+                        "argument type mismatch: expected %r, got %r"
+                        % (param_type, arg_type), call.line, call.column)
+        return info.return_type
+
+    def check_array_arg(self, arg, call, scope=None):
+        """Validate an argument position that expects an array (by name)."""
+        scope = scope if scope is not None else self._scope
+        if not isinstance(arg, ast.Name):
+            raise TypeCheckError(
+                "array arguments must be array variables",
+                call.line, call.column)
+        symbol = scope.lookup_or_fail(arg.ident, arg.line, arg.column)
+        if not T.is_array(symbol.type):
+            raise TypeCheckError("%r is not an array" % arg.ident,
+                                 call.line, call.column)
+        arg.symbol = symbol
+        arg.type = symbol.type
+        return symbol.type
+
+
+def check_program(program):
+    """Type-check ``program`` in place; returns it for chaining."""
+    Checker(program).check()
+    return program

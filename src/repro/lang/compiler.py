@@ -1,0 +1,421 @@
+"""AST-to-bytecode compiler for FlowLang.
+
+Lowers a checked program to the stack machine of
+:mod:`~repro.lang.bytecode`.  Enclosure regions compile to paired
+ENTER/LEAVE instructions; the compiler enforces the single-exit
+requirement (no ``break``/``continue``/``return`` may escape a region)
+so that every ENTER dynamically meets its LEAVE.
+"""
+
+from __future__ import annotations
+
+from ..core.locations import Location
+from ..errors import CompileError
+from . import ast
+from . import types as T
+from .bytecode import (ArrayInit, CompiledProgram, Function, Instr, Op,
+                       OutputDesc, RegionInfo)
+from .builtins import BUILTINS
+from .checker import FunctionInfo
+from .symbols import Symbol
+
+#: FlowLang operator -> shadow-transfer operation name (unsigned forms;
+#: the signed variants are resolved per operand type below).
+_BINOP_NAMES = {
+    "+": "add", "-": "sub", "*": "mul", "/": "div", "%": "mod",
+    "&": "and", "|": "or", "^": "xor", "<<": "shl",
+    "==": "eq", "!=": "ne",
+}
+_SIGNED_COMPARE = {"<": "lt", "<=": "le", ">": "gt", ">=": "ge"}
+_UNSIGNED_COMPARE = {"<": "ult", "<=": "ule", ">": "ugt", ">=": "uge"}
+
+
+class _LoopContext:
+    __slots__ = ("break_patches", "continue_patches", "enclose_depth")
+
+    def __init__(self, enclose_depth):
+        self.break_patches = []
+        self.continue_patches = []
+        self.enclose_depth = enclose_depth
+
+
+class FunctionCompiler:
+    """Compiles one function body."""
+
+    def __init__(self, program_compiler, decl):
+        self.pc_ = program_compiler
+        self.decl = decl
+        self.code = []
+        self.slots = {}
+        self.num_slots = 0
+        self.arrays = []
+        self.loops = []
+        self.enclose_depth = 0
+
+    # ------------------------------------------------------------------
+    # Infrastructure
+
+    def loc(self, node, detail=None):
+        tail = "%s+%d" % (self.decl.name, len(self.code))
+        if detail:
+            tail = "%s:%s" % (tail, detail)
+        return Location(self.pc_.filename, node.line, tail)
+
+    def emit(self, op, arg, node, detail=None):
+        self.code.append(Instr(op, arg, self.loc(node, detail)))
+        return len(self.code) - 1
+
+    def patch(self, index, target):
+        self.code[index] = Instr(self.code[index].op, target,
+                                 self.code[index].loc)
+
+    def error(self, message, node):
+        raise CompileError(message, node.line, node.column)
+
+    def allocate_slot(self, symbol):
+        slot = self.num_slots
+        self.num_slots += 1
+        self.slots[symbol] = slot
+        symbol.slot = slot
+        return slot
+
+    def slot_of(self, symbol):
+        return self.slots[symbol]
+
+    # ------------------------------------------------------------------
+    # Entry
+
+    def compile(self):
+        params = []
+        for param in self.decl.params:
+            slot = self.allocate_slot(param.symbol)
+            is_array = T.is_array(param.symbol.type)
+            width = (param.symbol.type.element.width if is_array
+                     else param.symbol.type.width)
+            params.append((slot, is_array, width))
+        self.compile_block(self.decl.body)
+        # Implicit return for fall-through.
+        info = self.pc_.checker_functions[self.decl.name]
+        if info.return_type != T.VOID:
+            self.emit(Op.CONST, (0, info.return_type.width), self.decl,
+                      "implicit-return")
+            self.emit(Op.RET, True, self.decl)
+        else:
+            self.emit(Op.RET, False, self.decl)
+        return Function(self.decl.name, params, self.num_slots, self.code,
+                        self.arrays, Location(self.pc_.filename,
+                                              self.decl.line, self.decl.name))
+
+    # ------------------------------------------------------------------
+    # Statements
+
+    def compile_block(self, block):
+        for stmt in block.statements:
+            self.compile_stmt(stmt)
+
+    def compile_stmt(self, stmt):
+        if isinstance(stmt, ast.VarDecl):
+            self.compile_var_decl(stmt)
+        elif isinstance(stmt, ast.Assign):
+            self.compile_assign(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            self.compile_expr(stmt.expr)
+            if stmt.expr.type != T.VOID:
+                self.emit(Op.POP, None, stmt)
+        elif isinstance(stmt, ast.If):
+            self.compile_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self.compile_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self.compile_for(stmt)
+        elif isinstance(stmt, ast.Break):
+            if not self.loops:
+                self.error("break outside a loop", stmt)
+            loop = self.loops[-1]
+            if loop.enclose_depth != self.enclose_depth:
+                self.error("break may not leave an enclosure region", stmt)
+            loop.break_patches.append(self.emit(Op.JMP, None, stmt))
+        elif isinstance(stmt, ast.Continue):
+            if not self.loops:
+                self.error("continue outside a loop", stmt)
+            loop = self.loops[-1]
+            if loop.enclose_depth != self.enclose_depth:
+                self.error("continue may not leave an enclosure region", stmt)
+            loop.continue_patches.append(self.emit(Op.JMP, None, stmt))
+        elif isinstance(stmt, ast.Return):
+            if self.enclose_depth > 0:
+                self.error("return inside an enclosure region (regions "
+                           "must be single-exit)", stmt)
+            if stmt.value is not None:
+                self.compile_expr(stmt.value)
+                self.emit(Op.RET, True, stmt)
+            else:
+                self.emit(Op.RET, False, stmt)
+        elif isinstance(stmt, ast.Enclose):
+            self.compile_enclose(stmt)
+        elif isinstance(stmt, ast.Block):
+            self.compile_block(stmt)
+        else:
+            self.error("unhandled statement", stmt)
+
+    def compile_var_decl(self, stmt):
+        symbol = stmt.symbol
+        slot = self.allocate_slot(symbol)
+        if T.is_array(symbol.type):
+            self.arrays.append(ArrayInit(slot, symbol.type.element.width,
+                                         symbol.type.size, stmt.name))
+            data = None
+            if isinstance(stmt.init, ast.StringLit):
+                data = bytes(ord(c) & 0xFF for c in stmt.init.value)
+            self.emit(Op.DECLARR, (slot, data), stmt)
+            return
+        if stmt.init is not None:
+            self.compile_expr(stmt.init)
+        else:
+            self.emit(Op.CONST, (0, symbol.type.width), stmt, "zero-init")
+        self.emit(Op.DECL, slot, stmt)
+
+    def compile_assign(self, stmt):
+        target = stmt.target
+        if isinstance(target, ast.Name):
+            self.compile_expr(stmt.value)
+            symbol = target.symbol
+            if symbol.is_global:
+                self.emit(Op.GSTORE, symbol.slot, stmt)
+            else:
+                self.emit(Op.STORE, self.slot_of(symbol), stmt)
+        else:  # Index
+            self.compile_array_ref(target.base)
+            self.compile_expr(target.index)
+            self.compile_expr(stmt.value)
+            self.emit(Op.ASTORE, None, stmt)
+
+    def compile_if(self, stmt):
+        self.compile_expr(stmt.cond)
+        jz = self.emit(Op.JZ, None, stmt, "if")
+        self.compile_block(stmt.then_body)
+        if stmt.else_body is not None:
+            jmp = self.emit(Op.JMP, None, stmt)
+            self.patch(jz, len(self.code))
+            self.compile_block(stmt.else_body)
+            self.patch(jmp, len(self.code))
+        else:
+            self.patch(jz, len(self.code))
+
+    def compile_while(self, stmt):
+        start = len(self.code)
+        self.compile_expr(stmt.cond)
+        jz = self.emit(Op.JZ, None, stmt, "while")
+        loop = _LoopContext(self.enclose_depth)
+        self.loops.append(loop)
+        self.compile_block(stmt.body)
+        self.loops.pop()
+        for index in loop.continue_patches:
+            self.patch(index, start)
+        self.emit(Op.JMP, start, stmt)
+        end = len(self.code)
+        self.patch(jz, end)
+        for index in loop.break_patches:
+            self.patch(index, end)
+
+    def compile_for(self, stmt):
+        if stmt.init is not None:
+            self.compile_stmt(stmt.init)
+        start = len(self.code)
+        jz = None
+        if stmt.cond is not None:
+            self.compile_expr(stmt.cond)
+            jz = self.emit(Op.JZ, None, stmt, "for")
+        loop = _LoopContext(self.enclose_depth)
+        self.loops.append(loop)
+        self.compile_block(stmt.body)
+        self.loops.pop()
+        continue_target = len(self.code)
+        if stmt.step is not None:
+            self.compile_stmt(stmt.step)
+        self.emit(Op.JMP, start, stmt)
+        end = len(self.code)
+        if jz is not None:
+            self.patch(jz, end)
+        for index in loop.break_patches:
+            self.patch(index, end)
+        for index in loop.continue_patches:
+            self.patch(index, continue_target)
+
+    def compile_enclose(self, stmt):
+        outputs = []
+        dynamic_count = 0
+        for output in stmt.outputs:
+            symbol = output.symbol
+            if T.is_array(symbol.type):
+                kind = "array"
+                width = symbol.type.element.width
+                static_length = None
+                dynamic = output.length is not None
+                if dynamic:
+                    self.compile_expr(output.length)
+                    dynamic_count += 1
+                else:
+                    static_length = symbol.type.size
+            else:
+                kind = "scalar"
+                width = symbol.type.width
+                static_length = 1
+                dynamic = False
+            storage = "global" if symbol.is_global else "local"
+            slot = symbol.slot if symbol.is_global else self.slot_of(symbol)
+            outputs.append(OutputDesc(kind, storage, slot, width,
+                                      static_length, dynamic, output.name))
+        region_id = self.pc_.new_region(outputs, self.loc(stmt, "enclose"))
+        self.emit(Op.ENTER, region_id, stmt)
+        self.enclose_depth += 1
+        self.compile_block(stmt.body)
+        self.enclose_depth -= 1
+        self.emit(Op.LEAVE, region_id, stmt)
+
+    # ------------------------------------------------------------------
+    # Expressions
+
+    def compile_expr(self, expr):
+        if isinstance(expr, ast.NumberLit):
+            width = expr.type.width
+            self.emit(Op.CONST, (expr.type.wrap(expr.value), width), expr)
+        elif isinstance(expr, ast.BoolLit):
+            self.emit(Op.CONST, (1 if expr.value else 0, 1), expr)
+        elif isinstance(expr, ast.StringLit):
+            self.error("string literals are only allowed as array "
+                       "initializers", expr)
+        elif isinstance(expr, ast.Name):
+            symbol = expr.symbol
+            if T.is_array(symbol.type):
+                self.error("array %r used as a scalar" % expr.ident, expr)
+            if symbol.is_global:
+                self.emit(Op.GLOAD, symbol.slot, expr)
+            else:
+                self.emit(Op.LOAD, self.slot_of(symbol), expr)
+        elif isinstance(expr, ast.Index):
+            self.compile_array_ref(expr.base)
+            self.compile_expr(expr.index)
+            self.emit(Op.ALOAD, None, expr)
+        elif isinstance(expr, ast.Unary):
+            self.compile_unary(expr)
+        elif isinstance(expr, ast.Binary):
+            self.compile_binary(expr)
+        elif isinstance(expr, ast.Cast):
+            operand = expr.operand
+            self.compile_expr(operand)
+            from_type = operand.type
+            to_type = expr.type
+            self.emit(Op.CAST, (from_type.width, from_type.signed,
+                                to_type.width, to_type.signed), expr)
+        elif isinstance(expr, ast.Call):
+            self.compile_call(expr)
+        elif isinstance(expr, ast.ArrayLen):
+            self.compile_array_ref(expr.base)
+            self.emit(Op.ALEN, None, expr)
+        else:
+            self.error("unhandled expression", expr)
+
+    def compile_array_ref(self, name_node):
+        symbol = name_node.symbol
+        storage = "global" if symbol.is_global else "local"
+        slot = symbol.slot if symbol.is_global else self.slot_of(symbol)
+        self.emit(Op.AREF, (storage, slot), name_node)
+
+    def compile_unary(self, expr):
+        self.compile_expr(expr.operand)
+        type_ = expr.type
+        if expr.op == "-":
+            name = "neg"
+        elif expr.op == "~":
+            name = "not"
+        else:  # "!"
+            name = "lnot"
+        self.emit(Op.UNOP, (name, type_.width, type_.signed), expr)
+
+    def compile_binary(self, expr):
+        self.compile_expr(expr.left)
+        self.compile_expr(expr.right)
+        op = expr.op
+        operand_type = expr.left.type
+        if op in ("&&", "||"):
+            # Strict boolean operators: plain 1-bit and/or.
+            name = "and" if op == "&&" else "or"
+            self.emit(Op.BINOP, (name, 1, False), expr)
+            return
+        if op == ">>":
+            name = "sar" if operand_type.signed else "shr"
+        elif op in _SIGNED_COMPARE:
+            name = (_SIGNED_COMPARE[op] if operand_type.signed
+                    else _UNSIGNED_COMPARE[op])
+        else:
+            name = _BINOP_NAMES[op]
+        self.emit(Op.BINOP, (name, operand_type.width, operand_type.signed),
+                  expr)
+
+    def compile_call(self, call):
+        symbol = call.symbol
+        if isinstance(symbol, FunctionInfo):
+            for arg, param_type in zip(call.args, symbol.param_types):
+                if T.is_array(param_type):
+                    self.compile_array_ref(arg)
+                else:
+                    self.compile_expr(arg)
+            self.emit(Op.CALL, (call.name, len(call.args)), call)
+            return
+        builtin = BUILTINS[call.name]
+        array_args = {"read_secret": [0], "read_public": [0],
+                      "output_bytes": [0]}.get(call.name, [])
+        for i, arg in enumerate(call.args):
+            if i in array_args:
+                self.compile_array_ref(arg)
+            else:
+                self.compile_expr(arg)
+        pushes = call.type != T.VOID
+        self.emit(Op.CALLB, (call.name, len(call.args), pushes), call)
+
+
+class ProgramCompiler:
+    """Compiles a checked program."""
+
+    def __init__(self, program, checker_functions):
+        self.program = program
+        self.checker_functions = checker_functions
+        self.filename = program.filename
+        self.regions = {}
+        self._next_region = 0
+
+    def new_region(self, outputs, loc):
+        region_id = self._next_region
+        self._next_region += 1
+        self.regions[region_id] = RegionInfo(region_id, outputs, loc)
+        return region_id
+
+    def compile(self):
+        globals_ = []
+        for global_decl in self.program.globals:
+            decl = global_decl.decl
+            init = None
+            if isinstance(decl.init, ast.NumberLit):
+                init = decl.symbol.type.wrap(decl.init.value) \
+                    if not T.is_array(decl.symbol.type) else None
+            elif isinstance(decl.init, ast.BoolLit):
+                init = 1 if decl.init.value else 0
+            elif isinstance(decl.init, ast.StringLit):
+                init = bytes(ord(c) & 0xFF for c in decl.init.value)
+            elif decl.init is not None:
+                raise CompileError(
+                    "global initializers must be literals",
+                    decl.line, decl.column)
+            decl.symbol.slot = len(globals_)
+            globals_.append((decl.name, decl.symbol.type, init))
+        functions = {}
+        for decl in self.program.functions:
+            functions[decl.name] = FunctionCompiler(self, decl).compile()
+        return CompiledProgram(functions, globals_, self.regions,
+                               self.filename)
+
+
+def compile_program(program, checker):
+    """Compile a checked program; ``checker`` supplies signatures."""
+    return ProgramCompiler(program, checker.functions).compile()

@@ -1,0 +1,181 @@
+"""Lexer for FlowLang source text."""
+
+from __future__ import annotations
+
+from ..errors import LexError
+from .tokens import KEYWORDS, MULTI_OPS, SINGLE_OPS, Token, TokenType
+
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "0": "\0", "\\": "\\",
+            "'": "'", '"': '"'}
+
+
+class Lexer:
+    """Converts source text to a token stream."""
+
+    def __init__(self, source, filename="<source>"):
+        self.source = source
+        self.filename = filename
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def error(self, message):
+        raise LexError(message, self.line, self.column)
+
+    def _peek(self, offset=0):
+        index = self.pos + offset
+        if index < len(self.source):
+            return self.source[index]
+        return ""
+
+    def _advance(self, count=1):
+        for _ in range(count):
+            if self.pos < len(self.source):
+                if self.source[self.pos] == "\n":
+                    self.line += 1
+                    self.column = 1
+                else:
+                    self.column += 1
+                self.pos += 1
+
+    def _skip_trivia(self):
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self.pos < len(self.source):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    self.error("unterminated block comment")
+            else:
+                return
+
+    def _lex_number(self):
+        line, column = self.line, self.column
+        start = self.pos
+        hex_digits = "0123456789abcdefABCDEF"
+        if self._peek() == "0" and self._peek(1) in ("x", "X"):
+            self._advance(2)
+            ch = self._peek()
+            if not (ch and ch in hex_digits):
+                self.error("malformed hex literal")
+            while True:
+                ch = self._peek()
+                if not (ch and ch in hex_digits):
+                    break
+                self._advance()
+            value = int(self.source[start:self.pos], 16)
+        else:
+            while self._peek().isdigit():
+                self._advance()
+            if self._peek().isalpha() or self._peek() == "_":
+                self.error("identifier cannot start with a digit")
+            value = int(self.source[start:self.pos], 10)
+        return Token(TokenType.NUMBER, value, line, column)
+
+    def _lex_escape(self):
+        self._advance()  # the backslash
+        ch = self._peek()
+        if ch == "x":
+            self._advance()
+            digits = self._peek() + self._peek(1)
+            try:
+                code = int(digits, 16)
+            except ValueError:
+                self.error("malformed \\x escape")
+            self._advance(2)
+            return chr(code)
+        if ch not in _ESCAPES:
+            self.error("unknown escape \\%s" % ch)
+        self._advance()
+        return _ESCAPES[ch]
+
+    def _lex_char(self):
+        line, column = self.line, self.column
+        self._advance()  # opening quote
+        if self._peek() == "\\":
+            ch = self._lex_escape()
+        elif self._peek() in ("", "\n"):
+            self.error("unterminated character literal")
+        else:
+            ch = self._peek()
+            self._advance()
+        if self._peek() != "'":
+            self.error("character literal must contain exactly one character")
+        self._advance()
+        return Token(TokenType.CHAR, ord(ch), line, column)
+
+    def _lex_string(self):
+        line, column = self.line, self.column
+        self._advance()  # opening quote
+        chars = []
+        while True:
+            ch = self._peek()
+            if ch in ("", "\n"):
+                self.error("unterminated string literal")
+            if ch == '"':
+                self._advance()
+                break
+            if ch == "\\":
+                chars.append(self._lex_escape())
+            else:
+                chars.append(ch)
+                self._advance()
+        return Token(TokenType.STRING, "".join(chars), line, column)
+
+    def _lex_word(self):
+        line, column = self.line, self.column
+        start = self.pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        word = self.source[start:self.pos]
+        if word in KEYWORDS:
+            return Token(TokenType.KEYWORD, word, line, column)
+        return Token(TokenType.IDENT, word, line, column)
+
+    def next_token(self):
+        """Lex and return the next token (EOF at end of input)."""
+        self._skip_trivia()
+        if self.pos >= len(self.source):
+            return Token(TokenType.EOF, None, self.line, self.column)
+        ch = self._peek()
+        if ch.isdigit():
+            return self._lex_number()
+        if ch.isalpha() or ch == "_":
+            return self._lex_word()
+        if ch == "'":
+            return self._lex_char()
+        if ch == '"':
+            return self._lex_string()
+        for op in MULTI_OPS:
+            if self.source.startswith(op, self.pos):
+                line, column = self.line, self.column
+                self._advance(len(op))
+                return Token(TokenType.OP, op, line, column)
+        if ch in SINGLE_OPS:
+            line, column = self.line, self.column
+            self._advance()
+            return Token(TokenType.OP, ch, line, column)
+        self.error("unexpected character %r" % ch)
+
+    def tokenize(self):
+        """Lex the whole input; the final token is always EOF."""
+        tokens = []
+        while True:
+            token = self.next_token()
+            tokens.append(token)
+            if token.type == TokenType.EOF:
+                return tokens
+
+
+def tokenize(source, filename="<source>"):
+    """Convenience wrapper: lex ``source`` into a token list."""
+    return Lexer(source, filename).tokenize()

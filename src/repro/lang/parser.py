@@ -1,0 +1,386 @@
+"""Recursive-descent parser for FlowLang.
+
+Grammar summary (see the package docstring for the language rationale)::
+
+    program  := (func | global)*
+    global   := "var" ident ":" type ["=" expr] ";"
+    func     := "fn" ident "(" [param {"," param}] ")" [":" type] block
+    type     := scalar | scalar "[" [number] "]"
+    block    := "{" {stmt} "}"
+    stmt     := vardecl | if | while | for | "break" ";" | "continue" ";"
+              | return | enclose | block | assign-or-expr ";"
+    enclose  := "enclose" "(" [output {"," output}] ")" block
+    output   := ident ["[" ".." [expr] "]"]
+
+Expression precedence, lowest to highest:
+``||``  ``&&``  ``|``  ``^``  ``&``  equality  relational  shifts
+additive  multiplicative  unary  postfix (call / index)  primary.
+
+Note that ``&&`` and ``||`` are *strict* (non-short-circuit) boolean
+operators in FlowLang: they evaluate both operands, so conditions never
+hide extra branches and every implicit flow in a program is visible as
+an explicit ``if``/``while`` test.
+"""
+
+from __future__ import annotations
+
+from ..errors import ParseError
+from . import ast
+from .lexer import tokenize
+from .tokens import TokenType
+
+SCALAR_TYPES = frozenset(["u8", "u16", "u32", "i8", "i16", "i32", "bool"])
+
+_BINARY_LEVELS = [
+    ["||"],
+    ["&&"],
+    ["|"],
+    ["^"],
+    ["&"],
+    ["==", "!="],
+    ["<", "<=", ">", ">="],
+    ["<<", ">>"],
+    ["+", "-"],
+    ["*", "/", "%"],
+]
+
+
+class Parser:
+    """Parses a token stream into a :class:`~repro.lang.ast.Program`."""
+
+    def __init__(self, tokens, filename="<source>"):
+        self.tokens = tokens
+        self.filename = filename
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers
+
+    @property
+    def current(self):
+        return self.tokens[self.pos]
+
+    def error(self, message, token=None):
+        token = token or self.current
+        raise ParseError(message, token.line, token.column)
+
+    def advance(self):
+        token = self.current
+        if token.type != TokenType.EOF:
+            self.pos += 1
+        return token
+
+    def expect_op(self, op):
+        if not self.current.is_op(op):
+            self.error("expected %r, found %r" % (op, self.current.value))
+        return self.advance()
+
+    def expect_keyword(self, word):
+        if not self.current.is_keyword(word):
+            self.error("expected %r, found %r" % (word, self.current.value))
+        return self.advance()
+
+    def expect_ident(self):
+        if self.current.type != TokenType.IDENT:
+            self.error("expected identifier, found %r" % (self.current.value,))
+        return self.advance()
+
+    def at_op(self, op):
+        return self.current.is_op(op)
+
+    def at_keyword(self, word):
+        return self.current.is_keyword(word)
+
+    # ------------------------------------------------------------------
+    # Types
+
+    def parse_type(self):
+        token = self.current
+        if token.type != TokenType.KEYWORD or token.value not in SCALAR_TYPES:
+            self.error("expected a type name, found %r" % (token.value,))
+        self.advance()
+        scalar = ast.TypeName(token.value, token.line, token.column)
+        if self.at_op("["):
+            self.advance()
+            size = None
+            if self.current.type == TokenType.NUMBER:
+                size = self.advance().value
+            self.expect_op("]")
+            return ast.ArrayTypeName(scalar, size, token.line, token.column)
+        return scalar
+
+    # ------------------------------------------------------------------
+    # Expressions
+
+    def parse_expr(self):
+        return self._parse_binary(0)
+
+    def _parse_binary(self, level):
+        if level >= len(_BINARY_LEVELS):
+            return self._parse_unary()
+        left = self._parse_binary(level + 1)
+        ops = _BINARY_LEVELS[level]
+        while self.current.type == TokenType.OP and self.current.value in ops:
+            token = self.advance()
+            right = self._parse_binary(level + 1)
+            left = ast.Binary(token.value, left, right,
+                              token.line, token.column)
+        return left
+
+    def _parse_unary(self):
+        token = self.current
+        if token.type == TokenType.OP and token.value in ("!", "~", "-"):
+            self.advance()
+            operand = self._parse_unary()
+            return ast.Unary(token.value, operand, token.line, token.column)
+        return self._parse_postfix()
+
+    def _parse_postfix(self):
+        expr = self._parse_primary()
+        while True:
+            if self.at_op("["):
+                token = self.advance()
+                index = self.parse_expr()
+                self.expect_op("]")
+                expr = ast.Index(expr, index, token.line, token.column)
+            elif self.at_op("(") and isinstance(expr, ast.Name):
+                expr = self._parse_call(expr)
+            else:
+                return expr
+
+    def _parse_call(self, callee):
+        token = self.expect_op("(")
+        args = []
+        if not self.at_op(")"):
+            args.append(self.parse_expr())
+            while self.at_op(","):
+                self.advance()
+                args.append(self.parse_expr())
+        self.expect_op(")")
+        if callee.ident == "len":
+            if len(args) != 1:
+                self.error("len() takes exactly one argument", token)
+            return ast.ArrayLen(args[0], token.line, token.column)
+        return ast.Call(callee.ident, args, callee.line, callee.column)
+
+    def _parse_primary(self):
+        token = self.current
+        if token.type == TokenType.NUMBER or token.type == TokenType.CHAR:
+            self.advance()
+            return ast.NumberLit(token.value, token.line, token.column)
+        if token.type == TokenType.STRING:
+            self.advance()
+            return ast.StringLit(token.value, token.line, token.column)
+        if token.is_keyword("true") or token.is_keyword("false"):
+            self.advance()
+            return ast.BoolLit(token.value == "true", token.line, token.column)
+        if token.type == TokenType.KEYWORD and token.value in SCALAR_TYPES:
+            # A cast: u16(expr)
+            self.advance()
+            target = ast.TypeName(token.value, token.line, token.column)
+            self.expect_op("(")
+            operand = self.parse_expr()
+            self.expect_op(")")
+            return ast.Cast(target, operand, token.line, token.column)
+        if token.type == TokenType.IDENT:
+            self.advance()
+            return ast.Name(token.value, token.line, token.column)
+        if token.is_op("("):
+            self.advance()
+            expr = self.parse_expr()
+            self.expect_op(")")
+            return expr
+        self.error("expected an expression, found %r" % (token.value,))
+
+    # ------------------------------------------------------------------
+    # Statements
+
+    def parse_block(self):
+        token = self.expect_op("{")
+        statements = []
+        while not self.at_op("}"):
+            if self.current.type == TokenType.EOF:
+                self.error("unterminated block (missing '}')", token)
+            statements.append(self.parse_stmt())
+        self.expect_op("}")
+        return ast.Block(statements, token.line, token.column)
+
+    def parse_stmt(self):
+        token = self.current
+        if token.is_keyword("var"):
+            decl = self._parse_var_decl()
+            self.expect_op(";")
+            return decl
+        if token.is_keyword("if"):
+            return self._parse_if()
+        if token.is_keyword("while"):
+            return self._parse_while()
+        if token.is_keyword("for"):
+            return self._parse_for()
+        if token.is_keyword("break"):
+            self.advance()
+            self.expect_op(";")
+            return ast.Break(token.line, token.column)
+        if token.is_keyword("continue"):
+            self.advance()
+            self.expect_op(";")
+            return ast.Continue(token.line, token.column)
+        if token.is_keyword("return"):
+            self.advance()
+            value = None
+            if not self.at_op(";"):
+                value = self.parse_expr()
+            self.expect_op(";")
+            return ast.Return(value, token.line, token.column)
+        if token.is_keyword("enclose"):
+            return self._parse_enclose()
+        if token.is_op("{"):
+            return self.parse_block()
+        stmt = self._parse_assign_or_expr()
+        self.expect_op(";")
+        return stmt
+
+    def _parse_var_decl(self):
+        token = self.expect_keyword("var")
+        name = self.expect_ident()
+        self.expect_op(":")
+        type_name = self.parse_type()
+        init = None
+        if self.at_op("="):
+            self.advance()
+            init = self.parse_expr()
+        return ast.VarDecl(name.value, type_name, init,
+                           token.line, token.column)
+
+    def _parse_assign_or_expr(self):
+        token = self.current
+        expr = self.parse_expr()
+        if self.at_op("="):
+            if not isinstance(expr, (ast.Name, ast.Index)):
+                self.error("cannot assign to this expression", token)
+            self.advance()
+            value = self.parse_expr()
+            return ast.Assign(expr, value, token.line, token.column)
+        return ast.ExprStmt(expr, token.line, token.column)
+
+    def _parse_if(self):
+        token = self.expect_keyword("if")
+        self.expect_op("(")
+        cond = self.parse_expr()
+        self.expect_op(")")
+        then_body = self.parse_block()
+        else_body = None
+        if self.at_keyword("else"):
+            self.advance()
+            if self.at_keyword("if"):
+                nested = self._parse_if()
+                else_body = ast.Block([nested], nested.line, nested.column)
+            else:
+                else_body = self.parse_block()
+        return ast.If(cond, then_body, else_body, token.line, token.column)
+
+    def _parse_while(self):
+        token = self.expect_keyword("while")
+        self.expect_op("(")
+        cond = self.parse_expr()
+        self.expect_op(")")
+        body = self.parse_block()
+        return ast.While(cond, body, token.line, token.column)
+
+    def _parse_for(self):
+        token = self.expect_keyword("for")
+        self.expect_op("(")
+        init = None
+        if not self.at_op(";"):
+            if self.at_keyword("var"):
+                init = self._parse_var_decl()
+            else:
+                init = self._parse_assign_or_expr()
+        self.expect_op(";")
+        cond = None
+        if not self.at_op(";"):
+            cond = self.parse_expr()
+        self.expect_op(";")
+        step = None
+        if not self.at_op(")"):
+            step = self._parse_assign_or_expr()
+        self.expect_op(")")
+        body = self.parse_block()
+        return ast.For(init, cond, step, body, token.line, token.column)
+
+    def _parse_enclose(self):
+        token = self.expect_keyword("enclose")
+        self.expect_op("(")
+        outputs = []
+        if not self.at_op(")"):
+            outputs.append(self._parse_enclose_output())
+            while self.at_op(","):
+                self.advance()
+                outputs.append(self._parse_enclose_output())
+        self.expect_op(")")
+        body = self.parse_block()
+        return ast.Enclose(outputs, body, token.line, token.column)
+
+    def _parse_enclose_output(self):
+        name = self.expect_ident()
+        whole = False
+        length = None
+        if self.at_op("["):
+            self.advance()
+            self.expect_op("..")
+            whole = True
+            if not self.at_op("]"):
+                length = self.parse_expr()
+                whole = False
+            self.expect_op("]")
+        return ast.EncloseOutput(name.value, whole, length,
+                                 name.line, name.column)
+
+    # ------------------------------------------------------------------
+    # Declarations
+
+    def parse_program(self):
+        globals_ = []
+        functions = []
+        while self.current.type != TokenType.EOF:
+            token = self.current
+            if token.is_keyword("var"):
+                decl = self._parse_var_decl()
+                self.expect_op(";")
+                globals_.append(ast.GlobalDecl(decl, decl.line, decl.column))
+            elif token.is_keyword("fn"):
+                functions.append(self._parse_function())
+            else:
+                self.error("expected 'fn' or 'var' at top level, found %r"
+                           % (token.value,))
+        return ast.Program(globals_, functions, self.filename)
+
+    def _parse_function(self):
+        token = self.expect_keyword("fn")
+        name = self.expect_ident()
+        self.expect_op("(")
+        params = []
+        if not self.at_op(")"):
+            params.append(self._parse_param())
+            while self.at_op(","):
+                self.advance()
+                params.append(self._parse_param())
+        self.expect_op(")")
+        return_type = None
+        if self.at_op(":"):
+            self.advance()
+            return_type = self.parse_type()
+        body = self.parse_block()
+        return ast.FuncDecl(name.value, params, return_type, body,
+                            token.line, token.column)
+
+    def _parse_param(self):
+        name = self.expect_ident()
+        self.expect_op(":")
+        type_name = self.parse_type()
+        return ast.Param(name.value, type_name, name.line, name.column)
+
+
+def parse(source, filename="<source>"):
+    """Parse FlowLang ``source`` into a :class:`~repro.lang.ast.Program`."""
+    return Parser(tokenize(source, filename), filename).parse_program()

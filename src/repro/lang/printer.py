@@ -1,0 +1,173 @@
+"""FlowLang AST pretty-printer.
+
+Renders a parsed (not necessarily checked) program back to source.  The
+output normalizes formatting but preserves structure exactly, which the
+test suite verifies by the round-trip property: parsing the printed
+source yields a structurally identical AST.  Useful for program
+transformations (the §8.6 tooling writes refactored annotations) and
+for debugging generated programs.
+"""
+
+from __future__ import annotations
+
+from . import ast
+
+_INDENT = "    "
+
+
+def _type_text(type_name):
+    if isinstance(type_name, ast.ArrayTypeName):
+        if type_name.size is None:
+            return "%s[]" % type_name.element.name
+        return "%s[%d]" % (type_name.element.name, type_name.size)
+    return type_name.name
+
+
+def _escape_string(text):
+    out = []
+    for ch in text:
+        if ch == '"':
+            out.append('\\"')
+        elif ch == "\\":
+            out.append("\\\\")
+        elif ch == "\n":
+            out.append("\\n")
+        elif ch == "\t":
+            out.append("\\t")
+        elif ch == "\r":
+            out.append("\\r")
+        elif ch == "\0":
+            out.append("\\0")
+        elif 32 <= ord(ch) < 127:
+            out.append(ch)
+        else:
+            out.append("\\x%02x" % ord(ch))
+    return '"%s"' % "".join(out)
+
+
+def expr_text(expr):
+    """Render an expression (fully parenthesized where nested)."""
+    if isinstance(expr, ast.NumberLit):
+        return str(expr.value)
+    if isinstance(expr, ast.BoolLit):
+        return "true" if expr.value else "false"
+    if isinstance(expr, ast.StringLit):
+        return _escape_string(expr.value)
+    if isinstance(expr, ast.Name):
+        return expr.ident
+    if isinstance(expr, ast.Index):
+        return "%s[%s]" % (expr_text(expr.base), expr_text(expr.index))
+    if isinstance(expr, ast.Unary):
+        operand = expr_text(expr.operand)
+        if isinstance(expr.operand, (ast.Binary, ast.Unary)):
+            operand = "(%s)" % operand
+        return "%s%s" % (expr.op, operand)
+    if isinstance(expr, ast.Binary):
+        return "(%s %s %s)" % (expr_text(expr.left), expr.op,
+                               expr_text(expr.right))
+    if isinstance(expr, ast.Call):
+        return "%s(%s)" % (expr.name,
+                           ", ".join(expr_text(a) for a in expr.args))
+    if isinstance(expr, ast.Cast):
+        return "%s(%s)" % (expr.target.name, expr_text(expr.operand))
+    if isinstance(expr, ast.ArrayLen):
+        return "len(%s)" % expr_text(expr.base)
+    raise TypeError("cannot print %r" % type(expr).__name__)
+
+
+def _var_decl_text(stmt):
+    text = "var %s: %s" % (stmt.name, _type_text(stmt.type_name))
+    if stmt.init is not None:
+        text += " = %s" % expr_text(stmt.init)
+    return text
+
+
+def _simple_stmt_text(stmt):
+    """The no-semicolon rendering of assignable/decl statements."""
+    if isinstance(stmt, ast.VarDecl):
+        return _var_decl_text(stmt)
+    if isinstance(stmt, ast.Assign):
+        return "%s = %s" % (expr_text(stmt.target), expr_text(stmt.value))
+    if isinstance(stmt, ast.ExprStmt):
+        return expr_text(stmt.expr)
+    raise TypeError("not a simple statement: %r" % type(stmt).__name__)
+
+
+def _stmt_lines(stmt, depth):
+    pad = _INDENT * depth
+    if isinstance(stmt, (ast.VarDecl, ast.Assign, ast.ExprStmt)):
+        return ["%s%s;" % (pad, _simple_stmt_text(stmt))]
+    if isinstance(stmt, ast.If):
+        lines = ["%sif (%s) {" % (pad, expr_text(stmt.cond))]
+        lines += _block_lines(stmt.then_body, depth + 1)
+        if stmt.else_body is not None:
+            lines.append("%s} else {" % pad)
+            lines += _block_lines(stmt.else_body, depth + 1)
+        lines.append("%s}" % pad)
+        return lines
+    if isinstance(stmt, ast.While):
+        lines = ["%swhile (%s) {" % (pad, expr_text(stmt.cond))]
+        lines += _block_lines(stmt.body, depth + 1)
+        lines.append("%s}" % pad)
+        return lines
+    if isinstance(stmt, ast.For):
+        init = _simple_stmt_text(stmt.init) if stmt.init else ""
+        cond = expr_text(stmt.cond) if stmt.cond else ""
+        step = _simple_stmt_text(stmt.step) if stmt.step else ""
+        lines = ["%sfor (%s; %s; %s) {" % (pad, init, cond, step)]
+        lines += _block_lines(stmt.body, depth + 1)
+        lines.append("%s}" % pad)
+        return lines
+    if isinstance(stmt, ast.Break):
+        return ["%sbreak;" % pad]
+    if isinstance(stmt, ast.Continue):
+        return ["%scontinue;" % pad]
+    if isinstance(stmt, ast.Return):
+        if stmt.value is None:
+            return ["%sreturn;" % pad]
+        return ["%sreturn %s;" % (pad, expr_text(stmt.value))]
+    if isinstance(stmt, ast.Enclose):
+        outputs = []
+        for output in stmt.outputs:
+            if output.whole:
+                outputs.append("%s[..]" % output.name)
+            elif output.length is not None:
+                outputs.append("%s[.. %s]" % (output.name,
+                                              expr_text(output.length)))
+            else:
+                outputs.append(output.name)
+        lines = ["%senclose (%s) {" % (pad, ", ".join(outputs))]
+        lines += _block_lines(stmt.body, depth + 1)
+        lines.append("%s}" % pad)
+        return lines
+    if isinstance(stmt, ast.Block):
+        lines = ["%s{" % pad]
+        lines += _block_lines(stmt, depth + 1)
+        lines.append("%s}" % pad)
+        return lines
+    raise TypeError("cannot print %r" % type(stmt).__name__)
+
+
+def _block_lines(block, depth):
+    lines = []
+    for stmt in block.statements:
+        lines.extend(_stmt_lines(stmt, depth))
+    return lines
+
+
+def program_text(program):
+    """Render a whole program back to FlowLang source."""
+    chunks = []
+    for global_decl in program.globals:
+        chunks.append("%s;" % _var_decl_text(global_decl.decl))
+    for func in program.functions:
+        params = ", ".join("%s: %s" % (p.name, _type_text(p.type_name))
+                           for p in func.params)
+        header = "fn %s(%s)" % (func.name, params)
+        if func.return_type is not None:
+            header += ": %s" % _type_text(func.return_type)
+        lines = [header + " {"]
+        lines += _block_lines(func.body, 1)
+        lines.append("}")
+        chunks.append("\n".join(lines))
+    return "\n\n".join(chunks) + "\n"

@@ -1,0 +1,174 @@
+"""High-level FlowLang API: compile, measure, check, lockstep.
+
+The typical workflow mirrors the paper's tool usage:
+
+1. ``measure()`` one or more test executions to get a
+   :class:`~repro.core.report.FlowReport` (bits revealed + min cut);
+2. derive a :class:`~repro.core.policy.CutPolicy` from the report;
+3. enforce the policy on later runs with ``check()`` (tainting-based,
+   Section 6.2) or ``lockstep()`` (output-comparison, Section 6.3).
+"""
+
+from __future__ import annotations
+
+from ..core.checking import CheckTracker
+from ..core.lockstep import run_lockstep
+from ..core.measure import measure_graph, measure_runs
+from ..core.tracker import TraceBuilder
+from .checker import Checker
+from .compiler import compile_program
+from .parser import parse
+from .vm import VM, NullTracker
+
+
+class RunResult:
+    """A measured execution: the flow report plus the concrete run."""
+
+    def __init__(self, report, outputs, output_bytes, vm):
+        self.report = report
+        self.outputs = outputs
+        self.output_bytes = bytes(output_bytes)
+        self.vm = vm
+
+    @property
+    def bits(self):
+        return self.report.bits
+
+    def __repr__(self):
+        return "RunResult(bits=%s, outputs=%d)" % (self.report.bits,
+                                                   len(self.outputs))
+
+
+def compile_source(source, filename="<source>"):
+    """Lex, parse, type-check, and compile FlowLang source."""
+    program = parse(source, filename)
+    checker = Checker(program)
+    checker.check()
+    return compile_program(program, checker)
+
+
+def execute(compiled, secret_input=b"", public_input=b"", tracker=None,
+            entry="main", region_check="warn", lazy_regions=True,
+            interceptor=None, max_steps=None, exit_observable=True,
+            finish=True):
+    """Run a compiled program; returns ``(vm, finish_result)``."""
+    tracker = tracker if tracker is not None else TraceBuilder()
+    kwargs = {}
+    if max_steps is not None:
+        kwargs["max_steps"] = max_steps
+    vm = VM(compiled, tracker, secret_input=secret_input,
+            public_input=public_input, region_check=region_check,
+            lazy_regions=lazy_regions, interceptor=interceptor, **kwargs)
+    result = vm.run(entry=entry, finish=finish,
+                    exit_observable=exit_observable)
+    return vm, result
+
+
+def measure(source_or_compiled, secret_input=b"", public_input=b"",
+            collapse="context", entry="main", region_check="warn",
+            lazy_regions=True, exit_observable=True, filename="<source>",
+            max_steps=None):
+    """Measure the information one execution reveals.
+
+    Accepts either FlowLang source text or an already-compiled program.
+    Returns a :class:`RunResult`.
+    """
+    compiled = _ensure_compiled(source_or_compiled, filename)
+    tracker = TraceBuilder()
+    vm, graph = execute(compiled, secret_input, public_input, tracker,
+                        entry=entry, region_check=region_check,
+                        lazy_regions=lazy_regions, max_steps=max_steps,
+                        exit_observable=exit_observable)
+    report = measure_graph(graph, collapse=collapse, stats=tracker.stats,
+                           warnings=vm.warnings)
+    return RunResult(report, vm.outputs, vm.output_bytes, vm)
+
+
+def measure_live(source_or_compiled, secret_input=b"", public_input=b"",
+                 collapse="location", entry="main", region_check="warn",
+                 filename="<source>"):
+    """Measure with per-output flow snapshots (§8.1's real-time mode).
+
+    The paper observes the battleship flows "in real time by running
+    our tool in a mode that recomputes the flow on every program
+    output".  Returns ``(final RunResult, series)`` where ``series[i]``
+    is the flow bound right after the i-th output event.
+    """
+    compiled = _ensure_compiled(source_or_compiled, filename)
+    tracker = TraceBuilder()
+    series = []
+
+    def snapshot(vm):
+        report = measure_graph(tracker.graph, collapse=collapse)
+        series.append(report.bits)
+
+    vm = VM(compiled, tracker, secret_input=secret_input,
+            public_input=public_input, region_check=region_check,
+            output_hook=snapshot)
+    graph = vm.run(entry=entry)
+    report = measure_graph(graph, collapse=collapse, stats=tracker.stats,
+                           warnings=vm.warnings)
+    return RunResult(report, vm.outputs, vm.output_bytes, vm), series
+
+
+def measure_many(source_or_compiled, secret_inputs, public_input=b"",
+                 collapse="context", entry="main", region_check="warn",
+                 filename="<source>"):
+    """Measure several runs *together* for multi-run soundness (§3.2).
+
+    Returns ``(combined_report, per_run_results)`` where the per-run
+    results carry each run's independent report for comparison.
+    """
+    compiled = _ensure_compiled(source_or_compiled, filename)
+    graphs = []
+    stats_list = []
+    per_run = []
+    warnings = []
+    for secret in secret_inputs:
+        tracker = TraceBuilder()
+        vm, graph = execute(compiled, secret, public_input, tracker,
+                            entry=entry, region_check=region_check)
+        graphs.append(graph)
+        stats_list.append(tracker.stats)
+        warnings.extend(vm.warnings)
+        per_run.append(RunResult(
+            measure_graph(graph, collapse="none", stats=tracker.stats),
+            vm.outputs, vm.output_bytes, vm))
+    combined = measure_runs(graphs, collapse=collapse,
+                            stats_list=stats_list, warnings=warnings)
+    return combined, per_run
+
+
+def check(source_or_compiled, policy, secret_input=b"", public_input=b"",
+          entry="main", region_check="warn", filename="<source>"):
+    """Tainting-based policy check of one run (Section 6.2).
+
+    Returns a :class:`~repro.core.checking.CheckResult`.
+    """
+    compiled = _ensure_compiled(source_or_compiled, filename)
+    tracker = CheckTracker(policy)
+    _vm, result = execute(compiled, secret_input, public_input, tracker,
+                          entry=entry, region_check=region_check)
+    return result
+
+
+def lockstep(source_or_compiled, policy, real_secret, dummy_secret,
+             public_input=b"", entry="main", filename="<source>"):
+    """Output-comparison check (Section 6.3): two mostly-uninstrumented runs.
+
+    Returns a :class:`~repro.core.lockstep.LockstepResult`.
+    """
+    compiled = _ensure_compiled(source_or_compiled, filename)
+
+    def run_one(secret, interceptor):
+        execute(compiled, secret, public_input, NullTracker(),
+                entry=entry, region_check="off", lazy_regions=False,
+                interceptor=interceptor)
+
+    return run_lockstep(run_one, real_secret, dummy_secret, policy)
+
+
+def _ensure_compiled(source_or_compiled, filename):
+    if isinstance(source_or_compiled, str):
+        return compile_source(source_or_compiled, filename)
+    return source_or_compiled

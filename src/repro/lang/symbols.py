@@ -1,0 +1,67 @@
+"""Symbol tables for FlowLang's checker and compiler."""
+
+from __future__ import annotations
+
+from ..errors import TypeCheckError
+
+
+class Symbol:
+    """A declared name: variable, parameter, global, or function.
+
+    Variables and parameters get frame ``slot`` numbers from the
+    compiler; globals get global indices.
+    """
+
+    KIND_LOCAL = "local"
+    KIND_PARAM = "param"
+    KIND_GLOBAL = "global"
+    KIND_FUNCTION = "function"
+
+    __slots__ = ("name", "kind", "type", "slot", "func_decl")
+
+    def __init__(self, name, kind, type_, func_decl=None):
+        self.name = name
+        self.kind = kind
+        self.type = type_
+        self.slot = None
+        self.func_decl = func_decl
+
+    @property
+    def is_global(self):
+        return self.kind == self.KIND_GLOBAL
+
+    def __repr__(self):
+        return "Symbol(%s %s: %r)" % (self.kind, self.name, self.type)
+
+
+class Scope:
+    """One lexical scope; chains to its parent for lookups."""
+
+    def __init__(self, parent=None):
+        self.parent = parent
+        self._names = {}
+
+    def declare(self, symbol, line=None, column=None):
+        if symbol.name in self._names:
+            raise TypeCheckError("redeclaration of %r" % symbol.name,
+                                 line, column)
+        self._names[symbol.name] = symbol
+        return symbol
+
+    def lookup(self, name):
+        scope = self
+        while scope is not None:
+            symbol = scope._names.get(name)
+            if symbol is not None:
+                return symbol
+            scope = scope.parent
+        return None
+
+    def lookup_or_fail(self, name, line=None, column=None):
+        symbol = self.lookup(name)
+        if symbol is None:
+            raise TypeCheckError("undeclared name %r" % name, line, column)
+        return symbol
+
+    def child(self):
+        return Scope(self)

@@ -1,0 +1,57 @@
+"""Token definitions for FlowLang.
+
+FlowLang is the C-like source language this reproduction analyzes in
+place of x86 binaries: its compiler lowers programs to a bytecode whose
+execution produces exactly the event stream (operations, branches,
+indexed accesses, I/O, enclosure annotations) that the paper's
+Valgrind-based tool observes.
+"""
+
+from __future__ import annotations
+
+KEYWORDS = frozenset([
+    "fn", "var", "if", "else", "while", "for", "break", "continue",
+    "return", "enclose", "true", "false",
+    "u8", "u16", "u32", "i8", "i16", "i32", "bool", "void",
+])
+
+#: Multi-character operators, longest first so the lexer can greedy-match.
+MULTI_OPS = [
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "..",
+]
+
+SINGLE_OPS = "+-*/%&|^~!<>=(){}[],;:"
+
+
+class TokenType:
+    """Token kinds (plain string constants; a class for namespacing)."""
+
+    IDENT = "IDENT"
+    NUMBER = "NUMBER"
+    CHAR = "CHAR"
+    STRING = "STRING"
+    KEYWORD = "KEYWORD"
+    OP = "OP"
+    EOF = "EOF"
+
+
+class Token:
+    """A lexed token with its source position (1-based line/column)."""
+
+    __slots__ = ("type", "value", "line", "column")
+
+    def __init__(self, type_, value, line, column):
+        self.type = type_
+        self.value = value
+        self.line = line
+        self.column = column
+
+    def is_op(self, text):
+        return self.type == TokenType.OP and self.value == text
+
+    def is_keyword(self, text):
+        return self.type == TokenType.KEYWORD and self.value == text
+
+    def __repr__(self):
+        return "Token(%s, %r, %d:%d)" % (self.type, self.value,
+                                         self.line, self.column)

@@ -1,0 +1,110 @@
+"""FlowLang's type system: fixed-width integers, bool, arrays.
+
+Widths matter here more than in most languages: a value's declared
+width is the capacity of its node in the flow graph, and the shadow
+analysis tracks secrecy per bit of that width.
+"""
+
+from __future__ import annotations
+
+
+class Type:
+    """Base class for FlowLang types."""
+
+    __slots__ = ()
+
+
+class ScalarType(Type):
+    """A fixed-width integer (or bool, width 1)."""
+
+    __slots__ = ("name", "width", "signed")
+
+    def __init__(self, name, width, signed):
+        self.name = name
+        self.width = width
+        self.signed = signed
+
+    @property
+    def mask(self):
+        return (1 << self.width) - 1
+
+    @property
+    def min_value(self):
+        return -(1 << (self.width - 1)) if self.signed else 0
+
+    @property
+    def max_value(self):
+        if self.signed:
+            return (1 << (self.width - 1)) - 1
+        return (1 << self.width) - 1
+
+    def wrap(self, value):
+        """Truncate a Python int to this type's representation."""
+        return value & self.mask
+
+    def to_signed(self, value):
+        """Interpret a wrapped value according to signedness."""
+        if not self.signed:
+            return value
+        sign = 1 << (self.width - 1)
+        return (value & (sign - 1)) - (value & sign)
+
+    def __eq__(self, other):
+        return isinstance(other, ScalarType) and self.name == other.name
+
+    def __hash__(self):
+        return hash(self.name)
+
+    def __repr__(self):
+        return self.name
+
+
+class ArrayType(Type):
+    """An array of scalars; ``size`` is ``None`` for unsized parameters."""
+
+    __slots__ = ("element", "size")
+
+    def __init__(self, element, size):
+        self.element = element
+        self.size = size
+
+    def __eq__(self, other):
+        # Arrays are compatible when elements match; a sized array can be
+        # passed where an unsized parameter is expected.
+        return isinstance(other, ArrayType) and self.element == other.element
+
+    def __hash__(self):
+        return hash(("array", self.element))
+
+    def __repr__(self):
+        if self.size is None:
+            return "%s[]" % self.element
+        return "%s[%d]" % (self.element, self.size)
+
+
+U8 = ScalarType("u8", 8, False)
+U16 = ScalarType("u16", 16, False)
+U32 = ScalarType("u32", 32, False)
+I8 = ScalarType("i8", 8, True)
+I16 = ScalarType("i16", 16, True)
+I32 = ScalarType("i32", 32, True)
+BOOL = ScalarType("bool", 1, False)
+VOID = ScalarType("void", 0, False)
+
+SCALARS = {t.name: t for t in (U8, U16, U32, I8, I16, I32, BOOL)}
+
+#: Integer scalar types (bool excluded) -- the operand domain of
+#: arithmetic, bitwise, and shift operators.
+INTEGERS = frozenset([U8, U16, U32, I8, I16, I32])
+
+
+def is_integer(type_):
+    return isinstance(type_, ScalarType) and type_ in INTEGERS
+
+
+def is_bool(type_):
+    return type_ == BOOL
+
+
+def is_array(type_):
+    return isinstance(type_, ArrayType)

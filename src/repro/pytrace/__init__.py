@@ -1,0 +1,25 @@
+"""Python tracing frontend: measure plain Python code.
+
+The paper analyzes binaries; this frontend brings the same analysis to
+Python programs (the lower-fidelity path): wrap secret inputs in tracked
+values and run ordinary code.  Branching on a secret (``if``, ``while``,
+``sorted``...), indexing with it, and every arithmetic operation are
+reported to the measurement core automatically.
+
+    from repro.pytrace import Session
+
+    session = Session()
+    data = session.secret_bytes(b"hello")
+    total = 0
+    for byte in data:
+        if byte > 96:              # 1-bit implicit flow each
+            total += 1
+    session.output(total & 0x7)
+    print(session.measure().bits)
+"""
+
+from .session import Region, Session
+from .values import SecretInt, concrete_of, mask_of, width_of
+
+__all__ = ["Region", "Session", "SecretInt", "concrete_of", "mask_of",
+           "width_of"]

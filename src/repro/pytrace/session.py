@@ -1,0 +1,468 @@
+"""Trace sessions: the Python frontend's connection to the analysis core.
+
+A :class:`Session` owns a tracker (a
+:class:`~repro.core.tracker.TraceBuilder` by default) and hands out
+:class:`~repro.pytrace.values.SecretInt` values whose operations report
+back to it.  Code locations are derived from the caller's Python source
+position, so loops collapse by source line exactly as FlowLang loops
+collapse by bytecode location.
+
+Example (the login check from the package docstring)::
+
+    session = Session()
+    pin = session.secret_int(1234, width=16)
+    if pin == 1234:
+        session.output_str("welcome")
+    report = session.measure()   # report.bits == 1
+"""
+
+from __future__ import annotations
+
+import sys
+
+from ..core.checking import CheckTracker
+from ..core.locations import Location
+from ..core.measure import measure_graph
+from ..core.tracker import PUBLIC, TraceBuilder
+from ..errors import TraceError
+from ..shadow import transfer
+from ..shadow.bitmask import popcount, width_mask
+from .values import SecretInt, _WidthInt, concrete_of, mask_of, width_of
+
+
+class Region:
+    """Handle for an enclosure region opened with :meth:`Session.enclose`.
+
+    Inside the ``with`` block, branches and indexed accesses on secrets
+    are charged to the region.  After the block, :meth:`wrap` declares a
+    value as a region output, returning its post-region tracked form.
+    """
+
+    def __init__(self, session, location):
+        self._session = session
+        self._location = location
+        self._exit = None
+
+    @property
+    def closed(self):
+        return self._exit is not None
+
+    @property
+    def had_implicit_flows(self):
+        if self._exit is None:
+            return False
+        return self._exit.had_implicit_flows
+
+    def wrap(self, value, width=None, name=None):
+        """Declare ``value`` as an output of this (closed) region.
+
+        Returns a :class:`SecretInt` whose provenance includes the
+        region's implicit flows; if no implicit flow occurred the value
+        is returned as-is.
+        """
+        if self._exit is None:
+            raise TraceError("Region.wrap() before the with-block closed")
+        session = self._session
+        width = width if width is not None else width_of(value, default=8)
+        old_prov = value.prov if isinstance(value, SecretInt) else PUBLIC
+        loc = Location(self._location.unit, self._location.point,
+                       name or "out")
+        new_prov = session.tracker.region_output(loc, self._exit, old_prov,
+                                                 width)
+        concrete = concrete_of(value)
+        if session.interceptor is not None:
+            concrete = session.intercept_value(loc, concrete, width)
+        if new_prov is old_prov and not self._exit.had_implicit_flows:
+            if (session.interceptor is not None
+                    and isinstance(value, SecretInt)):
+                return SecretInt(session, concrete, width, value.mask,
+                                 value.prov)
+            if session.interceptor is not None:
+                return concrete
+            return value
+        if new_prov.mask == 0:
+            return concrete
+        return SecretInt(session, concrete, width, new_prov.mask, new_prov)
+
+    def wrap_all(self, values, width=8, name=None):
+        """:meth:`wrap` applied to a list.
+
+        All elements share one output location (like one store
+        instruction executing per element), so collapsed graph size
+        stays independent of the list length.
+        """
+        return [self.wrap(v, width=width, name=name or "out")
+                for v in values]
+
+
+class _RegionContext:
+    __slots__ = ("session", "region")
+
+    def __init__(self, session, region):
+        self.session = session
+        self.region = region
+
+    def __enter__(self):
+        self.session.tracker.enter_region(self.region._location)
+        return self.region
+
+    def __exit__(self, exc_type, exc, tb):
+        if exc_type is not None:
+            # Unwind without validating: the exception already aborts
+            # the analysis; leaving the tracker region keeps it usable.
+            try:
+                self.region._exit = self.session.tracker.leave_region(
+                    self.region._location)
+            except TraceError:
+                pass
+            return False
+        self.region._exit = self.session.tracker.leave_region(
+            self.region._location)
+        return False
+
+
+class _Scope:
+    __slots__ = ("session", "name")
+
+    def __init__(self, session, name):
+        self.session = session
+        self.name = name
+
+    def __enter__(self):
+        self.session.tracker.push_call(self.name)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.session.tracker.pop_call()
+        return False
+
+
+class Session:
+    """A tracing session for plain Python code.
+
+    Args:
+        tracker: defaults to a fresh :class:`TraceBuilder`; pass a
+            :class:`~repro.core.checking.CheckTracker` for deployment
+            checking or a ``NullTracker`` for lockstep runs.
+        interceptor: optional lockstep interceptor (Section 6.3).
+        location_depth: how many frames up to look for the caller's
+            source position (the default suits direct use).
+    """
+
+    def __init__(self, tracker=None, interceptor=None):
+        self.tracker = tracker if tracker is not None else TraceBuilder()
+        self.interceptor = interceptor
+        self.outputs = []
+        self._locations = {}
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    # Locations
+
+    def _caller_location(self, depth, detail=None):
+        frame = sys._getframe(depth)
+        key = (frame.f_code.co_filename, frame.f_lineno, detail)
+        loc = self._locations.get(key)
+        if loc is None:
+            loc = Location(frame.f_code.co_filename.rsplit("/", 1)[-1],
+                           frame.f_lineno, detail)
+            self._locations[key] = loc
+        return loc
+
+    def scope(self, name):
+        """Context manager adding ``name`` to the calling-context hash."""
+        return _Scope(self, name)
+
+    # ------------------------------------------------------------------
+    # Inputs
+
+    def secret_int(self, value, width=8, name=None, category=None):
+        """Introduce a secret input value of ``width`` bits.
+
+        ``category`` optionally tags the secret's class (e.g.
+        ``"alice"`` vs ``"bob"``) for the §10.1 per-category analysis;
+        see :meth:`measure_by_category`.
+        """
+        loc = self._caller_location(2, name or "secret")
+        prov = self.tracker.secret_value(loc, width, category=category)
+        if prov.mask == 0:
+            # A checking tracker may declassify at the cut right away.
+            return value & width_mask(width)
+        return SecretInt(self, value, width, prov.mask, prov)
+
+    def secret_bytes(self, data, name=None, category=None):
+        """Introduce a secret byte string as a list of tracked u8s."""
+        loc = self._caller_location(2, name or "secret_bytes")
+        out = []
+        for byte in data:
+            prov = self.tracker.secret_value(loc, 8, category=category)
+            if prov.mask == 0:
+                out.append(byte)
+            else:
+                out.append(SecretInt(self, byte, 8, prov.mask, prov))
+        return out
+
+    def public(self, value):
+        """Explicitly mark a plain value as public (identity helper)."""
+        return concrete_of(value)
+
+    def widen(self, value, width):
+        """Zero-extend a value to ``width`` bits (a free copy).
+
+        Use before accumulating sums that must not wrap at the operand
+        width: ``total = session.widen(0, 16)`` then ``total += byte``.
+        """
+        if isinstance(value, SecretInt):
+            if width < value.width:
+                raise TraceError("widen() cannot narrow %d -> %d bits"
+                                 % (value.width, width))
+            return SecretInt(self, value.value, width, value.mask,
+                             value.prov)
+        return _WidthInt(int(value), width)
+
+    # ------------------------------------------------------------------
+    # Operations (called from SecretInt)
+
+    #: Upper bound on how far a left shift may widen a value.
+    MAX_WIDTH = 4096
+
+    @staticmethod
+    def _result_width(op, a, b, av, bv):
+        """Width of the result under FlowLang-like unsigned semantics.
+
+        Python-frontend arithmetic is *non-wrapping* where Python's own
+        semantics would be (sums and products widen; left shifts widen
+        by the public shift amount), while masking with a plain
+        constant narrows to the constant's width and a plain modulus
+        narrows to the modulus's width.  Subtraction keeps the max
+        operand width and wraps there (unsigned underflow), so C-style
+        down-counters behave; truncate explicitly (``& mask``) for
+        C-style wrapping elsewhere.
+        """
+        wa = width_of(a)
+        wb = width_of(b, default=1)
+        width = max(wa, wb)
+        cap = Session.MAX_WIDTH
+        if op == "add":
+            return min(width + 1, cap)
+        if op == "mul":
+            return min(wa + wb, cap)
+        if op == "shl":
+            if isinstance(b, SecretInt):
+                return min(wa + (1 << wb) - 1, cap)
+            return min(wa + bv, cap)
+        if op == "and" and not isinstance(b, SecretInt):
+            return max(min(width, bv.bit_length()), 1)
+        if op == "and" and not isinstance(a, SecretInt):
+            return max(min(width, av.bit_length()), 1)
+        if op == "mod" and not isinstance(b, SecretInt) and bv > 0:
+            return max(min(width, (bv - 1).bit_length()), 1)
+        return width
+
+    def binary_op(self, op, a, b, reflected=False):
+        if reflected:
+            a, b = b, a
+        av, bv = concrete_of(a), concrete_of(b)
+        am, bm = mask_of(a), mask_of(b)
+        width = self._result_width(op, a, b, av, bv)
+        value = self._eval(op, av, bv, width)
+        mask = transfer.binary_mask(op, av, am, bv, bm, width)
+        result_width = 1 if op in transfer.COMPARISONS else width
+        mask &= width_mask(result_width)
+        loc = self._caller_location(3, op)
+        if mask == 0:
+            if self.interceptor is not None:
+                value = self.intercept_value(loc, value, result_width)
+            return value
+        operands = []
+        if isinstance(a, SecretInt):
+            operands.append(a.prov)
+        if isinstance(b, SecretInt):
+            operands.append(b.prov)
+        prov = self.tracker.operation(loc, mask, operands)
+        if prov.mask == 0:
+            return value  # declassified at a cut (checking mode)
+        return SecretInt(self, value, result_width, mask, prov)
+
+    def unary_op(self, op, a):
+        av, am = concrete_of(a), mask_of(a)
+        width = width_of(a)
+        w = width_mask(width)
+        value = ((-av) & w) if op == "neg" else ((~av) & w)
+        mask = transfer.unary_mask(op, av, am, width)
+        loc = self._caller_location(3, op)
+        if mask == 0:
+            return value
+        prov = self.tracker.operation(loc, mask, [a.prov])
+        if prov.mask == 0:
+            return value
+        return SecretInt(self, value, width, mask, prov)
+
+    @staticmethod
+    def _eval(op, av, bv, width):
+        w = width_mask(width)
+        if op == "add":
+            return (av + bv) & w
+        if op == "sub":
+            return (av - bv) & w
+        if op == "mul":
+            return (av * bv) & w
+        if op == "div":
+            return (av // bv) & w
+        if op == "mod":
+            return (av % bv) & w
+        if op == "and":
+            return av & bv
+        if op == "or":
+            return (av | bv) & w
+        if op == "xor":
+            return (av ^ bv) & w
+        if op == "shl":
+            return (av << bv) & w if bv < 4096 else 0
+        if op == "shr":
+            return av >> bv if bv < 4096 else 0
+        if op == "eq":
+            return int(av == bv)
+        if op == "ne":
+            return int(av != bv)
+        if op == "ult":
+            return int(av < bv)
+        if op == "ule":
+            return int(av <= bv)
+        if op == "ugt":
+            return int(av > bv)
+        if op == "uge":
+            return int(av >= bv)
+        raise TraceError("unsupported operation %r" % op)
+
+    # ------------------------------------------------------------------
+    # Implicit flows (called from SecretInt dunders)
+
+    def branch_on(self, secret):
+        if secret.mask == 0:
+            return
+        loc = self._caller_location(3, "branch")
+        if self.interceptor is not None:
+            # Lockstep: substitute the recorded branch outcome.
+            new_value = self.intercept_branch(loc, secret.value)
+            secret.value = new_value
+        self.tracker.branch(loc, secret.prov)
+
+    def index_on(self, secret):
+        if secret.mask == 0:
+            return
+        loc = self._caller_location(3, "index")
+        self.tracker.indexed(loc, secret.prov)
+
+    # ------------------------------------------------------------------
+    # Regions
+
+    def enclose(self, name=None):
+        """Open an enclosure region (a ``with`` context manager).
+
+        Declare the region's outputs after the block with
+        :meth:`Region.wrap` / :meth:`Region.wrap_all`.
+        """
+        loc = self._caller_location(2, name or "enclose")
+        return _RegionContext(self, Region(self, loc))
+
+    # ------------------------------------------------------------------
+    # Outputs and declassification
+
+    def output(self, *values, name=None):
+        """A public output event carrying ``values``."""
+        loc = self._caller_location(2, name or "output")
+        provs = [v.prov for v in values if isinstance(v, SecretInt)]
+        concrete = [concrete_of(v) for v in values]
+        self.outputs.extend(concrete)
+        if self.interceptor is not None:
+            for c in concrete:
+                self.interceptor.output(c)
+        self.tracker.output(loc, provs)
+
+    def output_bytes(self, data, name=None):
+        """Output a byte sequence (possibly of tracked bytes) as one event."""
+        loc = self._caller_location(2, name or "output_bytes")
+        provs = [v.prov for v in data if isinstance(v, SecretInt)]
+        concrete = [concrete_of(v) & 0xFF for v in data]
+        self.outputs.extend(concrete)
+        if self.interceptor is not None:
+            self.interceptor.output(bytes(concrete))
+        self.tracker.output(loc, provs)
+        return bytes(concrete)
+
+    def output_str(self, text, name=None):
+        """Output a constant string (public event; no data flow)."""
+        loc = self._caller_location(2, name or "output_str")
+        self.outputs.append(text)
+        if self.interceptor is not None:
+            self.interceptor.output(text)
+        self.tracker.output(loc, [])
+
+    def declassify(self, value):
+        """Deliberately release a value: returns the plain int."""
+        if isinstance(value, SecretInt):
+            self.tracker.declassify(value.prov)
+            return value.value
+        return value
+
+    # ------------------------------------------------------------------
+    # Lockstep plumbing
+
+    def intercept_value(self, loc, value, width):
+        if self.interceptor.at_cut("value", loc):
+            return self.interceptor.intercept("value", loc, value, width)
+        return value
+
+    def intercept_branch(self, loc, value):
+        if self.interceptor.at_cut("implicit", loc):
+            return self.interceptor.intercept("implicit", loc, value, 1)
+        return value
+
+    # ------------------------------------------------------------------
+    # Finishing
+
+    def finish(self, exit_observable=True):
+        """End the trace; returns the tracker's result (graph/result)."""
+        if self._finished:
+            raise TraceError("session already finished")
+        self._finished = True
+        return self.tracker.finish(exit_observable=exit_observable)
+
+    def measure(self, collapse="context", exit_observable=True):
+        """Finish and measure; returns a FlowReport.
+
+        Only valid for measuring sessions (TraceBuilder-backed).
+        """
+        graph = self.finish(exit_observable=exit_observable)
+        return measure_graph(graph, collapse=collapse,
+                             stats=self.tracker.stats)
+
+    def snapshot_bits(self, collapse="location"):
+        """The flow bound so far, without finishing the session.
+
+        The pytrace counterpart of the §8.1 real-time mode: call after
+        interesting outputs to watch the bound grow.  Only meaningful
+        for measuring sessions.
+        """
+        if self._finished:
+            raise TraceError("session already finished")
+        return measure_graph(self.tracker.graph, collapse=collapse).bits
+
+    def measure_by_category(self, collapse="none", exit_observable=True):
+        """Finish and measure per secret category (§10.1).
+
+        Returns a :class:`~repro.core.multisecret.CategoryBounds`; only
+        meaningful when inputs were tagged with ``category=...``.
+        """
+        from ..core.multisecret import measure_by_category
+        graph = self.finish(exit_observable=exit_observable)
+        return measure_by_category(graph, self.tracker.category_edges,
+                                   collapse=collapse,
+                                   stats=self.tracker.stats)
+
+    def check_result(self, exit_observable=True):
+        """Finish a checking session; returns its CheckResult."""
+        if not isinstance(self.tracker, CheckTracker):
+            raise TraceError("check_result() needs a CheckTracker session")
+        return self.finish(exit_observable=exit_observable)

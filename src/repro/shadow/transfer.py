@@ -1,0 +1,201 @@
+"""Conservative secrecy transfer functions (Section 2.3).
+
+For each basic operation, compute the secrecy mask of the result from
+the operands' concrete values and secrecy masks.  Soundness requirement:
+if two executions that differ only in secret input bits can produce
+results differing at bit ``i``, then bit ``i`` of the result mask must be
+set.  Subject to that, the functions are as precise as cheap local
+reasoning allows -- e.g. masking with a public constant clears secrecy
+(``x & 0x0F`` keeps only four secret bits), and carries only propagate
+leftward from the lowest secret bit.
+
+The same functions serve the FlowLang VM (fixed-width integers) and the
+Python frontend (arbitrary-precision, with an explicit width).
+"""
+
+from __future__ import annotations
+
+from .bitmask import spread_left, truncate, width_mask
+
+#: Operations whose result is a single boolean bit.
+COMPARISONS = frozenset(["eq", "ne", "lt", "le", "gt", "ge",
+                         "ult", "ule", "ugt", "uge"])
+
+
+def transfer_and(a_val, a_mask, b_val, b_mask, width):
+    """Bitwise AND: a secret bit survives only where the other side may be 1."""
+    w = width_mask(width)
+    result = (a_mask & (b_val | b_mask)) | (b_mask & (a_val | a_mask))
+    return result & w
+
+
+def transfer_or(a_val, a_mask, b_val, b_mask, width):
+    """Bitwise OR: a secret bit survives only where the other side may be 0."""
+    w = width_mask(width)
+    result = (a_mask & (~b_val | b_mask)) | (b_mask & (~a_val | a_mask))
+    return result & w
+
+
+def transfer_xor(a_val, a_mask, b_val, b_mask, width):
+    """Bitwise XOR: secrecy is the union of the operand masks."""
+    return (a_mask | b_mask) & width_mask(width)
+
+
+def transfer_not(a_val, a_mask, width):
+    """Bitwise NOT preserves each bit's secrecy."""
+    return a_mask & width_mask(width)
+
+
+def transfer_add(a_val, a_mask, b_val, b_mask, width):
+    """Addition: carries spread secrecy leftward from the lowest secret bit."""
+    return spread_left(a_mask | b_mask, width)
+
+
+def transfer_sub(a_val, a_mask, b_val, b_mask, width):
+    """Subtraction: borrows spread leftward, like carries."""
+    return spread_left(a_mask | b_mask, width)
+
+
+def transfer_neg(a_val, a_mask, width):
+    """Two's-complement negation: equivalent to ``0 - a``."""
+    return spread_left(a_mask, width)
+
+
+def transfer_mul(a_val, a_mask, b_val, b_mask, width):
+    """Multiplication: product bits below the lowest secret bit stay public.
+
+    Bit k of the product depends only on operand bits at positions i, j
+    with i + j <= k, so if every secret bit sits at or above position L,
+    product bits below L are functions of public bits only.
+    """
+    return spread_left(a_mask | b_mask, width)
+
+
+def transfer_div(a_val, a_mask, b_val, b_mask, width):
+    """Division mixes high bits into low; any secrecy taints everything."""
+    if a_mask or b_mask:
+        return width_mask(width)
+    return 0
+
+
+def transfer_mod(a_val, a_mask, b_val, b_mask, width):
+    """Remainder, like division, offers no cheap bitwise structure."""
+    if a_mask or b_mask:
+        return width_mask(width)
+    return 0
+
+
+def transfer_shl(a_val, a_mask, s_val, s_mask, width):
+    """Left shift.  Secret shift amounts taint every bit the value reaches."""
+    if s_mask:
+        if a_mask == 0 and a_val == 0:
+            return 0  # shifting zero reveals nothing
+        return width_mask(width)
+    return truncate(a_mask << s_val, width)
+
+
+def transfer_shr(a_val, a_mask, s_val, s_mask, width):
+    """Logical right shift."""
+    if s_mask:
+        if a_mask == 0 and a_val == 0:
+            return 0
+        return width_mask(width)
+    return a_mask >> s_val
+
+
+def transfer_sar(a_val, a_mask, s_val, s_mask, width):
+    """Arithmetic right shift: a secret sign bit floods the vacated bits."""
+    if s_mask:
+        if a_mask == 0 and a_val == 0:
+            return 0
+        return width_mask(width)
+    shifted = a_mask >> s_val
+    sign_bit = 1 << (width - 1)
+    if a_mask & sign_bit:
+        fill = width_mask(width) & ~width_mask(max(width - s_val, 0))
+        shifted |= fill
+    return truncate(shifted, width)
+
+
+def transfer_compare(a_val, a_mask, b_val, b_mask, width):
+    """Comparisons yield one boolean bit, secret iff any operand bit is."""
+    return 1 if (a_mask or b_mask) else 0
+
+
+def transfer_logical_not(a_val, a_mask, width):
+    """Boolean negation of a (possibly secret) truth value."""
+    return 1 if a_mask else 0
+
+
+def transfer_select(c_val, c_mask, t_val, t_mask, f_val, f_mask, width):
+    """Conditional move ``c ? t : f`` treated as a pure data operation.
+
+    A secret condition makes every bit at which the arms might differ
+    secret; we conservatively taint the full width.  (Because the select
+    is data, not control, no implicit-flow edge is needed -- mirroring
+    Valgrind's handling of x86 ``cmov``.)
+    """
+    if c_mask:
+        return width_mask(width)
+    return (t_mask if c_val else f_mask) & width_mask(width)
+
+
+def transfer_zext(a_val, a_mask, from_width, to_width):
+    """Zero extension introduces public zero bits."""
+    return truncate(a_mask, from_width)
+
+
+def transfer_sext(a_val, a_mask, from_width, to_width):
+    """Sign extension replicates the (possibly secret) sign bit."""
+    mask = truncate(a_mask, from_width)
+    sign_bit = 1 << (from_width - 1)
+    if mask & sign_bit:
+        mask |= width_mask(to_width) & ~width_mask(from_width)
+    return mask
+
+
+def transfer_trunc(a_val, a_mask, to_width):
+    """Truncation drops high bits, public or not."""
+    return truncate(a_mask, to_width)
+
+
+#: Dispatch for binary operations: op name -> f(a_val, a_mask, b_val,
+#: b_mask, width) -> result mask.
+BINARY = {
+    "add": transfer_add,
+    "sub": transfer_sub,
+    "mul": transfer_mul,
+    "div": transfer_div,
+    "mod": transfer_mod,
+    "and": transfer_and,
+    "or": transfer_or,
+    "xor": transfer_xor,
+    "shl": transfer_shl,
+    "shr": transfer_shr,
+    "sar": transfer_sar,
+}
+for _cmp in COMPARISONS:
+    BINARY[_cmp] = transfer_compare
+
+#: Dispatch for unary operations: op name -> f(a_val, a_mask, width).
+UNARY = {
+    "neg": transfer_neg,
+    "not": transfer_not,
+    "lnot": transfer_logical_not,
+}
+
+
+def binary_mask(op, a_val, a_mask, b_val, b_mask, width):
+    """Apply the transfer function for binary ``op``."""
+    fn = BINARY.get(op)
+    if fn is None:
+        raise KeyError("no transfer function for binary op %r" % op)
+    return fn(a_val, a_mask, b_val, b_mask, width)
+
+
+def unary_mask(op, a_val, a_mask, width):
+    """Apply the transfer function for unary ``op``."""
+    fn = UNARY.get(op)
+    if fn is None:
+        raise KeyError("no transfer function for unary op %r" % op)
+    return fn(a_val, a_mask, width)

@@ -1,0 +1,99 @@
+"""Tests for the §8.1 battleship case study."""
+
+import pytest
+
+from repro.apps.battleship import (DEFAULT_PLACEMENT, Board,
+                                   play_and_measure, render_board)
+from repro.core.checking import CheckTracker
+from repro.core.policy import CutPolicy
+from repro.pytrace import Session
+
+# DEFAULT_PLACEMENT: len-4 at row0 cols0-3 (H), len-3 at col3 rows2-4 (V),
+# len-2 at row5 cols5-6 (H), len-1 at (9,9).
+MISS = (7, 7)
+HIT4 = (0, 0)          # hits the length-4 ship, non-fatal
+HIT1 = (9, 9)          # sinks the length-1 ship
+
+
+class TestPatchedProtocol:
+    def test_miss_reveals_one_bit(self):
+        audit = play_and_measure([MISS])
+        assert audit.bits == 1
+        assert audit.replies == [(0, None)]
+
+    def test_nonfatal_hit_reveals_two_bits(self):
+        audit = play_and_measure([HIT4])
+        assert audit.bits == 2
+        assert audit.replies == [(1, 0)]
+
+    def test_fatal_hit_also_two_bits(self):
+        audit = play_and_measure([HIT1])
+        assert audit.bits == 2
+        assert audit.replies == [(1, 1)]
+
+    def test_game_accumulates_paper_accounting(self):
+        shots = [MISS, HIT4, (5, 1), HIT1, (2, 2)]
+        audit = play_and_measure(shots)
+        assert audit.bits == audit.expected_patched_bits
+        assert audit.misses + audit.hits == len(shots)
+
+    def test_sinking_a_ship_progressively(self):
+        # Hit all 4 cells of the length-4 ship; last hit is fatal.
+        shots = [(0, 0), (1, 0), (2, 0), (3, 0)]
+        audit = play_and_measure(shots)
+        assert audit.replies[-1] == (1, 1)
+        assert audit.fatal_hits == 1
+        assert audit.bits == 8  # 4 hits x 2 bits
+
+    def test_gui_rendering_is_declassified(self):
+        with_gui = play_and_measure([MISS], show_gui=True)
+        without = play_and_measure([MISS], show_gui=False)
+        assert with_gui.bits == without.bits == 1
+
+
+class TestBuggyProtocol:
+    def test_buggy_hit_leaks_more_than_two_bits(self):
+        buggy = play_and_measure([HIT4], buggy=True)
+        patched = play_and_measure([HIT4])
+        assert buggy.bits > patched.bits
+        assert buggy.replies == [(4,)]  # the ship *type* is on the wire
+
+    def test_buggy_miss_leaks_more_than_one_bit(self):
+        buggy = play_and_measure([MISS], buggy=True)
+        assert buggy.bits > 1
+
+    def test_patched_policy_rejects_buggy_build(self):
+        # Measure the patched build, derive its cut policy, then check
+        # the buggy build against it: the tool catches the regression.
+        shots = [MISS, HIT4]
+        patched = play_and_measure(shots)
+        policy = CutPolicy.from_report(patched.report)
+
+        session = Session(tracker=CheckTracker(policy))
+        board = Board(session, DEFAULT_PLACEMENT)
+        from repro.apps.battleship import respond_buggy
+        for x, y in shots:
+            respond_buggy(board, x, y)
+        result = session.check_result(exit_observable=False)
+        assert not result.ok
+
+
+class TestBoardModel:
+    def test_render_board_shows_fleet(self):
+        session = Session()
+        board = Board(session, DEFAULT_PLACEMENT)
+        picture = render_board(board)
+        assert picture.count("4") == 4
+        assert picture.count("3") == 3
+        assert picture.count("2") == 2
+        assert picture.count("1") == 1
+
+    def test_remaining_ships(self):
+        session = Session()
+        board = Board(session, DEFAULT_PLACEMENT)
+        assert board.remaining() == 4
+
+    def test_placement_count_validated(self):
+        session = Session()
+        with pytest.raises(ValueError):
+            Board(session, [(0, 0, True)])

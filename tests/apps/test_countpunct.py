@@ -1,0 +1,56 @@
+"""Tests for the Figure 2 running example in both frontends."""
+
+import pytest
+
+from repro.apps.countpunct import (FLOWLANG_SOURCE, PAPER_INPUT,
+                                   measure_flowlang, measure_python)
+
+
+class TestFlowLangVersion:
+    def test_paper_input_reveals_nine_bits(self):
+        result = measure_flowlang(PAPER_INPUT)
+        assert result.bits == 9
+
+    def test_output_is_common_character(self):
+        result = measure_flowlang(PAPER_INPUT)
+        assert result.output_bytes == b"........"
+
+    def test_question_marks_more_common(self):
+        result = measure_flowlang(b"..??????")
+        assert result.output_bytes == b"??????"
+
+    def test_min_cut_shape(self):
+        result = measure_flowlang(PAPER_INPUT, collapse="none")
+        assert sorted(ce.capacity for ce in result.report.mincut) == [1, 8]
+
+    def test_tainting_bound_is_64_bits(self):
+        result = measure_flowlang(PAPER_INPUT)
+        assert result.report.tainted_output_bits == 64
+
+    def test_no_region_warnings(self):
+        result = measure_flowlang(PAPER_INPUT)
+        assert result.report.warnings == []
+
+    def test_few_characters_unary_cut_wins(self):
+        # 2 dots: scanning contributes only 2 comparison bits, so the
+        # bound drops below the 9-bit binary cut.
+        result = measure_flowlang(b"..")
+        assert result.bits < 9
+
+    def test_empty_input(self):
+        result = measure_flowlang(b"")
+        assert result.output_bytes == b""
+        assert result.bits == 0
+
+
+class TestPythonVersion:
+    def test_paper_input_reveals_nine_bits(self):
+        assert measure_python(PAPER_INPUT).bits == 9
+
+    def test_frontends_agree(self):
+        for text in (PAPER_INPUT, b"..?", b"?????....???.."):
+            assert (measure_flowlang(text).bits
+                    == measure_python(text).bits), text
+
+    def test_source_contains_annotations(self):
+        assert FLOWLANG_SOURCE.count("enclose") == 2

@@ -1,0 +1,128 @@
+"""Tests for the §8.3 image-transform case study (Figure 5)."""
+
+import pytest
+
+from repro.apps.imagelib import (Raster, bilinear_resize, blur, box_resize,
+                                 load_secret, measure_all,
+                                 measure_transform, pixelate, sample_resize,
+                                 swirl, synthetic_portrait)
+from repro.pytrace import Session, concrete_of
+
+
+def checkerboard(size=8):
+    image = Raster(size, size)
+    for y in range(size):
+        for x in range(size):
+            v = 255 if (x + y) % 2 else 0
+            image.pixels[y][x] = (v, v, v)
+    return image
+
+
+class TestRaster:
+    def test_dimensions_and_bits(self):
+        image = Raster(4, 3)
+        assert image.channel_count == 36
+        assert image.data_bits == 288
+
+    def test_ppm_header(self):
+        header, data = Raster(5, 7).to_ppm()
+        assert header == b"P6\n5 7\n255\n"
+        assert len(data) == 5 * 7 * 3
+
+    def test_synthetic_portrait_shape(self):
+        image = synthetic_portrait(25)
+        assert image.width == image.height == 25
+        # The face blob differs from the gradient background.
+        assert image.pixels[12][12] != image.pixels[0][0]
+
+    def test_load_secret_tracks_every_channel(self):
+        session = Session()
+        tracked = load_secret(session, checkerboard(4))
+        secret_channels = sum(
+            1 for row in tracked.pixels for px in row for c in px
+            if getattr(c, "secret_bits", 0) == 8)
+        assert secret_channels == 48
+
+    def test_concrete_copy_matches(self):
+        session = Session()
+        base = checkerboard(4)
+        tracked = load_secret(session, base)
+        assert tracked.concrete().pixels == base.pixels
+
+
+class TestTransformsConcrete:
+    def test_sample_resize_identity(self):
+        image = checkerboard(6)
+        assert sample_resize(image, 6, 6).pixels == image.pixels
+
+    def test_sample_downsample_picks_pixels(self):
+        image = checkerboard(8)
+        small = sample_resize(image, 2, 2)
+        assert small.width == small.height == 2
+
+    def test_box_resize_averages(self):
+        image = checkerboard(4)
+        tiny = box_resize(image, 1, 1)
+        # Half the pixels are 255: average is ~127.
+        assert 120 <= tiny.pixels[0][0][0] <= 135
+
+    def test_bilinear_resize_bounds(self):
+        image = checkerboard(4)
+        big = bilinear_resize(image, 8, 8)
+        for row in big.pixels:
+            for px in row:
+                assert all(0 <= c <= 255 for c in px)
+
+    def test_pixelate_produces_blocks(self):
+        image = synthetic_portrait(20)
+        blocky = pixelate(image, 4)
+        # Within a 5x5 block, all pixels equal.
+        assert blocky.pixels[0][0] == blocky.pixels[3][3]
+
+    def test_swirl_preserves_center_and_corners(self):
+        image = synthetic_portrait(21)
+        twisted = swirl(image, 720.0)
+        # The exact center does not move.
+        assert twisted.pixels[10][10] == image.pixels[10][10]
+
+    def test_swirl_roughly_invertible(self):
+        image = synthetic_portrait(21)
+        back = swirl(swirl(image, 360.0), -360.0)
+        diffs = []
+        for y in range(21):
+            for x in range(21):
+                for c in range(3):
+                    diffs.append(abs(back.pixels[y][x][c]
+                                     - image.pixels[y][x][c]))
+        # Mostly recovered, up to interpolation blur.
+        assert sum(diffs) / len(diffs) < 60
+
+
+class TestFigure5Flows:
+    def test_pixelate_bounded_by_intermediate(self):
+        audit = measure_transform("pixelate", image=synthetic_portrait(15))
+        assert audit.bits == audit.intermediate_bits == 600
+
+    def test_blur_bounded_by_intermediate(self):
+        audit = measure_transform("blur", image=synthetic_portrait(15))
+        assert audit.bits == 600
+
+    def test_swirl_reveals_nearly_full_image(self):
+        # The paper's bound equals the input size; with nearest-4
+        # bilinear sampling on a small raster a few interior pixels are
+        # never sampled, so the bound sits just below full size.
+        image = synthetic_portrait(15)
+        audit = measure_transform("swirl", image=image)
+        assert audit.bits >= 0.9 * image.data_bits
+
+    def test_identity_reveals_full_image(self):
+        image = synthetic_portrait(10)
+        audit = measure_transform("identity", image=image)
+        assert audit.bits == image.data_bits
+
+    def test_figure5_ordering(self):
+        results = measure_all(image=synthetic_portrait(12))
+        assert results["pixelate"].bits < results["swirl"].bits
+        assert results["blur"].bits < results["swirl"].bits
+        # The transforms that look similar differ enormously in flow.
+        assert results["swirl"].bits >= 4 * results["pixelate"].bits

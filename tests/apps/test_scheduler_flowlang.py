@@ -1,0 +1,69 @@
+"""Cross-frontend validation: the §8.4 scheduler in FlowLang.
+
+The FlowLang and Python implementations share only the measurement
+core; agreeing grids and the same cut-crossover structure validate the
+whole stack end to end.
+"""
+
+import pytest
+
+from repro.apps.scheduler import measure_meeting_request
+from repro.apps.scheduler.flowlang import (encode_appointments,
+                                           measure_flowlang_scheduler)
+
+CASES = [
+    [],
+    [(600, 720)],                      # 10:00-12:00
+    [(615, 645)],                      # unaligned
+    [(600, 720), (780, 840)],          # two appointments
+    [(7 * 60, 8 * 60)],                # outside the window
+    [(8 * 60, 19 * 60)],               # spans the window
+]
+
+
+class TestGridsAgreeAcrossFrontends:
+    @pytest.mark.parametrize("appointments", CASES,
+                             ids=[str(i) for i in range(len(CASES))])
+    def test_same_grid(self, appointments):
+        _, flowlang_grid = measure_flowlang_scheduler(appointments)
+        _, python_grid = measure_meeting_request(appointments)
+        assert flowlang_grid == python_grid
+
+
+class TestFlowBounds:
+    def test_single_appointment_intersection_cut(self):
+        # FlowLang variables are byte-granular, so the per-appointment
+        # cut is 2 x (8-bit slot variable fed by 5 direct + 2 clamp
+        # bits) = 14 bits; the Python frontend's 5-bit wraps give 10.
+        # Same cut, different declared widths.
+        report, _ = measure_flowlang_scheduler([(600, 720)])
+        assert report.bits == 14
+
+    def test_display_cut_crossover_at_two(self):
+        report, _ = measure_flowlang_scheduler([(600, 720), (780, 840)])
+        assert report.bits == 18
+
+    def test_many_appointments_capped_at_display(self):
+        appointments = [(540 + 60 * i, 570 + 60 * i) for i in range(5)]
+        report, _ = measure_flowlang_scheduler(appointments)
+        assert report.bits == 18
+
+    def test_empty_calendar_zero(self):
+        report, grid = measure_flowlang_scheduler([])
+        assert report.bits == 0
+        assert grid == "." * 18
+
+    def test_no_region_warnings(self):
+        report, _ = measure_flowlang_scheduler([(600, 720)])
+        assert report.warnings == []
+
+
+class TestEncoding:
+    def test_little_endian_pairs(self):
+        data = encode_appointments([(600, 720)])
+        assert data == (600).to_bytes(2, "little") + \
+            (720).to_bytes(2, "little")
+
+    def test_multiple(self):
+        data = encode_appointments([(1, 2), (3, 4)])
+        assert len(data) == 8

@@ -1,0 +1,98 @@
+"""Tests for the §8.2 SSH host-authentication case study."""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.sshauth import (E, KEY_BITS, P, Q, Server,
+                                client_authenticate, encrypt,
+                                make_keypair, md5_bytes, md5_hexdigest,
+                                modexp, run_authentication)
+from repro.pytrace import Session
+
+
+class TestMD5:
+    @pytest.mark.parametrize("text", [
+        b"", b"a", b"abc", b"message digest",
+        b"The quick brown fox jumps over the lazy dog",
+        b"x" * 200,
+    ])
+    def test_matches_hashlib(self, text):
+        assert md5_hexdigest(list(text)) == hashlib.md5(text).hexdigest()
+
+    @given(st.binary(max_size=150))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_hashlib_property(self, data):
+        assert md5_hexdigest(list(data)) == hashlib.md5(data).hexdigest()
+
+    def test_tracked_digest_matches_plain(self):
+        session = Session()
+        tracked = session.secret_bytes(b"secret key material")
+        digest = md5_bytes(tracked)
+        concrete = bytes(b.concrete() if hasattr(b, "concrete") else b
+                         for b in digest)
+        assert concrete == hashlib.md5(b"secret key material").digest()
+
+    def test_tracked_digest_is_fully_secret(self):
+        session = Session()
+        digest = md5_bytes(session.secret_bytes(b"k"))
+        assert all(getattr(b, "secret_bits", 0) == 8 for b in digest)
+
+
+class TestRSA:
+    def test_keypair_round_trip(self):
+        n, e, d = make_keypair()
+        message = 0x123456789ABCDEF
+        assert pow(encrypt(message, n, e), d, n) == message
+
+    def test_modexp_matches_pow(self):
+        n, e, d = make_keypair()
+        for base in (2, 12345, 2**200 + 1):
+            assert modexp(base, e, n, bits=17) == pow(base, e, n)
+
+    def test_tracked_modexp_correct(self):
+        session = Session()
+        n, e, d = make_keypair()
+        exponent = session.secret_int(d, width=KEY_BITS)
+        cipher = encrypt(0xCAFEBABE, n, e)
+        with session.enclose("rsa") as region:
+            plain = modexp(cipher, exponent, n)
+        value = plain if isinstance(plain, int) else plain.concrete()
+        assert value == 0xCAFEBABE
+
+    def test_primes_are_prime(self):
+        for prime in (P, Q):
+            assert pow(2, prime - 1, prime) == 1  # Fermat witness
+
+
+class TestAuthentication:
+    def test_reveals_exactly_128_bits(self):
+        report, succeeded = run_authentication()
+        assert succeeded
+        assert report.bits == 128
+
+    def test_cut_is_at_the_digest(self):
+        report, _ = run_authentication()
+        locations = report.cut.locations()
+        assert any("auth-response" in loc for _, loc in locations)
+
+    def test_different_challenges_same_bound(self):
+        r1, _ = run_authentication(rng_value=1)
+        r2, _ = run_authentication(rng_value=2**400 + 17)
+        assert r1.bits == r2.bits == 128
+
+    def test_response_verifies_against_server(self):
+        n, e, d = make_keypair()
+        server = Server(n, e, b"sess")
+        cipher = server.issue_challenge(999)
+        session = Session()
+        digest = client_authenticate(session, d, n, cipher, b"sess")
+        sent = bytes(b.concrete() if hasattr(b, "concrete") else b
+                     for b in digest)
+        assert sent == server.expected_response()
+
+    def test_key_bits_bound_far_below_key_size(self):
+        report, _ = run_authentication()
+        assert report.stats["secret_input_bits"] == KEY_BITS
+        assert report.bits < KEY_BITS // 2

@@ -1,0 +1,124 @@
+"""Tests for the §8.5 display-server case study."""
+
+import pytest
+
+from repro.apps.xserver import (DisplayServer, measure_draw_text,
+                                measure_paste, text_width)
+from repro.core.checking import CheckTracker
+from repro.core.policy import CutPolicy
+from repro.pytrace import Session
+
+
+class TestTextDrawing:
+    def test_hello_world_is_21_bits(self):
+        report, _ = measure_draw_text(b"Hello, world!")
+        assert report.bits == 21
+
+    def test_bound_is_string_independent(self):
+        # The enclosure makes the estimate "somewhat imprecise" but
+        # uniform: 16-bit width + 5-bit height for any string (capped
+        # by the total secret input for very short ones).
+        for text in (b"a", b"mmmmmm", b"iiii", b"The Larch"):
+            report, _ = measure_draw_text(text)
+            assert report.bits == min(21, 8 * len(text)), text
+
+    def test_bounding_box_width_is_correct(self):
+        report, box = measure_draw_text(b"Hello, world!")
+        assert box.width.concrete() == text_width("Hello, world!")
+
+    def test_width_varies_with_text(self):
+        _, narrow = measure_draw_text(b"iiii")
+        _, wide = measure_draw_text(b"mmmm")
+        assert narrow.width.concrete() < wide.width.concrete()
+
+    def test_framebuffer_not_an_output(self):
+        session = Session()
+        server = DisplayServer(session)
+        secret = session.secret_bytes(b"draw me")
+        server.draw_text(0, 0, secret)  # no damage report sent
+        report = session.measure(collapse="none", exit_observable=False)
+        assert report.bits == 0
+
+    def test_empty_string(self):
+        report, box = measure_draw_text(b"")
+        assert box.width == 0 or box.width.concrete() == 0
+
+
+class TestCutAndPaste:
+    def test_paste_is_pure_data_flow(self):
+        report, pasted = measure_paste(b"clipboard text!!")
+        assert pasted == b"clipboard text!!"
+        assert report.bits == 8 * 16
+
+    def test_paste_has_no_implicit_flows(self):
+        session = Session()
+        server = DisplayServer(session)
+        secret = session.secret_bytes(b"abc")
+        server.store_selection("PRIMARY", secret)
+        server.paste_selection("PRIMARY")
+        graph = session.finish(exit_observable=False)
+        kinds = {e.label.kind for e in graph.edges if e.label}
+        assert "implicit" not in kinds
+
+    def test_missing_selection_is_empty(self):
+        session = Session()
+        server = DisplayServer(session)
+        assert server.paste_selection("CLIPBOARD") == b""
+
+
+def legitimate_traffic(session, text=b"Hello, world!",
+                       clip=b"ordinary paste"):
+    """One text draw + one paste, shared between measure and check runs.
+
+    The checkers match cut edges by *code location*, so the deployment
+    run must execute the same program as the audited one -- shared
+    here, as it would be in a real program.
+    """
+    server = DisplayServer(session)
+    server.draw_text(0, 0, session.secret_bytes(text, name="text"))
+    server.report_damage(server.damage[-1])
+    server.store_selection("PRIMARY",
+                           session.secret_bytes(clip, name="clip"))
+    server.paste_selection("PRIMARY")
+    return server
+
+
+class TestExploitDetection:
+    def make_policy(self):
+        session = Session()
+        legitimate_traffic(session)
+        report = session.measure(collapse="none", exit_observable=False)
+        return CutPolicy.from_report(report)
+
+    def test_legitimate_traffic_passes(self):
+        policy = self.make_policy()
+        session = Session(tracker=CheckTracker(policy))
+        # Different content, same shape: the numeric budget covers
+        # equal-size traffic (the paper notes repeat counts/size must
+        # be controlled separately).
+        legitimate_traffic(session, text=b"Goodbye moon!",
+                           clip=b"another paste!")
+        result = session.check_result(exit_observable=False)
+        assert result.ok
+
+    def test_injected_scanner_is_caught(self):
+        policy = self.make_policy()
+        session = Session(tracker=CheckTracker(policy))
+        server = DisplayServer(session)
+        server.store_selection(
+            "PRIMARY", session.secret_bytes(b"card 4111111111111111 end"))
+        leaked = server.rogue_scan()
+        assert leaked  # the exploit found the digits...
+        result = session.check_result(exit_observable=False)
+        assert not result.ok  # ...and the checker caught the flow
+
+    def test_user_error_paste_into_untrusted_caught(self):
+        # Pasting secret data through a channel the policy never saw.
+        policy = self.make_policy()
+        session = Session(tracker=CheckTracker(policy))
+        server = DisplayServer(session)
+        secret = session.secret_bytes(b"top secret")
+        # A rogue output path (different location than the audited one).
+        session.output_bytes(secret, name="smuggle")
+        result = session.check_result(exit_observable=False)
+        assert not result.ok

@@ -1,0 +1,149 @@
+"""Tests for the tainting-based cut checker (Section 6.2)."""
+
+import pytest
+
+from repro.core import measure_graph
+from repro.core.checking import CheckTracker
+from repro.core.policy import CutPolicy
+from repro.core.tracker import TraceBuilder
+from repro.errors import PolicyViolation
+
+from .helpers import compare, count_punct_events, loc
+
+
+def measured_policy(text="...???."):
+    """Measure count_punct once and derive its cut policy."""
+    g = count_punct_events(TraceBuilder(), text)
+    report = measure_graph(g, collapse="none")
+    return CutPolicy.from_report(report), report
+
+
+class TestCheckAgainstMeasuredCut:
+    def test_same_run_passes(self):
+        policy, report = measured_policy()
+        result = count_punct_events(CheckTracker(policy), "...???.")
+        assert result.ok
+        assert result.unexpected == []
+        # The checker counts crossings at the cut conservatively; the
+        # run must stay within the measured bound.
+        assert result.revealed_bits <= policy.max_bits
+
+    def test_similar_run_passes(self):
+        # A different input with the same control structure re-crosses
+        # the same cut; re-measure is not needed.
+        policy, _ = measured_policy("...???.")
+        policy = CutPolicy(policy.max_bits, policy.cut_points)
+        result = count_punct_events(CheckTracker(policy), "..??.?.")
+        assert not result.unexpected
+
+    def test_enforce_raises_on_over_budget(self):
+        policy, _ = measured_policy("...???.")
+        tight = CutPolicy(0, policy.cut_points)
+        result = count_punct_events(CheckTracker(tight), "...???.")
+        with pytest.raises(PolicyViolation):
+            result.enforce()
+
+    def test_novel_leak_reported(self):
+        policy, _ = measured_policy()
+        tracker = CheckTracker(policy)
+        secret = tracker.secret_value(loc(3, "read"), 8)
+        # Output the secret directly at a location the cut never saw.
+        tracker.output(loc(99, "rogue"), [secret])
+        result = tracker.finish()
+        assert not result.ok
+        assert result.unexpected
+        assert result.unexpected[0].kind == "io"
+        with pytest.raises(PolicyViolation) as err:
+            result.enforce()
+        assert "unsanctioned" in str(err.value)
+
+
+class TestCheckTrackerSemantics:
+    def empty_policy(self, bits=100):
+        return CutPolicy(bits, {})
+
+    def test_public_values_flow_freely(self):
+        tracker = CheckTracker(self.empty_policy())
+        tracker.output(loc(1), [tracker.public()])
+        result = tracker.finish()
+        assert result.ok
+        assert result.revealed_bits == 0
+
+    def test_tainted_output_counts_and_reports(self):
+        tracker = CheckTracker(self.empty_policy())
+        s = tracker.secret_value(loc(1), 8)
+        tracker.output(loc(2), [s])
+        result = tracker.finish()
+        assert result.revealed_bits == 8
+        assert len(result.unexpected) == 1
+
+    def test_sanctioned_value_declassifies(self):
+        policy = CutPolicy(8, {("value", str(loc(2, "digest"))): 8})
+        tracker = CheckTracker(policy)
+        s = tracker.secret_value(loc(1), 8)
+        d = tracker.operation(loc(2, "digest"), 0xFF, [s])
+        assert d.is_public
+        tracker.output(loc(3), [d])
+        result = tracker.finish()
+        assert result.ok
+        assert result.revealed_bits == 8
+        assert result.sanctioned_bits == 8
+
+    def test_sanctioned_implicit_flow(self):
+        policy = CutPolicy(1, {("implicit", str(loc(2))): 1})
+        tracker = CheckTracker(policy)
+        s = tracker.secret_value(loc(1), 8)
+        cond = tracker.operation(loc(2, "cmp"), 1, [s])
+        tracker.branch(loc(2), cond)
+        result = tracker.finish()
+        assert result.ok
+        assert result.revealed_bits == 1
+
+    def test_unsanctioned_implicit_outside_region(self):
+        tracker = CheckTracker(self.empty_policy())
+        s = tracker.secret_value(loc(1), 8)
+        cond = tracker.operation(loc(2, "cmp"), 1, [s])
+        tracker.branch(loc(3), cond)
+        result = tracker.finish()
+        assert not result.ok
+        assert result.unexpected[0].kind == "implicit"
+
+    def test_implicit_inside_region_taints_outputs(self):
+        tracker = CheckTracker(self.empty_policy())
+        s = tracker.secret_value(loc(1), 8)
+        tracker.enter_region(loc(2))
+        cond = tracker.operation(loc(3, "cmp"), 1, [s])
+        tracker.branch(loc(3), cond)
+        token = tracker.leave_region(loc(4))
+        out = tracker.region_output(loc(4, "x"), token, tracker.public(), 8)
+        assert not out.is_public
+        assert out.mask == 0xFF
+
+    def test_clean_region_is_transparent(self):
+        tracker = CheckTracker(self.empty_policy())
+        old = tracker.secret_value(loc(1), 8)
+        tracker.enter_region(loc(2))
+        token = tracker.leave_region(loc(3))
+        assert tracker.region_output(loc(3, "x"), token, old, 8) is old
+
+    def test_sanctioned_region_output(self):
+        policy = CutPolicy(8, {("value", str(loc(4, "x"))): 8})
+        tracker = CheckTracker(policy)
+        s = tracker.secret_value(loc(1), 8)
+        tracker.enter_region(loc(2))
+        cond = tracker.operation(loc(3, "cmp"), 1, [s])
+        tracker.branch(loc(3), cond)
+        token = tracker.leave_region(loc(4))
+        out = tracker.region_output(loc(4, "x"), token, tracker.public(), 8)
+        assert out.is_public
+        result = tracker.finish()
+        assert result.revealed_bits == 8
+
+    def test_stats_parity_with_tracebuilder(self):
+        policy = self.empty_policy()
+        check = CheckTracker(policy)
+        count_punct_events(check, "..?")
+        build = TraceBuilder()
+        count_punct_events(build, "..?")
+        for key in ("operations", "outputs", "secret_input_bits"):
+            assert check.stats[key] == build.stats[key]

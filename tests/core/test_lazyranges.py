@@ -1,0 +1,167 @@
+"""Tests for lazy large-region descriptors (Section 4.3)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.lazyranges import LazyRangeTable
+
+
+class Recorder:
+    """Collects materialization callbacks for inspection."""
+
+    def __init__(self):
+        self.calls = []
+
+    def __call__(self, start, length, exceptions, payload):
+        self.calls.append((start, length, exceptions, payload))
+
+
+class TestCover:
+    def test_small_ranges_rejected(self):
+        table = LazyRangeTable(Recorder())
+        assert not table.cover(0, 10, "p")  # <= min_range
+        assert table.cover(0, 11, "p")
+
+    def test_lookup_inside_range(self):
+        table = LazyRangeTable(Recorder())
+        table.cover(100, 50, "payload")
+        assert table.lookup(100) == ["payload"]
+        assert table.lookup(149) == ["payload"]
+        assert table.lookup(150) is None
+        assert table.lookup(99) is None
+
+    def test_newer_cover_wins_on_overlap(self):
+        rec = Recorder()
+        table = LazyRangeTable(rec)
+        table.cover(0, 100, "old")
+        table.cover(50, 100, "new")
+        assert table.lookup(60) == ["new"]
+        # The old descriptor accumulated 50 exceptions and was pushed
+        # out; its non-overlapped prefix was materialized eagerly.
+        covered_old = set()
+        for start, length, exceptions, payload in rec.calls:
+            if payload == "old":
+                covered_old |= {a for a in range(start, start + length)
+                                if a not in exceptions}
+        assert table.lookup(10) == ["old"] or 10 in covered_old
+
+    def test_descriptor_limit_materializes_oldest(self):
+        rec = Recorder()
+        table = LazyRangeTable(rec, max_descriptors=3)
+        for i in range(4):
+            table.cover(i * 1000, 20, "p%d" % i)
+        assert len(table) == 3
+        assert rec.calls[0][3] == "p0"
+
+    def test_stats_counters(self):
+        table = LazyRangeTable(Recorder())
+        table.cover(0, 5, "x")
+        table.cover(0, 50, "y")
+        assert table.stats["eager_covers"] == 1
+        assert table.stats["covers"] == 1
+
+
+class TestExceptions:
+    def test_excluded_address_not_covered(self):
+        table = LazyRangeTable(Recorder())
+        table.cover(0, 50, "p")
+        table.exclude(25)
+        assert table.lookup(25) is None
+        assert table.lookup(24) == ["p"]
+
+    def test_too_many_exceptions_in_first_half_shrinks(self):
+        table = LazyRangeTable(Recorder(), max_exceptions=5)
+        table.cover(0, 100, "p")
+        for addr in range(6):  # all in the first half
+            table.exclude(addr)
+        (desc,) = table.descriptors()
+        assert desc.start == 50
+        assert table.stats["shrinks"] == 1
+        assert table.lookup(75) == ["p"]
+        assert table.lookup(10) is None
+
+    def test_scattered_exceptions_eliminate(self):
+        rec = Recorder()
+        table = LazyRangeTable(rec, max_exceptions=5)
+        table.cover(0, 100, "p")
+        for addr in (1, 20, 40, 60, 80, 99):
+            table.exclude(addr)
+        assert len(table) == 0
+        assert table.stats["eliminations"] == 1
+        (call,) = rec.calls
+        assert call[0] == 0 and call[1] == 100
+        assert 99 in call[2]
+
+    def test_fully_overwritten_descriptor_dropped(self):
+        table = LazyRangeTable(Recorder(), min_range=2, max_exceptions=100)
+        table.cover(0, 3, "p")
+        for addr in range(3):
+            table.exclude(addr)
+        assert len(table) == 0
+
+    def test_exclude_outside_ranges_is_noop(self):
+        table = LazyRangeTable(Recorder())
+        table.cover(0, 50, "p")
+        table.exclude(500)
+        assert table.stats["exceptions"] == 0
+
+
+class TestFlush:
+    def test_flush_materializes_everything(self):
+        rec = Recorder()
+        table = LazyRangeTable(rec)
+        table.cover(0, 50, "a")
+        table.cover(100, 50, "b")
+        table.flush()
+        assert len(table) == 0
+        assert {c[3] for c in rec.calls} == {"a", "b"}
+
+    def test_flush_passes_exceptions(self):
+        rec = Recorder()
+        table = LazyRangeTable(rec)
+        table.cover(0, 50, "a")
+        table.exclude(7)
+        table.flush()
+        assert rec.calls[0][2] == frozenset([7])
+
+
+class TestModelEquivalence:
+    """Property: the table behaves like an eager per-address map."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(ops=st.lists(
+        st.one_of(
+            st.tuples(st.just("cover"), st.integers(0, 80),
+                      st.integers(11, 60), st.integers(0, 5)),
+            st.tuples(st.just("exclude"), st.integers(0, 140)),
+        ),
+        max_size=30))
+    def test_lookup_matches_model(self, ops):
+        eager = {}
+
+        def materialize(start, length, exceptions, payload):
+            # Deferred state becomes eager state on elimination.
+            for addr in range(start, start + length):
+                if addr not in exceptions:
+                    eager[addr] = payload
+
+        table = LazyRangeTable(materialize, max_descriptors=3,
+                               max_exceptions=4)
+        model = {}
+        for op in ops:
+            if op[0] == "cover":
+                _, start, length, payload_id = op
+                payload = "p%d" % payload_id
+                if not table.cover(start, length, payload):
+                    materialize(start, length, frozenset(), payload)
+                for addr in range(start, start + length):
+                    model[addr] = payload
+            else:
+                _, addr = op
+                table.exclude(addr)
+                eager.pop(addr, None)
+                model.pop(addr, None)
+        for addr in range(0, 150):
+            deferred = table.lookup(addr)
+            actual = deferred[-1] if deferred else eager.get(addr)
+            assert actual == model.get(addr), addr

@@ -1,0 +1,95 @@
+"""Tests for per-category secret analysis (§10.1)."""
+
+import pytest
+
+from repro.core.multisecret import measure_by_category
+from repro.core.tracker import TraceBuilder
+from repro.core import Location
+from repro.pytrace import Session
+from repro.shadow.bitmask import width_mask
+
+
+class TestSessionCategories:
+    def test_shared_channel_crowds_out(self):
+        session = Session()
+        alice = session.secret_int(0xAA, width=8, category="alice")
+        bob = session.secret_int(0xBB, width=8, category="bob")
+        session.output(alice ^ bob)
+        bounds = session.measure_by_category()
+        assert bounds.per_category == {"alice": 8, "bob": 8}
+        assert bounds.joint == 8
+        assert bounds.crowding_out == 8
+
+    def test_independent_channels_no_crowding(self):
+        session = Session()
+        alice = session.secret_int(1, width=4, category="alice")
+        bob = session.secret_int(2, width=4, category="bob")
+        session.output(alice)
+        session.output(bob)
+        bounds = session.measure_by_category()
+        assert bounds.per_category == {"alice": 4, "bob": 4}
+        assert bounds.joint == 8
+        assert bounds.crowding_out == 0
+
+    def test_unused_category_is_zero(self):
+        session = Session()
+        session.secret_int(7, width=8, category="alice")
+        bob = session.secret_int(9, width=8, category="bob")
+        session.output(bob & 0x3)
+        bounds = session.measure_by_category()
+        assert bounds.per_category["alice"] == 0
+        assert bounds.per_category["bob"] == 2
+
+    def test_implicit_flows_categorized(self):
+        session = Session()
+        alice = session.secret_int(200, width=8, category="alice")
+        bob = session.secret_int(10, width=8, category="bob")
+        if alice > bob:  # one joint bit through a shared comparison
+            session.output_str("alice-bigger")
+        else:
+            session.output_str("bob-bigger")
+        bounds = session.measure_by_category(exit_observable=False)
+        assert bounds.per_category == {"alice": 1, "bob": 1}
+        assert bounds.joint == 1
+        assert bounds.crowding_out == 1
+
+    def test_untagged_secrets_not_category_gated(self):
+        session = Session()
+        plain = session.secret_int(3, width=8)  # no category
+        session.output(plain)
+        bounds = session.measure_by_category()
+        # No categories recorded; the joint bound still measures.
+        assert bounds.per_category == {}
+        assert bounds.joint == 8
+
+
+class TestTrackerCategories:
+    def test_category_edges_recorded(self):
+        tracker = TraceBuilder()
+        loc = Location("t", 1)
+        tracker.secret_value(loc, 8, category="alice")
+        tracker.secret_value(loc, 8, category="alice")
+        tracker.secret_value(loc, 8, category="bob")
+        assert len(tracker.category_edges["alice"]) == 2
+        assert len(tracker.category_edges["bob"]) == 1
+
+    def test_per_category_cuts_returned(self):
+        tracker = TraceBuilder()
+        loc = Location("t", 1)
+        alice = tracker.secret_value(loc, 8, category="alice")
+        tracker.output(Location("t", 2), [alice])
+        graph = tracker.finish()
+        bounds = measure_by_category(graph, tracker.category_edges)
+        assert "alice" in bounds.reports
+        assert bounds.reports["alice"].capacity == 8
+
+    def test_original_graph_not_mutated(self):
+        tracker = TraceBuilder()
+        loc = Location("t", 1)
+        alice = tracker.secret_value(loc, 8, category="alice")
+        bob = tracker.secret_value(loc, 8, category="bob")
+        tracker.output(Location("t", 2), [alice, bob])
+        graph = tracker.finish()
+        before = [e.capacity for e in graph.edges]
+        measure_by_category(graph, tracker.category_edges)
+        assert [e.capacity for e in graph.edges] == before

@@ -1,0 +1,91 @@
+"""Tests for FlowPolicy / CutPolicy serialization and enforcement."""
+
+import pytest
+
+from repro.core import measure_graph
+from repro.core.policy import CutPolicy, FlowPolicy
+from repro.core.tracker import TraceBuilder
+from repro.errors import PolicyViolation
+
+from .helpers import count_punct_events
+
+
+class TestFlowPolicy:
+    def test_within_bound(self):
+        assert FlowPolicy(10).check(10) == 10
+        assert FlowPolicy(10).permits(3)
+
+    def test_violation_raises_with_details(self):
+        with pytest.raises(PolicyViolation) as err:
+            FlowPolicy(8).check(9, location="f.c:3")
+        assert err.value.measured == 9
+        assert err.value.allowed == 8
+        assert err.value.location == "f.c:3"
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(ValueError):
+            FlowPolicy(-1)
+
+    def test_zero_bound_is_noninterference(self):
+        policy = FlowPolicy(0)
+        assert policy.permits(0)
+        assert not policy.permits(1)
+
+
+class TestCutPolicy:
+    def make_report(self):
+        g = count_punct_events(TraceBuilder(), "...???.")
+        return measure_graph(g, collapse="none")
+
+    def test_from_report_captures_cut(self):
+        report = self.make_report()
+        policy = CutPolicy.from_report(report)
+        assert policy.max_bits == report.bits
+        assert len(policy.cut_points) == len(
+            {(k, l) for k, l in report.cut.locations()})
+
+    def test_slack(self):
+        report = self.make_report()
+        policy = CutPolicy.from_report(report, slack_bits=3)
+        assert policy.max_bits == report.bits + 3
+
+    def test_allows_location(self):
+        report = self.make_report()
+        policy = CutPolicy.from_report(report)
+        (kind, loc_str) = next(iter(policy.cut_points))
+        assert policy.allows_location(kind, loc_str)
+        assert not policy.allows_location("io", "nowhere:0")
+
+    def test_round_trip_serialization(self):
+        report = self.make_report()
+        policy = CutPolicy.from_report(report)
+        clone = CutPolicy.from_dict(policy.to_dict())
+        assert clone.max_bits == policy.max_bits
+        assert clone.cut_points == policy.cut_points
+
+    def test_to_dict_is_json_compatible(self):
+        import json
+        report = self.make_report()
+        policy = CutPolicy.from_report(report)
+        text = json.dumps(policy.to_dict())
+        assert isinstance(text, str)
+        restored = CutPolicy.from_dict(json.loads(text))
+        assert restored.cut_points == policy.cut_points
+
+    def test_same_location_capacities_accumulate(self):
+        class FakeLabelCut:
+            pass
+
+        # Two cut edges at the same (kind, location) must sum.
+        class FakeReport:
+            bits = 5
+
+            class cut:
+                entries = [("value", "f:1", None, 2),
+                           ("value", "f:1", None, 3)]
+
+                def __iter__(self):
+                    return iter(self.entries)
+            cut = cut()
+        policy = CutPolicy.from_report(FakeReport())
+        assert policy.cut_points[("value", "f:1")] == 5

@@ -1,0 +1,321 @@
+"""Tests for TraceBuilder: graph construction from execution events."""
+
+import pytest
+
+from repro.core import Location, measure_graph
+from repro.core.tracker import PUBLIC, TraceBuilder, bits_for_arms
+from repro.errors import TraceError
+from repro.shadow.bitmask import width_mask
+
+from .helpers import count_punct_events, fanout_events, loc, unary_printer_events
+
+
+class TestBitsForArms:
+    def test_two_way(self):
+        assert bits_for_arms(2) == 1
+
+    def test_one_way_is_free(self):
+        assert bits_for_arms(1) == 0
+
+    def test_multiway(self):
+        assert bits_for_arms(4) == 2
+        assert bits_for_arms(5) == 3
+        assert bits_for_arms(256) == 8
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            bits_for_arms(0)
+
+
+class TestValues:
+    def test_public_singleton(self):
+        t = TraceBuilder()
+        assert t.public() is PUBLIC
+        assert t.public().is_public
+        assert t.public().bits == 0
+
+    def test_secret_value_feeds_from_source(self):
+        t = TraceBuilder()
+        v = t.secret_value(loc(1), 8)
+        assert v.mask == 0xFF
+        assert v.bits == 8
+        source_edges = t.graph.out_edges(t.graph.source)
+        assert len(source_edges) == 1
+        assert source_edges[0].capacity == 8
+
+    def test_secret_value_custom_mask(self):
+        t = TraceBuilder()
+        v = t.secret_value(loc(1), 8, mask=0x0F)
+        assert v.bits == 4
+
+    def test_secret_value_zero_mask_is_public(self):
+        t = TraceBuilder()
+        assert t.secret_value(loc(1), 8, mask=0) is PUBLIC
+
+    def test_operation_public_result_makes_no_node(self):
+        t = TraceBuilder()
+        a = t.secret_value(loc(1), 8)
+        nodes_before = t.graph.num_nodes
+        result = t.operation(loc(2), 0, [a])
+        assert result is PUBLIC
+        assert t.graph.num_nodes == nodes_before
+
+    def test_operation_secret_from_public_rejected(self):
+        t = TraceBuilder()
+        with pytest.raises(TraceError):
+            t.operation(loc(2), 0xFF, [PUBLIC])
+
+    def test_copy_shares_node(self):
+        t = TraceBuilder()
+        a = t.secret_value(loc(1), 8)
+        edges_before = t.graph.num_edges
+        b = t.copy(a)
+        assert b is a
+        assert t.graph.num_edges == edges_before
+
+    def test_declassify(self):
+        t = TraceBuilder()
+        a = t.secret_value(loc(1), 8)
+        assert t.declassify(a) is PUBLIC
+
+
+class TestFigure1:
+    """c = d = a + b must reveal 32 bits, not 64 (shared-output node)."""
+
+    def test_fanout_bounded_by_node_capacity(self):
+        report_bits = measure_graph(fanout_events(TraceBuilder()),
+                                    collapse="none").bits
+        assert report_bits == 32
+
+    def test_fanout_tainting_bound_is_double(self):
+        t = TraceBuilder()
+        fanout_events(t)
+        assert t.stats["tainted_output_bits"] == 64
+
+
+class TestImplicitFlows:
+    def test_branch_on_public_is_free(self):
+        t = TraceBuilder()
+        edges_before = t.graph.num_edges
+        t.branch(loc(1), PUBLIC)
+        assert t.graph.num_edges == edges_before
+
+    def test_branch_outside_region_escapes_via_later_output(self):
+        t = TraceBuilder()
+        a = t.secret_value(loc(1), 8)
+        cond = t.operation(loc(2), 1, [a])
+        t.branch(loc(3), cond)
+        t.output(loc(4), [])
+        g = t.finish(exit_observable=False)
+        assert measure_graph(g, collapse="none").bits == 1
+
+    def test_branch_after_last_output_unobservable_without_exit(self):
+        t = TraceBuilder()
+        a = t.secret_value(loc(1), 8)
+        t.output(loc(2), [])
+        cond = t.operation(loc(3), 1, [a])
+        t.branch(loc(4), cond)
+        g = t.finish(exit_observable=False)
+        assert measure_graph(g, collapse="none").bits == 0
+
+    def test_branch_after_last_output_observable_with_exit(self):
+        t = TraceBuilder()
+        a = t.secret_value(loc(1), 8)
+        t.output(loc(2), [])
+        cond = t.operation(loc(3), 1, [a])
+        t.branch(loc(4), cond)
+        g = t.finish(exit_observable=True)
+        assert measure_graph(g, collapse="none").bits == 1
+
+    def test_indexed_uses_index_bits(self):
+        t = TraceBuilder()
+        a = t.secret_value(loc(1), 8, mask=0x07)  # 3 secret bits
+        t.indexed(loc(2), a)
+        t.output(loc(3), [])
+        g = t.finish()
+        assert measure_graph(g, collapse="none").bits == 3
+
+    def test_multiway_branch_bits(self):
+        t = TraceBuilder()
+        a = t.secret_value(loc(1), 8)
+        t.branch(loc(2), a, arms=8)
+        t.output(loc(3), [])
+        g = t.finish()
+        assert measure_graph(g, collapse="none").bits == 3
+
+
+class TestEnclosureRegions:
+    def test_region_without_implicit_flow_is_transparent(self):
+        t = TraceBuilder()
+        old = t.secret_value(loc(1), 8, mask=0x01)
+        t.enter_region(loc(2))
+        exit_token = t.leave_region(loc(3))
+        assert not exit_token.had_implicit_flows
+        out = t.region_output(loc(3, "x"), exit_token, old, 8)
+        assert out is old
+
+    def test_region_absorbs_implicit_and_taints_outputs(self):
+        t = TraceBuilder()
+        a = t.secret_value(loc(1), 8)
+        t.enter_region(loc(2))
+        cond = t.operation(loc(3), 1, [a])
+        t.branch(loc(4), cond)
+        exit_token = t.leave_region(loc(5))
+        assert exit_token.had_implicit_flows
+        assert exit_token.implicit_bits == 1
+        out = t.region_output(loc(5, "x"), exit_token, t.public(), 8)
+        assert out.mask == 0xFF
+        t.output(loc(6), [out])
+        g = t.finish()
+        # Only 1 bit entered the region, so only 1 bit can leave via x.
+        assert measure_graph(g, collapse="none").bits == 1
+
+    def test_region_output_merges_old_value(self):
+        t = TraceBuilder()
+        a = t.secret_value(loc(1), 8, mask=0x0F)  # 4 direct bits
+        b = t.secret_value(loc(2), 8)
+        t.enter_region(loc(3))
+        cond = t.operation(loc(4), 1, [b])
+        t.branch(loc(5), cond)
+        exit_token = t.leave_region(loc(6))
+        out = t.region_output(loc(6, "x"), exit_token, a, 8)
+        t.output(loc(7), [out])
+        g = t.finish()
+        # 4 direct bits plus the 1 implicit bit flow through x.
+        assert measure_graph(g, collapse="none").bits == 5
+
+    def test_nested_regions_attach_to_innermost(self):
+        t = TraceBuilder()
+        a = t.secret_value(loc(1), 8)
+        t.enter_region(loc(2))
+        t.enter_region(loc(3))
+        cond = t.operation(loc(4), 1, [a])
+        t.branch(loc(5), cond)
+        inner_exit = t.leave_region(loc(6))
+        assert inner_exit.had_implicit_flows
+        outer_exit_preview = t._regions[-1].node  # outer saw nothing
+        assert outer_exit_preview is None
+        inner_out = t.region_output(loc(6, "y"), inner_exit, t.public(), 8)
+        outer_exit = t.leave_region(loc(7))
+        assert not outer_exit.had_implicit_flows
+        t.output(loc(8), [inner_out])
+        g = t.finish()
+        assert measure_graph(g, collapse="none").bits == 1
+
+    def test_unbalanced_leave_rejected(self):
+        t = TraceBuilder()
+        with pytest.raises(TraceError):
+            t.leave_region(loc(1))
+
+    def test_finish_with_open_region_rejected(self):
+        t = TraceBuilder()
+        t.enter_region(loc(1))
+        with pytest.raises(TraceError):
+            t.finish()
+
+    def test_region_depth(self):
+        t = TraceBuilder()
+        assert t.region_depth == 0
+        t.enter_region(loc(1))
+        t.enter_region(loc(2))
+        assert t.region_depth == 2
+        t.leave_region(loc(3))
+        assert t.region_depth == 1
+
+
+class TestOutputChain:
+    def test_output_data_flows_to_sink(self):
+        t = TraceBuilder()
+        a = t.secret_value(loc(1), 8)
+        t.output(loc(2), [a])
+        g = t.finish()
+        assert measure_graph(g, collapse="none").bits == 8
+
+    def test_output_counts_tracked(self):
+        t = TraceBuilder()
+        a = t.secret_value(loc(1), 8)
+        t.output(loc(2), [a])
+        t.output(loc(3), [a])
+        assert t.stats["outputs"] == 2
+        assert t.stats["tainted_output_bits"] == 16
+
+    def test_events_after_finish_rejected(self):
+        t = TraceBuilder()
+        t.finish()
+        with pytest.raises(TraceError):
+            t.output(loc(1), [])
+        with pytest.raises(TraceError):
+            t.secret_value(loc(1), 8)
+
+
+class TestCountPunct:
+    """The Figure 2 / Section 2.4 example, at the event level."""
+
+    TEXT = "........????"  # 8 dots, 4 question marks, like the paper's source
+
+    def test_reveals_nine_bits(self):
+        g = count_punct_events(TraceBuilder(), self.TEXT)
+        report = measure_graph(g, collapse="none")
+        assert report.bits == 9
+
+    def test_min_cut_is_compare_plus_num(self):
+        g = count_punct_events(TraceBuilder(), self.TEXT)
+        report = measure_graph(g, collapse="none")
+        caps = sorted(ce.capacity for ce in report.mincut)
+        assert caps == [1, 8]
+
+    def test_tainting_bound_is_64(self):
+        t = TraceBuilder()
+        count_punct_events(t, self.TEXT)
+        assert t.stats["tainted_output_bits"] == 64
+
+    def test_without_regions_flow_is_per_comparison(self):
+        g = count_punct_events(TraceBuilder(), self.TEXT, use_regions=False)
+        bits = measure_graph(g, collapse="none").bits
+        # Every branch on a secret leaks a bit to the output chain:
+        # 2 compares per dot (12 chars: 8 dots -> 2 each, 4 qms -> 3 each)
+        # == 8*2 + 4*3 = 28 scan bits; num_dot/num_qm and the final
+        # region-2 compare are public without the region mechanism, and
+        # the print loop's tests are public too.
+        assert bits == 28
+        assert bits > 9
+
+    def test_collapse_preserves_answer(self):
+        g = count_punct_events(TraceBuilder(), self.TEXT)
+        assert measure_graph(g, collapse="context").bits == 9
+        assert measure_graph(g, collapse="location").bits == 9
+
+
+class TestUnaryPrinter:
+    """Section 3.2: flow is min(8, n+1) per run."""
+
+    @pytest.mark.parametrize("n,expected", [(0, 1), (1, 2), (7, 8),
+                                            (8, 8), (100, 8), (255, 8)])
+    def test_min_of_binary_and_unary(self, n, expected):
+        g = unary_printer_events(TraceBuilder(), n)
+        assert measure_graph(g, collapse="none").bits == expected
+
+
+class TestContextHashing:
+    def test_same_location_different_context_distinct_labels(self):
+        t = TraceBuilder(context_sensitive=True)
+        a = t.secret_value(loc(1), 8)
+        t.push_call("site1")
+        b = t.operation(loc(2), 0xFF, [a])
+        t.pop_call()
+        t.push_call("site2")
+        c = t.operation(loc(2), 0xFF, [a])
+        t.pop_call()
+        labels = {e.label.key(True) for e in t.graph.edges
+                  if e.label is not None and e.label.kind == "data"}
+        assert len(labels) == 2
+
+    def test_context_insensitive_builder(self):
+        t = TraceBuilder(context_sensitive=False)
+        a = t.secret_value(loc(1), 8)
+        t.push_call("site1")
+        t.operation(loc(2), 0xFF, [a])
+        t.pop_call()
+        for e in t.graph.edges:
+            if e.label is not None:
+                assert e.label.context is None

@@ -1,0 +1,138 @@
+"""Tests for the FlowGraph structure and edge labels."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.flowgraph import INF, EdgeLabel, FlowGraph
+
+
+class TestConstruction:
+    def test_fresh_graph_has_terminals(self):
+        g = FlowGraph()
+        assert g.num_nodes == 2
+        assert g.source == 0
+        assert g.sink == 1
+
+    def test_add_node_is_dense(self):
+        g = FlowGraph()
+        assert g.add_node() == 2
+        assert g.add_node() == 3
+        assert g.num_nodes == 4
+
+    def test_add_nodes_bulk(self):
+        g = FlowGraph()
+        first = g.add_nodes(5)
+        assert first == 2
+        assert g.num_nodes == 7
+
+    def test_add_nodes_negative_rejected(self):
+        g = FlowGraph()
+        with pytest.raises(GraphError):
+            g.add_nodes(-1)
+
+    def test_add_edge_returns_index(self):
+        g = FlowGraph()
+        assert g.add_edge(g.source, g.sink, 5) == 0
+        assert g.add_edge(g.source, g.sink, 7) == 1
+        assert g.num_edges == 2
+
+    def test_edge_to_unknown_node_rejected(self):
+        g = FlowGraph()
+        with pytest.raises(GraphError):
+            g.add_edge(0, 99, 1)
+
+    def test_negative_capacity_rejected(self):
+        g = FlowGraph()
+        with pytest.raises(GraphError):
+            g.add_edge(g.source, g.sink, -3)
+
+    def test_zero_capacity_allowed(self):
+        g = FlowGraph()
+        g.add_edge(g.source, g.sink, 0)
+        assert g.edges[0].capacity == 0
+
+    def test_capped_node_splits(self):
+        g = FlowGraph()
+        inner, outer = g.add_capped_node(9)
+        assert inner != outer
+        (edge,) = g.out_edges(inner)
+        assert edge.head == outer
+        assert edge.capacity == 9
+
+    def test_validate_ok(self):
+        g = FlowGraph()
+        n = g.add_node()
+        g.add_edge(g.source, n, 3)
+        g.add_edge(n, g.sink, 3)
+        assert g.validate()
+
+    def test_copy_is_independent(self):
+        g = FlowGraph()
+        g.add_edge(g.source, g.sink, 4)
+        h = g.copy()
+        h.add_edge(h.source, h.sink, 1)
+        h.edges[0].capacity = 99
+        assert g.num_edges == 1
+        assert g.edges[0].capacity == 4
+
+
+class TestQueries:
+    def test_in_out_edges(self):
+        g = FlowGraph()
+        n = g.add_node()
+        g.add_edge(g.source, n, 1)
+        g.add_edge(g.source, n, 2)
+        g.add_edge(n, g.sink, 3)
+        assert len(g.in_edges(n)) == 2
+        assert len(g.out_edges(n)) == 1
+        assert len(g.out_edges(g.source)) == 2
+
+    def test_total_capacity_skips_inf(self):
+        g = FlowGraph()
+        g.add_edge(g.source, g.sink, 5)
+        g.add_edge(g.source, g.sink, INF)
+        assert g.total_capacity() == 5
+
+    def test_adjacency_roundtrip(self):
+        g = FlowGraph()
+        n = g.add_node()
+        g.add_edge(g.source, n, 4)
+        g.add_edge(n, g.sink, 6)
+        heads, caps, firsts, nexts = g.adjacency()
+        assert heads == [n, g.sink]
+        assert caps == [4, 6]
+        # Forward-star chains must cover each node's out-edges exactly.
+        seen = []
+        for u in range(g.num_nodes):
+            a = firsts[u]
+            while a != -1:
+                seen.append((u, heads[a]))
+                a = nexts[a]
+        assert sorted(seen) == [(g.source, n), (n, g.sink)]
+
+
+class TestEdgeLabel:
+    def test_equality_and_hash(self):
+        a = EdgeLabel("f.c:3", 42, "data")
+        b = EdgeLabel("f.c:3", 42, "data")
+        c = EdgeLabel("f.c:3", 42, "implicit")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_key_context_sensitivity(self):
+        label = EdgeLabel("f.c:3", 42, "data")
+        assert label.key(True) == ("data", "f.c:3", 42)
+        assert label.key(False) == ("data", "f.c:3")
+
+    def test_none_location_never_merges(self):
+        label = EdgeLabel(None, 42, "data")
+        assert label.key(True) is None
+        assert label.key(False) is None
+
+    def test_drop_context(self):
+        label = EdgeLabel("f.c:3", 42, "implicit")
+        bare = label.drop_context()
+        assert bare.location == "f.c:3"
+        assert bare.context is None
+        assert bare.kind == "implicit"

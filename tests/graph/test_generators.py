@@ -1,0 +1,87 @@
+"""Tests for the synthetic graph generators."""
+
+import pytest
+
+from repro.graph.generators import (grid_graph, layered_dag, random_dag,
+                                    series_parallel)
+from repro.graph.maxflow import dinic_max_flow
+
+
+def is_acyclic(graph):
+    order = {}
+    adjacency = {}
+    for e in graph.edges:
+        adjacency.setdefault(e.tail, []).append(e.head)
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = [WHITE] * graph.num_nodes
+
+    def visit(node):
+        color[node] = GRAY
+        for succ in adjacency.get(node, ()):
+            if color[succ] == GRAY:
+                return False
+            if color[succ] == WHITE and not visit(succ):
+                return False
+        color[node] = BLACK
+        return True
+
+    return all(visit(n) for n in range(graph.num_nodes)
+               if color[n] == WHITE)
+
+
+class TestLayeredDag:
+    def test_deterministic_by_seed(self):
+        a = layered_dag(3, 4, seed=9)
+        b = layered_dag(3, 4, seed=9)
+        assert [(e.tail, e.head, e.capacity) for e in a.edges] == \
+            [(e.tail, e.head, e.capacity) for e in b.edges]
+
+    def test_different_seeds_differ(self):
+        a = layered_dag(3, 4, seed=1)
+        b = layered_dag(3, 4, seed=2)
+        assert [(e.tail, e.head, e.capacity) for e in a.edges] != \
+            [(e.tail, e.head, e.capacity) for e in b.edges]
+
+    def test_connected_source_to_sink(self):
+        for seed in range(5):
+            g = layered_dag(4, 3, seed=seed)
+            assert dinic_max_flow(g)[0] > 0
+
+    def test_acyclic(self):
+        assert is_acyclic(layered_dag(5, 5, seed=3))
+
+    def test_node_count(self):
+        g = layered_dag(3, 4, seed=0)
+        assert g.num_nodes == 2 + 3 * 4
+
+
+class TestSeriesParallel:
+    def test_flow_value_reported(self):
+        g, flow = series_parallel(5, seed=4)
+        assert dinic_max_flow(g)[0] == flow
+
+    def test_acyclic(self):
+        g, _ = series_parallel(6, seed=2)
+        assert is_acyclic(g)
+
+
+class TestGrid:
+    def test_shape(self):
+        g = grid_graph(3, 4, seed=0)
+        assert g.num_nodes == 2 + 12
+
+    def test_positive_flow(self):
+        assert dinic_max_flow(grid_graph(4, 4, seed=1))[0] > 0
+
+    def test_acyclic(self):
+        assert is_acyclic(grid_graph(5, 5, seed=0))
+
+
+class TestRandomDag:
+    def test_acyclic(self):
+        for seed in range(5):
+            assert is_acyclic(random_dag(10, 30, seed=seed))
+
+    def test_capacities_nonnegative(self):
+        g = random_dag(8, 20, seed=7)
+        assert all(e.capacity >= 0 for e in g.edges)

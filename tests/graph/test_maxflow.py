@@ -1,0 +1,149 @@
+"""Tests for the three max-flow algorithms, alone and against each other."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GraphError
+from repro.graph.edmonds_karp import edmonds_karp_max_flow
+from repro.graph.flowgraph import INF, FlowGraph
+from repro.graph.generators import (grid_graph, layered_dag, random_dag,
+                                    series_parallel)
+from repro.graph.maxflow import dinic_max_flow, max_flow_value
+from repro.graph.push_relabel import push_relabel_max_flow
+
+ALGORITHMS = [dinic_max_flow, edmonds_karp_max_flow, push_relabel_max_flow]
+
+
+def diamond():
+    """Classic diamond with a cross edge; max flow 2000 + 0 reroutes."""
+    g = FlowGraph()
+    a, b = g.add_node(), g.add_node()
+    g.add_edge(g.source, a, 1000)
+    g.add_edge(g.source, b, 1000)
+    g.add_edge(a, b, 1)
+    g.add_edge(a, g.sink, 1000)
+    g.add_edge(b, g.sink, 1000)
+    return g
+
+
+@pytest.mark.parametrize("algo", ALGORITHMS)
+class TestKnownAnswers:
+    def test_single_edge(self, algo):
+        g = FlowGraph()
+        g.add_edge(g.source, g.sink, 7)
+        assert algo(g)[0] == 7
+
+    def test_disconnected_is_zero(self, algo):
+        g = FlowGraph()
+        n = g.add_node()
+        g.add_edge(g.source, n, 5)
+        assert algo(g)[0] == 0
+
+    def test_series_bottleneck(self, algo):
+        g = FlowGraph()
+        a = g.add_node()
+        b = g.add_node()
+        g.add_edge(g.source, a, 10)
+        g.add_edge(a, b, 3)
+        g.add_edge(b, g.sink, 10)
+        assert algo(g)[0] == 3
+
+    def test_parallel_sum(self, algo):
+        g = FlowGraph()
+        for cap in (2, 3, 5):
+            g.add_edge(g.source, g.sink, cap)
+        assert algo(g)[0] == 10
+
+    def test_diamond(self, algo):
+        assert algo(diamond())[0] == 2000
+
+    def test_zero_capacity_edges_carry_nothing(self, algo):
+        g = FlowGraph()
+        a = g.add_node()
+        g.add_edge(g.source, a, 0)
+        g.add_edge(a, g.sink, 9)
+        assert algo(g)[0] == 0
+
+    def test_needs_residual_reroute(self, algo):
+        # Greedy path choice must be undone through the reverse arc.
+        g = FlowGraph()
+        a, b = g.add_node(), g.add_node()
+        g.add_edge(g.source, a, 1)
+        g.add_edge(g.source, b, 1)
+        g.add_edge(a, b, 1)
+        g.add_edge(a, g.sink, 1)
+        g.add_edge(b, g.sink, 1)
+        assert algo(g)[0] == 2
+
+    def test_inf_interior_edges(self, algo):
+        g = FlowGraph()
+        a = g.add_node()
+        b = g.add_node()
+        g.add_edge(g.source, a, 13)
+        g.add_edge(a, b, INF)
+        g.add_edge(b, g.sink, 8)
+        assert algo(g)[0] == 8
+
+
+class TestResidualAccounting:
+    def test_flow_on_edges_conserved(self):
+        g = layered_dag(3, 4, seed=7)
+        value, net = dinic_max_flow(g)
+        # Conservation at every interior node.
+        balance = [0] * g.num_nodes
+        for i, e in enumerate(g.edges):
+            f = net.flow_on(i)
+            assert 0 <= f <= e.capacity
+            balance[e.tail] -= f
+            balance[e.head] += f
+        for node in range(2, g.num_nodes):
+            assert balance[node] == 0
+        assert balance[g.sink] == value
+        assert balance[g.source] == -value
+
+    def test_source_side_excludes_sink(self):
+        g = diamond()
+        _, net = dinic_max_flow(g)
+        side = net.source_side()
+        assert side[g.source]
+        assert not side[g.sink]
+
+    def test_source_equals_sink_rejected(self):
+        bad = FlowGraph()
+        bad.SINK = 0  # instance attribute shadowing: source == sink
+        with pytest.raises(GraphError):
+            dinic_max_flow(bad)
+
+    def test_max_flow_value_helper(self):
+        g = diamond()
+        assert max_flow_value(g) == 2000
+
+
+class TestCrossValidation:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_dags_agree(self, seed):
+        g = random_dag(15, 40, seed=seed)
+        results = {algo.__name__: algo(g)[0] for algo in ALGORITHMS}
+        assert len(set(results.values())) == 1, results
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_grids_agree(self, seed):
+        g = grid_graph(5, 5, seed=seed)
+        results = {algo.__name__: algo(g)[0] for algo in ALGORITHMS}
+        assert len(set(results.values())) == 1, results
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_series_parallel_known_flow(self, seed):
+        g, expected = series_parallel(6, seed=seed)
+        for algo in ALGORITHMS:
+            assert algo(g)[0] == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10**6), nodes=st.integers(1, 12),
+           edges=st.integers(0, 40))
+    def test_fuzz_agreement(self, seed, nodes, edges):
+        g = random_dag(nodes, edges, seed=seed)
+        d = dinic_max_flow(g)[0]
+        e = edmonds_karp_max_flow(g)[0]
+        p = push_relabel_max_flow(g)[0]
+        assert d == e == p

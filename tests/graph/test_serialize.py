@@ -1,0 +1,78 @@
+"""Tests for flow-graph persistence."""
+
+import io
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.flowgraph import INF, EdgeLabel, FlowGraph
+from repro.graph.maxflow import dinic_max_flow
+from repro.graph.serialize import (dump_graph, load_graph, read_graph,
+                                   save_graph)
+from repro.lang import measure
+
+
+def round_trip(graph):
+    buffer = io.StringIO()
+    dump_graph(graph, buffer)
+    buffer.seek(0)
+    return load_graph(buffer)
+
+
+class TestRoundTrip:
+    def test_structure_preserved(self):
+        g = FlowGraph()
+        a = g.add_node()
+        g.add_edge(g.source, a, 7)
+        g.add_edge(a, g.sink, INF)
+        loaded = round_trip(g)
+        assert loaded.num_nodes == g.num_nodes
+        assert [(e.tail, e.head) for e in loaded.edges] == \
+            [(e.tail, e.head) for e in g.edges]
+        assert loaded.edges[1].capacity >= INF
+
+    def test_labels_preserved(self):
+        g = FlowGraph()
+        g.add_edge(g.source, g.sink, 3,
+                   EdgeLabel("file.fl:7(main+2)", 12345, "implicit"))
+        loaded = round_trip(g)
+        label = loaded.edges[0].label
+        assert label.kind == "implicit"
+        assert label.location == "file.fl:7(main+2)"
+        assert label.context == 12345
+
+    def test_unlabelled_edges(self):
+        g = FlowGraph()
+        g.add_edge(g.source, g.sink, 4)
+        assert round_trip(g).edges[0].label is None
+
+    def test_measured_trace_survives(self):
+        result = measure("fn main() { output(secret_u8() & 0x1F); }",
+                         secret_input=b"\xFF", collapse="none")
+        graph = result.report.graph
+        loaded = round_trip(graph)
+        assert dinic_max_flow(loaded)[0] == dinic_max_flow(graph)[0] == 5
+
+    def test_collapse_still_works_after_reload(self):
+        from repro.graph.collapse import collapse_graph
+        result = measure("fn main() { var i: u32 = 0; while (i < 9) {"
+                         " output(secret_u8()); i = i + 1; } }",
+                         secret_input=bytes(9), collapse="none")
+        loaded = round_trip(result.report.graph)
+        collapsed, stats = collapse_graph(loaded, context_sensitive=False)
+        assert stats.collapsed_edges < stats.original_edges
+        assert dinic_max_flow(collapsed)[0] == 72
+
+    def test_file_helpers(self, tmp_path):
+        g = FlowGraph()
+        g.add_edge(g.source, g.sink, 9)
+        path = save_graph(str(tmp_path / "g.fgr"), g)
+        assert read_graph(path).edges[0].capacity == 9
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(GraphError):
+            load_graph(io.StringIO("nonsense\n"))
+
+    def test_bad_record_rejected(self):
+        with pytest.raises(GraphError):
+            load_graph(io.StringIO("flowgraph-v1\nx\t1\n"))

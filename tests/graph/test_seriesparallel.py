@@ -1,0 +1,97 @@
+"""Tests for the series-parallel reduction (Section 5.1)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.flowgraph import FlowGraph
+from repro.graph.generators import grid_graph, series_parallel
+from repro.graph.maxflow import dinic_max_flow
+from repro.graph.seriesparallel import reduce_series_parallel
+
+
+class TestReductions:
+    def test_single_edge_already_reduced(self):
+        g = FlowGraph()
+        g.add_edge(g.source, g.sink, 11)
+        r = reduce_series_parallel(g)
+        assert r.is_series_parallel
+        assert r.flow_if_sp == 11
+
+    def test_parallel_edges_sum(self):
+        g = FlowGraph()
+        g.add_edge(g.source, g.sink, 3)
+        g.add_edge(g.source, g.sink, 4)
+        r = reduce_series_parallel(g)
+        assert r.is_series_parallel
+        assert r.flow_if_sp == 7
+
+    def test_series_chain_takes_min(self):
+        g = FlowGraph()
+        a = g.add_node()
+        b = g.add_node()
+        g.add_edge(g.source, a, 9)
+        g.add_edge(a, b, 2)
+        g.add_edge(b, g.sink, 5)
+        r = reduce_series_parallel(g)
+        assert r.is_series_parallel
+        assert r.flow_if_sp == 2
+
+    def test_mixed_composition(self):
+        # (3 || 4) in series with 5 => min(7, 5) = 5
+        g = FlowGraph()
+        a = g.add_node()
+        g.add_edge(g.source, a, 3)
+        g.add_edge(g.source, a, 4)
+        g.add_edge(a, g.sink, 5)
+        r = reduce_series_parallel(g)
+        assert r.flow_if_sp == 5
+
+    def test_grid_is_not_series_parallel(self):
+        g = grid_graph(4, 4, seed=0)
+        r = reduce_series_parallel(g)
+        assert not r.is_series_parallel
+        assert 0 < r.irreducible_fraction <= 1
+
+    def test_reduction_stats(self):
+        g, _ = series_parallel(5, seed=1)
+        r = reduce_series_parallel(g)
+        assert r.original_edges == g.num_edges
+        assert r.reduced_edges == 1
+        assert r.irreducible_fraction == 1 / g.num_edges
+
+    def test_input_graph_untouched(self):
+        g, _ = series_parallel(4, seed=2)
+        before = [(e.tail, e.head, e.capacity) for e in g.edges]
+        reduce_series_parallel(g)
+        after = [(e.tail, e.head, e.capacity) for e in g.edges]
+        assert before == after
+
+    def test_empty_graph(self):
+        g = FlowGraph()
+        r = reduce_series_parallel(g)
+        assert not r.is_series_parallel
+        assert r.irreducible_fraction == 0.0
+
+
+class TestAgainstMaxFlow:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_sp_reduction_matches_dinic(self, seed):
+        g, expected = series_parallel(7, seed=seed)
+        r = reduce_series_parallel(g)
+        assert r.is_series_parallel
+        assert r.flow_if_sp == expected == dinic_max_flow(g)[0]
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10**6), depth=st.integers(1, 8))
+    def test_fuzz_sp_graphs_fully_reduce(self, seed, depth):
+        g, expected = series_parallel(depth, seed=seed)
+        r = reduce_series_parallel(g)
+        assert r.is_series_parallel
+        assert r.flow_if_sp == expected
+
+    def test_partial_reduction_preserves_flow(self):
+        # Even on non-SP graphs, the reduced graph has the same max flow.
+        for seed in range(6):
+            g = grid_graph(3, 4, seed=seed)
+            r = reduce_series_parallel(g)
+            assert dinic_max_flow(r.graph)[0] == dinic_max_flow(g)[0]

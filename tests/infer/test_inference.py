@@ -1,0 +1,188 @@
+"""Tests for the Section 8.6 pilot inference and Figure 6 classifier."""
+
+import pytest
+
+from repro.infer import (FOUND, MISSED_EXPANSION, MISSED_INTERPROCEDURAL,
+                         classify_annotations, collect_writes,
+                         figure6_table, infer_region_outputs,
+                         summarize_functions)
+from repro.lang.checker import check_program
+from repro.lang.parser import parse
+
+
+def checked(source):
+    return check_program(parse(source))
+
+
+def classify(source, name="test"):
+    return classify_annotations(checked(source), name)
+
+
+class TestCollectWrites:
+    def get_region_writes(self, source):
+        program = checked(source)
+        (inference,) = infer_region_outputs(program)
+        return inference.writes
+
+    def test_scalar_assignment_found(self):
+        writes = self.get_region_writes(
+            "fn main() { var a: u8 = 0; enclose (a) { a = 1; } }")
+        assert {s.name for s in writes.scalars} == {"a"}
+
+    def test_region_local_excluded(self):
+        writes = self.get_region_writes(
+            "fn main() { var a: u8 = 0;"
+            " enclose (a) { var t: u8 = 1; t = 2; a = t; } }")
+        assert {s.name for s in writes.scalars} == {"a"}
+
+    def test_literal_array_index(self):
+        writes = self.get_region_writes(
+            "fn main() { var a: u8[4]; enclose (a[..]) { a[2] = 1; } }")
+        assert not writes.array_dynamic
+        ((symbol, indices),) = writes.array_literal.items()
+        assert indices == {2}
+
+    def test_dynamic_index_poisons(self):
+        writes = self.get_region_writes(
+            "fn main() { var a: u8[4]; var i: u32 = 0;"
+            " enclose (a[..]) { a[0] = 1; a[i] = 2; } }")
+        assert {s.name for s in writes.array_dynamic} == {"a"}
+        assert not writes.array_literal
+
+    def test_nested_control_flow_walked(self):
+        writes = self.get_region_writes(
+            "fn main() { var a: u8 = 0; var b: u8 = 0;"
+            " enclose (a, b) { if (true) { a = 1; }"
+            " while (false) { b = 2; } } }")
+        assert {s.name for s in writes.scalars} == {"a", "b"}
+
+    def test_calls_recorded(self):
+        writes = self.get_region_writes(
+            "fn f() { } fn main() { var a: u8 = 0;"
+            " enclose (a) { f(); a = 1; } }")
+        assert len(writes.calls) == 1
+
+    def test_read_secret_is_array_write(self):
+        writes = self.get_region_writes(
+            "fn main() { var b: u8[8]; var n: u32 = 0;"
+            " enclose (b[..], n) { n = read_secret(b, 8); } }")
+        assert {s.name for s in writes.array_dynamic} == {"b"}
+
+
+class TestFunctionSummaries:
+    def test_global_write_summarized(self):
+        program = checked("var g: u8 = 0; fn f() { g = 1; } fn main() { }")
+        summaries = summarize_functions(program)
+        assert {s.name for s in summaries["f"].written_globals} == {"g"}
+
+    def test_param_array_write_summarized(self):
+        program = checked("fn f(a: u8[]) { a[0] = 1; } fn main() { }")
+        summaries = summarize_functions(program)
+        assert len(summaries["f"].written_params) == 1
+
+    def test_transitive_propagation(self):
+        program = checked(
+            "var g: u8 = 0;"
+            "fn inner() { g = 1; }"
+            "fn outer() { inner(); }"
+            "fn main() { outer(); }")
+        summaries = summarize_functions(program)
+        assert {s.name for s in summaries["outer"].written_globals} == {"g"}
+        assert {s.name for s in summaries["main"].written_globals} == {"g"}
+
+    def test_array_arg_threading(self):
+        program = checked(
+            "fn write(a: u8[]) { a[0] = 1; }"
+            "fn relay(b: u8[]) { write(b); }"
+            "fn main() { var c: u8[4]; relay(c); }")
+        summaries = summarize_functions(program)
+        assert len(summaries["relay"].written_params) == 1
+
+
+class TestClassification:
+    def test_direct_scalar_found(self):
+        score = classify(
+            "fn main() { var a: u8 = 0; enclose (a) { a = 1; } }")
+        assert score.found == 1
+        assert score.hand_annotations == 1
+
+    def test_interprocedural_missed(self):
+        score = classify(
+            "var g: u8 = 0;"
+            "fn bump() { g = g + 1; }"
+            "fn main() { enclose (g) { bump(); } }")
+        (result,) = score.results
+        assert result.category == MISSED_INTERPROCEDURAL
+
+    def test_dynamic_array_is_expansion(self):
+        score = classify(
+            "fn main() { var a: u8[4]; var i: u32 = 0;"
+            " enclose (a[..]) { a[i] = 1; } }")
+        (result,) = score.results
+        assert result.category == MISSED_EXPANSION
+
+    def test_literal_array_found(self):
+        score = classify(
+            "fn main() { var a: u8[4]; enclose (a[..]) { a[3] = 1; } }")
+        (result,) = score.results
+        assert result.category == FOUND
+
+    def test_need_length_tallied(self):
+        score = classify(
+            "fn f(a: u8[], n: u32) { var i: u32 = 0;"
+            " enclose (a[.. n]) { while (i < n) { a[i] = 1;"
+            " i = i + 1; } } }"
+            "fn main() { var b: u8[4]; f(b, 4); }")
+        assert score.need_length == 1
+        assert score.missed_expansion == 1  # dynamic index too
+
+    def test_vacuous_annotation_counts_found(self):
+        score = classify(
+            "fn main() { var a: u8 = 0; enclose (a) { } }")
+        (result,) = score.results
+        assert result.category == FOUND
+
+    def test_transitive_interprocedural(self):
+        score = classify(
+            "var g: u8 = 0;"
+            "fn inner() { g = 1; }"
+            "fn outer() { inner(); }"
+            "fn main() { enclose (g) { outer(); } }")
+        (result,) = score.results
+        assert result.category == MISSED_INTERPROCEDURAL
+
+    def test_array_param_interprocedural(self):
+        score = classify(
+            "fn fill(a: u8[]) { a[0] = 1; }"
+            "fn main() { var b: u8[4]; enclose (b[..]) { fill(b); } }")
+        (result,) = score.results
+        assert result.category == MISSED_INTERPROCEDURAL
+
+    def test_found_fraction(self):
+        score = classify(
+            "var g: u8 = 0;"
+            "fn bump() { g = 1; }"
+            "fn main() { var a: u8 = 0;"
+            " enclose (a) { a = 1; }"
+            " enclose (g) { bump(); } }")
+        assert score.hand_annotations == 2
+        assert score.found == 1
+        assert score.found_fraction == 0.5
+
+
+class TestFigure6Table:
+    def test_rendering(self):
+        scores = [classify(
+            "fn main() { var a: u8 = 0; enclose (a) { a = 1; } }",
+            name="tiny")]
+        table = figure6_table(scores)
+        assert "tiny" in table
+        assert "overall found: 1/1 (100%)" in table
+
+    def test_multiple_regions_counted(self):
+        score = classify(
+            "fn main() { var a: u8 = 0; var b: u8 = 0;"
+            " enclose (a) { a = 1; }"
+            " enclose (b) { b = 2; } }")
+        assert score.hand_annotations == 2
+        assert score.found == 2

@@ -1,0 +1,152 @@
+"""Tests for the all-static max-flow analysis (§10.2)."""
+
+import pytest
+
+from repro.infer.staticflow import (StaticFlowAnalysis,
+                                    UnsupportedConstruct, static_bound)
+from repro.lang import measure
+from repro.lang.checker import check_program
+from repro.lang.parser import parse
+
+
+def analyzed(source):
+    return StaticFlowAnalysis(check_program(parse(source)))
+
+
+def bound(source, loop_bounds=None, default=1):
+    return static_bound(check_program(parse(source)), loop_bounds,
+                        default_bound=default)
+
+
+UNARY = """
+fn main() {
+    var n: u8 = secret_u8();
+    while (n != 0) {
+        print_char('x');
+        n = n - 1;
+    }
+}
+"""
+
+
+class TestStraightLine:
+    def test_direct_output(self):
+        assert bound("fn main() { output(secret_u8()); }") == 8
+
+    def test_unused_secret(self):
+        assert bound("fn main() { var x: u8 = secret_u8(); }") == 0
+
+    def test_width_through_variable(self):
+        assert bound("fn main() { var x: u8 = secret_u8();"
+                     " output(x); }") == 8
+
+    def test_narrow_variable_bottleneck(self):
+        # A 1-bit variable can only carry one bit per assignment.
+        assert bound("fn main() { var b: bool = secret_u8() == 0;"
+                     " output(b); }") == 1
+
+    def test_two_outputs_of_one_copy_bounded(self):
+        source = """
+        fn main() {
+            var x: u8 = secret_u8();
+            output(x);
+            output(x);
+        }
+        """
+        # x is assigned once: its node capacity caps both outputs.
+        assert bound(source) == 8
+
+    def test_declassify_cuts(self):
+        assert bound("fn main() { output(declassify(secret_u8())); }") == 0
+
+    def test_branch_on_secret_one_bit(self):
+        source = """
+        fn main() {
+            var x: u8 = secret_u8();
+            if (x > 5) { output(1); } else { output(0); }
+        }
+        """
+        assert bound(source) == 1
+
+
+class TestLoops:
+    def test_unary_printer_formula(self):
+        analysis = analyzed(UNARY)
+        (loop,) = analysis.loop_lines
+        for k in (0, 1, 5, 7, 8, 100):
+            assert analysis.bound({loop: k}) == min(8, k + 1)
+
+    def test_static_dominates_dynamic(self):
+        analysis = analyzed(UNARY)
+        (loop,) = analysis.loop_lines
+        for n in (0, 3, 9, 250):
+            dynamic = measure(UNARY, secret_input=bytes([n])).bits
+            assert analysis.bound({loop: max(n, 1)}) >= dynamic
+
+    def test_leak_per_iteration_scales(self):
+        source = """
+        fn main() {
+            var i: u32 = 0;
+            while (i < 10) {
+                output(secret_u8());
+                i = i + 1;
+            }
+        }
+        """
+        analysis = analyzed(source)
+        (loop,) = analysis.loop_lines
+        assert analysis.bound({loop: 10}) == 80
+        assert analysis.bound({loop: 3}) == 24
+
+    def test_default_bound_used_for_unlisted_loops(self):
+        assert bound(UNARY, default=4) == 5
+
+    def test_formula_rendering_mentions_loops(self):
+        analysis = analyzed(UNARY)
+        text = analysis.formula()
+        assert "N%d" % analysis.loop_lines[0] in text
+        assert "source -> n : 8" in text
+
+
+class TestRegions:
+    def test_enclosed_counter(self):
+        source = """
+        fn main() {
+            var x: u8 = secret_u8();
+            var count: u8 = 0;
+            var i: u32 = 0;
+            enclose (count) {
+                while (i < 100) {
+                    if (x > u8(i & 0xFF)) { count = count + 1; }
+                    i = i + 1;
+                }
+            }
+            output(count);
+        }
+        """
+        analysis = analyzed(source)
+        (loop,) = analysis.loop_lines
+        # However long the loop, the region output is one 8-bit counter.
+        assert analysis.bound({loop: 1000}) == 8
+        # With a tiny bound, the branch bits are the bottleneck.
+        assert analysis.bound({loop: 2}) == 2
+
+
+class TestSubsetLimits:
+    def test_arrays_rejected(self):
+        with pytest.raises(UnsupportedConstruct):
+            bound("fn main() { var a: u8[4]; output(a[0]); }")
+
+    def test_user_calls_rejected(self):
+        with pytest.raises(UnsupportedConstruct):
+            bound("fn f(): u8 { return 0; } fn main() { output(f()); }")
+
+    def test_missing_function(self):
+        with pytest.raises(UnsupportedConstruct):
+            static_bound(check_program(parse("fn other() { }")),
+                         function="main")
+
+    def test_entry_with_params_rejected(self):
+        program = check_program(parse("fn main2(x: u8) { output(x); }"))
+        with pytest.raises(UnsupportedConstruct):
+            static_bound(program, function="main2")

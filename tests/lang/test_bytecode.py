@@ -1,0 +1,135 @@
+"""Tests for bytecode structure and the disassembler."""
+
+import pytest
+
+from repro.lang import compile_source
+from repro.lang.bytecode import Op
+
+
+def compiled(source):
+    return compile_source(source)
+
+
+class TestCompilationShape:
+    def test_every_function_ends_in_ret(self):
+        program = compiled("fn f() { } fn g(): u32 { return 1; }"
+                           "fn main() { f(); output(g()); }")
+        for function in program.functions.values():
+            assert function.code[-1].op == Op.RET
+
+    def test_void_fallthrough_ret_has_no_value(self):
+        program = compiled("fn main() { }")
+        ret = program.functions["main"].code[-1]
+        assert ret.arg is False
+
+    def test_nonvoid_fallthrough_pushes_zero(self):
+        program = compiled("fn f(): u32 { } fn main() { output(f()); }")
+        code = program.functions["f"].code
+        assert code[-2].op == Op.CONST
+        assert code[-1].op == Op.RET and code[-1].arg is True
+
+    def test_jump_targets_in_range(self):
+        program = compiled("""
+        fn main() {
+            var i: u32 = 0;
+            while (i < 10) {
+                if (i % 2 == 0) { output(i); } else { continue; }
+                i = i + 1;
+                if (i == 7) { break; }
+            }
+        }
+        """)
+        code = program.functions["main"].code
+        for instr in code:
+            if instr.op in (Op.JMP, Op.JZ):
+                assert isinstance(instr.arg, int)
+                assert 0 <= instr.arg <= len(code)
+
+    def test_every_instruction_has_location(self):
+        program = compiled("fn main() { var x: u8 = 1; output(x); }")
+        for instr in program.functions["main"].code:
+            assert instr.loc is not None
+            assert instr.loc.unit == "<source>"
+
+    def test_locations_unique_per_instruction(self):
+        program = compiled("fn main() { output(1 + 2 + 3); }")
+        locations = [str(i.loc) for i in program.functions["main"].code]
+        assert len(set(locations)) == len(locations)
+
+    def test_region_table(self):
+        program = compiled("""
+        fn main() {
+            var a: u8 = 0;
+            var buf: u8[16];
+            var n: u32 = 4;
+            enclose (a, buf[.. n]) { a = 1; }
+        }
+        """)
+        assert len(program.regions) == 1
+        (region,) = program.regions.values()
+        kinds = [(o.kind, o.dynamic_length) for o in region.outputs]
+        assert kinds == [("scalar", False), ("array", True)]
+
+    def test_enclose_compiles_enter_leave_pair(self):
+        program = compiled(
+            "fn main() { var a: u8 = 0; enclose (a) { a = 1; } }")
+        ops = [i.op for i in program.functions["main"].code]
+        assert ops.count(Op.ENTER) == 1
+        assert ops.count(Op.LEAVE) == 1
+        assert ops.index(Op.ENTER) < ops.index(Op.LEAVE)
+
+
+class TestDisassembler:
+    def test_function_listing(self):
+        program = compiled("fn main() { output(7); }")
+        text = program.functions["main"].disassemble()
+        assert "fn main" in text
+        assert "CONST" in text
+        assert "CALLB" in text
+
+    def test_program_listing_covers_all_functions(self):
+        program = compiled("fn helper() { } fn main() { helper(); }")
+        text = program.disassemble()
+        assert "fn helper" in text
+        assert "fn main" in text
+
+
+class TestCompileErrors:
+    def test_break_out_of_region_rejected(self):
+        from repro.errors import CompileError
+        with pytest.raises(CompileError):
+            compiled("""
+            fn main() {
+                var a: u8 = 0;
+                while (true) {
+                    enclose (a) { break; }
+                }
+            }
+            """)
+
+    def test_return_inside_region_rejected(self):
+        from repro.errors import CompileError
+        with pytest.raises(CompileError):
+            compiled("fn f(): u8 { var a: u8 = 0;"
+                     " enclose (a) { return 1; } }")
+
+    def test_loop_fully_inside_region_allowed(self):
+        compiled("""
+        fn main() {
+            var a: u8 = 0;
+            enclose (a) {
+                var i: u32 = 0;
+                while (i < 3) {
+                    if (i == 1) { continue; }
+                    i = i + 1;
+                    if (i == 2) { break; }
+                }
+                a = u8(i & 0xFF);
+            }
+        }
+        """)
+
+    def test_nonliteral_global_init_rejected(self):
+        from repro.errors import CompileError
+        with pytest.raises(CompileError):
+            compiled("var g: u32 = 1 + 2; fn main() { }")

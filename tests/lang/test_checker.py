@@ -1,0 +1,205 @@
+"""Tests for FlowLang semantic analysis."""
+
+import pytest
+
+from repro.errors import TypeCheckError
+from repro.lang import compile_source
+from repro.lang.checker import check_program
+from repro.lang.parser import parse
+
+
+def check(source):
+    return check_program(parse(source))
+
+
+def check_body(body):
+    return check("fn main() { %s }" % body)
+
+
+def expect_error(source, fragment):
+    with pytest.raises(TypeCheckError) as err:
+        check(source)
+    assert fragment in str(err.value), str(err.value)
+
+
+class TestDeclarations:
+    def test_simple_program(self):
+        check("fn main() { var x: u8 = 1; output(x); }")
+
+    def test_duplicate_function(self):
+        expect_error("fn f() { } fn f() { }", "duplicate function")
+
+    def test_builtin_shadowing(self):
+        expect_error("fn output() { }", "shadows a builtin")
+
+    def test_redeclaration_in_scope(self):
+        expect_error("fn main() { var x: u8; var x: u8; }", "redeclaration")
+
+    def test_shadowing_in_nested_scope_ok(self):
+        check_body("var x: u8; { var x: u32; x = 1; } x = 2;")
+
+    def test_undeclared_name(self):
+        expect_error("fn main() { x = 1; }", "undeclared")
+
+    def test_array_needs_size(self):
+        expect_error("fn main() { var a: u8[]; }", "string initializer")
+
+    def test_unsized_array_with_string(self):
+        check_body('var s: u8[] = "abc"; output(s[0]);')
+
+    def test_string_longer_than_array(self):
+        expect_error('fn main() { var s: u8[2] = "abc"; }', "longer")
+
+    def test_zero_size_array(self):
+        expect_error("fn main() { var a: u8[0]; }", "positive")
+
+    def test_functions_cannot_return_arrays(self):
+        expect_error("fn f(): u8[4] { }", "cannot return arrays")
+
+
+class TestTypes:
+    def test_strict_operand_types(self):
+        expect_error("fn main() { var a: u8 = 1; var b: u32 = 2; "
+                     "var c: u32 = u32(a) + b; var d: u32 = a + b; }",
+                     "mismatch")
+
+    def test_literal_adapts_to_context(self):
+        check_body("var a: u8 = 200; var b: u8 = a + 1;")
+
+    def test_literal_overflow(self):
+        expect_error("fn main() { var a: u8 = 256; }", "does not fit")
+
+    def test_signed_literal_ranges(self):
+        check_body("var a: i8 = 127;")
+        expect_error("fn main() { var a: i8 = 128; }", "does not fit")
+
+    def test_cast_changes_type(self):
+        check_body("var a: u8 = 1; var b: u32 = u32(a);")
+
+    def test_cast_to_bool_rejected(self):
+        expect_error("fn main() { var a: u8 = 1; var b: bool = bool(a); }",
+                     "cast to bool")
+
+    def test_condition_must_be_bool(self):
+        expect_error("fn main() { var a: u8 = 1; if (a) { } }", "bool")
+        expect_error("fn main() { var a: u8 = 1; while (a) { } }", "bool")
+
+    def test_comparison_yields_bool(self):
+        check_body("var a: u8 = 1; if (a > 0) { }")
+
+    def test_logic_ops_need_bool(self):
+        check_body("var a: u8 = 1; if (a > 0 && a < 5) { }")
+        expect_error("fn main() { var a: u8 = 1; if (a && a > 0) { } }",
+                     "bool")
+
+    def test_not_needs_bool(self):
+        expect_error("fn main() { var a: u8 = 1; if (!a) { } }", "bool")
+
+    def test_bool_equality_allowed(self):
+        check_body("var a: bool = true; if (a == false) { }")
+
+    def test_shift_amount_unsigned(self):
+        check_body("var a: u32 = 1; var b: u32 = a << u32(2);")
+        expect_error(
+            "fn main() { var a: u32 = 1; var s: i8 = 1;"
+            " var b: u32 = a << s; }", "unsigned")
+
+    def test_array_assignment_rejected(self):
+        expect_error("fn main() { var a: u8[4]; var b: u8[4]; a = b; }",
+                     "whole arrays")
+
+    def test_index_must_be_unsigned(self):
+        expect_error(
+            "fn main() { var a: u8[4]; var i: i8 = 0; output(a[i]); }",
+            "unsigned")
+
+    def test_indexing_non_array(self):
+        expect_error("fn main() { var a: u8 = 1; output(a[0]); }",
+                     "not an array")
+
+    def test_len_of_non_array(self):
+        expect_error("fn main() { var a: u8 = 1; output(len(a)); }",
+                     "non-array")
+
+
+class TestFunctions:
+    def test_call_arity(self):
+        expect_error("fn f(a: u8) { } fn main() { f(); }", "argument")
+
+    def test_call_type_mismatch(self):
+        expect_error("fn f(a: u8) { } fn main() { var x: u32 = 1; f(x); }",
+                     "mismatch")
+
+    def test_array_parameter(self):
+        check("fn f(a: u8[]) { output(a[0]); } "
+              "fn main() { var b: u8[4]; f(b); }")
+
+    def test_array_argument_must_be_name(self):
+        expect_error("fn f(a: u8[]) { } fn main() { f(1); }",
+                     "array variables" if True else "")
+
+    def test_return_type_checked(self):
+        expect_error("fn f(): u8 { return true; }", "mismatch")
+        expect_error("fn f() { return 1; }", "void")
+        expect_error("fn f(): u8 { return; }", "without a value")
+
+    def test_call_undeclared(self):
+        expect_error("fn main() { nosuch(); }", "undeclared function")
+
+    def test_function_as_value(self):
+        expect_error("fn f() { } fn main() { var x: u32 = f; }",
+                     "used as a value")
+
+    def test_recursive_call_allowed(self):
+        check("fn f(n: u32): u32 { if (n == 0) { return 0; } "
+              "return f(n - 1); } fn main() { output(f(3)); }")
+
+
+class TestControlFlow:
+    def test_break_outside_loop(self):
+        expect_error("fn main() { break; }", "outside a loop")
+
+    def test_continue_outside_loop(self):
+        expect_error("fn main() { continue; }", "outside a loop")
+
+    def test_loop_scoping(self):
+        check_body("for (var i: u32 = 0; i < 3; i = i + 1) { output(i); }")
+        expect_error(
+            "fn main() { for (var i: u32 = 0; i < 3; i = i + 1) { } "
+            "output(i); }", "undeclared")
+
+
+class TestEnclose:
+    def test_scalar_outputs_ok(self):
+        check_body("var a: u8 = 0; enclose (a) { a = 1; }")
+
+    def test_scalar_with_brackets_rejected(self):
+        expect_error("fn main() { var a: u8 = 0; enclose (a[..]) { } }",
+                     "scalar")
+
+    def test_array_needs_brackets(self):
+        expect_error("fn main() { var a: u8[4]; enclose (a) { } }",
+                     "[..]")
+
+    def test_whole_array_ok(self):
+        check_body("var a: u8[4]; enclose (a[..]) { a[0] = 1; }")
+
+    def test_bounded_array_ok(self):
+        check_body("var a: u8[4]; var n: u32 = 2; "
+                   "enclose (a[.. n]) { a[0] = 1; }")
+
+    def test_unsized_param_needs_bound(self):
+        expect_error("fn f(a: u8[]) { enclose (a[..]) { } }",
+                     "explicit")
+
+    def test_undeclared_output(self):
+        expect_error("fn main() { enclose (zz) { } }", "undeclared")
+
+
+class TestCompilesEndToEnd:
+    def test_checker_feeds_compiler(self):
+        compiled = compile_source(
+            "fn add(a: u32, b: u32): u32 { return a + b; }"
+            " fn main() { output(add(1, 2)); }")
+        assert "add" in compiled.functions
+        assert "main" in compiled.functions

@@ -1,0 +1,355 @@
+"""Tests for flow measurement through the FlowLang frontend.
+
+These are the language-level counterparts of the paper's Sections 2-3
+examples: direct flows, implicit flows, enclosure regions, masking,
+collapsing, and multi-run consistency, all measured on real programs.
+"""
+
+import pytest
+
+from repro.core.policy import CutPolicy
+from repro.errors import RegionError
+from repro.lang import check, compile_source, lockstep, measure, measure_many
+
+COUNT_PUNCT = '''
+fn count_punct(buf: u8[], n: u32) {
+    var num_dot: u8 = 0;
+    var num_qm: u8 = 0;
+    var common: u8 = 0;
+    var num: u8 = 0;
+    enclose (num_dot, num_qm) {
+        var i: u32 = 0;
+        while (i < n) {
+            if (buf[i] == '.') {
+                num_dot = num_dot + 1;
+            } else if (buf[i] == '?') {
+                num_qm = num_qm + 1;
+            }
+            i = i + 1;
+        }
+    }
+    enclose (common, num) {
+        if (num_dot > num_qm) {
+            common = '.';
+            num = num_dot;
+        } else {
+            common = '?';
+            num = num_qm;
+        }
+    }
+    while (num != 0) {
+        print_char(common);
+        num = num - 1;
+    }
+}
+
+fn main() {
+    var buf: u8[256];
+    var n: u32 = read_secret(buf, 256);
+    count_punct(buf, n);
+}
+'''
+
+
+class TestDirectFlows:
+    def test_copy_out_reveals_width(self):
+        bits = measure("fn main() { output(secret_u8()); }",
+                       secret_input=b"\xAB").bits
+        assert bits == 8
+
+    def test_unused_secret_reveals_nothing(self):
+        bits = measure("fn main() { var x: u8 = secret_u8(); output(3); }",
+                       secret_input=b"\xAB").bits
+        assert bits == 0
+
+    def test_copies_do_not_multiply(self):
+        # Figure 1: both copies of the sum together carry 32 bits.
+        source = """
+        fn main() {
+            var a: u32 = secret_u32();
+            var b: u32 = secret_u32();
+            var c: u32 = a + b;
+            var d: u32 = c;
+            output(c);
+            output(d);
+        }
+        """
+        result = measure(source, secret_input=bytes(8))
+        assert result.bits == 32
+        assert result.report.tainted_output_bits == 64
+
+    def test_masking_keeps_low_bits(self):
+        bits = measure("fn main() { output(secret_u8() & 0x0F); }",
+                       secret_input=b"\xFF").bits
+        assert bits == 4
+
+    def test_xor_preserves_bits(self):
+        bits = measure("fn main() { output(secret_u8() ^ 0x55); }",
+                       secret_input=b"\x00").bits
+        assert bits == 8
+
+    def test_division_by_constant_still_width(self):
+        bits = measure("fn main() { output(secret_u8() / 51); }",
+                       secret_input=b"\xFF").bits
+        assert bits == 8
+
+    def test_declassify_erases(self):
+        bits = measure("fn main() { output(declassify(secret_u8())); }",
+                       secret_input=b"\xAB").bits
+        assert bits == 0
+
+
+class TestImplicitFlows:
+    def test_branch_reveals_one_bit(self):
+        source = """
+        fn main() {
+            var x: u8 = secret_u8();
+            if (x > 100) { output(1); } else { output(0); }
+        }
+        """
+        assert measure(source, secret_input=b"\x00").bits == 1
+
+    def test_secret_index_load(self):
+        source = """
+        fn main() {
+            var tab: u8[] = "abcdefgh";
+            var i: u8 = secret_u8() & 0x07;
+            output(tab[u32(i)]);
+        }
+        """
+        # The index carries 3 secret bits into the load.
+        assert measure(source, secret_input=b"\x05").bits == 3
+
+    def test_secret_index_store(self):
+        source = """
+        fn main() {
+            var tab: u8[16];
+            var i: u8 = secret_u8() & 0x03;
+            tab[u32(i)] = 1;
+            output(tab[0]);
+        }
+        """
+        assert measure(source, secret_input=b"\x02").bits == 2
+
+    def test_loop_trip_count_unary(self):
+        # Printing n constant chars reveals min(8, n+1) bits (§3.2).
+        source = """
+        fn main() {
+            var n: u8 = secret_u8();
+            while (n != 0) { print_char('x'); n = n - 1; }
+        }
+        """
+        assert measure(source, secret_input=b"\x03").bits == 4
+        assert measure(source, secret_input=b"\xC8").bits == 8
+
+    def test_branch_with_no_subsequent_output_exit_observable(self):
+        source = """
+        fn main() {
+            output(1);
+            if (secret_u8() > 10) { var x: u8 = 0; }
+        }
+        """
+        # collapse="none" preserves output-chain time ordering; under
+        # collapsing the chain nodes merge and the distinction is
+        # (soundly) lost.
+        with_exit = measure(source, secret_input=b"\x00", collapse="none",
+                            exit_observable=True).bits
+        without = measure(source, secret_input=b"\x00", collapse="none",
+                          exit_observable=False).bits
+        assert with_exit == 1
+        assert without == 0
+
+
+class TestEnclosureRegions:
+    def test_figure2_nine_bits(self):
+        result = measure(COUNT_PUNCT, secret_input=b"........????")
+        assert result.bits == 9
+        assert result.output_bytes == b"........"
+        assert result.report.warnings == []
+
+    def test_figure2_min_cut_shape(self):
+        result = measure(COUNT_PUNCT, secret_input=b"........????")
+        caps = sorted(ce.capacity for ce in result.report.mincut)
+        assert caps == [1, 8]
+
+    def test_figure2_tainting_is_64(self):
+        result = measure(COUNT_PUNCT, secret_input=b"........????")
+        assert result.report.tainted_output_bits == 64
+
+    def test_without_regions_much_larger(self):
+        bare = COUNT_PUNCT.replace("enclose (num_dot, num_qm)", "enclose ()")
+        bare = bare.replace("enclose (common, num)", "enclose ()")
+        # Without output annotations the counters stay public; the
+        # program then prints nothing secret but the region write check
+        # flags the undeclared writes.
+        result = measure(bare, secret_input=b"..?")
+        assert result.report.warnings  # undeclared writes detected
+
+    def test_strict_region_check_raises(self):
+        source = """
+        fn main() {
+            var x: u8 = secret_u8();
+            var out: u8 = 0;
+            var sneaky: u8 = 0;
+            enclose (out) {
+                if (x > 5) { out = 1; sneaky = 1; }
+            }
+            output(sneaky);
+        }
+        """
+        with pytest.raises(RegionError):
+            measure(source, secret_input=b"\xFF", region_check="strict")
+        result = measure(source, secret_input=b"\xFF", region_check="warn")
+        assert result.report.warnings
+
+    def test_region_bounds_flow_to_one_bit(self):
+        source = """
+        fn main() {
+            var x: u32 = secret_u32();
+            var big: u32 = 0;
+            enclose (big) {
+                if (x > 1000) { big = 1; }
+            }
+            output(big);
+        }
+        """
+        assert measure(source, secret_input=bytes(4)).bits == 1
+
+    def test_region_direct_flow_adds_to_implicit(self):
+        source = """
+        fn main() {
+            var x: u8 = secret_u8();
+            var y: u8 = secret_u8();
+            var out: u8 = x & 0x03;
+            enclose (out) {
+                if (y > 5) { out = out | 0x80; }
+            }
+            output(out);
+        }
+        """
+        # 2 direct bits + 1 implicit bit.
+        assert measure(source, secret_input=b"\xFF\xFF").bits == 3
+
+    def test_array_region_output(self):
+        source = """
+        fn main() {
+            var x: u8 = secret_u8();
+            var grid: u8[4];
+            enclose (grid[..]) {
+                var i: u32 = 0;
+                while (i < 4) {
+                    if (x > u8(i) * 50) { grid[i] = 1; }
+                    i = i + 1;
+                }
+            }
+            output_bytes(grid, 4);
+        }
+        """
+        # Four comparisons feed the region: 4 bits total escape.
+        assert measure(source, secret_input=b"\x80").bits == 4
+
+    def test_nested_regions(self):
+        source = """
+        fn main() {
+            var x: u8 = secret_u8();
+            var inner_out: u8 = 0;
+            var outer_out: u8 = 0;
+            enclose (outer_out, inner_out) {
+                enclose (inner_out) {
+                    if (x > 10) { inner_out = 1; }
+                }
+                if (inner_out > 0) { outer_out = 1; }
+            }
+            output(outer_out);
+        }
+        """
+        assert measure(source, secret_input=b"\xFF").bits == 1
+
+
+class TestMultiRunConsistency:
+    UNARY = """
+    fn main() {
+        var n: u8 = secret_u8();
+        while (n != 0) { print_char('x'); n = n - 1; }
+    }
+    """
+
+    def test_independent_bounds(self):
+        _, per_run = measure_many(self.UNARY, [b"\x00", b"\x02", b"\xF0"])
+        assert [r.bits for r in per_run] == [1, 3, 8]
+
+    def test_combined_forces_one_cut(self):
+        combined, per_run = measure_many(
+            self.UNARY, [b"\x05", b"\xC8"])  # n=5 and n=200
+        assert [r.bits for r in per_run] == [6, 8]
+        # A single consistent cut: both runs measured at the counter.
+        assert combined.bits == 16
+
+
+class TestDeploymentChecking:
+    def make_policy(self, text=b"........????"):
+        result = measure(COUNT_PUNCT, secret_input=text)
+        return CutPolicy.from_report(result.report)
+
+    def test_taint_check_same_structure_passes(self):
+        policy = self.make_policy()
+        result = check(COUNT_PUNCT, policy, secret_input=b"..??.?.?....")
+        assert result.ok
+
+    def test_taint_check_catches_new_leak(self):
+        policy = self.make_policy()
+        leaky = COUNT_PUNCT.replace(
+            "count_punct(buf, n);", "count_punct(buf, n); output(buf[0]);")
+        result = check(leaky, policy, secret_input=b"........????")
+        assert not result.ok
+        assert result.unexpected
+
+    def test_lockstep_clean_and_leaky(self):
+        policy = self.make_policy()
+        good = lockstep(COUNT_PUNCT, policy,
+                        real_secret=b"........????",
+                        dummy_secret=b"?.?.?.?.?.?.")
+        assert good.ok
+        leaky = COUNT_PUNCT.replace(
+            "count_punct(buf, n);", "count_punct(buf, n); output(buf[0]);")
+        bad = lockstep(leaky, policy,
+                       real_secret=b"........????",
+                       dummy_secret=b"?.?.?.?.?.?.")
+        assert not bad.ok
+
+
+class TestCollapsing:
+    def test_all_modes_agree_on_count_punct(self):
+        for mode in ("none", "context", "location"):
+            assert measure(COUNT_PUNCT, secret_input=b"........????",
+                           collapse=mode).bits == 9
+
+    def test_collapsed_size_independent_of_run_length(self):
+        compiled = compile_source(COUNT_PUNCT)
+        small = measure(compiled, secret_input=b"." * 10)
+        large = measure(compiled, secret_input=b"." * 200)
+        assert (large.report.collapse_stats.original_edges
+                > small.report.collapse_stats.original_edges)
+        assert (large.report.collapse_stats.collapsed_edges
+                == small.report.collapse_stats.collapsed_edges)
+
+    def test_context_sensitivity_distinguishes_callers(self):
+        source = """
+        fn probe(x: u8): u8 {
+            var out: u8 = 0;
+            enclose (out) {
+                if (x > 7) { out = 1; }
+            }
+            return out;
+        }
+        fn main() {
+            var s: u8 = secret_u8();
+            output(probe(s));
+            output(probe(s / 2));
+        }
+        """
+        ctx = measure(source, secret_input=b"\xFF", collapse="context")
+        loc = measure(source, secret_input=b"\xFF", collapse="location")
+        assert ctx.bits == loc.bits == 2
+        assert (loc.report.collapse_stats.collapsed_edges
+                <= ctx.report.collapse_stats.collapsed_edges)

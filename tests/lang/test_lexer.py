@@ -1,0 +1,112 @@
+"""Tests for the FlowLang lexer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokenType
+
+
+def kinds(source):
+    return [(t.type, t.value) for t in tokenize(source)[:-1]]
+
+
+class TestBasics:
+    def test_empty_input(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].type == TokenType.EOF
+
+    def test_identifiers_and_keywords(self):
+        assert kinds("fn foo var bar") == [
+            (TokenType.KEYWORD, "fn"), (TokenType.IDENT, "foo"),
+            (TokenType.KEYWORD, "var"), (TokenType.IDENT, "bar")]
+
+    def test_underscore_identifiers(self):
+        assert kinds("num_dot _x") == [
+            (TokenType.IDENT, "num_dot"), (TokenType.IDENT, "_x")]
+
+    def test_decimal_numbers(self):
+        assert kinds("0 42 1000000") == [
+            (TokenType.NUMBER, 0), (TokenType.NUMBER, 42),
+            (TokenType.NUMBER, 1000000)]
+
+    def test_hex_numbers(self):
+        assert kinds("0xFF 0x0 0xDeadBeef") == [
+            (TokenType.NUMBER, 255), (TokenType.NUMBER, 0),
+            (TokenType.NUMBER, 0xDEADBEEF)]
+
+    def test_malformed_hex(self):
+        with pytest.raises(LexError):
+            tokenize("0x")
+
+    def test_number_then_letter_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("12abc")
+
+    def test_char_literals(self):
+        assert kinds("'a' '.' '\\n' '\\0' '\\x41'") == [
+            (TokenType.CHAR, 97), (TokenType.CHAR, 46),
+            (TokenType.CHAR, 10), (TokenType.CHAR, 0),
+            (TokenType.CHAR, 65)]
+
+    def test_unterminated_char(self):
+        with pytest.raises(LexError):
+            tokenize("'ab'")
+
+    def test_string_literals(self):
+        assert kinds('"hello" "a\\"b"') == [
+            (TokenType.STRING, "hello"), (TokenType.STRING, 'a"b')]
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"oops')
+
+    def test_unknown_escape(self):
+        with pytest.raises(LexError):
+            tokenize('"\\q"')
+
+
+class TestOperators:
+    def test_multi_char_ops_greedy(self):
+        assert kinds("<< >> <= >= == != && || ..") == [
+            (TokenType.OP, op)
+            for op in ["<<", ">>", "<=", ">=", "==", "!=", "&&", "||", ".."]]
+
+    def test_adjacent_ops(self):
+        assert kinds("a<=b") == [
+            (TokenType.IDENT, "a"), (TokenType.OP, "<="),
+            (TokenType.IDENT, "b")]
+
+    def test_single_ops(self):
+        source = "+ - * / % & | ^ ~ ! < > = ( ) { } [ ] , ; :"
+        expected = [(TokenType.OP, op) for op in source.split()]
+        assert kinds(source) == expected
+
+    def test_unknown_character(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+
+class TestTrivia:
+    def test_line_comments(self):
+        assert kinds("a // comment\nb") == [
+            (TokenType.IDENT, "a"), (TokenType.IDENT, "b")]
+
+    def test_block_comments(self):
+        assert kinds("a /* multi\nline */ b") == [
+            (TokenType.IDENT, "a"), (TokenType.IDENT, "b")]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("/* oops")
+
+    def test_positions(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_error_carries_position(self):
+        with pytest.raises(LexError) as err:
+            tokenize("ok\n  @")
+        assert err.value.line == 2

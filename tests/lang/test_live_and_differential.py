@@ -1,0 +1,125 @@
+"""Live per-output measurement (§8.1) and differential VM semantics.
+
+The differential tests pit the FlowLang VM's concrete arithmetic
+against an independent Python model on randomized expressions -- the
+VM must be a faithful fixed-width machine regardless of tracking.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.countpunct import FLOWLANG_SOURCE, PAPER_INPUT
+from repro.lang import compile_source, measure, measure_live
+
+
+class TestLiveMeasurement:
+    def test_series_is_monotone_and_ends_at_final(self):
+        result, series = measure_live(FLOWLANG_SOURCE,
+                                      secret_input=PAPER_INPUT)
+        assert len(series) == len(result.outputs)
+        assert series == sorted(series)  # information only accumulates
+        assert series[-1] <= result.bits
+        assert result.bits == 9
+
+    def test_battleship_style_live_observation(self):
+        # The §8.1 usage: watch the per-reply flows tick up in real
+        # time.  One output per loop iteration; each print leaks at
+        # most one more bit than the last until the 9-bit cap.
+        _, series = measure_live(FLOWLANG_SOURCE,
+                                 secret_input=b"...?")
+        deltas = [b - a for a, b in zip(series, series[1:])]
+        assert all(d >= 0 for d in deltas)
+
+    def test_no_outputs_no_snapshots(self):
+        source = "fn main() { var x: u8 = secret_u8(); }"
+        result, series = measure_live(source, secret_input=b"\x01")
+        assert series == []
+        assert result.bits == 0
+
+
+OPS = ["+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>"]
+
+
+def reference(op, a, b, width, signed):
+    mask = (1 << width) - 1
+
+    def to_signed(x):
+        sign = 1 << (width - 1)
+        return (x & (sign - 1)) - (x & sign)
+
+    if op == "+":
+        return (a + b) & mask
+    if op == "-":
+        return (a - b) & mask
+    if op == "*":
+        return (a * b) & mask
+    if op == "/":
+        if b == 0:
+            return None
+        if signed:
+            sa, sb = to_signed(a), to_signed(b)
+            q = abs(sa) // abs(sb)
+            if (sa < 0) != (sb < 0):
+                q = -q
+            return q & mask
+        return (a // b) & mask
+    if op == "%":
+        if b == 0:
+            return None
+        if signed:
+            sa, sb = to_signed(a), to_signed(b)
+            r = abs(sa) % abs(sb)
+            return (-r if sa < 0 else r) & mask
+        return (a % b) & mask
+    if op == "&":
+        return a & b
+    if op == "|":
+        return a | b
+    if op == "^":
+        return a ^ b
+    if op == "<<":
+        return (a << b) & mask if b < 64 else 0
+    if op == ">>":
+        if signed:
+            return (to_signed(a) >> min(b, 63)) & mask
+        return a >> b if b < 64 else 0
+    raise AssertionError(op)
+
+
+class TestDifferentialArithmetic:
+    @settings(max_examples=150, deadline=None)
+    @given(op=st.sampled_from(OPS),
+           a=st.integers(0, 255), b=st.integers(0, 255),
+           type_name=st.sampled_from(["u8", "i8", "u16", "i16", "u32",
+                                      "i32"]))
+    def test_vm_matches_reference(self, op, a, b, type_name):
+        width = int(type_name[1:])
+        signed = type_name.startswith("i")
+        mask = (1 << width) - 1
+        a &= mask
+        b &= mask
+        if op in ("<<", ">>"):
+            b &= 31  # shift amounts are u32
+            expr = "a %s u32(%d)" % (op, b)
+        else:
+            expr = "a %s b" % op
+        source = """
+        fn main() {
+            var a: %(t)s = %(t)s(%(a)d);
+            var b: %(t)s = %(t)s(%(b)d);
+            output(u32(%(expr)s));
+        }
+        """ % {"t": type_name, "a": a, "b": b, "expr": expr}
+        expected = reference(op, a, b, width, signed)
+        from repro.errors import VMError
+        if expected is None:
+            with pytest.raises(VMError):
+                measure(source)
+            return
+        got = measure(source).outputs[0]
+        # output(u32(x)) sign-extends signed results to 32 bits.
+        if signed and expected & (1 << (width - 1)):
+            want = (expected | (0xFFFFFFFF & ~mask)) & 0xFFFFFFFF
+        else:
+            want = expected
+        assert got == want, (source, got, want)

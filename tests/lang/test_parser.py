@@ -1,0 +1,200 @@
+"""Tests for the FlowLang parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import ast
+from repro.lang.parser import parse
+
+
+def parse_expr(text):
+    program = parse("fn main() { var x: u32 = %s; }" % text)
+    return program.functions[0].body.statements[0].init
+
+
+def parse_stmt(text):
+    program = parse("fn main() { %s }" % text)
+    return program.functions[0].body.statements[0]
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert isinstance(expr, ast.Binary) and expr.op == "+"
+        assert isinstance(expr.right, ast.Binary) and expr.right.op == "*"
+
+    def test_precedence_shift_below_add(self):
+        expr = parse_expr("1 << 2 + 3")
+        assert expr.op == "<<"
+        assert expr.right.op == "+"
+
+    def test_precedence_compare_below_bitand(self):
+        # C-style trap avoided: & binds *looser* than == in FlowLang?
+        # No: we follow the table -- & is above ==.
+        expr = parse_expr("a & b == c")
+        assert expr.op == "&"
+        assert expr.right.op == "=="
+
+    def test_left_associativity(self):
+        expr = parse_expr("a - b - c")
+        assert expr.op == "-"
+        assert isinstance(expr.left, ast.Binary) and expr.left.op == "-"
+
+    def test_parentheses(self):
+        expr = parse_expr("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_unary_chains(self):
+        expr = parse_expr("- - x")
+        assert isinstance(expr, ast.Unary) and expr.op == "-"
+        assert isinstance(expr.operand, ast.Unary)
+
+    def test_index_and_call_postfix(self):
+        expr = parse_expr("f(a[1], b)[2]")
+        assert isinstance(expr, ast.Index)
+        assert isinstance(expr.base, ast.Call)
+        assert len(expr.base.args) == 2
+
+    def test_cast_syntax(self):
+        expr = parse_expr("u16(x + 1)")
+        assert isinstance(expr, ast.Cast)
+        assert expr.target.name == "u16"
+
+    def test_len_becomes_arraylen(self):
+        expr = parse_expr("len(buf)")
+        assert isinstance(expr, ast.ArrayLen)
+
+    def test_len_arity_checked(self):
+        with pytest.raises(ParseError):
+            parse_expr("len(a, b)")
+
+    def test_string_and_char(self):
+        assert isinstance(parse_expr('"hi"'), ast.StringLit)
+        lit = parse_expr("'x'")
+        assert isinstance(lit, ast.NumberLit) and lit.value == 120
+
+    def test_bool_literals(self):
+        assert parse_expr("true").value is True
+        assert parse_expr("false").value is False
+
+    def test_missing_operand(self):
+        with pytest.raises(ParseError):
+            parse_expr("1 +")
+
+
+class TestStatements:
+    def test_var_decl(self):
+        stmt = parse_stmt("var x: u8 = 3;")
+        assert isinstance(stmt, ast.VarDecl)
+        assert stmt.type_name.name == "u8"
+
+    def test_array_decl(self):
+        stmt = parse_stmt("var a: u8[10];")
+        assert isinstance(stmt.type_name, ast.ArrayTypeName)
+        assert stmt.type_name.size == 10
+
+    def test_unsized_array_decl(self):
+        stmt = parse_stmt('var s: u8[] = "abc";')
+        assert stmt.type_name.size is None
+
+    def test_assign_to_name_and_index(self):
+        assert isinstance(parse_stmt("x = 1;"), ast.Assign)
+        stmt = parse_stmt("a[i] = 1;")
+        assert isinstance(stmt.target, ast.Index)
+
+    def test_assign_to_literal_rejected(self):
+        with pytest.raises(ParseError):
+            parse_stmt("3 = x;")
+
+    def test_if_else_chain(self):
+        stmt = parse_stmt("if (a) { } else if (b) { } else { }")
+        assert isinstance(stmt, ast.If)
+        nested = stmt.else_body.statements[0]
+        assert isinstance(nested, ast.If)
+        assert nested.else_body is not None
+
+    def test_while(self):
+        stmt = parse_stmt("while (x) { x = x - 1; }")
+        assert isinstance(stmt, ast.While)
+        assert len(stmt.body.statements) == 1
+
+    def test_for_full(self):
+        stmt = parse_stmt("for (var i: u32 = 0; i < 10; i = i + 1) { }")
+        assert isinstance(stmt, ast.For)
+        assert isinstance(stmt.init, ast.VarDecl)
+        assert isinstance(stmt.step, ast.Assign)
+
+    def test_for_empty_parts(self):
+        stmt = parse_stmt("for (;;) { break; }")
+        assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+    def test_break_continue_return(self):
+        assert isinstance(parse_stmt("while (true) { break; }").body
+                          .statements[0], ast.Break)
+        assert isinstance(parse_stmt("while (true) { continue; }").body
+                          .statements[0], ast.Continue)
+        ret = parse_stmt("return 3;")
+        assert isinstance(ret, ast.Return) and ret.value is not None
+        assert parse_stmt("return;").value is None
+
+    def test_expression_statement(self):
+        stmt = parse_stmt("output(3);")
+        assert isinstance(stmt, ast.ExprStmt)
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_stmt("x = 1")
+
+    def test_unterminated_block(self):
+        with pytest.raises(ParseError):
+            parse("fn main() { ")
+
+
+class TestEnclose:
+    def test_scalar_outputs(self):
+        stmt = parse_stmt("enclose (a, b) { }")
+        assert isinstance(stmt, ast.Enclose)
+        assert [o.name for o in stmt.outputs] == ["a", "b"]
+        assert not stmt.outputs[0].whole
+
+    def test_whole_array_output(self):
+        stmt = parse_stmt("enclose (arr[..]) { }")
+        assert stmt.outputs[0].whole
+        assert stmt.outputs[0].length is None
+
+    def test_bounded_array_output(self):
+        stmt = parse_stmt("enclose (arr[.. n]) { }")
+        assert not stmt.outputs[0].whole
+        assert isinstance(stmt.outputs[0].length, ast.Name)
+
+    def test_empty_outputs(self):
+        stmt = parse_stmt("enclose () { }")
+        assert stmt.outputs == []
+
+
+class TestTopLevel:
+    def test_function_signatures(self):
+        program = parse("fn f(a: u8, b: u32[]): u32 { return 0; }")
+        func = program.functions[0]
+        assert func.name == "f"
+        assert [p.name for p in func.params] == ["a", "b"]
+        assert func.return_type.name == "u32"
+
+    def test_void_function(self):
+        program = parse("fn f() { }")
+        assert program.functions[0].return_type is None
+
+    def test_globals(self):
+        program = parse("var g: u32 = 5; fn main() { }")
+        assert len(program.globals) == 1
+        assert program.globals[0].decl.name == "g"
+
+    def test_junk_at_top_level(self):
+        with pytest.raises(ParseError):
+            parse("if (1) { }")
+
+    def test_error_positions(self):
+        with pytest.raises(ParseError) as err:
+            parse("fn main() {\n  var x u8;\n}")
+        assert err.value.line == 2

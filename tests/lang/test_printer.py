@@ -1,0 +1,97 @@
+"""Tests for the FlowLang pretty-printer (parse -> print -> parse)."""
+
+import pytest
+
+from repro.apps.countpunct import FLOWLANG_SOURCE
+from repro.apps.flowlang_sources import FIGURE6_PROGRAMS
+from repro.apps.interp import INTERPRETER_SOURCE
+from repro.apps.scheduler.flowlang import FLOWLANG_SOURCE as SCHED_SOURCE
+from repro.lang import compile_source, measure
+from repro.lang.parser import parse
+from repro.lang.printer import expr_text, program_text
+
+CORPUS = dict(FIGURE6_PROGRAMS)
+CORPUS["interpreter"] = INTERPRETER_SOURCE
+CORPUS["scheduler"] = SCHED_SOURCE
+
+
+def round_trip(source):
+    first = parse(source)
+    printed = program_text(first)
+    second = parse(printed)
+    return first, printed, second
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", sorted(CORPUS))
+    def test_corpus_round_trips(self, name):
+        first, printed, second = round_trip(CORPUS[name])
+        # Node.__repr__ covers all structural fields and omits
+        # positions, so repr equality is structural equality.
+        assert repr(first) == repr(second), printed
+
+    def test_printed_output_is_stable(self):
+        # Printing is idempotent: print(parse(print(x))) == print(x).
+        _, printed, second = round_trip(FLOWLANG_SOURCE)
+        assert program_text(second) == printed
+
+    def test_printed_program_still_measures_identically(self):
+        printed = program_text(parse(FLOWLANG_SOURCE))
+        original = measure(FLOWLANG_SOURCE, secret_input=b"........????")
+        reprinted = measure(printed, secret_input=b"........????")
+        assert reprinted.bits == original.bits == 9
+        assert reprinted.output_bytes == original.output_bytes
+
+
+class TestRendering:
+    def test_expression_forms(self):
+        program = parse(
+            "fn main() { var x: u32 = ((1 + 2) * 3) << u32(4);"
+            " var b: bool = !(x == 9) && true; }")
+        printed = program_text(program)
+        assert "(1 + 2)" in printed
+        assert "u32(4)" in printed
+        assert "&&" in printed
+
+    def test_string_escapes(self):
+        program = parse('fn main() { var s: u8[] = "a\\"b\\n\\x01"; }')
+        printed = program_text(program)
+        assert '\\"' in printed
+        assert "\\n" in printed
+        assert "\\x01" in printed
+        assert repr(parse(printed)) == repr(program)
+
+    def test_enclose_output_forms(self):
+        source = ("fn f(a: u8[], n: u32) { var x: u8 = 0;"
+                  " enclose (x, a[.. n]) { x = 1; } }"
+                  "fn main() { var b: u8[4]; f(b, 4); }")
+        printed = program_text(parse(source))
+        assert "enclose (x, a[.. n])" in printed
+        assert repr(parse(printed)) == repr(parse(source))
+
+    def test_whole_array_output(self):
+        source = ("fn main() { var a: u8[4]; enclose (a[..]) "
+                  "{ a[0] = 1; } }")
+        printed = program_text(parse(source))
+        assert "a[..]" in printed
+
+    def test_globals_and_signatures(self):
+        source = ('var g: u32 = 7; var tab: u8[] = "xy";'
+                  "fn f(a: u8, b: u32[]): i16 { return i16(0); }"
+                  "fn main() { }")
+        printed = program_text(parse(source))
+        assert "var g: u32 = 7;" in printed
+        assert "fn f(a: u8, b: u32[]): i16 {" in printed
+        assert repr(parse(printed)) == repr(parse(source))
+
+    def test_for_and_control(self):
+        source = ("fn main() { for (var i: u32 = 0; i < 3; i = i + 1)"
+                  " { if (i == 1) { continue; } break; } return; }")
+        printed = program_text(parse(source))
+        assert "for (var i: u32 = 0; (i < 3); i = (i + 1)) {" in printed
+        assert repr(parse(printed)) == repr(parse(source))
+
+    def test_empty_for_parts(self):
+        source = "fn main() { for (;;) { break; } }"
+        printed = program_text(parse(source))
+        assert repr(parse(printed)) == repr(parse(source))

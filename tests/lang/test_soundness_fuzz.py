@@ -1,0 +1,138 @@
+"""Whole-system soundness fuzzing.
+
+The strongest checkable consequence of the paper's soundness definition
+(Section 3.1): "if a sound tool ever reports a flow of 0 bits, then the
+public output for that execution is the only one that can possibly be
+produced with any other secret inputs" -- zero flow means
+noninterference.
+
+These tests generate random FlowLang programs over a single secret byte
+(arithmetic, masking, branches, bounded loops, enclosure regions, array
+lookups), measure each input in the secret's domain, and verify:
+
+* determinism: same input, same output;
+* zero-flow soundness: if any input measures 0 bits, *every* input
+  produces the identical output trace;
+* a quantitative refinement: the number of distinct outputs across the
+  domain never exceeds 2**max_i k(i) (if even the best-informed run is
+  bounded by k bits, the channel cannot have more than 2**k messages
+  ... for the max over the inputs, which every consistent code must
+  respect).
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lang import compile_source, measure
+
+
+class ProgramGenerator:
+    """Generates small FlowLang programs driven by one secret byte."""
+
+    def __init__(self, rng):
+        self.rng = rng
+
+    def expression(self, depth=2):
+        """An expression over u8 variables s (secret) and t (temp)."""
+        rng = self.rng
+        if depth == 0 or rng.random() < 0.3:
+            return rng.choice(["s", "t", str(rng.randrange(256))])
+        op = rng.choice(["+", "-", "&", "|", "^"])
+        return "(%s %s %s)" % (self.expression(depth - 1), op,
+                               self.expression(depth - 1))
+
+    def condition(self):
+        op = self.rng.choice(["==", "!=", "<", ">", "<=", ">="])
+        return "(%s %s %s)" % (self.expression(1), op,
+                               str(self.rng.randrange(256)))
+
+    def statement(self, depth):
+        rng = self.rng
+        roll = rng.random()
+        if depth <= 0 or roll < 0.35:
+            return "t = %s;" % self.expression()
+        if roll < 0.55:
+            return ("if %s { %s } else { %s }"
+                    % (self.condition(), self.statement(depth - 1),
+                       self.statement(depth - 1)))
+        if roll < 0.70:
+            body = self.statement(depth - 1)
+            return ("k = 0; while (k < %d) { %s k = k + 1; }"
+                    % (rng.randrange(1, 4), body))
+        if roll < 0.85:
+            return ("enclose (t) { %s }"
+                    % self.statement(depth - 1))
+        return "t = tab[u32(%s & 0x07)];" % self.expression(1)
+
+    def program(self, statements=3):
+        body = "\n    ".join(self.statement(2)
+                             for _ in range(statements))
+        emit = self.rng.choice(
+            ["output(t);",
+             "output(t & 0x%02X);" % self.rng.randrange(1, 256),
+             "if (t > 128) { output(1); } else { output(0); }"])
+        return '''
+fn main() {
+    var tab: u8[] = "qwertyui";
+    var s: u8 = secret_u8();
+    var t: u8 = 0;
+    var k: u8 = 0;
+    %s
+    %s
+}
+''' % (body, emit)
+
+
+def measure_domain(compiled, domain):
+    """Measure every input in ``domain``; returns [(bits, outputs)]."""
+    results = []
+    for value in domain:
+        run = measure(compiled, secret_input=bytes([value]),
+                      region_check="off")
+        results.append((run.bits, tuple(run.outputs)))
+    return results
+
+
+DOMAIN = list(range(0, 256, 17)) + [1, 2, 255]
+
+
+@pytest.mark.parametrize("seed", range(30))
+def test_zero_flow_implies_noninterference(seed):
+    rng = random.Random(seed)
+    source = ProgramGenerator(rng).program()
+    compiled = compile_source(source)
+    results = measure_domain(compiled, DOMAIN)
+    outputs = {out for _, out in results}
+    if any(bits == 0 for bits, _ in results):
+        assert len(outputs) == 1, (
+            "seed %d: zero flow reported but %d distinct outputs:\n%s"
+            % (seed, len(outputs), source))
+
+
+@pytest.mark.parametrize("seed", range(30))
+def test_channel_capacity_bound(seed):
+    rng = random.Random(1000 + seed)
+    source = ProgramGenerator(rng).program()
+    compiled = compile_source(source)
+    results = measure_domain(compiled, DOMAIN)
+    outputs = {out for _, out in results}
+    max_bits = max(bits for bits, _ in results)
+    assert len(outputs) <= 2 ** max_bits, (
+        "seed %d: %d outputs exceed 2^%d:\n%s"
+        % (seed, len(outputs), max_bits, source))
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_determinism(seed):
+    rng = random.Random(2000 + seed)
+    source = ProgramGenerator(rng).program()
+    compiled = compile_source(source)
+    for value in (0, 100, 255):
+        first = measure(compiled, secret_input=bytes([value]),
+                        region_check="off")
+        second = measure(compiled, secret_input=bytes([value]),
+                         region_check="off")
+        assert first.outputs == second.outputs
+        assert first.bits == second.bits

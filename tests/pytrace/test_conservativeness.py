@@ -1,0 +1,92 @@
+"""End-to-end conservativeness of the Python frontend.
+
+The transfer-function property test (tests/shadow) checks the masks in
+isolation; these tests check the same property *through* SecretInt:
+flipping only secret input bits never changes a result bit the frontend
+reports as public -- across chains of operations, not just single ops.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pytrace import SecretInt, Session, concrete_of, mask_of
+
+
+def run_chain(ops, seed_value):
+    """Apply a list of (op_name, constant) steps to a secret byte."""
+    session = Session()
+    value = session.secret_int(seed_value, width=8)
+    for op, const in ops:
+        if op == "add":
+            value = (value + const) & 0xFF
+        elif op == "sub":
+            value = value - const
+        elif op == "and":
+            value = value & const
+        elif op == "or":
+            value = value | const
+        elif op == "xor":
+            value = value ^ const
+        elif op == "shr":
+            value = value >> (const & 7)
+        elif op == "shl":
+            value = (value << (const & 7)) & 0xFF
+        elif op == "mul":
+            value = (value * const) & 0xFF
+    return value
+
+
+OP_STEPS = st.lists(
+    st.tuples(st.sampled_from(["add", "sub", "and", "or", "xor",
+                               "shr", "shl", "mul"]),
+              st.integers(0, 255)),
+    max_size=6)
+
+
+class TestChainedConservativeness:
+    @settings(max_examples=120, deadline=None)
+    @given(ops=OP_STEPS, seed=st.integers(0, 255),
+           flip=st.integers(0, 255))
+    def test_public_bits_stable_under_secret_flips(self, ops, seed, flip):
+        first = run_chain(ops, seed)
+        second = run_chain(ops, seed ^ flip)  # flip only secret bits
+        public_mask = 0xFF & ~mask_of(first)
+        # The mask is input-independent (it depends only on the ops),
+        # so both runs agree on which bits are public...
+        assert mask_of(first) == mask_of(second)
+        # ...and those bits carry no secret influence.
+        assert concrete_of(first) & public_mask == \
+            concrete_of(second) & public_mask
+
+    @settings(max_examples=80, deadline=None)
+    @given(ops=OP_STEPS, seed=st.integers(0, 255))
+    def test_fully_public_results_are_plain_ints(self, ops, seed):
+        result = run_chain(ops, seed)
+        if not isinstance(result, SecretInt):
+            # A plain result must be constant across all secrets.
+            for other in (0, 127, 255):
+                assert concrete_of(run_chain(ops, other)) == result
+
+    @settings(max_examples=60, deadline=None)
+    @given(ops=OP_STEPS, seed=st.integers(0, 255))
+    def test_measured_bits_bounded_by_mask(self, ops, seed):
+        session = Session()
+        value = session.secret_int(seed, width=8)
+        for op, const in ops:
+            if op in ("shr", "shl"):
+                const &= 7
+            value = {"add": lambda v: (v + const) & 0xFF,
+                     "sub": lambda v: v - const,
+                     "and": lambda v: v & const,
+                     "or": lambda v: v | const,
+                     "xor": lambda v: v ^ const,
+                     "shr": lambda v: v >> const,
+                     "shl": lambda v: (v << const) & 0xFF,
+                     "mul": lambda v: (v * const) & 0xFF}[op](value)
+        session.output(value)
+        report = session.measure(collapse="none")
+        assert report.bits <= 8
+        if isinstance(value, SecretInt):
+            assert report.bits <= value.secret_bits
+        else:
+            assert report.bits == 0

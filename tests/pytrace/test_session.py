@@ -1,0 +1,188 @@
+"""Tests for Session: measurement, regions, outputs, checking."""
+
+import pytest
+
+from repro.core.checking import CheckTracker
+from repro.core.policy import CutPolicy
+from repro.errors import TraceError
+from repro.pytrace import SecretInt, Session
+
+
+def login_bits(pin_value):
+    session = Session()
+    pin = session.secret_int(pin_value, width=16)
+    if pin == 1234:
+        session.output_str("welcome")
+    else:
+        session.output_str("denied")
+    return session.measure().bits
+
+
+def count_punct(session, text):
+    data = session.secret_bytes(text)
+    with session.enclose("scan") as region:
+        nd = nq = 0
+        for b in data:
+            if b == ord("."):
+                nd += 1
+            elif b == ord("?"):
+                nq += 1
+    nd_t = region.wrap(nd, width=8, name="num_dot")
+    nq_t = region.wrap(nq, width=8, name="num_qm")
+    with session.enclose("pick") as region2:
+        if nd_t > nq_t:
+            common, num = ord("."), nd_t
+        else:
+            common, num = ord("?"), nq_t
+    common_t = region2.wrap(common, width=8, name="common")
+    num_t = region2.wrap(num, width=8, name="num")
+    while num_t != 0:
+        session.output(common_t)
+        num_t = (num_t - 1) & 0xFF
+
+
+class TestMeasurement:
+    def test_login_reveals_one_bit(self):
+        assert login_bits(1234) == 1
+        assert login_bits(9999) == 1
+
+    def test_direct_output_reveals_width(self):
+        session = Session()
+        session.output(session.secret_int(0xAB, width=8))
+        assert session.measure().bits == 8
+
+    def test_unused_secret_reveals_nothing(self):
+        session = Session()
+        session.secret_int(5)
+        session.output_str("hello")
+        assert session.measure().bits == 0
+
+    def test_count_punct_nine_bits(self):
+        session = Session()
+        count_punct(session, b"........????")
+        assert session.measure().bits == 9
+
+    def test_output_bytes_tracks_per_byte(self):
+        session = Session()
+        data = session.secret_bytes(b"ab")
+        emitted = session.output_bytes(data)
+        assert emitted == b"ab"
+        assert session.measure().bits == 16
+
+    def test_double_finish_rejected(self):
+        session = Session()
+        session.finish()
+        with pytest.raises(TraceError):
+            session.finish()
+
+    def test_outputs_recorded(self):
+        session = Session()
+        session.output(3, 4)
+        session.output_str("x")
+        assert session.outputs == [3, 4, "x"]
+
+    def test_declassify(self):
+        session = Session()
+        x = session.secret_int(7)
+        session.output(session.declassify(x))
+        assert session.measure().bits == 0
+
+
+class TestRegions:
+    def test_clean_region_transparent(self):
+        session = Session()
+        x = session.secret_int(3)
+        with session.enclose() as region:
+            y = 40 + 2
+        assert region.wrap(y) == 42  # plain value, no flows
+        assert not region.had_implicit_flows
+
+    def test_region_absorbs_branches(self):
+        session = Session()
+        x = session.secret_int(200)
+        with session.enclose() as region:
+            flag = 1 if x > 100 else 0
+        out = region.wrap(flag, width=8)
+        assert isinstance(out, SecretInt)
+        session.output(out)
+        assert session.measure().bits == 1
+
+    def test_wrap_before_close_rejected(self):
+        session = Session()
+        ctx = session.enclose()
+        with pytest.raises(TraceError):
+            ctx.region.wrap(1)
+
+    def test_wrap_all(self):
+        session = Session()
+        x = session.secret_int(3)
+        with session.enclose() as region:
+            cells = [1 if x == i else 0 for i in range(4)]
+        wrapped = region.wrap_all(cells, width=1, name="grid")
+        session.output(*wrapped)
+        # Four 1-bit comparisons entered the region: 4 bits max.
+        assert session.measure().bits == 4
+
+    def test_nested_regions(self):
+        session = Session()
+        x = session.secret_int(99)
+        with session.enclose("outer") as outer:
+            with session.enclose("inner") as inner:
+                flag = 1 if x > 50 else 0
+            y = inner.wrap(flag, width=8)
+            z = (y + 0) if True else y
+        out = outer.wrap(z, width=8)
+        session.output(out)
+        assert session.measure().bits == 1
+
+    def test_exception_inside_region_unwinds(self):
+        session = Session()
+        x = session.secret_int(1)
+        with pytest.raises(RuntimeError):
+            with session.enclose():
+                raise RuntimeError("boom")
+        # The tracker can still finish (region was unwound).
+        session.output_str("bye")
+        session.measure()
+
+
+class TestScope:
+    def test_scope_changes_context_hash(self):
+        session = Session()
+        x = session.secret_int(1)
+        with session.scope("callsite-1"):
+            y = x + 1
+        with session.scope("callsite-2"):
+            z = x + 1
+        graph = session.finish()
+        contexts = {e.label.context for e in graph.edges
+                    if e.label and e.label.kind == "data"}
+        assert len(contexts) == 2
+
+
+class TestCheckingMode:
+    def make_policy(self):
+        session = Session()
+        count_punct(session, b"........????")
+        report = session.measure()
+        return CutPolicy.from_report(report)
+
+    def test_check_same_program_passes(self):
+        policy = self.make_policy()
+        session = Session(tracker=CheckTracker(policy))
+        count_punct(session, b"..??.?.?....")
+        result = session.check_result()
+        assert result.ok
+
+    def test_check_catches_rogue_output(self):
+        policy = self.make_policy()
+        session = Session(tracker=CheckTracker(policy))
+        data = session.secret_bytes(b"....")
+        session.output(data[0])  # novel leak
+        result = session.check_result()
+        assert not result.ok
+
+    def test_check_result_requires_check_tracker(self):
+        session = Session()
+        with pytest.raises(TraceError):
+            session.check_result()

@@ -1,0 +1,171 @@
+"""Tests for SecretInt semantics (concrete arithmetic + shadow state)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pytrace import SecretInt, Session, concrete_of, mask_of, width_of
+
+
+def fresh(value, width=8):
+    session = Session()
+    return session, session.secret_int(value, width=width)
+
+
+class TestConcreteSemantics:
+    def test_addition_widens_not_wraps(self):
+        # Python-frontend sums are exact; mask for C-style wrapping.
+        _, x = fresh(250)
+        assert concrete_of(x + 10) == 260
+        assert concrete_of((x + 10) & 0xFF) == 4
+
+    def test_wrapping_subtraction(self):
+        _, x = fresh(3)
+        assert concrete_of(x - 5) == 254
+
+    def test_reflected_operators(self):
+        _, x = fresh(3)
+        assert concrete_of(10 - x) == 7
+        assert concrete_of(10 + x) == 13
+        assert concrete_of(2 * x) == 6
+
+    def test_division_and_mod(self):
+        _, x = fresh(17)
+        assert concrete_of(x // 5) == 3
+        assert concrete_of(x % 5) == 2
+
+    def test_bitwise(self):
+        _, x = fresh(0xF0)
+        assert concrete_of(x & 0x3C) == 0x30
+        assert concrete_of(x | 0x0F) == 0xFF
+        assert concrete_of(x ^ 0xFF) == 0x0F
+
+    def test_shifts(self):
+        _, x = fresh(0x81)
+        assert concrete_of(x >> 4) == 0x08
+        # Left shifts widen (Python-like); mask explicitly for C-style
+        # truncation.
+        assert concrete_of(x << 1) == 0x102
+        assert concrete_of((x << 1) & 0xFF) == 0x02
+
+    def test_negation_and_invert(self):
+        _, x = fresh(1)
+        assert concrete_of(-x) == 0xFF
+        assert concrete_of(~x) == 0xFE
+
+    def test_comparisons_concrete(self):
+        _, x = fresh(5)
+        assert concrete_of(x < 6) == 1
+        assert concrete_of(x == 5) == 1
+        assert concrete_of(x >= 9) == 0
+
+    @settings(max_examples=100, deadline=None)
+    @given(a=st.integers(0, 255), b=st.integers(0, 255),
+           op=st.sampled_from(["add", "sub", "mul", "and", "or", "xor"]))
+    def test_matches_plain_arithmetic(self, a, b, op):
+        session = Session()
+        x = session.secret_int(a, width=8)
+        python_op = {"add": lambda p, q: p + q,
+                     "sub": lambda p, q: (p - q) & 0xFF,
+                     "mul": lambda p, q: p * q,
+                     "and": lambda p, q: p & q,
+                     "or": lambda p, q: p | q,
+                     "xor": lambda p, q: p ^ q}[op]
+        dunder = {"add": x.__add__, "sub": x.__sub__, "mul": x.__mul__,
+                  "and": x.__and__, "or": x.__or__, "xor": x.__xor__}[op]
+        assert concrete_of(dunder(b)) == python_op(a, b)
+
+
+class TestShadowState:
+    def test_fresh_secret_fully_masked(self):
+        _, x = fresh(0, width=16)
+        assert x.mask == 0xFFFF
+        assert x.secret_bits == 16
+
+    def test_masking_reduces_bits(self):
+        _, x = fresh(0xAB)
+        y = x & 0x0F
+        assert isinstance(y, SecretInt)
+        assert y.secret_bits == 4
+
+    def test_fully_masked_out_returns_plain_int(self):
+        _, x = fresh(0xAB)
+        y = x & 0
+        assert isinstance(y, int) and not isinstance(y, SecretInt)
+
+    def test_public_arithmetic_stays_plain(self):
+        session = Session()
+        assert isinstance(2 + 2, int)
+        x = session.secret_int(1)
+        z = session.declassify(x)
+        assert isinstance(z + 1, int)
+
+    def test_width_grows_with_operand(self):
+        _, x = fresh(200, width=8)
+        y = x + 1000
+        assert width_of(y) >= 10
+
+    def test_helpers_on_plain_ints(self):
+        assert concrete_of(7) == 7
+        assert mask_of(7) == 0
+        assert width_of(7) == 3
+
+    def test_repr_mentions_bits(self):
+        _, x = fresh(5)
+        assert "secret_bits=8" in repr(x)
+
+    def test_concrete_accessor(self):
+        _, x = fresh(123)
+        assert x.concrete() == 123
+
+
+class TestImplicitSurfaces:
+    def test_bool_records_branch(self):
+        session, x = fresh(5)
+        if x > 3:
+            pass
+        graph = session.finish(exit_observable=True)
+        kinds = {e.label.kind for e in graph.edges if e.label}
+        assert "implicit" in kinds
+
+    def test_index_records_pointer_flow(self):
+        session, x = fresh(2)
+        table = [10, 20, 30, 40]
+        assert table[x] == 30
+        graph = session.finish()
+        implicit = [e for e in graph.edges
+                    if e.label and e.label.kind == "implicit"]
+        assert implicit
+        assert implicit[0].capacity == 8  # all 8 index bits
+
+    def test_masked_index_fewer_bits(self):
+        session, x = fresh(0xFF)
+        table = list(range(4))
+        _ = table[x & 0x03]
+        graph = session.finish()
+        implicit = [e for e in graph.edges
+                    if e.label and e.label.kind == "implicit"]
+        assert implicit[0].capacity == 2
+
+    def test_membership_test_records_flows(self):
+        session, x = fresh(7)
+        _ = x in [1, 2, 3]
+        graph = session.finish()
+        assert any(e.label and e.label.kind == "implicit"
+                   for e in graph.edges)
+
+    def test_sorted_records_comparison_flows(self):
+        session = Session()
+        values = [session.secret_int(v) for v in (5, 2, 9, 1)]
+        result = sorted(values)
+        assert [concrete_of(v) for v in result] == [1, 2, 5, 9]
+        graph = session.finish()
+        implicit = [e for e in graph.edges
+                    if e.label and e.label.kind == "implicit"]
+        assert len(implicit) >= 3  # at least n-1 comparisons
+
+    def test_hash_records_flow(self):
+        session, x = fresh(9)
+        _ = {x: "v"}
+        graph = session.finish()
+        assert any(e.label and e.label.kind == "implicit"
+                   for e in graph.edges)

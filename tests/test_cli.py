@@ -1,0 +1,164 @@
+"""Tests for the command-line interface and DOT export."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+COUNT_PUNCT = '''
+fn count_punct(buf: u8[], n: u32) {
+    var num_dot: u8 = 0;
+    var num_qm: u8 = 0;
+    var common: u8 = 0;
+    var num: u8 = 0;
+    enclose (num_dot, num_qm) {
+        var i: u32 = 0;
+        while (i < n) {
+            if (buf[i] == '.') { num_dot = num_dot + 1; }
+            else if (buf[i] == '?') { num_qm = num_qm + 1; }
+            i = i + 1;
+        }
+    }
+    enclose (common, num) {
+        if (num_dot > num_qm) { common = '.'; num = num_dot; }
+        else { common = '?'; num = num_qm; }
+    }
+    while (num != 0) { print_char(common); num = num - 1; }
+}
+fn main() {
+    var buf: u8[256];
+    var n: u32 = read_secret(buf, 256);
+    count_punct(buf, n);
+}
+'''
+
+UNARY = """
+fn main() {
+    var n: u8 = secret_u8();
+    while (n != 0) { print_char('x'); n = n - 1; }
+}
+"""
+
+
+@pytest.fixture
+def program(tmp_path):
+    path = tmp_path / "cp.fl"
+    path.write_text(COUNT_PUNCT)
+    return str(path)
+
+
+class TestMeasure:
+    def test_human_output(self, program, capsys):
+        assert main(["measure", program, "--secret", "........????"]) == 0
+        out = capsys.readouterr().out
+        assert "flow bound: 9 bits" in out
+        assert "minimum cut" in out
+
+    def test_json_output(self, program, capsys):
+        assert main(["measure", program, "--secret", "..?",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "bits" in payload
+        assert "cut" in payload
+
+    def test_hex_input(self, program, capsys):
+        assert main(["measure", program, "--secret-hex", "2e2e3f"]) == 0
+        assert "flow bound" in capsys.readouterr().out
+
+    def test_file_input(self, program, tmp_path, capsys):
+        secret = tmp_path / "in.bin"
+        secret.write_bytes(b"..??")
+        assert main(["measure", program,
+                     "--secret-file", str(secret)]) == 0
+
+    def test_conflicting_inputs_rejected(self, program):
+        with pytest.raises(SystemExit):
+            main(["measure", program, "--secret", "x",
+                  "--secret-hex", "00"])
+
+    def test_save_policy_and_dot(self, program, tmp_path, capsys):
+        policy_path = tmp_path / "pol.json"
+        dot_path = tmp_path / "g.dot"
+        assert main(["measure", program, "--secret", "........????",
+                     "--save-policy", str(policy_path),
+                     "--dot", str(dot_path)]) == 0
+        policy = json.loads(policy_path.read_text())
+        assert policy["max_bits"] == 9
+        dot = dot_path.read_text()
+        assert dot.startswith("digraph")
+        assert "penwidth=2.5" in dot  # cut edges highlighted
+
+    def test_compile_error_exit_code(self, tmp_path, capsys):
+        bad = tmp_path / "bad.fl"
+        bad.write_text("fn main() { oops = 1; }")
+        assert main(["measure", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCheckAndLockstep:
+    @pytest.fixture
+    def policy(self, program, tmp_path, capsys):
+        path = tmp_path / "pol.json"
+        main(["measure", program, "--secret", "........????",
+              "--save-policy", str(path)])
+        capsys.readouterr()
+        return str(path)
+
+    def test_check_pass(self, program, policy, capsys):
+        assert main(["check", program, "--policy", policy,
+                     "--secret", "..??.?.?...."]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_check_violation(self, program, policy, tmp_path, capsys):
+        leaky = tmp_path / "leaky.fl"
+        leaky.write_text(COUNT_PUNCT.replace(
+            "count_punct(buf, n);",
+            "count_punct(buf, n); output(buf[0]);"))
+        assert main(["check", str(leaky), "--policy", policy,
+                     "--secret", "........????"]) == 1
+        assert "VIOLATION" in capsys.readouterr().out
+
+    def test_lockstep_pass(self, program, policy, capsys):
+        assert main(["lockstep", program, "--policy", policy,
+                     "--secret", "........????",
+                     "--dummy", "?.?.?.?.?.?."]) == 0
+        assert "bits forwarded" in capsys.readouterr().out
+
+
+class TestStaticAndDisasm:
+    def test_static_formula(self, tmp_path, capsys):
+        path = tmp_path / "un.fl"
+        path.write_text(UNARY)
+        # UNARY starts with a newline, so the loop sits on line 4.
+        assert main(["static", str(path), "--bound", "4=5",
+                     "--formula"]) == 0
+        out = capsys.readouterr().out
+        assert "loops at lines: [4]" in out
+        assert "static bound: 6 bits" in out
+        assert "N4" in out
+
+    def test_disasm(self, tmp_path, capsys):
+        path = tmp_path / "un.fl"
+        path.write_text(UNARY)
+        assert main(["disasm", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "fn main" in out
+        assert "CALLB" in out
+
+
+class TestDotExport:
+    def test_refuses_huge_graphs(self):
+        from repro.graph.dot import to_dot
+        from repro.graph.generators import layered_dag
+        big = layered_dag(60, 40, seed=0)
+        if big.num_edges > 2000:
+            with pytest.raises(ValueError):
+                to_dot(big)
+
+    def test_inf_rendered(self):
+        from repro.graph.dot import to_dot
+        from repro.graph.flowgraph import INF, FlowGraph
+        g = FlowGraph()
+        g.add_edge(g.source, g.sink, INF)
+        assert 'label="inf"' in to_dot(g)

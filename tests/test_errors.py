@@ -1,0 +1,67 @@
+"""Tests for the shared exception hierarchy and top-level exports."""
+
+import pytest
+
+import repro
+from repro.errors import (CompileError, GraphError, LangError, LexError,
+                          ParseError, PolicyViolation, RegionError,
+                          ReproError, TraceError, TypeCheckError, VMError)
+
+
+class TestHierarchy:
+    def test_everything_is_repro_error(self):
+        for exc in (GraphError, TraceError, RegionError, PolicyViolation,
+                    LangError, LexError, ParseError, TypeCheckError,
+                    CompileError, VMError):
+            assert issubclass(exc, ReproError)
+
+    def test_lang_errors_under_lang_error(self):
+        for exc in (LexError, ParseError, TypeCheckError, CompileError):
+            assert issubclass(exc, LangError)
+
+    def test_region_error_is_trace_error(self):
+        assert issubclass(RegionError, TraceError)
+
+    def test_lang_error_formats_position(self):
+        err = ParseError("unexpected token", 12, 5)
+        assert "line 12:5" in str(err)
+        assert err.line == 12
+
+    def test_lang_error_without_position(self):
+        err = ParseError("oops")
+        assert str(err) == "oops"
+        assert err.line is None
+
+    def test_policy_violation_fields(self):
+        err = PolicyViolation("too much", measured=9, allowed=8,
+                              location="f:1")
+        assert err.measured == 9
+        assert err.allowed == 8
+        assert err.location == "f:1"
+
+    def test_vm_error_location_prefix(self):
+        err = VMError("boom", location="main+3")
+        assert "main+3" in str(err)
+
+
+class TestTopLevelApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_one_stop_imports(self):
+        # The advertised workflow types are importable from the root.
+        assert repro.TraceBuilder
+        assert repro.CheckTracker
+        assert repro.CutPolicy
+        assert repro.measure_graph
+
+    def test_catching_the_base_class(self):
+        from repro.lang import compile_source
+        with pytest.raises(ReproError):
+            compile_source("fn main() { undeclared = 1; }")
+        with pytest.raises(ReproError):
+            compile_source("fn main() { @ }")

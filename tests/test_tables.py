@@ -1,0 +1,52 @@
+"""Smoke tests for the benchmark table generators (benchmarks/tables.py).
+
+The heavy sweeps run under the benchmark harness; these check the cheap
+generators' data directly so a regression shows up in the main suite.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.tables import render, table_fig2, table_sec32  # noqa: E402
+from repro.pytrace import Session  # noqa: E402
+
+
+class TestTableGenerators:
+    def test_fig2_values(self):
+        text, results = table_fig2()
+        assert results == {"flowlang": 9, "python": 9}
+        assert "9 bits" in text
+
+    def test_sec32_values(self):
+        from fractions import Fraction
+        text, verdict = table_sec32()
+        assert verdict["kraft_sum"] == Fraction(503, 256)
+        assert "UNSOUND" in text
+
+    def test_render_shape(self):
+        text = render("Title", "h1 h2", ["r1", "r2"], footnote="note")
+        assert "### Title" in text
+        assert text.strip().endswith("note")
+
+
+class TestSessionSnapshots:
+    def test_snapshot_grows_with_outputs(self):
+        session = Session()
+        secret = session.secret_bytes(b"abc")
+        seen = []
+        for byte in secret:
+            session.output(byte)
+            seen.append(session.snapshot_bits())
+        assert seen == [8, 16, 24]
+        assert session.measure(collapse="location").bits == 24
+
+    def test_snapshot_after_finish_rejected(self):
+        from repro.errors import TraceError
+        session = Session()
+        session.finish()
+        with pytest.raises(TraceError):
+            session.snapshot_bits()
