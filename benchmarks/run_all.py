@@ -5,9 +5,16 @@ Prints the reproduction's number for each table and figure of the
 paper; EXPERIMENTS.md records these side by side with the paper's
 values.
 
-Run:  python benchmarks/run_all.py
+Run:  python benchmarks/run_all.py [--json FILE]
+
+With ``--json``, also writes a machine-readable record: one entry per
+benchmark with its wall time and a ``metrics`` block (the observability
+snapshot documented in ``docs/observability.md``), so successive
+``BENCH_*.json`` files form a perf trajectory of the pipeline.
 """
 
+import argparse
+import json
 import sys
 import time
 
@@ -15,6 +22,7 @@ sys.path.insert(0, ".")  # allow running from the repo root
 
 from benchmarks.tables import (table_fig2, table_fig3, table_fig4,
                                table_fig5, table_sec32)
+from repro import obs
 from repro.apps.bzip2.compressor import compress
 from repro.apps.flowlang_sources import FIGURE6_PROGRAMS
 from repro.apps.pi import workload_of_size
@@ -69,15 +77,61 @@ def figure6():
     print(figure6_table(scores))
 
 
-def main():
-    for fn in (table_fig2, table_fig3, table_fig4, table_fig5,
-               table_sec32):
+def _print_table(fn):
+    def run():
         text, _ = fn()
         print(text)
-    figure6()
-    section51()
-    section53()
+    return run
+
+
+#: Every benchmark the harness runs, in paper order.
+BENCHMARKS = (
+    ("fig2_countpunct", _print_table(table_fig2)),
+    ("fig3_bzip2", _print_table(table_fig3)),
+    ("fig4_casestudies", _print_table(table_fig4)),
+    ("fig5_imagemagick", _print_table(table_fig5)),
+    ("sec32_consistency", _print_table(table_sec32)),
+    ("fig6_inference", figure6),
+    ("sec51_seriesparallel", section51),
+    ("sec53_scalability", section53),
+)
+
+
+def run_benchmarks():
+    """Run every benchmark under a fresh metrics window; returns records."""
+    records = []
+    for name, fn in BENCHMARKS:
+        obs.enable()
+        t0 = time.perf_counter()
+        fn()
+        wall = time.perf_counter() - t0
+        records.append({
+            "name": name,
+            "wall_seconds": wall,
+            "metrics": obs.get_metrics().snapshot(),
+        })
+        obs.disable()
+    return records
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--json", metavar="FILE",
+                    help="also write per-benchmark results and metrics "
+                         "as JSON")
+    args = ap.parse_args(argv)
+    records = run_benchmarks()
+    if args.json:
+        payload = {
+            "generated_by": "benchmarks/run_all.py",
+            "benchmarks": records,
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print("\nper-benchmark metrics written to %s" % args.json)
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

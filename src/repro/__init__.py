@@ -28,7 +28,7 @@ text drawing, and a block-sorting compressor).
 
 __version__ = "1.0.0"
 
-from . import core, graph, shadow
+from . import core, graph, obs, shadow
 from .core import (CheckTracker, CutPolicy, FlowPolicy, FlowReport,
                    Location, TraceBuilder, measure_graph, measure_runs)
 from .errors import (CompileError, GraphError, LangError, LexError,
@@ -36,7 +36,7 @@ from .errors import (CompileError, GraphError, LangError, LexError,
                      TraceError, TypeCheckError, VMError)
 
 __all__ = [
-    "core", "graph", "shadow",
+    "core", "graph", "obs", "shadow",
     "CheckTracker", "CutPolicy", "FlowPolicy", "FlowReport", "Location",
     "TraceBuilder", "measure_graph", "measure_runs",
     "CompileError", "GraphError", "LangError", "LexError", "ParseError",

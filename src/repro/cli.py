@@ -20,6 +20,7 @@ import argparse
 import json
 import sys
 
+from . import obs
 from .core.policy import CutPolicy
 from .errors import PolicyViolation, ReproError
 from .lang import check as lang_check
@@ -58,6 +59,28 @@ def _add_input_flags(parser, prefix, help_noun):
                         help="%s as hex bytes" % help_noun)
     parser.add_argument("--%s-file" % prefix, dest="%s_file" % prefix,
                         help="%s read from a file" % help_noun)
+
+
+def _add_metrics_flags(parser):
+    parser.add_argument("--metrics", nargs="?", const="table",
+                        choices=["table", "json"], metavar="FORMAT",
+                        help="record pipeline metrics and print them "
+                             "(table or json; see docs/observability.md)")
+    parser.add_argument("--metrics-file", metavar="FILE",
+                        help="write metrics there instead of stderr")
+
+
+def _emit_metrics(args):
+    snapshot = obs.get_metrics().snapshot()
+    if args.metrics == "json":
+        text = obs.to_json(snapshot)
+    else:
+        text = obs.to_table(snapshot)
+    if args.metrics_file:
+        with open(args.metrics_file, "w") as handle:
+            handle.write(text + "\n")
+    else:
+        print(text, file=sys.stderr)
 
 
 def cmd_measure(args):
@@ -173,6 +196,7 @@ def build_parser():
     p.add_argument("--save-policy", metavar="FILE")
     p.add_argument("--dot", metavar="FILE",
                    help="write the (collapsed) graph + cut as Graphviz")
+    _add_metrics_flags(p)
     p.set_defaults(func=cmd_measure)
 
     p = sub.add_parser("check", help="taint-check a run against a policy")
@@ -180,6 +204,7 @@ def build_parser():
     p.add_argument("--policy", required=True)
     _add_input_flags(p, "secret", "secret input")
     _add_input_flags(p, "public", "public input")
+    _add_metrics_flags(p)
     p.set_defaults(func=cmd_check)
 
     p = sub.add_parser("lockstep",
@@ -189,6 +214,7 @@ def build_parser():
     _add_input_flags(p, "secret", "real secret input")
     _add_input_flags(p, "dummy", "dummy secret input")
     _add_input_flags(p, "public", "public input")
+    _add_metrics_flags(p)
     p.set_defaults(func=cmd_lockstep)
 
     p = sub.add_parser("static", help="all-static bound (§10.2 subset)")
@@ -199,10 +225,12 @@ def build_parser():
     p.add_argument("--default-bound", type=int, default=1)
     p.add_argument("--formula", action="store_true",
                    help="print the symbolic edge list")
+    _add_metrics_flags(p)
     p.set_defaults(func=cmd_static)
 
     p = sub.add_parser("disasm", help="show compiled bytecode")
     p.add_argument("program")
+    _add_metrics_flags(p)
     p.set_defaults(func=cmd_disasm)
     return parser
 
@@ -210,11 +238,18 @@ def build_parser():
 def main(argv=None):
     parser = build_parser()
     args = parser.parse_args(argv)
+    record_metrics = getattr(args, "metrics", None) is not None
+    if record_metrics:
+        obs.enable()
     try:
         return args.func(args)
     except ReproError as error:
         print("error: %s" % error, file=sys.stderr)
         return 2
+    finally:
+        if record_metrics:
+            _emit_metrics(args)
+            obs.disable()
 
 
 if __name__ == "__main__":

@@ -13,6 +13,7 @@ from .regions import DeclaredOutput, RegionWriteChecker
 from .lazyranges import (LazyRangeTable, MAX_DESCRIPTORS, MAX_EXCEPTIONS,
                          MIN_RANGE, RangeDescriptor)
 from .measure import COLLAPSE_MODES, measure_graph, measure_runs
+from .multisecret import CategoryBounds, measure_by_category
 from .combine import (code_lengths_for, consistent_bounds,
                       demonstrate_inconsistency, kraft_satisfied, kraft_sum)
 from .report import CutDescription, FlowReport
@@ -28,6 +29,7 @@ __all__ = [
     "LazyRangeTable", "MAX_DESCRIPTORS", "MAX_EXCEPTIONS", "MIN_RANGE",
     "RangeDescriptor",
     "COLLAPSE_MODES", "measure_graph", "measure_runs",
+    "CategoryBounds", "measure_by_category",
     "code_lengths_for", "consistent_bounds", "demonstrate_inconsistency",
     "kraft_satisfied", "kraft_sum",
     "CutDescription", "FlowReport",

@@ -4,10 +4,17 @@ Ties the pipeline together: optionally collapse the trace graph by code
 location (Section 5.2), run the max-flow solver (Section 5), extract the
 minimum cut (Section 6.1), and package everything as a
 :class:`~repro.core.report.FlowReport`.
+
+When observability is enabled (:func:`repro.obs.enable`), each stage is
+timed under ``phase.collapse`` / ``phase.solve`` / ``phase.mincut`` with
+the whole call under ``phase.measure``, the trace builder's event
+counters are published as ``trace.*``, and the report carries a metrics
+snapshot in :attr:`FlowReport.metrics`.
 """
 
 from __future__ import annotations
 
+from .. import obs
 from ..graph.collapse import collapse_graphs
 from ..graph.maxflow import dinic_max_flow
 from ..graph.mincut import min_cut_from_residual
@@ -17,6 +24,27 @@ from .report import FlowReport
 #: ``"context"`` merges edges by (location, calling-context hash),
 #: ``"location"`` merges by location only (smallest graph).
 COLLAPSE_MODES = ("none", "context", "location")
+
+#: Trace-builder stat keys republished as catalogued counters.
+_TRACE_COUNTERS = (
+    ("operations", "trace.operations"),
+    ("implicit_flows", "trace.implicit_flows"),
+    ("outputs", "trace.outputs"),
+    ("secret_input_bits", "trace.secret_input_bits"),
+    ("tainted_output_bits", "trace.tainted_output_bits"),
+)
+
+
+def _publish(metrics, stats, solved, value, cut):
+    """Record the trace counters and result gauges of one measurement."""
+    for stat_key, metric_name in _TRACE_COUNTERS:
+        amount = stats.get(stat_key)
+        if amount:
+            metrics.incr(metric_name, amount)
+    metrics.gauge("graph.nodes", solved.num_nodes)
+    metrics.gauge("graph.edges", solved.num_edges)
+    metrics.gauge("flow.bits", value)
+    metrics.gauge("mincut.edges", len(cut.edges))
 
 
 def measure_graph(graph, collapse="context", stats=None, warnings=None,
@@ -38,14 +66,20 @@ def measure_graph(graph, collapse="context", stats=None, warnings=None,
     if collapse not in COLLAPSE_MODES:
         raise ValueError("collapse must be one of %r, got %r"
                          % (COLLAPSE_MODES, collapse))
+    metrics = obs.get_metrics()
     collapse_stats = None
     solved = graph
-    if collapse != "none":
-        solved, collapse_stats = collapse_graphs(
-            [graph], context_sensitive=(collapse == "context"))
-    value, residual = solver(solved)
-    cut = min_cut_from_residual(solved, residual)
+    with metrics.phase("measure"):
+        if collapse != "none":
+            with metrics.phase("collapse"):
+                solved, collapse_stats = collapse_graphs(
+                    [graph], context_sensitive=(collapse == "context"))
+        value, residual = solver(solved)
+        with metrics.phase("mincut"):
+            cut = min_cut_from_residual(solved, residual)
     stats = dict(stats or {})
+    if metrics.enabled:
+        _publish(metrics, stats, solved, value, cut)
     return FlowReport(
         bits=value,
         mincut=cut,
@@ -55,6 +89,7 @@ def measure_graph(graph, collapse="context", stats=None, warnings=None,
         collapse_stats=collapse_stats,
         stats=stats,
         warnings=warnings,
+        metrics=metrics.snapshot() if metrics.enabled else None,
     )
 
 
@@ -69,14 +104,20 @@ def measure_runs(graphs, collapse="context", stats_list=None, warnings=None,
     per-run flows is feasible in the combined graph).
     """
     graphs = list(graphs)
-    combined, collapse_stats = collapse_graphs(
-        graphs, context_sensitive=(collapse == "context"))
-    value, residual = solver(combined)
-    cut = min_cut_from_residual(combined, residual)
+    metrics = obs.get_metrics()
+    with metrics.phase("measure"):
+        with metrics.phase("collapse"):
+            combined, collapse_stats = collapse_graphs(
+                graphs, context_sensitive=(collapse == "context"))
+        value, residual = solver(combined)
+        with metrics.phase("mincut"):
+            cut = min_cut_from_residual(combined, residual)
     merged_stats = {}
     for stats in stats_list or []:
         for key, val in stats.items():
             merged_stats[key] = merged_stats.get(key, 0) + val
+    if metrics.enabled:
+        _publish(metrics, merged_stats, combined, value, cut)
     report = FlowReport(
         bits=value,
         mincut=cut,
@@ -86,5 +127,6 @@ def measure_runs(graphs, collapse="context", stats_list=None, warnings=None,
         collapse_stats=collapse_stats,
         stats=merged_stats,
         warnings=warnings,
+        metrics=metrics.snapshot() if metrics.enabled else None,
     )
     return report

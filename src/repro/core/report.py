@@ -64,11 +64,14 @@ class FlowReport:
         stats: raw event counters from the trace builder(s).
         warnings: list of human-readable soundness/precision notes
             (e.g. undeclared region writes in audit mode).
+        metrics: observability snapshot taken at the end of the
+            measurement (a dict over the ``docs/observability.md``
+            catalogue), or ``None`` when metrics were disabled.
     """
 
     def __init__(self, bits, mincut, graph, secret_input_bits=None,
                  tainted_output_bits=None, collapse_stats=None, stats=None,
-                 warnings=None):
+                 warnings=None, metrics=None):
         self.bits = bits
         self.mincut = mincut
         self.cut = CutDescription(mincut)
@@ -78,6 +81,7 @@ class FlowReport:
         self.collapse_stats = collapse_stats
         self.stats = stats or {}
         self.warnings = list(warnings or [])
+        self.metrics = metrics
 
     def describe(self):
         """Multi-line summary in the style of the paper's reports."""

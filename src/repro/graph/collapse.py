@@ -21,6 +21,7 @@ smaller graph whose size tracks code coverage.
 
 from __future__ import annotations
 
+from .. import obs
 from ..errors import GraphError
 from .flowgraph import INF, FlowGraph
 from .unionfind import UnionFind
@@ -106,6 +107,7 @@ def collapse_graphs(graphs, context_sensitive=True):
     # merge by (endpoints, None), which is always sound for max-flow.
     merged = {}
     label_of = {}
+    merge_hits = 0
     original_nodes = sum(g.num_nodes for g in graphs)
     original_edges = sum(g.num_edges for g in graphs)
     for gi, g in enumerate(graphs):
@@ -119,7 +121,11 @@ def collapse_graphs(graphs, context_sensitive=True):
                 bucket = (tail, head, e.label.kind if e.label else None, None)
             else:
                 bucket = key
-            prev = merged.get(bucket, 0)
+            prev = merged.get(bucket)
+            if prev is None:
+                prev = 0
+            else:
+                merge_hits += 1
             if prev >= INF or e.capacity >= INF:
                 merged[bucket] = INF
             else:
@@ -138,6 +144,14 @@ def collapse_graphs(graphs, context_sensitive=True):
 
     stats = CollapseStats(original_nodes, original_edges,
                           combined.num_nodes, combined.num_edges)
+    metrics = obs.get_metrics()
+    if metrics.enabled:
+        metrics.incr("collapse.runs")
+        metrics.incr("collapse.label_merge_hits", merge_hits)
+        metrics.gauge("collapse.nodes_before", stats.original_nodes)
+        metrics.gauge("collapse.nodes_after", stats.collapsed_nodes)
+        metrics.gauge("collapse.edges_before", stats.original_edges)
+        metrics.gauge("collapse.edges_after", stats.collapsed_edges)
     return combined, stats
 
 

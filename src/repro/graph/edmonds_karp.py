@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from collections import deque
 
+from .. import obs
 from ..errors import GraphError
 from .flowgraph import INF
 from .maxflow import ResidualNetwork
@@ -20,7 +21,10 @@ def edmonds_karp_max_flow(graph):
     """Compute the maximum s-t flow by repeated BFS augmentation.
 
     Returns ``(value, residual)``, matching :func:`.maxflow.dinic_max_flow`.
+    With observability enabled, accounts wall time to ``phase.solve``
+    and reports ``maxflow.edmonds_karp.augmenting_paths``.
     """
+    metrics = obs.get_metrics()
     net = ResidualNetwork(graph)
     s, t = net.source, net.sink
     if s == t:
@@ -28,42 +32,50 @@ def edmonds_karp_max_flow(graph):
     head, cap, first, nxt = net.head, net.cap, net.first, net.nxt
     n = net.num_nodes
     total = 0
+    aug_paths = 0
     parent_arc = [-1] * n
 
-    while True:
-        for i in range(n):
-            parent_arc[i] = -1
-        parent_arc[s] = -2
-        q = deque([s])
-        reached = False
-        while q and not reached:
-            u = q.popleft()
-            a = first[u]
-            while a != -1:
-                v = head[a]
-                if cap[a] > 0 and parent_arc[v] == -1:
-                    parent_arc[v] = a
-                    if v == t:
-                        reached = True
-                        break
-                    q.append(v)
-                a = nxt[a]
-        if not reached:
-            return total, net
-        # Walk the parent chain to find the bottleneck, then augment.
-        bottleneck = INF
-        v = t
-        while v != s:
-            a = parent_arc[v]
-            if cap[a] < bottleneck:
-                bottleneck = cap[a]
-            v = head[a ^ 1]
-        v = t
-        while v != s:
-            a = parent_arc[v]
-            cap[a] -= bottleneck
-            cap[a ^ 1] += bottleneck
-            v = head[a ^ 1]
-        total += bottleneck
-        if total >= INF:
-            return INF, net
+    with metrics.phase("solve"):
+        while True:
+            for i in range(n):
+                parent_arc[i] = -1
+            parent_arc[s] = -2
+            q = deque([s])
+            reached = False
+            while q and not reached:
+                u = q.popleft()
+                a = first[u]
+                while a != -1:
+                    v = head[a]
+                    if cap[a] > 0 and parent_arc[v] == -1:
+                        parent_arc[v] = a
+                        if v == t:
+                            reached = True
+                            break
+                        q.append(v)
+                    a = nxt[a]
+            if not reached:
+                break
+            # Walk the parent chain to find the bottleneck, then augment.
+            bottleneck = INF
+            v = t
+            while v != s:
+                a = parent_arc[v]
+                if cap[a] < bottleneck:
+                    bottleneck = cap[a]
+                v = head[a ^ 1]
+            v = t
+            while v != s:
+                a = parent_arc[v]
+                cap[a] -= bottleneck
+                cap[a ^ 1] += bottleneck
+                v = head[a ^ 1]
+            total += bottleneck
+            aug_paths += 1
+            if total >= INF:
+                total = INF
+                break
+    if metrics.enabled:
+        metrics.incr("maxflow.solves")
+        metrics.incr("maxflow.edmonds_karp.augmenting_paths", aug_paths)
+    return total, net

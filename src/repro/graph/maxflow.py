@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from collections import deque
 
+from .. import obs
 from ..errors import GraphError
 from .flowgraph import INF
 
@@ -91,7 +92,11 @@ def dinic_max_flow(graph):
     is exact; ``INF`` is returned when the sink is reachable from the
     source over unbounded-capacity edges only... which cannot happen for
     trace graphs, whose source edges are always finite.
+
+    With observability enabled, accounts wall time to ``phase.solve``
+    and reports ``maxflow.dinic.bfs_phases`` / ``.augmenting_paths``.
     """
+    metrics = obs.get_metrics()
     net = ResidualNetwork(graph)
     s, t = net.source, net.sink
     if s == t:
@@ -122,6 +127,7 @@ def dinic_max_flow(graph):
     # graphs (Python's recursion limit is easily hit by an uncollapsed
     # loop of a few thousand iterations).
     def blocking_flow():
+        nonlocal aug_paths
         pushed_total = 0
         while True:
             path = []
@@ -133,6 +139,7 @@ def dinic_max_flow(graph):
                         cap[a] -= bottleneck
                         cap[a ^ 1] += bottleneck
                     pushed_total += bottleneck
+                    aug_paths += 1
                     # Retreat to the first saturated arc on the path.
                     for idx, a in enumerate(path):
                         if cap[a] == 0:
@@ -161,12 +168,21 @@ def dinic_max_flow(graph):
                 u = head[a ^ 1]
                 it[u] = nxt[it[u]]
 
-    while bfs():
-        for i in range(n):
-            it[i] = first[i]
-        total += blocking_flow()
-        if total >= INF:
-            return INF, net
+    bfs_phases = 0
+    aug_paths = 0
+    with metrics.phase("solve"):
+        while bfs():
+            bfs_phases += 1
+            for i in range(n):
+                it[i] = first[i]
+            total += blocking_flow()
+            if total >= INF:
+                total = INF
+                break
+    if metrics.enabled:
+        metrics.incr("maxflow.solves")
+        metrics.incr("maxflow.dinic.bfs_phases", bfs_phases)
+        metrics.incr("maxflow.dinic.augmenting_paths", aug_paths)
     return total, net
 
 

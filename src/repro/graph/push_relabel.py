@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from collections import deque
 
+from .. import obs
 from ..errors import GraphError
 from .maxflow import ResidualNetwork
 
@@ -21,7 +22,10 @@ def push_relabel_max_flow(graph):
     Returns ``(value, residual)``, matching :func:`.maxflow.dinic_max_flow`.
     The returned residual network is fully saturated, so min-cut
     extraction via :meth:`ResidualNetwork.source_side` works identically.
+    With observability enabled, accounts wall time to ``phase.solve``
+    and reports ``maxflow.push_relabel.pushes`` / ``.relabels``.
     """
+    metrics = obs.get_metrics()
     net = ResidualNetwork(graph)
     s, t = net.source, net.sink
     if s == t:
@@ -38,8 +42,12 @@ def push_relabel_max_flow(graph):
     height_count[n] = 1
 
     active = deque()
+    pushes = 0
+    relabels = 0
 
     def push(u, a):
+        nonlocal pushes
+        pushes += 1
         v = head[a]
         delta = excess[u] if excess[u] < cap[a] else cap[a]
         cap[a] -= delta
@@ -51,6 +59,8 @@ def push_relabel_max_flow(graph):
             active.append(v)
 
     def relabel(u):
+        nonlocal relabels
+        relabels += 1
         old = height[u]
         best = 2 * n
         a = first[u]
@@ -72,32 +82,37 @@ def push_relabel_max_flow(graph):
             height_count[best] += 1
         current[u] = first[u]
 
-    # Saturate all source arcs.
-    a = first[s]
-    while a != -1:
-        if cap[a] > 0:
-            v = head[a]
-            delta = cap[a]
-            cap[a] = 0
-            cap[a ^ 1] += delta
-            was_idle = excess[v] == 0
-            excess[v] += delta
-            if was_idle and v != s and v != t:
-                active.append(v)
-        a = nxt[a]
+    with metrics.phase("solve"):
+        # Saturate all source arcs.
+        a = first[s]
+        while a != -1:
+            if cap[a] > 0:
+                v = head[a]
+                delta = cap[a]
+                cap[a] = 0
+                cap[a ^ 1] += delta
+                was_idle = excess[v] == 0
+                excess[v] += delta
+                if was_idle and v != s and v != t:
+                    active.append(v)
+            a = nxt[a]
 
-    while active:
-        u = active.popleft()
-        while excess[u] > 0:
-            a = current[u]
-            if a == -1:
-                relabel(u)
-                if height[u] > 2 * n:
-                    break
-                continue
-            if cap[a] > 0 and height[u] == height[head[a]] + 1:
-                push(u, a)
-            else:
-                current[u] = nxt[a]
+        while active:
+            u = active.popleft()
+            while excess[u] > 0:
+                a = current[u]
+                if a == -1:
+                    relabel(u)
+                    if height[u] > 2 * n:
+                        break
+                    continue
+                if cap[a] > 0 and height[u] == height[head[a]] + 1:
+                    push(u, a)
+                else:
+                    current[u] = nxt[a]
 
+    if metrics.enabled:
+        metrics.incr("maxflow.solves")
+        metrics.incr("maxflow.push_relabel.pushes", pushes)
+        metrics.incr("maxflow.push_relabel.relabels", relabels)
     return excess[t], net

@@ -11,6 +11,7 @@ The typical workflow mirrors the paper's tool usage:
 
 from __future__ import annotations
 
+from .. import obs
 from ..core.checking import CheckTracker
 from ..core.lockstep import run_lockstep
 from ..core.measure import measure_graph, measure_runs
@@ -75,10 +76,11 @@ def measure(source_or_compiled, secret_input=b"", public_input=b"",
     """
     compiled = _ensure_compiled(source_or_compiled, filename)
     tracker = TraceBuilder()
-    vm, graph = execute(compiled, secret_input, public_input, tracker,
-                        entry=entry, region_check=region_check,
-                        lazy_regions=lazy_regions, max_steps=max_steps,
-                        exit_observable=exit_observable)
+    with obs.get_metrics().phase("trace"):
+        vm, graph = execute(compiled, secret_input, public_input, tracker,
+                            entry=entry, region_check=region_check,
+                            lazy_regions=lazy_regions, max_steps=max_steps,
+                            exit_observable=exit_observable)
     report = measure_graph(graph, collapse=collapse, stats=tracker.stats,
                            warnings=vm.warnings)
     return RunResult(report, vm.outputs, vm.output_bytes, vm)
@@ -126,8 +128,9 @@ def measure_many(source_or_compiled, secret_inputs, public_input=b"",
     warnings = []
     for secret in secret_inputs:
         tracker = TraceBuilder()
-        vm, graph = execute(compiled, secret, public_input, tracker,
-                            entry=entry, region_check=region_check)
+        with obs.get_metrics().phase("trace"):
+            vm, graph = execute(compiled, secret, public_input, tracker,
+                                entry=entry, region_check=region_check)
         graphs.append(graph)
         stats_list.append(tracker.stats)
         warnings.extend(vm.warnings)

@@ -32,6 +32,8 @@ DEFAULT_MAX_STEPS = 50_000_000
 class NullTracker:
     """Tracker that records nothing: the uninstrumented lockstep mode."""
 
+    region_depth = 0
+
     class _Exit:
         node = None
         had_implicit_flows = False

@@ -1,0 +1,76 @@
+"""Observability for the trace -> collapse -> max-flow pipeline.
+
+The paper's scalability argument (Section 5.3: traces of millions of
+operations collapsing to thousands of nodes) is an empirical claim, and
+every optimization of the pipeline needs to know where the time and the
+graph volume actually go.  This package is the measurement substrate: a
+zero-dependency registry of counters, gauges, and phase timers whose
+*names are a documented contract* (``docs/observability.md``; see
+:mod:`repro.obs.catalogue`).
+
+Usage::
+
+    from repro import obs
+
+    obs.enable()                        # install a live registry
+    report = measure_graph(graph)       # pipeline records as it runs
+    print(obs.to_table(obs.get_metrics().snapshot()))
+    obs.disable()                       # back to the no-op sink
+
+By default the process-wide instance is :data:`NULL_METRICS`, a no-op
+sink, so instrumented code pays only an attribute lookup and an empty
+method call when observability is off (measured at well under 2% on the
+Figure 3 compressor benchmark; see ``docs/observability.md``).
+
+The registry is process-wide and not thread-safe; enable it around one
+measurement at a time.
+"""
+
+from __future__ import annotations
+
+from .catalogue import CATALOGUE, PHASES, MetricSpec, snapshot_keys
+from .metrics import Metrics, NullMetrics
+from .render import to_json, to_table
+
+#: The shared no-op sink (the default process-wide instance).
+NULL_METRICS = NullMetrics()
+
+_default = NULL_METRICS
+
+
+def get_metrics():
+    """The process-wide metrics instance (live or the null sink)."""
+    return _default
+
+
+def set_metrics(metrics):
+    """Install ``metrics`` as the process-wide instance; returns the old one."""
+    global _default
+    previous = _default
+    _default = metrics
+    return previous
+
+
+def enable():
+    """Install (and return) a fresh live :class:`Metrics` registry."""
+    metrics = Metrics()
+    set_metrics(metrics)
+    return metrics
+
+
+def disable():
+    """Restore the no-op sink; returns the previously installed instance."""
+    return set_metrics(NULL_METRICS)
+
+
+def enabled():
+    """Whether the process-wide instance records anything."""
+    return _default.enabled
+
+
+__all__ = [
+    "CATALOGUE", "PHASES", "MetricSpec", "snapshot_keys",
+    "Metrics", "NullMetrics", "NULL_METRICS",
+    "get_metrics", "set_metrics", "enable", "disable", "enabled",
+    "to_json", "to_table",
+]

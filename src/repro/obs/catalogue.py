@@ -1,0 +1,140 @@
+"""The metrics contract: every metric the pipeline may emit.
+
+This module is the single source of truth for metric *names* and their
+semantics.  ``docs/observability.md`` documents the same catalogue for
+humans, and a drift test asserts the two agree, so an instrumentation
+change that invents a new name without documenting it (or vice versa)
+fails the suite.  :class:`~repro.obs.metrics.Metrics` also rejects any
+name not listed here at runtime.
+
+Kinds:
+
+* ``counter`` -- monotonically accumulating integer (events, bits).
+* ``gauge``   -- last-written (or max-tracked) point-in-time value.
+* ``timer``   -- accumulated wall-clock seconds of a pipeline phase;
+  every ``phase.<p>.seconds`` timer pairs with a ``phase.<p>.calls``
+  counter maintained by the same context manager.
+
+Stability: ``stable`` names follow the usual deprecation dance before
+changing meaning; ``experimental`` names may change in any release.
+"""
+
+from __future__ import annotations
+
+COUNTER = "counter"
+GAUGE = "gauge"
+TIMER = "timer"
+
+#: Pipeline phases timed by ``Metrics.phase(name)``; each contributes a
+#: ``phase.<name>.seconds`` timer and a ``phase.<name>.calls`` counter.
+PHASES = ("trace", "collapse", "solve", "mincut", "measure")
+
+
+class MetricSpec:
+    """One catalogued metric: its kind, unit, stability, and meaning."""
+
+    __slots__ = ("name", "kind", "unit", "stability", "description")
+
+    def __init__(self, name, kind, unit, stability, description):
+        self.name = name
+        self.kind = kind
+        self.unit = unit
+        self.stability = stability
+        self.description = description
+
+    @property
+    def zero(self):
+        """The metric's initial snapshot value."""
+        return 0.0 if self.kind == TIMER else 0
+
+    def __repr__(self):
+        return "MetricSpec(%r, %s, %s, %s)" % (self.name, self.kind,
+                                               self.unit, self.stability)
+
+
+def _specs():
+    c, g = COUNTER, GAUGE
+    entries = [
+        # Trace construction (TraceBuilder event stream, any frontend).
+        (c, "trace.operations", "events", "stable",
+         "operation events recorded by the trace builder"),
+        (c, "trace.implicit_flows", "events", "stable",
+         "implicit-flow edges added (branches and indexed accesses)"),
+        (c, "trace.outputs", "events", "stable",
+         "public output events recorded"),
+        (c, "trace.secret_input_bits", "bits", "stable",
+         "total secret bits introduced at inputs"),
+        (c, "trace.tainted_output_bits", "bits", "stable",
+         "bits a plain tainting analysis would report at outputs"),
+        # Python frontend (repro.pytrace.Session).
+        (c, "pytrace.shadow_ops", "events", "stable",
+         "shadow-transfer evaluations (binary/unary ops on tracked values)"),
+        (c, "pytrace.implicit_events", "events", "stable",
+         "branch/index events on tracked values observed by Session"),
+        (g, "pytrace.enclosure_depth_max", "regions", "stable",
+         "deepest enclosure-region nesting reached in a session"),
+        # Collapsing (repro.graph.collapse).
+        (c, "collapse.runs", "calls", "stable",
+         "collapse/combine invocations"),
+        (g, "collapse.nodes_before", "nodes", "stable",
+         "node count entering the most recent collapse"),
+        (g, "collapse.nodes_after", "nodes", "stable",
+         "node count leaving the most recent collapse"),
+        (g, "collapse.edges_before", "edges", "stable",
+         "edge count entering the most recent collapse"),
+        (g, "collapse.edges_after", "edges", "stable",
+         "edge count leaving the most recent collapse"),
+        (c, "collapse.label_merge_hits", "edges", "stable",
+         "edges folded into an already-seen label bucket"),
+        # Max-flow solvers.
+        (c, "maxflow.solves", "calls", "stable",
+         "solver invocations (any algorithm)"),
+        (c, "maxflow.dinic.bfs_phases", "phases", "stable",
+         "Dinic level-graph (BFS) phases"),
+        (c, "maxflow.dinic.augmenting_paths", "paths", "stable",
+         "Dinic augmenting paths pushed across all blocking flows"),
+        (c, "maxflow.edmonds_karp.augmenting_paths", "paths", "stable",
+         "Edmonds-Karp shortest augmenting paths"),
+        (c, "maxflow.push_relabel.pushes", "events", "stable",
+         "push-relabel push operations"),
+        (c, "maxflow.push_relabel.relabels", "events", "stable",
+         "push-relabel relabel operations"),
+        # Measurement results (repro.core.measure).
+        (g, "graph.nodes", "nodes", "stable",
+         "node count of the most recently solved graph"),
+        (g, "graph.edges", "edges", "stable",
+         "edge count of the most recently solved graph"),
+        (g, "flow.bits", "bits", "stable",
+         "most recent max-flow bound"),
+        (g, "mincut.edges", "edges", "stable",
+         "edge count of the most recent minimum cut"),
+    ]
+    phase_doc = {
+        "trace": "instrumented execution (FlowLang VM run)",
+        "collapse": "graph collapsing / multi-run combination",
+        "solve": "max-flow computation",
+        "mincut": "minimum-cut extraction from the residual",
+        "measure": "end-to-end measure_graph / measure_runs",
+    }
+    for phase in PHASES:
+        entries.append((TIMER, "phase.%s.seconds" % phase, "seconds",
+                        "stable",
+                        "accumulated wall time: %s" % phase_doc[phase]))
+        entries.append((COUNTER, "phase.%s.calls" % phase, "calls",
+                        "stable",
+                        "times the %s phase ran" % phase))
+    return entries
+
+
+#: name -> :class:`MetricSpec`; insertion order is the canonical
+#: rendering order for snapshots, tables, and the docs catalogue.
+CATALOGUE = {}
+for _kind, _name, _unit, _stability, _description in _specs():
+    CATALOGUE[_name] = MetricSpec(_name, _kind, _unit, _stability,
+                                  _description)
+del _kind, _name, _unit, _stability, _description
+
+
+def snapshot_keys():
+    """All keys a full snapshot contains, in canonical order."""
+    return list(CATALOGUE)

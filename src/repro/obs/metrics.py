@@ -1,0 +1,137 @@
+"""Counters, gauges, and phase timers over the catalogued names.
+
+Two implementations share one interface:
+
+* :class:`Metrics` records for real and *rejects names missing from the
+  catalogue*, so instrumentation cannot drift away from the documented
+  contract;
+* :class:`NullMetrics` is the no-op sink installed by default, making
+  instrumented code essentially free when observability is off.
+
+Instrumented modules fetch the process-wide instance via
+:func:`repro.obs.get_metrics` at each use site (never caching it across
+calls), so enabling metrics mid-process takes effect immediately.
+"""
+
+from __future__ import annotations
+
+import time
+
+from .catalogue import CATALOGUE, COUNTER, GAUGE, TIMER
+
+
+class _NullPhase:
+    """Context manager that does nothing (shared singleton)."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+_NULL_PHASE = _NullPhase()
+
+
+class NullMetrics:
+    """No-op sink with the :class:`Metrics` interface.
+
+    Accepts any name without validation; every operation is a constant
+    handful of bytecodes, so hot paths can call unconditionally.
+    """
+
+    __slots__ = ()
+    enabled = False
+
+    def incr(self, name, amount=1):
+        pass
+
+    def gauge(self, name, value):
+        pass
+
+    def gauge_max(self, name, value):
+        pass
+
+    def phase(self, name):
+        return _NULL_PHASE
+
+    def snapshot(self):
+        """An empty dict: a disabled registry observes nothing."""
+        return {}
+
+
+class _Phase:
+    """Times one ``with metrics.phase(name):`` block."""
+
+    __slots__ = ("_values", "_seconds_key", "_calls_key", "_t0")
+
+    def __init__(self, values, seconds_key, calls_key):
+        self._values = values
+        self._seconds_key = seconds_key
+        self._calls_key = calls_key
+
+    def __enter__(self):
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self._values[self._seconds_key] += time.perf_counter() - self._t0
+        self._values[self._calls_key] += 1
+        return False
+
+
+class Metrics:
+    """A live metrics registry pre-populated from the catalogue.
+
+    Every catalogued name is present (at zero) from construction, so a
+    snapshot's key set is always exactly the catalogue -- the property
+    the docs-drift test and the ``--metrics=json`` contract rely on.
+    Values accumulate for the life of the instance; create a fresh one
+    (:func:`repro.obs.enable` does) to start a new measurement window.
+    """
+
+    __slots__ = ("_values",)
+    enabled = True
+
+    def __init__(self):
+        self._values = {name: spec.zero for name, spec in CATALOGUE.items()}
+
+    def _spec(self, name, kind):
+        spec = CATALOGUE.get(name)
+        if spec is None:
+            raise KeyError("metric %r is not in the catalogue; add it to "
+                           "repro/obs/catalogue.py and docs/observability.md"
+                           % name)
+        if spec.kind != kind:
+            raise ValueError("metric %r is a %s, not a %s"
+                             % (name, spec.kind, kind))
+        return spec
+
+    def incr(self, name, amount=1):
+        """Add ``amount`` to counter ``name``."""
+        self._spec(name, COUNTER)
+        self._values[name] += amount
+
+    def gauge(self, name, value):
+        """Set gauge ``name`` to ``value``."""
+        self._spec(name, GAUGE)
+        self._values[name] = value
+
+    def gauge_max(self, name, value):
+        """Raise gauge ``name`` to ``value`` if larger (high-water mark)."""
+        self._spec(name, GAUGE)
+        if value > self._values[name]:
+            self._values[name] = value
+
+    def phase(self, name):
+        """Context manager accumulating ``phase.<name>.seconds``/``.calls``."""
+        seconds_key = "phase.%s.seconds" % name
+        calls_key = "phase.%s.calls" % name
+        self._spec(seconds_key, TIMER)
+        return _Phase(self._values, seconds_key, calls_key)
+
+    def snapshot(self):
+        """All metrics as a plain dict, in catalogue order."""
+        return dict(self._values)

@@ -1,0 +1,31 @@
+"""Render a metrics snapshot for humans (table) or machines (JSON)."""
+
+from __future__ import annotations
+
+import json
+
+from .catalogue import CATALOGUE, TIMER
+
+
+def to_json(snapshot, indent=2):
+    """The snapshot as a JSON object, keys in catalogue order."""
+    return json.dumps(snapshot, indent=indent)
+
+
+def to_table(snapshot):
+    """The snapshot as an aligned ``name value unit`` text table."""
+    rows = []
+    for name, value in snapshot.items():
+        spec = CATALOGUE.get(name)
+        if spec is not None and spec.kind == TIMER:
+            rendered = "%.6f" % value
+        else:
+            rendered = str(value)
+        rows.append((name, rendered, spec.unit if spec else ""))
+    if not rows:
+        return "(no metrics recorded)"
+    name_width = max(len(name) for name, _, _ in rows)
+    value_width = max(len(value) for _, value, _ in rows)
+    return "\n".join("%-*s  %*s %s" % (name_width, name, value_width,
+                                       value, unit)
+                     for name, value, unit in rows)

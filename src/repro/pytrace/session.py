@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import sys
 
+from .. import obs
 from ..core.checking import CheckTracker
 from ..core.locations import Location
 from ..core.measure import measure_graph
@@ -103,7 +104,11 @@ class _RegionContext:
         self.region = region
 
     def __enter__(self):
-        self.session.tracker.enter_region(self.region._location)
+        session = self.session
+        session.tracker.enter_region(self.region._location)
+        depth = session.tracker.region_depth
+        if depth > session._max_region_depth:
+            session._max_region_depth = depth
         return self.region
 
     def __exit__(self, exc_type, exc, tb):
@@ -155,6 +160,11 @@ class Session:
         self.outputs = []
         self._locations = {}
         self._finished = False
+        # Always-on frontend counters (plain int bumps are cheap enough
+        # to keep unconditionally); published to repro.obs at finish().
+        self._shadow_ops = 0
+        self._implicit_events = 0
+        self._max_region_depth = 0
 
     # ------------------------------------------------------------------
     # Locations
@@ -262,6 +272,7 @@ class Session:
     def binary_op(self, op, a, b, reflected=False):
         if reflected:
             a, b = b, a
+        self._shadow_ops += 1
         av, bv = concrete_of(a), concrete_of(b)
         am, bm = mask_of(a), mask_of(b)
         width = self._result_width(op, a, b, av, bv)
@@ -285,6 +296,7 @@ class Session:
         return SecretInt(self, value, result_width, mask, prov)
 
     def unary_op(self, op, a):
+        self._shadow_ops += 1
         av, am = concrete_of(a), mask_of(a)
         width = width_of(a)
         w = width_mask(width)
@@ -341,6 +353,7 @@ class Session:
     def branch_on(self, secret):
         if secret.mask == 0:
             return
+        self._implicit_events += 1
         loc = self._caller_location(3, "branch")
         if self.interceptor is not None:
             # Lockstep: substitute the recorded branch outcome.
@@ -351,6 +364,7 @@ class Session:
     def index_on(self, secret):
         if secret.mask == 0:
             return
+        self._implicit_events += 1
         loc = self._caller_location(3, "index")
         self.tracker.indexed(loc, secret.prov)
 
@@ -427,6 +441,12 @@ class Session:
         if self._finished:
             raise TraceError("session already finished")
         self._finished = True
+        metrics = obs.get_metrics()
+        if metrics.enabled:
+            metrics.incr("pytrace.shadow_ops", self._shadow_ops)
+            metrics.incr("pytrace.implicit_events", self._implicit_events)
+            metrics.gauge_max("pytrace.enclosure_depth_max",
+                              self._max_region_depth)
         return self.tracker.finish(exit_observable=exit_observable)
 
     def measure(self, collapse="context", exit_observable=True):

@@ -76,3 +76,53 @@ class TestRoundTrip:
     def test_bad_record_rejected(self):
         with pytest.raises(GraphError):
             load_graph(io.StringIO("flowgraph-v1\nx\t1\n"))
+
+
+def cut_fingerprint(cut):
+    """A min cut in comparable terms: sorted (kind, location, capacity)."""
+    entries = []
+    for ce in cut.edges:
+        if ce.label is None:
+            entries.append((None, None, ce.capacity))
+        else:
+            entries.append((ce.label.kind, str(ce.label.location),
+                            ce.capacity))
+    return sorted(entries, key=repr)
+
+
+class TestCollapsedBzip2RoundTrip:
+    """§5.3-style artifact boundary: a collapsed compressor-trace graph
+    written with save_graph and reloaded with read_graph yields the same
+    max-flow value and the same minimum cut."""
+
+    @pytest.fixture(scope="class")
+    def collapsed(self):
+        from repro.apps.bzip2.compressor import compress
+        from repro.apps.pi import workload_of_size
+        from repro.graph.collapse import collapse_graph
+        from repro.pytrace import Session
+        session = Session()
+        data = session.secret_bytes(workload_of_size(128))
+        out = compress(data, session=session)
+        session.output_bytes(out)
+        graph, _stats = collapse_graph(session.finish(),
+                                       context_sensitive=False)
+        return graph
+
+    def test_round_trip_preserves_flow_and_cut(self, collapsed, tmp_path):
+        from repro.graph.mincut import min_cut
+        path = save_graph(str(tmp_path / "bzip2.fgr"), collapsed)
+        loaded = read_graph(path)
+        assert loaded.num_nodes == collapsed.num_nodes
+        assert loaded.num_edges == collapsed.num_edges
+        value, cut = min_cut(collapsed)
+        loaded_value, loaded_cut = min_cut(loaded)
+        assert loaded_value == value > 0
+        assert loaded_cut.capacity == cut.capacity == value
+        assert cut_fingerprint(loaded_cut) == cut_fingerprint(cut)
+
+    def test_round_trip_is_idempotent(self, collapsed, tmp_path):
+        first = save_graph(str(tmp_path / "once.fgr"), collapsed)
+        twice = save_graph(str(tmp_path / "twice.fgr"), read_graph(first))
+        with open(first) as a, open(twice) as b:
+            assert a.read() == b.read()

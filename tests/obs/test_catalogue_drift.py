@@ -1,0 +1,85 @@
+"""Docs-drift test: docs/observability.md IS the metrics contract.
+
+Three-way agreement, so none can rot silently:
+
+1. the catalogue table in ``docs/observability.md``,
+2. the registry in ``repro.obs.catalogue``,
+3. the key set actually emitted by ``--metrics=json``.
+"""
+
+import json
+import pathlib
+import re
+
+import pytest
+
+from repro import obs
+from repro.cli import main as cli_main
+from repro.obs.catalogue import CATALOGUE, snapshot_keys
+
+DOC = pathlib.Path(__file__).resolve().parents[2] / "docs" / "observability.md"
+
+_ROW = re.compile(r"^\|\s*`(?P<name>[^`]+)`\s*\|\s*(?P<kind>\w+)\s*\|"
+                  r"\s*(?P<unit>\S+)\s*\|\s*(?P<stability>\w+)\s*\|")
+
+
+def documented_rows():
+    rows = []
+    with open(DOC) as handle:
+        for line in handle:
+            match = _ROW.match(line.strip())
+            if match:
+                rows.append(match.groupdict())
+    return rows
+
+
+class TestDocsMatchRegistry:
+    def test_doc_table_parses(self):
+        assert len(documented_rows()) > 20
+
+    def test_names_agree_in_order(self):
+        documented = [row["name"] for row in documented_rows()]
+        assert documented == snapshot_keys()
+
+    def test_kind_unit_stability_agree(self):
+        for row in documented_rows():
+            spec = CATALOGUE[row["name"]]
+            assert row["kind"] == spec.kind, row["name"]
+            assert row["unit"] == spec.unit, row["name"]
+            assert row["stability"] == spec.stability, row["name"]
+
+
+class TestEmittedJsonMatchesDocs:
+    @pytest.fixture
+    def program(self, tmp_path):
+        path = tmp_path / "prog.fl"
+        path.write_text("fn main() { var x: u8 = secret_u8();"
+                        " if (x > 10) { output(1); } }")
+        return str(path)
+
+    def test_cli_metrics_json_keys(self, program, tmp_path):
+        out = tmp_path / "metrics.json"
+        code = cli_main(["measure", program, "--secret-hex", "20",
+                         "--metrics=json", "--metrics-file", str(out),
+                         "--json"])
+        assert code == 0
+        emitted = json.loads(out.read_text())
+        assert list(emitted) == [row["name"] for row in documented_rows()]
+
+    def test_cli_leaves_metrics_disabled_afterwards(self, program,
+                                                    tmp_path, capsys):
+        out = tmp_path / "metrics.json"
+        cli_main(["measure", program, "--secret-hex", "20",
+                  "--metrics=json", "--metrics-file", str(out)])
+        capsys.readouterr()
+        assert obs.get_metrics() is obs.NULL_METRICS
+
+    def test_report_snapshot_keys(self):
+        from repro.lang import measure
+        obs.enable()
+        try:
+            report = measure("fn main() { output(secret_u8()); }",
+                             secret_input=b"\x01").report
+        finally:
+            obs.disable()
+        assert list(report.metrics) == snapshot_keys()

@@ -1,0 +1,193 @@
+"""Tests for the repro.obs metrics registry and its pipeline wiring."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.graph.edmonds_karp import edmonds_karp_max_flow
+from repro.graph.flowgraph import FlowGraph
+from repro.graph.maxflow import dinic_max_flow
+from repro.graph.push_relabel import push_relabel_max_flow
+from repro.lang import measure
+from repro.obs.catalogue import CATALOGUE, snapshot_keys
+from repro.pytrace import Session
+
+
+@pytest.fixture
+def metrics():
+    """A live registry installed process-wide, removed afterwards."""
+    live = obs.enable()
+    try:
+        yield live
+    finally:
+        obs.disable()
+
+
+def diamond():
+    g = FlowGraph()
+    a, b = g.add_node(), g.add_node()
+    g.add_edge(g.source, a, 3)
+    g.add_edge(g.source, b, 2)
+    g.add_edge(a, g.sink, 2)
+    g.add_edge(b, g.sink, 3)
+    return g
+
+
+class TestRegistry:
+    def test_snapshot_covers_catalogue_zero_filled(self, metrics):
+        snap = metrics.snapshot()
+        assert list(snap) == snapshot_keys()
+        assert all(v == 0 for v in snap.values())
+
+    def test_counter_and_gauge(self, metrics):
+        metrics.incr("maxflow.solves")
+        metrics.incr("maxflow.solves", 4)
+        metrics.gauge("flow.bits", 17)
+        metrics.gauge_max("pytrace.enclosure_depth_max", 3)
+        metrics.gauge_max("pytrace.enclosure_depth_max", 1)
+        snap = metrics.snapshot()
+        assert snap["maxflow.solves"] == 5
+        assert snap["flow.bits"] == 17
+        assert snap["pytrace.enclosure_depth_max"] == 3
+
+    def test_phase_timer(self, metrics):
+        with metrics.phase("solve"):
+            pass
+        with metrics.phase("solve"):
+            pass
+        snap = metrics.snapshot()
+        assert snap["phase.solve.calls"] == 2
+        assert snap["phase.solve.seconds"] >= 0
+
+    def test_uncatalogued_name_rejected(self, metrics):
+        with pytest.raises(KeyError):
+            metrics.incr("no.such.metric")
+        with pytest.raises(KeyError):
+            metrics.phase("no_such_phase")
+
+    def test_kind_mismatch_rejected(self, metrics):
+        with pytest.raises(ValueError):
+            metrics.incr("flow.bits")          # a gauge
+        with pytest.raises(ValueError):
+            metrics.gauge("maxflow.solves", 1)  # a counter
+
+    def test_null_metrics_accepts_everything(self):
+        null = obs.NULL_METRICS
+        assert not null.enabled
+        null.incr("anything.goes", 7)
+        null.gauge("whatever", 1)
+        with null.phase("also-not-a-phase"):
+            pass
+        assert null.snapshot() == {}
+
+    def test_enable_disable_swaps_default(self):
+        assert obs.get_metrics() is obs.NULL_METRICS
+        live = obs.enable()
+        try:
+            assert obs.get_metrics() is live
+            assert obs.enabled()
+        finally:
+            obs.disable()
+        assert obs.get_metrics() is obs.NULL_METRICS
+        assert not obs.enabled()
+
+
+class TestSolverWiring:
+    def test_dinic_counters(self, metrics):
+        value, _ = dinic_max_flow(diamond())
+        snap = metrics.snapshot()
+        assert value == 4
+        assert snap["maxflow.solves"] == 1
+        assert snap["maxflow.dinic.bfs_phases"] >= 1
+        assert snap["maxflow.dinic.augmenting_paths"] >= 2
+        assert snap["phase.solve.calls"] == 1
+
+    def test_edmonds_karp_counters(self, metrics):
+        value, _ = edmonds_karp_max_flow(diamond())
+        snap = metrics.snapshot()
+        assert value == 4
+        assert snap["maxflow.edmonds_karp.augmenting_paths"] >= 2
+        assert snap["maxflow.solves"] == 1
+
+    def test_push_relabel_counters(self, metrics):
+        value, _ = push_relabel_max_flow(diamond())
+        snap = metrics.snapshot()
+        assert value == 4
+        assert snap["maxflow.push_relabel.pushes"] >= 2
+        assert snap["maxflow.solves"] == 1
+
+    def test_solver_results_unchanged_when_disabled(self):
+        assert dinic_max_flow(diamond())[0] == 4
+        assert edmonds_karp_max_flow(diamond())[0] == 4
+        assert push_relabel_max_flow(diamond())[0] == 4
+
+
+class TestPipelineWiring:
+    SOURCE = ("fn main() { var x: u8 = secret_u8();"
+              " if (x > 10) { output(1); } else { output(0); } }")
+
+    def test_lang_measure_populates_report_metrics(self, metrics):
+        result = measure(self.SOURCE, secret_input=b"\x20")
+        snap = result.report.metrics
+        assert snap is not None
+        assert list(snap) == snapshot_keys()
+        assert snap["trace.operations"] >= 1
+        assert snap["trace.implicit_flows"] >= 1
+        assert snap["trace.outputs"] == 1
+        assert snap["trace.secret_input_bits"] == 8
+        assert snap["collapse.runs"] == 1
+        assert snap["collapse.nodes_after"] <= snap["collapse.nodes_before"]
+        assert snap["flow.bits"] == result.bits == 1
+        assert snap["mincut.edges"] >= 1
+        assert snap["phase.trace.calls"] == 1
+        assert snap["phase.measure.calls"] == 1
+        assert snap["phase.collapse.calls"] == 1
+        assert snap["phase.mincut.calls"] == 1
+
+    def test_report_metrics_none_when_disabled(self):
+        result = measure(self.SOURCE, secret_input=b"\x20")
+        assert result.report.metrics is None
+
+    def test_pytrace_session_metrics(self, metrics):
+        session = Session()
+        secret = session.secret_int(0xAB, width=8)
+        masked = (secret ^ 0x55) & 0x0F
+        with session.enclose() as region:
+            if secret > 100:
+                total = 1
+            else:
+                total = 0
+        total = region.wrap(total, width=1)
+        session.output(masked, total)
+        report = session.measure()
+        snap = metrics.snapshot()
+        assert snap["pytrace.shadow_ops"] >= 3
+        assert snap["pytrace.implicit_events"] >= 1
+        assert snap["pytrace.enclosure_depth_max"] == 1
+        assert report.metrics is snap or report.metrics == snap
+
+    def test_counters_accumulate_across_measurements(self, metrics):
+        measure(self.SOURCE, secret_input=b"\x20")
+        measure(self.SOURCE, secret_input=b"\x05")
+        snap = metrics.snapshot()
+        assert snap["phase.measure.calls"] == 2
+        assert snap["trace.outputs"] == 2
+
+
+class TestRendering:
+    def test_to_json_round_trips(self, metrics):
+        metrics.incr("maxflow.solves", 3)
+        parsed = json.loads(obs.to_json(metrics.snapshot()))
+        assert parsed["maxflow.solves"] == 3
+        assert set(parsed) == set(snapshot_keys())
+
+    def test_to_table_lists_every_metric(self, metrics):
+        table = obs.to_table(metrics.snapshot())
+        lines = table.splitlines()
+        assert len(lines) == len(CATALOGUE)
+        for name in CATALOGUE:
+            assert any(line.startswith(name) for line in lines)
+
+    def test_to_table_empty_snapshot(self):
+        assert "no metrics" in obs.to_table({})
