@@ -9,6 +9,7 @@ in, then tracks the compressed-output size.
 import pytest
 
 from benchmarks.tables import table_fig3
+from repro import obs
 from repro.apps.bzip2 import measure_compression_flow
 from repro.apps.pi import workload_of_size
 
@@ -37,3 +38,30 @@ def test_flow_measurement_speed(benchmark, size):
     result = benchmark.pedantic(measure_compression_flow, args=(data,),
                                 rounds=1, iterations=1)
     assert result.flow_bits > 0
+
+
+@pytest.mark.parametrize("size", [256, 1024, 4096])
+def test_flow_measurement_speed_online(benchmark, size):
+    data = workload_of_size(size)
+    result = benchmark.pedantic(measure_compression_flow, args=(data,),
+                                kwargs={"online": True},
+                                rounds=1, iterations=1)
+    assert result.flow_bits > 0
+
+
+def test_online_matches_posthoc_and_stays_small():
+    """The §5.2 online mode: equivalent result, O(coverage) live graph."""
+    data = workload_of_size(4096)
+    posthoc = measure_compression_flow(data)
+    obs.enable()
+    online = measure_compression_flow(data, online=True)
+    peak = obs.get_metrics().snapshot()["collapse.online.nodes_peak"]
+    obs.disable()
+    assert online.flow_bits == posthoc.flow_bits
+    assert (online.report.graph.num_nodes
+            == posthoc.report.graph.num_nodes)
+    assert (online.report.graph.num_edges
+            == posthoc.report.graph.num_edges)
+    # The graph held during tracing never grew past twice the collapsed
+    # size (the acceptance bar; in practice it is equal).
+    assert peak <= 2 * posthoc.report.graph.num_nodes

@@ -71,3 +71,35 @@ def test_maxflow_speed_on_collapsed(benchmark):
     collapsed, _ = collapse_graph(graph)
     flow, _ = benchmark(dinic_max_flow, collapsed)
     assert flow > 0
+
+
+def online_trace_graph(size):
+    """The same trace built with the §5.2 online-collapsing tracker."""
+    session = Session(online_collapse="context")
+    data = session.secret_bytes(workload_of_size(size))
+    out = compress(data, session=session)
+    session.output_bytes(out)
+    return session.finish()
+
+
+def test_online_collapse_speed(benchmark):
+    """Tracing with online collapse beats trace-then-collapse."""
+    graph = benchmark.pedantic(online_trace_graph, args=(512,),
+                               rounds=1, iterations=1)
+    reference, _ = collapse_graph(trace_graph(512))
+    assert graph.num_nodes == reference.num_nodes
+    assert graph.num_edges == reference.num_edges
+
+
+def test_online_live_graph_plateaus():
+    """The live graph of an online trace tracks coverage, not runtime."""
+    peaks = []
+    for size in SIZES:
+        session = Session(online_collapse="context")
+        data = session.secret_bytes(workload_of_size(size))
+        out = compress(data, session=session)
+        session.output_bytes(out)
+        session.finish()
+        peaks.append(session.tracker.peak_live_nodes)
+    # A 16x bigger run barely moves the live graph size.
+    assert peaks[-1] < 2 * peaks[0]

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Compare two ``run_all.py --json`` records for graph-size regressions.
+
+Usage:  python benchmarks/check_regression.py BASELINE.json CURRENT.json
+
+The collapsed-graph size is the pipeline's central scalability property
+(Section 5.3: it tracks code coverage, not trace length), so it is the
+one thing CI pins: for every benchmark present in both files, the
+current collapsed node count must not exceed the baseline's.  Gauges
+checked: ``collapse.nodes_after`` (post-hoc collapse) and
+``collapse.online.nodes_live`` (online collapse); a gauge that is zero
+in the baseline (the benchmark never collapsed that way) is skipped.
+
+Wall times are printed for context but never fail the check -- CI
+machines are too noisy for absolute time gates; timing trajectories
+live in the committed ``BENCH_*.json`` files instead.
+
+Exit status: 0 when no gauge regressed, 1 otherwise.
+"""
+
+import json
+import sys
+
+#: Gauges whose growth marks a collapsed-graph-size regression.
+CHECKED_GAUGES = ("collapse.nodes_after", "collapse.online.nodes_live")
+
+
+def load(path):
+    with open(path) as handle:
+        payload = json.load(handle)
+    return {record["name"]: record for record in payload["benchmarks"]}
+
+
+def compare(baseline, current):
+    """Return a list of human-readable regression descriptions."""
+    regressions = []
+    for name, base_record in baseline.items():
+        record = current.get(name)
+        if record is None:
+            print("SKIP %-24s (not in current run)" % name)
+            continue
+        base_metrics = base_record["metrics"]
+        metrics = record["metrics"]
+        for gauge in CHECKED_GAUGES:
+            base_value = base_metrics.get(gauge, 0)
+            if not base_value:
+                continue
+            value = metrics.get(gauge, 0)
+            status = "OK  "
+            if value > base_value:
+                status = "FAIL"
+                regressions.append(
+                    "%s: %s grew %d -> %d" % (name, gauge, base_value,
+                                              value))
+            print("%s %-24s %-28s %6d -> %6d   (%.2fs -> %.2fs)"
+                  % (status, name, gauge, base_value, value,
+                     base_record["wall_seconds"], record["wall_seconds"]))
+    return regressions
+
+
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    regressions = compare(load(argv[0]), load(argv[1]))
+    if regressions:
+        print("\ncollapsed-graph size regressions:")
+        for line in regressions:
+            print("  " + line)
+        return 1
+    print("\nno collapsed-graph size regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,24 +5,34 @@ Prints the reproduction's number for each table and figure of the
 paper; EXPERIMENTS.md records these side by side with the paper's
 values.
 
-Run:  python benchmarks/run_all.py [--json FILE]
+Run:  python benchmarks/run_all.py [--json FILE] [--jobs N]
 
 With ``--json``, also writes a machine-readable record: one entry per
 benchmark with its wall time and a ``metrics`` block (the observability
 snapshot documented in ``docs/observability.md``), so successive
-``BENCH_*.json`` files form a perf trajectory of the pipeline.
+``BENCH_*.json`` files form a perf trajectory of the pipeline
+(``benchmarks/check_regression.py`` compares two such files).
+
+With ``--jobs N``, benchmarks run in N worker processes; output and the
+JSON record keep the canonical (paper) order either way.  Wall times
+from a parallel run are noisier than a serial one -- regenerate
+committed baselines serially.
 """
 
 import argparse
+import io
 import json
+import multiprocessing
 import sys
 import time
+from contextlib import redirect_stdout
 
 sys.path.insert(0, ".")  # allow running from the repo root
 
 from benchmarks.tables import (table_fig2, table_fig3, table_fig4,
                                table_fig5, table_sec32)
 from repro import obs
+from repro.apps.bzip2 import measure_compression_flow
 from repro.apps.bzip2.compressor import compress
 from repro.apps.flowlang_sources import FIGURE6_PROGRAMS
 from repro.apps.pi import workload_of_size
@@ -68,6 +78,33 @@ def section53():
             seconds))
 
 
+def section52_online():
+    """Online collapse (Section 5.2) vs. the post-hoc reference."""
+    print("\n### Section 5.2: online vs post-hoc collapse"
+          " (compressor, largest Figure 3 input)")
+    size = 4096
+    data = workload_of_size(size)
+    print("%8s %10s %10s %10s %10s" % ("mode", "bits", "nodes",
+                                       "edges", "wall(s)"))
+    results = {}
+    for mode, online in (("posthoc", False), ("online", True)):
+        t0 = time.perf_counter()
+        result = measure_compression_flow(data, online=online)
+        wall = time.perf_counter() - t0
+        results[mode] = result
+        print("%8s %10d %10d %10d %10.4f" % (
+            mode, result.flow_bits, result.report.graph.num_nodes,
+            result.report.graph.num_edges, wall))
+    post, onl = results["posthoc"], results["online"]
+    if (post.flow_bits, post.report.graph.num_nodes,
+            post.report.graph.num_edges) != (
+            onl.flow_bits, onl.report.graph.num_nodes,
+            onl.report.graph.num_edges):
+        raise AssertionError("online collapse diverged from post-hoc: "
+                             "%r vs %r" % (post, onl))
+    print("equivalent: yes (same flow, same collapsed graph)")
+
+
 def figure6():
     scores = []
     for name, source in sorted(FIGURE6_PROGRAMS.items()):
@@ -93,24 +130,50 @@ BENCHMARKS = (
     ("sec32_consistency", _print_table(table_sec32)),
     ("fig6_inference", figure6),
     ("sec51_seriesparallel", section51),
+    ("sec52_online_collapse", section52_online),
     ("sec53_scalability", section53),
 )
 
 
-def run_benchmarks():
-    """Run every benchmark under a fresh metrics window; returns records."""
-    records = []
-    for name, fn in BENCHMARKS:
-        obs.enable()
-        t0 = time.perf_counter()
+def _run_one(name):
+    """Run one benchmark by name; returns ``(printed_text, record)``.
+
+    Top-level (and addressed by picklable name, not function) so a
+    multiprocessing pool can run it; stdout is captured so a parallel
+    run's output can be replayed in canonical order.
+    """
+    fn = dict(BENCHMARKS)[name]
+    buffer = io.StringIO()
+    obs.enable()
+    t0 = time.perf_counter()
+    with redirect_stdout(buffer):
         fn()
-        wall = time.perf_counter() - t0
-        records.append({
-            "name": name,
-            "wall_seconds": wall,
-            "metrics": obs.get_metrics().snapshot(),
-        })
-        obs.disable()
+    wall = time.perf_counter() - t0
+    record = {
+        "name": name,
+        "wall_seconds": wall,
+        "metrics": obs.get_metrics().snapshot(),
+    }
+    obs.disable()
+    return buffer.getvalue(), record
+
+
+def run_benchmarks(jobs=1):
+    """Run every benchmark under a fresh metrics window; returns records.
+
+    ``jobs`` > 1 distributes benchmarks over worker processes; records
+    (and printed output) stay in canonical order.
+    """
+    names = [name for name, _ in BENCHMARKS]
+    if jobs > 1:
+        with multiprocessing.Pool(processes=jobs) as pool:
+            results = pool.map(_run_one, names)
+    else:
+        results = [_run_one(name) for name in names]
+    records = []
+    for text, record in results:
+        sys.stdout.write(text)
+        records.append(record)
     return records
 
 
@@ -119,8 +182,13 @@ def main(argv=None):
     ap.add_argument("--json", metavar="FILE",
                     help="also write per-benchmark results and metrics "
                          "as JSON")
+    ap.add_argument("--jobs", type=int, default=1, metavar="N",
+                    help="run benchmarks in N worker processes "
+                         "(default: 1, serial)")
     args = ap.parse_args(argv)
-    records = run_benchmarks()
+    if args.jobs < 1:
+        ap.error("--jobs must be >= 1")
+    records = run_benchmarks(jobs=args.jobs)
     if args.json:
         payload = {
             "generated_by": "benchmarks/run_all.py",

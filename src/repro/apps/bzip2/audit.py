@@ -9,6 +9,7 @@ incompressible (tiny) inputs it matches the input size.
 
 from __future__ import annotations
 
+from ... import obs
 from ...pytrace import Session
 from .compressor import DEFAULT_BLOCK_SIZE, MAGIC, compress, compressed_size
 
@@ -37,14 +38,20 @@ class CompressionFlowResult:
 
 
 def measure_compression_flow(data, block_size=DEFAULT_BLOCK_SIZE,
-                             collapse="location"):
+                             collapse="location", online=False):
     """Compress secret ``data``; measure the information flow.
+
+    With ``online=True`` the trace graph is collapsed by ``collapse``
+    *while* the compressor runs (Section 5.2 online), so the live graph
+    stays proportional to code coverage instead of trace length; the
+    resulting report is equivalent to the post-hoc collapse.
 
     Returns a :class:`CompressionFlowResult`.
     """
-    session = Session()
-    secret = session.secret_bytes(bytes(data))
-    out = compress(secret, session=session, block_size=block_size)
-    session.output_bytes(out)
+    session = Session(online_collapse=collapse if online else None)
+    with obs.get_metrics().phase("trace"):
+        secret = session.secret_bytes(bytes(data))
+        out = compress(secret, session=session, block_size=block_size)
+        session.output_bytes(out)
     report = session.measure(collapse=collapse)
     return CompressionFlowResult(len(data), len(out), report.bits, report)

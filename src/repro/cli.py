@@ -84,10 +84,15 @@ def _emit_metrics(args):
 
 
 def cmd_measure(args):
+    if args.online and args.collapse == "none":
+        print("error: --online collapses during tracing; "
+              "--collapse none is not available", file=sys.stderr)
+        return 2
     source = _read_program(args.program)
     result = lang_measure(source, secret_input=_input_bytes(args, "secret"),
                           public_input=_input_bytes(args, "public"),
-                          collapse=args.collapse, filename=args.program)
+                          collapse=args.collapse, filename=args.program,
+                          online=args.online)
     if args.json:
         cut = CutPolicy.from_report(result.report)
         print(json.dumps({
@@ -192,6 +197,9 @@ def build_parser():
     _add_input_flags(p, "public", "public input")
     p.add_argument("--collapse", default="context",
                    choices=["none", "context", "location"])
+    p.add_argument("--online", action="store_true",
+                   help="collapse the graph while tracing (constant-size "
+                        "live graph; not valid with --collapse none)")
     p.add_argument("--json", action="store_true")
     p.add_argument("--save-policy", metavar="FILE")
     p.add_argument("--dot", metavar="FILE",

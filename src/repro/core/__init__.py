@@ -7,8 +7,8 @@ minimum cut, and reports a sound per-execution bound in bits.
 """
 
 from .locations import ContextHasher, Location
-from .tracker import (PUBLIC, Provenance, RegionExit, TraceBuilder,
-                      bits_for_arms)
+from .tracker import (PUBLIC, CollapsingTraceBuilder, Provenance,
+                      RegionExit, TraceBuilder, bits_for_arms)
 from .regions import DeclaredOutput, RegionWriteChecker
 from .lazyranges import (LazyRangeTable, MAX_DESCRIPTORS, MAX_EXCEPTIONS,
                          MIN_RANGE, RangeDescriptor)
@@ -24,7 +24,8 @@ from .lockstep import (LockstepResult, RecordingInterceptor,
 
 __all__ = [
     "ContextHasher", "Location",
-    "PUBLIC", "Provenance", "RegionExit", "TraceBuilder", "bits_for_arms",
+    "PUBLIC", "CollapsingTraceBuilder", "Provenance", "RegionExit",
+    "TraceBuilder", "bits_for_arms",
     "DeclaredOutput", "RegionWriteChecker",
     "LazyRangeTable", "MAX_DESCRIPTORS", "MAX_EXCEPTIONS", "MIN_RANGE",
     "RangeDescriptor",

@@ -15,7 +15,7 @@ snapshot in :attr:`FlowReport.metrics`.
 from __future__ import annotations
 
 from .. import obs
-from ..graph.collapse import collapse_graphs
+from ..graph.collapse import CollapseStats, collapse_graphs
 from ..graph.maxflow import dinic_max_flow
 from ..graph.mincut import min_cut_from_residual
 from .report import FlowReport
@@ -60,17 +60,45 @@ def measure_graph(graph, collapse="context", stats=None, warnings=None,
         solver: max-flow function of signature ``graph -> (value,
             residual)``; defaults to Dinic's algorithm.
 
+    A graph built by an online-collapsing tracker
+    (:class:`~repro.core.tracker.CollapsingTraceBuilder`) arrives
+    already collapsed — annotated with ``precollapsed`` and
+    ``collapse_stats`` — so the post-hoc collapse is skipped: a
+    matching ``collapse`` mode (or ``"none"``) solves the graph as-is,
+    ``"location"`` on a context-collapsed graph refines it with a
+    (cheap, coverage-sized) second collapse, and ``"context"`` on a
+    location-collapsed graph raises ``ValueError`` because the context
+    hashes are already gone.
+
     Returns:
         a :class:`FlowReport`.
     """
     if collapse not in COLLAPSE_MODES:
         raise ValueError("collapse must be one of %r, got %r"
                          % (COLLAPSE_MODES, collapse))
+    precollapsed = getattr(graph, "precollapsed", None)
+    if precollapsed == "location" and collapse == "context":
+        raise ValueError(
+            "graph was online-collapsed by location; context-sensitive "
+            "collapse is no longer possible")
     metrics = obs.get_metrics()
     collapse_stats = None
     solved = graph
     with metrics.phase("measure"):
-        if collapse != "none":
+        if precollapsed is not None:
+            collapse_stats = getattr(graph, "collapse_stats", None)
+            if precollapsed == "context" and collapse == "location":
+                with metrics.phase("collapse"):
+                    solved, refined = collapse_graphs(
+                        [graph], context_sensitive=False)
+                if collapse_stats is not None:
+                    collapse_stats = CollapseStats(
+                        collapse_stats.original_nodes,
+                        collapse_stats.original_edges,
+                        refined.collapsed_nodes, refined.collapsed_edges)
+                else:
+                    collapse_stats = refined
+        elif collapse != "none":
             with metrics.phase("collapse"):
                 solved, collapse_stats = collapse_graphs(
                     [graph], context_sensitive=(collapse == "context"))

@@ -78,8 +78,12 @@ def measure_by_category(graph, category_edges, collapse="none",
         category_edges: mapping category -> list of *input-edge indices*
             (as recorded by ``TraceBuilder.category_edges``).
         collapse: collapsing is applied to the *joint* report only; the
-            per-category solves run on the raw graph, where edge indices
-            remain valid.
+            per-category solves run on the graph as given, where the
+            edge indices are valid.  With the default builder that is
+            the raw trace graph; with an online-collapsing builder it is
+            the collapsed graph, which can make per-category bounds
+            coarser (never lower) when categories share program points
+            — see ``docs/performance.md``.
         stats: optional tracker stats for the joint report.
 
     Returns a :class:`CategoryBounds`.

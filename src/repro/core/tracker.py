@@ -30,16 +30,26 @@ Graph shape (one value = one split node, per Figure 1):
 Every edge carries an :class:`~repro.graph.flowgraph.EdgeLabel` with the
 reporting code location and the current calling-context hash, enabling
 the collapsing and multi-run combining of Sections 3.2 and 5.2.
+
+:class:`CollapsingTraceBuilder` is the online-collapse variant: it
+performs the Section 5.2 collapse *while tracing*, so the live graph is
+coverage-sized throughout instead of runtime-sized until a post-hoc
+pass.  Frontends drive both builders through the identical event API.
 """
 
 from __future__ import annotations
 
+from .. import obs
 from ..errors import TraceError
+from ..graph.collapse import CollapseStats, OnlineCollapser
 from ..graph.flowgraph import INF, EdgeLabel, FlowGraph
 from ..shadow.bitmask import popcount, width_mask
 from .locations import ContextHasher, Location
 
 _LOG2_CACHE = {1: 0, 2: 1}
+
+_SOURCE = FlowGraph.SOURCE
+_SINK = FlowGraph.SINK
 
 
 def bits_for_arms(arms):
@@ -106,15 +116,21 @@ class RegionExit:
 
 
 class _Region:
-    __slots__ = ("node", "location")
+    __slots__ = ("node", "location", "bits")
 
     def __init__(self, location):
         self.node = None  # created lazily on the first implicit flow
         self.location = location
+        self.bits = 0  # implicit capacity absorbed by this instance
 
 
 class TraceBuilder:
     """Builds a flow graph from a stream of execution events.
+
+    All graph mutations go through the small ``_g_*`` backend hooks so
+    that :class:`CollapsingTraceBuilder` can swap the runtime-sized
+    per-value graph for an incrementally collapsed one without touching
+    the event semantics.
 
     Args:
         context_sensitive: attach the calling-context hash to edge labels
@@ -122,26 +138,64 @@ class TraceBuilder:
     """
 
     def __init__(self, context_sensitive=True):
-        self.graph = FlowGraph()
         self.context = ContextHasher()
         self.context_sensitive = context_sensitive
         self._regions = []
-        self._pending = self.graph.add_node()  # tail of the output chain
         self._finished = False
         self._output_events = 0
         self._implicit_events = 0
         self._operation_events = 0
         self._secret_input_bits = 0
         self._tainted_output_bits = 0
-        #: category -> list of input-edge indices (Section 10.1).
+        #: category -> list of input-edge refs (Section 10.1); for the
+        #: default builder these are edge indices into ``graph.edges``.
         self.category_edges = {}
+        self._labels = {}  # (kind, location, ctx) -> interned EdgeLabel
+        self._setup()
+        self._pending = self._g_node()  # tail of the output chain
+
+    # ------------------------------------------------------------------
+    # Graph backend hooks (overridden by CollapsingTraceBuilder)
+
+    def _setup(self):
+        self.graph = FlowGraph()
+
+    def _g_node(self):
+        """Allocate a plain node."""
+        return self.graph.add_node()
+
+    def _g_value(self, capacity, label):
+        """Allocate a split (inner, outer) value-node pair."""
+        return self.graph.add_capped_node(capacity, label)
+
+    def _g_edge(self, tail, head, capacity, label):
+        """Add an edge; returns an opaque edge ref (here: its index)."""
+        return self.graph.add_edge(tail, head, capacity, label)
+
+    def _g_head(self, tail, capacity, label):
+        """Allocate a node fed by an edge from ``tail``; returns it."""
+        head = self.graph.add_node()
+        self.graph.add_edge(tail, head, capacity, label)
+        return head
+
+    def _g_size(self):
+        return self.graph.num_nodes, self.graph.num_edges
+
+    def _result(self):
+        """The finished trace result handed back by :meth:`finish`."""
+        return self.graph
 
     # ------------------------------------------------------------------
     # Labels and bookkeeping
 
     def _label(self, location, kind):
         ctx = self.context.current if self.context_sensitive else None
-        return EdgeLabel(location, ctx, kind)
+        key = (kind, location, ctx)
+        label = self._labels.get(key)
+        if label is None:
+            label = EdgeLabel(location, ctx, kind)
+            self._labels[key] = label
+        return label
 
     def _check_live(self):
         if self._finished:
@@ -177,12 +231,11 @@ class TraceBuilder:
             return PUBLIC
         bits = popcount(mask)
         self._secret_input_bits += bits
-        inner, outer = self.graph.add_capped_node(
-            bits, self._label(location, "value"))
-        edge_index = self.graph.add_edge(
-            self.graph.source, inner, bits, self._label(location, "input"))
+        inner, outer = self._g_value(bits, self._label(location, "value"))
+        edge_ref = self._g_edge(_SOURCE, inner, bits,
+                                self._label(location, "input"))
         if category is not None:
-            self.category_edges.setdefault(category, []).append(edge_index)
+            self.category_edges.setdefault(category, []).append(edge_ref)
         return Provenance(mask, outer)
 
     def operation(self, location, result_mask, operands):
@@ -196,13 +249,12 @@ class TraceBuilder:
         if result_mask == 0:
             return PUBLIC
         bits = popcount(result_mask)
-        inner, outer = self.graph.add_capped_node(
-            bits, self._label(location, "value"))
+        inner, outer = self._g_value(bits, self._label(location, "value"))
         seen_input = False
         for op in operands:
             if op.node is not None and op.mask:
-                self.graph.add_edge(op.node, inner, popcount(op.mask),
-                                    self._label(location, "data"))
+                self._g_edge(op.node, inner, popcount(op.mask),
+                             self._label(location, "data"))
                 seen_input = True
         if not seen_input:
             # A secret result must have a secret ancestor; frontends only
@@ -224,14 +276,6 @@ class TraceBuilder:
     # ------------------------------------------------------------------
     # Implicit flows and enclosure regions
 
-    def _implicit_target(self, location):
-        if self._regions:
-            region = self._regions[-1]
-            if region.node is None:
-                region.node = self.graph.add_node()
-            return region.node
-        return self._pending
-
     def implicit_flow(self, location, provenance, bits):
         """An implicit flow of up to ``bits`` bits from ``provenance``.
 
@@ -241,9 +285,17 @@ class TraceBuilder:
         if provenance.node is None or bits == 0 or provenance.mask == 0:
             return
         self._implicit_events += 1
-        target = self._implicit_target(location)
-        self.graph.add_edge(provenance.node, target, bits,
-                            self._label(location, "implicit"))
+        label = self._label(location, "implicit")
+        if self._regions:
+            region = self._regions[-1]
+            region.bits += bits
+            if region.node is None:
+                region.node = self._g_head(provenance.node, bits, label)
+                return
+            target = region.node
+        else:
+            target = self._pending
+        self._g_edge(provenance.node, target, bits, label)
 
     def branch(self, location, condition, arms=2):
         """A control-flow branch on ``condition`` with ``arms`` targets."""
@@ -272,11 +324,7 @@ class TraceBuilder:
             raise TraceError("leave_region at %s without a matching enter"
                              % (location,))
         region = self._regions.pop()
-        implicit_bits = 0
-        if region.node is not None:
-            for e in self.graph.in_edges(region.node):
-                implicit_bits += e.capacity
-        return RegionExit(region.node, location, implicit_bits)
+        return RegionExit(region.node, location, region.bits)
 
     def region_output(self, location, region_exit, old_provenance, width):
         """Produce the post-region provenance of one declared output.
@@ -290,14 +338,13 @@ class TraceBuilder:
         if region_exit.node is None:
             return old_provenance
         mask = width_mask(width)
-        inner, outer = self.graph.add_capped_node(
-            width, self._label(location, "value"))
-        self.graph.add_edge(region_exit.node, inner, width,
-                            self._label(location, "region"))
+        inner, outer = self._g_value(width, self._label(location, "value"))
+        self._g_edge(region_exit.node, inner, width,
+                     self._label(location, "region"))
         if old_provenance.node is not None and old_provenance.mask:
-            self.graph.add_edge(old_provenance.node, inner,
-                                popcount(old_provenance.mask),
-                                self._label(location, "data"))
+            self._g_edge(old_provenance.node, inner,
+                         popcount(old_provenance.mask),
+                         self._label(location, "data"))
         return Provenance(mask, outer)
 
     @property
@@ -316,21 +363,16 @@ class TraceBuilder:
         """
         self._check_live()
         self._output_events += 1
-        event = self.graph.add_node()
-        self.graph.add_edge(self._pending, event, INF,
-                            self._label(location, "chain"))
+        chain_label = self._label(location, "chain")
+        event = self._g_head(self._pending, INF, chain_label)
         for prov in provenances:
             if prov.node is not None and prov.mask:
                 bits = popcount(prov.mask)
                 self._tainted_output_bits += bits
-                self.graph.add_edge(prov.node, event, bits,
-                                    self._label(location, "io"))
-        self.graph.add_edge(event, self.graph.sink, INF,
-                            self._label(location, "output"))
-        new_pending = self.graph.add_node()
-        self.graph.add_edge(self._pending, new_pending, INF,
-                            self._label(location, "chain"))
-        self._pending = new_pending
+                self._g_edge(prov.node, event, bits,
+                             self._label(location, "io"))
+        self._g_edge(event, _SINK, INF, self._label(location, "output"))
+        self._pending = self._g_head(self._pending, INF, chain_label)
 
     def finish(self, exit_observable=True):
         """End the trace; returns the completed :class:`FlowGraph`.
@@ -345,11 +387,11 @@ class TraceBuilder:
             raise TraceError("trace finished with %d open enclosure regions"
                              % len(self._regions))
         if exit_observable:
-            self.graph.add_edge(self._pending, self.graph.sink, INF,
-                                self._label(Location("<program>", "exit"),
-                                            "output"))
+            self._g_edge(self._pending, _SINK, INF,
+                         self._label(Location("<program>", "exit"),
+                                     "output"))
         self._finished = True
-        return self.graph
+        return self._result()
 
     # ------------------------------------------------------------------
     # Statistics
@@ -357,12 +399,133 @@ class TraceBuilder:
     @property
     def stats(self):
         """Event counts: dict with operations/implicit/outputs/input bits."""
+        nodes, edges = self._g_size()
         return {
             "operations": self._operation_events,
             "implicit_flows": self._implicit_events,
             "outputs": self._output_events,
             "secret_input_bits": self._secret_input_bits,
             "tainted_output_bits": self._tainted_output_bits,
-            "graph_nodes": self.graph.num_nodes,
-            "graph_edges": self.graph.num_edges,
+            "graph_nodes": nodes,
+            "graph_edges": edges,
         }
+
+
+class CollapsingTraceBuilder(TraceBuilder):
+    """A trace builder that collapses by code location *while tracing*.
+
+    Section 5.2's post-hoc collapse shrinks the graph from runtime-sized
+    to coverage-sized only after the whole per-value graph has been
+    materialized, so peak memory and a large share of wall time still
+    scale with trace length.  This builder never materializes that
+    intermediate graph: nodes and edges are merged by
+    :class:`~repro.graph.flowgraph.EdgeLabel` key as events arrive (an
+    already-seen label adds its capacity to the existing collapsed edge,
+    saturating at INF), through an incremental union-find that keeps
+    :attr:`Provenance.node` ids stable for live values.
+
+    :meth:`finish` returns the collapsed :class:`FlowGraph`, annotated
+    with ``precollapsed`` (the equivalent collapse mode, ``"context"``
+    or ``"location"``) and ``collapse_stats`` (a
+    :class:`~repro.graph.collapse.CollapseStats` whose *before* numbers
+    are the sizes a plain :class:`TraceBuilder` would have built, from
+    counters kept during tracing), so
+    :func:`~repro.core.measure.measure_graph` skips the post-hoc
+    collapse.  The resulting graph is equivalent to post-hoc collapsing
+    the plain builder's graph: same partition, same collapsed edge
+    capacities, same max-flow bound.
+
+    Not for multi-run combination: :func:`~repro.graph.collapse.combine_runs`
+    stays the (only) path for Section 3.2, and remains the reference
+    implementation for this builder's equivalence suite.
+
+    Args:
+        context_sensitive: merge edges by (kind, location, context hash)
+            when true, by (kind, location) when false — the latter is
+            the smaller, coverage-sized graph.
+    """
+
+    def _setup(self):
+        self._collapser = OnlineCollapser(
+            context_sensitive=self.context_sensitive)
+        # Sizes a plain TraceBuilder would have reached (source + sink
+        # pre-allocated), kept for CollapseStats' "before" numbers.
+        self._virtual_nodes = 2
+        self._virtual_edges = 0
+
+    @property
+    def collapse_mode(self):
+        """The post-hoc collapse mode this builder is equivalent to."""
+        return "context" if self.context_sensitive else "location"
+
+    # -- backend hooks ------------------------------------------------
+
+    def _g_node(self):
+        self._virtual_nodes += 1
+        return self._collapser.new_node()
+
+    def _g_value(self, capacity, label):
+        self._virtual_nodes += 2
+        self._virtual_edges += 1
+        return self._collapser.capped_pair(capacity, label)
+
+    def _g_edge(self, tail, head, capacity, label):
+        self._virtual_edges += 1
+        return self._collapser.add_edge(tail, head, capacity, label)
+
+    def _g_head(self, tail, capacity, label):
+        self._virtual_nodes += 1
+        self._virtual_edges += 1
+        return self._collapser.head_for(tail, capacity, label)
+
+    def _g_size(self):
+        # Trace-equivalent sizes, so ``stats`` agrees with what a plain
+        # TraceBuilder reports for the same events; the collapsed sizes
+        # live in ``live_nodes``/``live_edges`` and CollapseStats.
+        return self._virtual_nodes, self._virtual_edges
+
+    # -- results ------------------------------------------------------
+
+    @property
+    def graph(self):
+        """The current collapsed graph, materialized on demand.
+
+        Rebuilding is O(collapsed size), so mid-trace snapshots (the
+        §8.1 real-time mode) stay cheap even on long traces.
+        """
+        return self._materialize()
+
+    @property
+    def live_nodes(self):
+        """Current live collapsed node count (the O(coverage) gauge)."""
+        return self._collapser.live_nodes
+
+    @property
+    def peak_live_nodes(self):
+        """High-water mark of the live collapsed node count."""
+        return self._collapser.peak_live_nodes
+
+    def _materialize(self):
+        graph = self._collapser.materialize()
+        graph.precollapsed = self.collapse_mode
+        graph.collapse_stats = CollapseStats(
+            self._virtual_nodes, self._virtual_edges,
+            graph.num_nodes, graph.num_edges)
+        return graph
+
+    def _result(self):
+        graph = self._materialize()
+        # Collapsed-edge refs -> final edge indices (self-loops dropped).
+        self.category_edges = {
+            category: [ref.index for ref in refs if ref.index is not None]
+            for category, refs in self.category_edges.items()}
+        metrics = obs.get_metrics()
+        if metrics.enabled:
+            collapser = self._collapser
+            metrics.incr("collapse.online.builds")
+            metrics.incr("collapse.online.merge_hits", collapser.merge_hits)
+            metrics.gauge("collapse.online.nodes_live", collapser.live_nodes)
+            metrics.gauge("collapse.online.edges_live", collapser.live_edges)
+            metrics.gauge_max("collapse.online.nodes_peak",
+                              collapser.peak_live_nodes)
+        return graph

@@ -12,8 +12,8 @@ from .maxflow import ResidualNetwork, dinic_max_flow, max_flow_value
 from .edmonds_karp import edmonds_karp_max_flow
 from .push_relabel import push_relabel_max_flow
 from .mincut import CutEdge, MinCut, min_cut, min_cut_from_residual
-from .collapse import (CollapseStats, collapse_graph, collapse_graphs,
-                       combine_runs)
+from .collapse import (CollapseStats, OnlineCollapser, collapse_graph,
+                       collapse_graph_online, collapse_graphs, combine_runs)
 from .seriesparallel import SPReduction, reduce_series_parallel
 from .unionfind import UnionFind
 from .dot import to_dot, write_dot
@@ -24,7 +24,8 @@ __all__ = [
     "ResidualNetwork", "dinic_max_flow", "max_flow_value",
     "edmonds_karp_max_flow", "push_relabel_max_flow",
     "CutEdge", "MinCut", "min_cut", "min_cut_from_residual",
-    "CollapseStats", "collapse_graph", "collapse_graphs", "combine_runs",
+    "CollapseStats", "OnlineCollapser", "collapse_graph",
+    "collapse_graph_online", "collapse_graphs", "combine_runs",
     "SPReduction", "reduce_series_parallel",
     "UnionFind",
     "to_dot", "write_dot",

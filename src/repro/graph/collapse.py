@@ -160,6 +160,234 @@ def collapse_graph(graph, context_sensitive=True):
     return collapse_graphs([graph], context_sensitive=context_sensitive)
 
 
+# ----------------------------------------------------------------------
+# Online (incremental) collapsing
+
+
+class _OnlineEdge:
+    """One collapsed edge being accumulated: a label key's bucket.
+
+    ``index`` is the edge's position in the most recently materialized
+    graph (``None`` until then, and ``None`` for dropped self-loops).
+    """
+
+    __slots__ = ("tail", "head", "capacity", "label", "index")
+
+    def __init__(self, tail, head, capacity, label):
+        self.tail = tail
+        self.head = head
+        self.capacity = capacity
+        self.label = label
+        self.index = None
+
+    def add_capacity(self, amount):
+        if self.capacity >= INF or amount >= INF:
+            self.capacity = INF
+        else:
+            self.capacity += amount
+
+
+class OnlineCollapser:
+    """Incremental union-find collapse: same partition as
+    :func:`collapse_graphs`, built edge-by-edge while the trace runs.
+
+    The post-hoc collapse unions every edge endpoint with per-label
+    placeholders and rebuilds at the end; this class maintains the same
+    partition *during* construction, so the live structure is
+    coverage-sized (one node class per first-seen label role, one edge
+    bucket per label key) instead of runtime-sized.  An edge whose label
+    key was already seen adds its capacity to the existing bucket
+    (saturating at :data:`~repro.graph.flowgraph.INF`) and unions its
+    endpoints with the bucket's; it allocates nothing.
+
+    Node ids are dense ints handed out by :meth:`new_node`, with ids 0/1
+    reserved for the source/sink; ids stay valid forever (a later merge
+    redirects them through the union-find), so callers can hold on to
+    them across arbitrarily many merges.  :meth:`materialize` rebuilds a
+    :class:`FlowGraph` over the current classes, dropping self-loops,
+    exactly as the post-hoc rebuild does.
+    """
+
+    SOURCE = FlowGraph.SOURCE
+    SINK = FlowGraph.SINK
+
+    __slots__ = ("context_sensitive", "_uf", "_next_id", "_buckets",
+                 "_deferred", "live_nodes", "peak_live_nodes", "merge_hits")
+
+    def __init__(self, context_sensitive=True):
+        self.context_sensitive = context_sensitive
+        self._uf = UnionFind()
+        self._next_id = 2
+        #: label key -> :class:`_OnlineEdge`
+        self._buckets = {}
+        #: unmergeable (``key() is None``) edges, resolved at materialize
+        self._deferred = []
+        self.live_nodes = 2
+        self.peak_live_nodes = 2
+        self.merge_hits = 0
+
+    @property
+    def live_edges(self):
+        """Current collapsed edge count (buckets + unmergeable edges)."""
+        return len(self._buckets) + len(self._deferred)
+
+    def new_node(self):
+        """Allocate a fresh node class id."""
+        node = self._next_id
+        self._next_id += 1
+        self.live_nodes += 1
+        if self.live_nodes > self.peak_live_nodes:
+            self.peak_live_nodes = self.live_nodes
+        return node
+
+    def _merge(self, a, b):
+        uf = self._uf
+        if uf.find(a) != uf.find(b):
+            uf.union(a, b)
+            self.live_nodes -= 1
+
+    def add_edge(self, tail, head, capacity, label=None):
+        """Fold one edge in; returns its :class:`_OnlineEdge` bucket."""
+        key = None if label is None else label.key(self.context_sensitive)
+        if key is None:
+            edge = _OnlineEdge(tail, head, capacity, label)
+            self._deferred.append(edge)
+            return edge
+        edge = self._buckets.get(key)
+        if edge is None:
+            if not self.context_sensitive and label.context is not None:
+                label = label.drop_context()
+            edge = _OnlineEdge(tail, head, capacity, label)
+            self._buckets[key] = edge
+            return edge
+        self.merge_hits += 1
+        edge.add_capacity(capacity)
+        self._merge(edge.tail, tail)
+        self._merge(edge.head, head)
+        return edge
+
+    def head_for(self, tail, capacity, label):
+        """Edge from ``tail`` to a fresh-or-reused head; returns the head.
+
+        The online analogue of "allocate a node, then edge into it": if
+        ``label``'s key was already seen, the existing bucket's head
+        class is returned and no node is allocated.
+        """
+        key = label.key(self.context_sensitive)
+        edge = None if key is None else self._buckets.get(key)
+        if edge is None:
+            head = self.new_node()
+            self.add_edge(tail, head, capacity, label)
+            return head
+        self.merge_hits += 1
+        edge.add_capacity(capacity)
+        self._merge(edge.tail, tail)
+        return self._uf.find(edge.head)
+
+    def capped_pair(self, capacity, label):
+        """Node splitting with reuse: ``(inner, outer)`` for ``label``.
+
+        The online analogue of
+        :meth:`~repro.graph.flowgraph.FlowGraph.add_capped_node`: a
+        repeat of the label reuses the existing pair and adds
+        ``capacity`` to the connecting edge.
+        """
+        key = label.key(self.context_sensitive)
+        edge = None if key is None else self._buckets.get(key)
+        if edge is None:
+            inner = self.new_node()
+            outer = self.new_node()
+            self.add_edge(inner, outer, capacity, label)
+            return inner, outer
+        self.merge_hits += 1
+        edge.add_capacity(capacity)
+        uf = self._uf
+        return uf.find(edge.tail), uf.find(edge.head)
+
+    def materialize(self):
+        """Rebuild a :class:`FlowGraph` over the current classes.
+
+        Matches the post-hoc rebuild exactly: one node per class
+        incident to a collapsed edge, self-loops dropped, unmergeable
+        edges bucketed by (endpoints, kind).  Also stamps each bucket's
+        ``index`` with its edge index in the returned graph.
+        """
+        uf = self._uf
+        source_root = uf.find(self.SOURCE)
+        sink_root = uf.find(self.SINK)
+        if source_root == sink_root:
+            raise GraphError(
+                "collapsing merged the source with the sink: edge labels "
+                "are inconsistent with the edges' structural roles")
+        graph = FlowGraph()
+        node_of_root = {source_root: graph.source, sink_root: graph.sink}
+
+        def node_for(node):
+            root = uf.find(node)
+            mapped = node_of_root.get(root)
+            if mapped is None:
+                mapped = graph.add_node()
+                node_of_root[root] = mapped
+            return mapped
+
+        for edge in self._buckets.values():
+            tail = node_for(edge.tail)
+            head = node_for(edge.head)
+            if tail == head:
+                edge.index = None
+                continue
+            edge.index = graph.add_edge(tail, head, edge.capacity, edge.label)
+        # Unmergeable edges fold by (endpoints, kind), as post-hoc.
+        merged = {}
+        for edge in self._deferred:
+            edge.index = None
+            tail = node_for(edge.tail)
+            head = node_for(edge.head)
+            if tail == head:
+                continue
+            bucket = (tail, head, edge.label.kind if edge.label else None)
+            prev = merged.get(bucket)
+            if prev is None:
+                merged[bucket] = _OnlineEdge(tail, head, edge.capacity,
+                                             edge.label)
+            else:
+                prev.add_capacity(edge.capacity)
+        for bucket_edge in merged.values():
+            graph.add_edge(bucket_edge.tail, bucket_edge.head,
+                           bucket_edge.capacity, bucket_edge.label)
+        return graph
+
+
+def collapse_graph_online(graph, context_sensitive=True):
+    """Collapse a finished graph by replaying it through the online path.
+
+    Functionally equivalent to :func:`collapse_graph` (the equivalence
+    suite asserts identical node/edge counts, max-flow value, and
+    min-cut capacity); exists as the bridge for testing and for callers
+    holding a completed graph.  The real win of
+    :class:`OnlineCollapser` is collapsing *during* tracing, which
+    :class:`~repro.core.tracker.CollapsingTraceBuilder` does.
+    """
+    collapser = OnlineCollapser(context_sensitive=context_sensitive)
+    node_of = {graph.source: OnlineCollapser.SOURCE,
+               graph.sink: OnlineCollapser.SINK}
+
+    def map_node(node):
+        mapped = node_of.get(node)
+        if mapped is None:
+            mapped = collapser.new_node()
+            node_of[node] = mapped
+        return mapped
+
+    for e in graph.edges:
+        collapser.add_edge(map_node(e.tail), map_node(e.head), e.capacity,
+                           e.label)
+    combined = collapser.materialize()
+    stats = CollapseStats(graph.num_nodes, graph.num_edges,
+                          combined.num_nodes, combined.num_edges)
+    return combined, stats
+
+
 def combine_runs(graphs, context_sensitive=True):
     """Combine the graphs of multiple runs (Section 3.2).
 

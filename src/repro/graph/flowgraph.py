@@ -25,8 +25,18 @@ from ..errors import GraphError
 INF = 1 << 62
 
 
+#: Sentinel distinguishing "key not computed yet" from a computed ``None``.
+_UNCOMPUTED = object()
+
+
 class EdgeLabel:
     """Identity of the program point that created an edge.
+
+    Labels are immutable after construction (the fields are never
+    reassigned), which lets :meth:`key` cache its result per label
+    object: collapsing visits every edge's key at least twice, and the
+    trace builders intern label objects per program point, so the tuple
+    is built once per *location* rather than once per edge per pass.
 
     Attributes:
         location: opaque hashable location id (e.g. ``"file.fl:14"`` or a
@@ -39,20 +49,30 @@ class EdgeLabel:
             the same location stay distinct.
     """
 
-    __slots__ = ("location", "context", "kind")
+    __slots__ = ("location", "context", "kind", "_key_cs", "_key_ci")
 
     def __init__(self, location, context=None, kind="data"):
         self.location = location
         self.context = context
         self.kind = kind
+        self._key_cs = _UNCOMPUTED
+        self._key_ci = _UNCOMPUTED
 
     def key(self, context_sensitive=True):
         """Merge key for collapsing; ``None`` means "never merge"."""
-        if self.location is None:
-            return None
         if context_sensitive:
-            return (self.kind, self.location, self.context)
-        return (self.kind, self.location)
+            key = self._key_cs
+            if key is _UNCOMPUTED:
+                key = self._key_cs = (
+                    None if self.location is None
+                    else (self.kind, self.location, self.context))
+            return key
+        key = self._key_ci
+        if key is _UNCOMPUTED:
+            key = self._key_ci = (
+                None if self.location is None
+                else (self.kind, self.location))
+        return key
 
     def drop_context(self):
         """A copy of this label without the calling-context hash."""

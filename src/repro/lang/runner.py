@@ -15,7 +15,7 @@ from .. import obs
 from ..core.checking import CheckTracker
 from ..core.lockstep import run_lockstep
 from ..core.measure import measure_graph, measure_runs
-from ..core.tracker import TraceBuilder
+from ..core.tracker import CollapsingTraceBuilder, TraceBuilder
 from .checker import Checker
 from .compiler import compile_program
 from .parser import parse
@@ -65,17 +65,30 @@ def execute(compiled, secret_input=b"", public_input=b"", tracker=None,
     return vm, result
 
 
+def _make_tracker(online, collapse):
+    """Tracker for one measuring run; online mode collapses while tracing."""
+    if not online:
+        return TraceBuilder()
+    if collapse == "none":
+        raise ValueError("online=True collapses during tracing; "
+                         "collapse='none' is not available")
+    return CollapsingTraceBuilder(context_sensitive=(collapse == "context"))
+
+
 def measure(source_or_compiled, secret_input=b"", public_input=b"",
             collapse="context", entry="main", region_check="warn",
             lazy_regions=True, exit_observable=True, filename="<source>",
-            max_steps=None):
+            max_steps=None, online=False):
     """Measure the information one execution reveals.
 
     Accepts either FlowLang source text or an already-compiled program.
-    Returns a :class:`RunResult`.
+    With ``online=True`` the graph is collapsed by ``collapse`` *while
+    tracing* (Section 5.2 online), keeping the live graph
+    coverage-sized on long runs; the report is equivalent to the
+    post-hoc collapse.  Returns a :class:`RunResult`.
     """
     compiled = _ensure_compiled(source_or_compiled, filename)
-    tracker = TraceBuilder()
+    tracker = _make_tracker(online, collapse)
     with obs.get_metrics().phase("trace"):
         vm, graph = execute(compiled, secret_input, public_input, tracker,
                             entry=entry, region_check=region_check,
@@ -88,16 +101,18 @@ def measure(source_or_compiled, secret_input=b"", public_input=b"",
 
 def measure_live(source_or_compiled, secret_input=b"", public_input=b"",
                  collapse="location", entry="main", region_check="warn",
-                 filename="<source>"):
+                 filename="<source>", online=False):
     """Measure with per-output flow snapshots (§8.1's real-time mode).
 
     The paper observes the battleship flows "in real time by running
     our tool in a mode that recomputes the flow on every program
-    output".  Returns ``(final RunResult, series)`` where ``series[i]``
-    is the flow bound right after the i-th output event.
+    output".  ``online=True`` keeps the live graph collapsed while
+    tracing, which makes the per-output re-solves cheap on long runs.
+    Returns ``(final RunResult, series)`` where ``series[i]`` is the
+    flow bound right after the i-th output event.
     """
     compiled = _ensure_compiled(source_or_compiled, filename)
-    tracker = TraceBuilder()
+    tracker = _make_tracker(online, collapse)
     series = []
 
     def snapshot(vm):

@@ -37,6 +37,7 @@ class NullTracker:
     class _Exit:
         node = None
         had_implicit_flows = False
+        implicit_bits = 0
 
     def public(self):
         return PUBLIC

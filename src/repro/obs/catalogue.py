@@ -86,6 +86,18 @@ def _specs():
          "edge count leaving the most recent collapse"),
         (c, "collapse.label_merge_hits", "edges", "stable",
          "edges folded into an already-seen label bucket"),
+        # Online collapsing (repro.core.tracker.CollapsingTraceBuilder).
+        (c, "collapse.online.builds", "calls", "experimental",
+         "online-collapsed traces finished"),
+        (c, "collapse.online.merge_hits", "edges", "experimental",
+         "trace edges folded into an existing bucket while tracing"),
+        (g, "collapse.online.nodes_live", "nodes", "experimental",
+         "live node count of the most recently finished online trace"),
+        (g, "collapse.online.edges_live", "edges", "experimental",
+         "live edge-bucket count of the most recently finished "
+         "online trace"),
+        (g, "collapse.online.nodes_peak", "nodes", "experimental",
+         "largest live node count seen across online traces"),
         # Max-flow solvers.
         (c, "maxflow.solves", "calls", "stable",
          "solver invocations (any algorithm)"),

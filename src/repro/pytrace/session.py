@@ -24,7 +24,7 @@ from .. import obs
 from ..core.checking import CheckTracker
 from ..core.locations import Location
 from ..core.measure import measure_graph
-from ..core.tracker import PUBLIC, TraceBuilder
+from ..core.tracker import PUBLIC, CollapsingTraceBuilder, TraceBuilder
 from ..errors import TraceError
 from ..shadow import transfer
 from ..shadow.bitmask import popcount, width_mask
@@ -150,11 +150,27 @@ class Session:
             :class:`~repro.core.checking.CheckTracker` for deployment
             checking or a ``NullTracker`` for lockstep runs.
         interceptor: optional lockstep interceptor (Section 6.3).
+        online_collapse: collapse the graph by code location *while
+            tracing* (Section 5.2 online): ``"context"`` (or ``True``)
+            merges by (location, calling-context hash), ``"location"``
+            by location only, so the live graph stays coverage-sized on
+            long runs.  Mutually exclusive with ``tracker``.
         location_depth: how many frames up to look for the caller's
             source position (the default suits direct use).
     """
 
-    def __init__(self, tracker=None, interceptor=None):
+    def __init__(self, tracker=None, interceptor=None, online_collapse=None):
+        if online_collapse:
+            if tracker is not None:
+                raise TraceError(
+                    "pass either tracker or online_collapse, not both")
+            mode = "context" if online_collapse is True else online_collapse
+            if mode not in ("context", "location"):
+                raise TraceError(
+                    "online_collapse must be 'context' or 'location', "
+                    "got %r" % (online_collapse,))
+            tracker = CollapsingTraceBuilder(
+                context_sensitive=(mode == "context"))
         self.tracker = tracker if tracker is not None else TraceBuilder()
         self.interceptor = interceptor
         self.outputs = []
@@ -449,11 +465,17 @@ class Session:
                               self._max_region_depth)
         return self.tracker.finish(exit_observable=exit_observable)
 
-    def measure(self, collapse="context", exit_observable=True):
+    def measure(self, collapse=None, exit_observable=True):
         """Finish and measure; returns a FlowReport.
 
-        Only valid for measuring sessions (TraceBuilder-backed).
+        ``collapse`` defaults to the tracker's own online-collapse mode
+        when one is set (so an ``online_collapse="location"`` session
+        measures by location without repeating the mode here) and to
+        ``"context"`` otherwise.  Only valid for measuring sessions
+        (TraceBuilder-backed).
         """
+        if collapse is None:
+            collapse = getattr(self.tracker, "collapse_mode", None) or "context"
         graph = self.finish(exit_observable=exit_observable)
         return measure_graph(graph, collapse=collapse,
                              stats=self.tracker.stats)
