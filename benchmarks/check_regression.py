@@ -11,6 +11,11 @@ checked: ``collapse.nodes_after`` (post-hoc collapse) and
 ``collapse.online.nodes_live`` (online collapse); a gauge that is zero
 in the baseline (the benchmark never collapsed that way) is skipped.
 
+The batch benchmarks additionally pin their workload shape exactly:
+``batch.jobs`` and ``batch.workers`` must match the baseline, so a
+change that silently drops jobs or stops fanning out fails the check
+even when graph sizes are unaffected.
+
 Wall times are printed for context but never fail the check -- CI
 machines are too noisy for absolute time gates; timing trajectories
 live in the committed ``BENCH_*.json`` files instead.
@@ -23,6 +28,10 @@ import sys
 
 #: Gauges whose growth marks a collapsed-graph-size regression.
 CHECKED_GAUGES = ("collapse.nodes_after", "collapse.online.nodes_live")
+
+#: Metrics that must match the baseline *exactly* (when nonzero there):
+#: the batch benchmarks' workload shape.
+CHECKED_EXACT = ("batch.jobs", "batch.workers")
 
 
 def load(path):
@@ -55,6 +64,20 @@ def compare(baseline, current):
             print("%s %-24s %-28s %6d -> %6d   (%.2fs -> %.2fs)"
                   % (status, name, gauge, base_value, value,
                      base_record["wall_seconds"], record["wall_seconds"]))
+        for metric in CHECKED_EXACT:
+            base_value = base_metrics.get(metric, 0)
+            if not base_value:
+                continue
+            value = metrics.get(metric, 0)
+            status = "OK  "
+            if value != base_value:
+                status = "FAIL"
+                regressions.append(
+                    "%s: %s changed %d -> %d (batch workload shape must "
+                    "match the baseline)" % (name, metric, base_value,
+                                             value))
+            print("%s %-24s %-28s %6d -> %6d   (exact)"
+                  % (status, name, metric, base_value, value))
     return regressions
 
 

@@ -13,16 +13,17 @@ snapshot documented in ``docs/observability.md``), so successive
 ``BENCH_*.json`` files form a perf trajectory of the pipeline
 (``benchmarks/check_regression.py`` compares two such files).
 
-With ``--jobs N``, benchmarks run in N worker processes; output and the
-JSON record keep the canonical (paper) order either way.  Wall times
-from a parallel run are noisier than a serial one -- regenerate
+With ``--jobs N``, benchmarks run in N worker processes via
+``repro.batch.BatchEngine``; output and the JSON record keep the
+canonical (paper) order either way, and every worker's metrics are
+merged into a top-level ``metrics`` block of the JSON record.  Wall
+times from a parallel run are noisier than a serial one -- regenerate
 committed baselines serially.
 """
 
 import argparse
 import io
 import json
-import multiprocessing
 import sys
 import time
 from contextlib import redirect_stdout
@@ -34,10 +35,13 @@ from benchmarks.tables import (table_fig2, table_fig3, table_fig4,
 from repro import obs
 from repro.apps.bzip2 import measure_compression_flow
 from repro.apps.bzip2.compressor import compress
+from repro.apps.countpunct import FLOWLANG_SOURCE as COUNTPUNCT_SOURCE
 from repro.apps.flowlang_sources import FIGURE6_PROGRAMS
 from repro.apps.pi import workload_of_size
+from repro.batch import BatchEngine, measure_program_runs
 from repro.graph.collapse import collapse_graph
 from repro.graph.maxflow import dinic_max_flow
+from repro.graph.serialize import dump_graph
 from repro.graph.seriesparallel import reduce_series_parallel
 from repro.infer import classify_annotations, figure6_table
 from repro.lang.checker import check_program
@@ -114,6 +118,101 @@ def figure6():
     print(figure6_table(scores))
 
 
+def _graph_text(graph):
+    buffer = io.StringIO()
+    dump_graph(graph, buffer)
+    return buffer.getvalue()
+
+
+def _batch_secrets():
+    """Deterministic §3.2 multi-run workload: 8 countpunct inputs."""
+    return [b"." * (2000 + 137 * i) + b"?" * (600 + 61 * i)
+            + b"x" * (40 + 7 * i) for i in range(8)]
+
+
+def section3_batch():
+    """§3.2 multi-run workload through the batch engine, serial vs jobs=4."""
+    print("\n### Section 3.2 batch: 8-run combined bound,"
+          " serial vs --jobs 4")
+    secrets = _batch_secrets()
+    timings = {}
+    results = {}
+    for label, jobs in (("serial", 1), ("jobs=4", 4)):
+        t0 = time.perf_counter()
+        results[label] = measure_program_runs(
+            COUNTPUNCT_SOURCE, secrets, collapse="context", jobs=jobs)
+        timings[label] = time.perf_counter() - t0
+    serial, parallel = results["serial"], results["jobs=4"]
+    if (serial.bits, serial.per_run_bits) != (parallel.bits,
+                                              parallel.per_run_bits):
+        raise AssertionError("parallel multi-run diverged from serial: "
+                             "%r vs %r" % (serial, parallel))
+    if _graph_text(serial.report.graph) != _graph_text(parallel.report.graph):
+        raise AssertionError("parallel combined graph differs from serial")
+    speedup = timings["serial"] / timings["jobs=4"]
+    print("%8s %10s %10s" % ("mode", "bits", "wall(s)"))
+    for label in ("serial", "jobs=4"):
+        print("%8s %10d %10.4f" % (label, results[label].bits,
+                                   timings[label]))
+    print("equivalent: yes (same bounds, same combined graph); "
+          "speedup %.2fx" % speedup)
+    return {
+        "runs": len(secrets),
+        "jobs": 4,
+        "combined_bits": serial.bits,
+        "serial_seconds": timings["serial"],
+        "parallel_seconds": timings["jobs=4"],
+        "speedup": speedup,
+    }
+
+
+def section101_batch_multisecret():
+    """§10.1 per-category sweep through the batch engine, serial vs jobs=4."""
+    from repro.core.multisecret import measure_by_category
+    print("\n### Section 10.1 batch: 4-category sweep, serial vs --jobs 4")
+    session = Session()
+    mixed = None
+    for index, who in enumerate(("alice", "bob", "carol", "dave")):
+        data = bytes((index * 37 + j * 11) % 256 for j in range(256))
+        values = session.secret_bytes(data, category=who)
+        total = values[0]
+        for value in values[1:]:
+            total = total ^ value
+        session.output(total)
+        mixed = total if mixed is None else mixed ^ total
+    session.output(mixed)
+    graph = session.finish()
+    category_edges = session.tracker.category_edges
+    timings = {}
+    results = {}
+    for label, jobs in (("serial", 1), ("jobs=4", 4)):
+        t0 = time.perf_counter()
+        results[label] = measure_by_category(graph, category_edges,
+                                             jobs=jobs)
+        timings[label] = time.perf_counter() - t0
+    serial, parallel = results["serial"], results["jobs=4"]
+    if (serial.per_category, serial.joint) != (parallel.per_category,
+                                               parallel.joint):
+        raise AssertionError("parallel category sweep diverged from "
+                             "serial: %r vs %r" % (serial, parallel))
+    print("%8s %26s %8s %10s" % ("mode", "per-category", "joint",
+                                 "wall(s)"))
+    for label in ("serial", "jobs=4"):
+        bounds = results[label]
+        per = " ".join("%s=%d" % kv
+                       for kv in sorted(bounds.per_category.items()))
+        print("%8s %26s %8d %10.4f" % (label, per, bounds.joint,
+                                       timings[label]))
+    print("equivalent: yes (same per-category and joint bounds)")
+    return {
+        "categories": len(category_edges),
+        "jobs": 4,
+        "joint_bits": serial.joint,
+        "serial_seconds": timings["serial"],
+        "parallel_seconds": timings["jobs=4"],
+    }
+
+
 def _print_table(fn):
     def run():
         text, _ = fn()
@@ -132,28 +231,34 @@ BENCHMARKS = (
     ("sec51_seriesparallel", section51),
     ("sec52_online_collapse", section52_online),
     ("sec53_scalability", section53),
+    ("sec3_batch_multirun", section3_batch),
+    ("sec101_batch_multisecret", section101_batch_multisecret),
 )
 
 
 def _run_one(name):
     """Run one benchmark by name; returns ``(printed_text, record)``.
 
-    Top-level (and addressed by picklable name, not function) so a
-    multiprocessing pool can run it; stdout is captured so a parallel
-    run's output can be replayed in canonical order.
+    Top-level (and addressed by picklable name, not function) so the
+    batch engine can run it in a worker; stdout is captured so a
+    parallel run's output can be replayed in canonical order.  A
+    benchmark returning a dict gets it attached as the record's
+    ``extra`` block (the batch benchmarks report their speedups there).
     """
     fn = dict(BENCHMARKS)[name]
     buffer = io.StringIO()
     obs.enable()
     t0 = time.perf_counter()
     with redirect_stdout(buffer):
-        fn()
+        extra = fn()
     wall = time.perf_counter() - t0
     record = {
         "name": name,
         "wall_seconds": wall,
         "metrics": obs.get_metrics().snapshot(),
     }
+    if extra is not None:
+        record["extra"] = extra
     obs.disable()
     return buffer.getvalue(), record
 
@@ -161,20 +266,31 @@ def _run_one(name):
 def run_benchmarks(jobs=1):
     """Run every benchmark under a fresh metrics window; returns records.
 
-    ``jobs`` > 1 distributes benchmarks over worker processes; records
-    (and printed output) stay in canonical order.
+    ``jobs`` > 1 distributes benchmarks over worker processes
+    (non-daemonic, so the batch benchmarks can fan out their own
+    workers from inside one); records (and printed output) stay in
+    canonical order.
     """
     names = [name for name, _ in BENCHMARKS]
-    if jobs > 1:
-        with multiprocessing.Pool(processes=jobs) as pool:
-            results = pool.map(_run_one, names)
-    else:
-        results = [_run_one(name) for name in names]
+    results = BatchEngine(jobs).map(_run_one, names)
     records = []
     for text, record in results:
         sys.stdout.write(text)
         records.append(record)
     return records
+
+
+def merged_metrics(records):
+    """One registry-shaped dict folding every benchmark's metrics.
+
+    Uses the :meth:`repro.obs.metrics.Metrics.merge` semantics
+    (counters and timers add, gauges keep the maximum), so a parallel
+    run reports the same totals a serial run would.
+    """
+    combined = obs.Metrics()
+    for record in records:
+        combined.merge(record["metrics"])
+    return combined.snapshot()
 
 
 def main(argv=None):
@@ -193,6 +309,7 @@ def main(argv=None):
         payload = {
             "generated_by": "benchmarks/run_all.py",
             "benchmarks": records,
+            "metrics": merged_metrics(records),
         }
         with open(args.json, "w") as handle:
             json.dump(payload, handle, indent=2)

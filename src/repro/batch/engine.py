@@ -1,0 +1,117 @@
+"""Process-pool fan-out for independent measurement jobs.
+
+The paper's workloads are dominated by *independent* instrumented
+executions: the Section 3.2 multi-run combination, the Section 10.1
+per-category sweep, and the Section 8 app audits all repeat the
+expensive trace/solve work over inputs that share nothing until the
+final merge.  :class:`BatchEngine` exploits that independence with a
+process pool (``concurrent.futures.ProcessPoolExecutor``), keeping the
+merge — and therefore the result — exactly what the serial pipeline
+produces.
+
+Design rules that make ``jobs=N`` bit-identical to ``jobs=1``:
+
+* job functions are pure: payload in, picklable result out.  With
+  ``jobs=1`` the engine calls the *same* function in-process, so both
+  modes execute identical code (including any serialization round
+  trips) and differ only in where it runs;
+* workers never touch the parent's metrics registry.  Each job runs
+  under a fresh registry (:func:`repro.obs.enable` in the worker) and
+  ships its snapshot home, where the parent folds it in with
+  :meth:`~repro.obs.metrics.Metrics.merge` — counters and timers add,
+  so parent totals equal the sum over jobs regardless of how jobs were
+  distributed over workers.
+
+``ProcessPoolExecutor`` is used rather than ``multiprocessing.Pool``
+deliberately: its workers are non-daemonic, so a job may itself fan out
+(the benchmark driver runs batch benchmarks inside its own pool).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import time
+
+from .. import obs
+
+
+def _call_job(item):
+    """Run one job in a worker process; returns ``(result, snapshot, wall)``.
+
+    Must be a module-level function so it pickles.  When the parent had
+    metrics enabled at dispatch time (``capture``), the job runs under a
+    fresh registry whose snapshot rides back with the result; the
+    fork-inherited parent registry is never written to, so nothing is
+    double-counted when the parent later merges.
+    """
+    func, payload, capture = item
+    t0 = time.perf_counter()
+    if not capture:
+        result = func(payload)
+        return result, None, time.perf_counter() - t0
+    obs.enable()
+    try:
+        result = func(payload)
+        snapshot = obs.get_metrics().snapshot()
+    finally:
+        obs.disable()
+    return result, snapshot, time.perf_counter() - t0
+
+
+class BatchEngine:
+    """Fan a job function over payloads across ``jobs`` worker processes.
+
+    ``jobs=1`` (the default) runs everything in-process — no pool, no
+    pickling, jobs record straight into the process-wide metrics
+    registry.  ``jobs=N`` dispatches to ``min(N, len(payloads))``
+    worker processes and merges each job's metrics snapshot into the
+    parent registry.
+
+    Either way the engine records the ``batch.*`` catalogue keys:
+    ``batch.jobs`` (jobs executed), ``batch.workers`` (pool size of the
+    most recent ``map``), and ``batch.worker_seconds`` (summed in-job
+    wall time — with N workers this exceeds elapsed wall time, which is
+    the point).
+    """
+
+    def __init__(self, jobs=1):
+        jobs = int(jobs)
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1, got %d" % jobs)
+        self.jobs = jobs
+
+    def map(self, func, payloads):
+        """Apply ``func`` to every payload; returns results in order.
+
+        ``func`` must be a module-level function taking one picklable
+        payload and returning a picklable result (the ``jobs=1`` path
+        does not require picklability, but relying on that forfeits the
+        bit-identicality guarantee).
+        """
+        payloads = list(payloads)
+        metrics = obs.get_metrics()
+        results = []
+        walls = []
+        if self.jobs == 1 or len(payloads) <= 1:
+            workers = 1
+            for payload in payloads:
+                t0 = time.perf_counter()
+                results.append(func(payload))
+                walls.append(time.perf_counter() - t0)
+        else:
+            workers = min(self.jobs, len(payloads))
+            capture = metrics.enabled
+            items = [(func, payload, capture) for payload in payloads]
+            with concurrent.futures.ProcessPoolExecutor(
+                    max_workers=workers) as pool:
+                outcomes = list(pool.map(_call_job, items))
+            for result, snapshot, wall in outcomes:
+                results.append(result)
+                walls.append(wall)
+                if snapshot is not None:
+                    metrics.merge(snapshot)
+        if metrics.enabled and payloads:
+            metrics.incr("batch.jobs", len(payloads))
+            metrics.gauge("batch.workers", workers)
+            metrics.add_seconds("batch.worker_seconds", sum(walls))
+        return results

@@ -1,0 +1,352 @@
+"""Batch frontends: multi-run, multi-secret, and corpus measurement.
+
+Each frontend pairs a module-level *job function* (what a worker
+process executes) with a parent-side merge.  Workers trace with online
+collapse on, so what crosses the process boundary is a coverage-sized
+collapsed graph in the ``flowgraph-v1`` text format plus plain-data
+summaries — never VM state or label objects.  The parent re-combines
+worker graphs with :func:`~repro.graph.collapse.collapse_graphs`, which
+keeps the combined bound Kraft-sound across the whole batch exactly as
+the serial Section 3.2 pipeline does.
+
+``jobs=1`` runs the very same job functions in-process (including the
+dump/load round trip), so the parallel and serial paths cannot drift
+apart: the equivalence suite in ``tests/batch`` asserts bit-identical
+bounds, cuts, and combined-graph serializations.
+"""
+
+from __future__ import annotations
+
+import io
+import time
+
+from .. import obs
+from ..core.combine import kraft_satisfied, kraft_sum
+from ..core.measure import measure_graph, measure_runs
+from ..core.multisecret import CategoryBounds, _restricted_copy
+from ..core.tracker import CollapsingTraceBuilder
+from ..graph.collapse import CollapseStats, collapse_graphs
+from ..graph.maxflow import dinic_max_flow
+from ..graph.mincut import MinCut
+from ..graph.serialize import dump_graph, load_graph
+from ..lang.runner import compile_cached, execute, measure
+from .engine import BatchEngine
+
+#: Collapse modes a batch worker can trace under.  ``"none"`` is
+#: excluded on purpose: workers must ship *collapsed* graphs, or the
+#: transfer volume would be runtime-sized instead of coverage-sized.
+BATCH_COLLAPSE_MODES = ("context", "location")
+
+
+def _check_collapse(collapse):
+    if collapse not in BATCH_COLLAPSE_MODES:
+        raise ValueError("batch collapse must be one of %r, got %r"
+                         % (BATCH_COLLAPSE_MODES, collapse))
+
+
+def _dump_text(graph, category_edges=None):
+    buffer = io.StringIO()
+    dump_graph(graph, buffer, category_edges=category_edges)
+    return buffer.getvalue()
+
+
+def _load_text(text):
+    return load_graph(io.StringIO(text))
+
+
+def _chunks(count, parts):
+    """Contiguous, order-preserving ``(lo, hi)`` slices of ``range(count)``.
+
+    Sizes differ by at most one.  Contiguity matters for more than
+    balance: chunked collapsing is bit-identical to whole-set collapsing
+    only when every chunk preserves the original graph order.
+    """
+    parts = min(parts, count)
+    base, extra = divmod(count, parts)
+    bounds = []
+    lo = 0
+    for index in range(parts):
+        hi = lo + base + (1 if index < extra else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+# ----------------------------------------------------------------------
+# Multi-run measurement of one program (Section 3.2 over a secret list)
+
+
+class BatchResult:
+    """A batch of runs measured together: combined report + per-run bounds.
+
+    ``per_run_bits`` are each run's *independent* bounds (solved on its
+    own collapsed graph); ``report`` is the Kraft-sound combined bound
+    over the whole batch.  ``kraft_sum``/``per_run_sound`` expose the
+    Section 3.2 arithmetic for the independent bounds, so callers can
+    see when the combined bound is doing real work.
+    """
+
+    def __init__(self, report, per_run_bits, jobs):
+        self.report = report
+        self.per_run_bits = list(per_run_bits)
+        self.jobs = jobs
+
+    @property
+    def bits(self):
+        """The combined (Kraft-sound) bound in bits."""
+        return self.report.bits
+
+    @property
+    def runs(self):
+        return len(self.per_run_bits)
+
+    @property
+    def kraft_sum(self):
+        """Exact ``sum_i 2**-k(i)`` over the independent per-run bounds."""
+        return kraft_sum(self.per_run_bits)
+
+    @property
+    def per_run_sound(self):
+        """Whether the independent bounds alone satisfy Kraft (§3.2)."""
+        return kraft_satisfied(self.per_run_bits)
+
+    def __repr__(self):
+        return "BatchResult(runs=%d, bits=%d, jobs=%d)" % (
+            self.runs, self.bits, self.jobs)
+
+
+def _trace_run_job(payload):
+    """Trace one (secret, public) run; returns a picklable summary.
+
+    Traces with online collapse so the shipped graph is coverage-sized,
+    measures the run's independent bound on it, and serializes it for
+    the parent-side combination.
+    """
+    source, filename, secret, public, collapse, entry = payload
+    compiled = compile_cached(source, filename)
+    tracker = CollapsingTraceBuilder(
+        context_sensitive=(collapse == "context"))
+    with obs.get_metrics().phase("trace"):
+        vm, graph = execute(compiled, secret, public, tracker, entry=entry)
+    report = measure_graph(graph, collapse=collapse, stats=tracker.stats,
+                           warnings=vm.warnings)
+    return {
+        "graph": _dump_text(graph),
+        "stats": dict(tracker.stats),
+        "warnings": list(vm.warnings),
+        "bits": report.bits,
+    }
+
+
+def measure_program_runs(source, secret_inputs, public_input=b"",
+                         collapse="context", jobs=1, filename="<source>",
+                         entry="main"):
+    """Measure one program over many secrets, ``jobs`` runs at a time.
+
+    The batch analogue of :func:`repro.lang.runner.measure_many`: each
+    secret is traced (online-collapsed) in a worker, the workers'
+    serialized graphs are combined in the parent for the Section 3.2
+    Kraft-sound bound.  Returns a :class:`BatchResult`.
+    """
+    _check_collapse(collapse)
+    secrets = [bytes(secret) for secret in secret_inputs]
+    payloads = [(source, filename, secret, bytes(public_input), collapse,
+                 entry) for secret in secrets]
+    engine = BatchEngine(jobs)
+    outcomes = engine.map(_trace_run_job, payloads)
+    metrics = obs.get_metrics()
+    t0 = time.perf_counter()
+    graphs = []
+    stats_list = []
+    warnings = []
+    shipped_bytes = 0
+    for outcome in outcomes:
+        shipped_bytes += len(outcome["graph"].encode("utf-8"))
+        graphs.append(_load_text(outcome["graph"]))
+        stats_list.append(outcome["stats"])
+        warnings.extend(outcome["warnings"])
+    report = measure_runs(graphs, collapse=collapse, stats_list=stats_list,
+                          warnings=warnings)
+    if metrics.enabled:
+        metrics.incr("batch.graphs_bytes", shipped_bytes)
+        metrics.add_seconds("batch.merge_seconds",
+                            time.perf_counter() - t0)
+    return BatchResult(report, [o["bits"] for o in outcomes], engine.jobs)
+
+
+# ----------------------------------------------------------------------
+# Chunked multi-run combination (parallel collapse_graphs)
+
+
+def _collapse_chunk_job(payload):
+    """Combine one contiguous chunk of serialized graphs in a worker."""
+    texts, context_sensitive = payload
+    chunk = [_load_text(text) for text in texts]
+    combined, stats = collapse_graphs(chunk,
+                                      context_sensitive=context_sensitive)
+    return {
+        "graph": _dump_text(combined),
+        "original_nodes": stats.original_nodes,
+        "original_edges": stats.original_edges,
+    }
+
+
+def combine_graphs_jobs(graphs, context_sensitive=True, jobs=1):
+    """Parallel :func:`~repro.graph.collapse.collapse_graphs`.
+
+    Splits the graph list into contiguous chunks, combines each chunk
+    in a worker, then combines the chunk results in the parent.  The
+    union-find construction is associative over ordered contiguous
+    chunks, so the result is identical (same node numbering, edge
+    order, capacities, and labels-as-serialized) to combining the whole
+    list at once; the reported :class:`CollapseStats` count the
+    original inputs, as the serial call would.
+    """
+    graphs = list(graphs)
+    if not graphs:
+        raise ValueError("combine_graphs_jobs needs at least one graph")
+    engine = BatchEngine(jobs)
+    parts = min(engine.jobs, len(graphs))
+    if parts <= 1:
+        return collapse_graphs(graphs, context_sensitive=context_sensitive)
+    texts = [_dump_text(graph) for graph in graphs]
+    payloads = [(texts[lo:hi], context_sensitive)
+                for lo, hi in _chunks(len(texts), parts)]
+    outcomes = engine.map(_collapse_chunk_job, payloads)
+    metrics = obs.get_metrics()
+    t0 = time.perf_counter()
+    partials = [_load_text(outcome["graph"]) for outcome in outcomes]
+    combined, _ = collapse_graphs(partials,
+                                  context_sensitive=context_sensitive)
+    stats = CollapseStats(
+        sum(outcome["original_nodes"] for outcome in outcomes),
+        sum(outcome["original_edges"] for outcome in outcomes),
+        combined.num_nodes, combined.num_edges)
+    if metrics.enabled:
+        shipped = sum(len(text.encode("utf-8")) for text in texts)
+        shipped += sum(len(outcome["graph"].encode("utf-8"))
+                       for outcome in outcomes)
+        metrics.incr("batch.graphs_bytes", shipped)
+        metrics.add_seconds("batch.merge_seconds",
+                            time.perf_counter() - t0)
+    return combined, stats
+
+
+# ----------------------------------------------------------------------
+# Multi-secret category sweep (Section 10.1)
+
+
+def _category_solve_job(payload):
+    """Solve one category's restricted graph; returns the cut mask.
+
+    Ships back only ``(category, flow_value, source_side_mask)`` — the
+    parent rebuilds the :class:`~repro.graph.mincut.MinCut` against its
+    own in-memory graph, so the cut carries the caller's original label
+    objects, exactly as the serial sweep's does.
+    """
+    text, category, category_edges = payload
+    graph = _load_text(text)
+    restricted = _restricted_copy(graph, category_edges, [category])
+    value, residual = dinic_max_flow(restricted)
+    return category, value, residual.source_side()
+
+
+def measure_by_category_jobs(graph, category_edges, collapse="none",
+                             stats=None, jobs=1):
+    """Parallel per-category sweep; see
+    :func:`repro.core.multisecret.measure_by_category`.
+
+    One job per category solves the restricted graph; the joint bound
+    is measured in the parent.  The per-category solves depend only on
+    graph structure and capacities, so the serialized copy a worker
+    solves yields the same flow value and the same canonical cut mask
+    as the in-memory graph would.
+    """
+    text = _dump_text(graph)
+    payloads = [(text, category, dict(category_edges))
+                for category in sorted(category_edges)]
+    engine = BatchEngine(jobs)
+    outcomes = engine.map(_category_solve_job, payloads)
+    metrics = obs.get_metrics()
+    t0 = time.perf_counter()
+    per_category = {}
+    reports = {}
+    for category, value, mask in outcomes:
+        restricted = _restricted_copy(graph, category_edges, [category])
+        per_category[category] = value
+        reports[category] = MinCut(restricted, mask)
+    joint = measure_graph(graph, collapse=collapse, stats=stats)
+    if metrics.enabled:
+        metrics.incr("batch.graphs_bytes",
+                     len(text.encode("utf-8")) * len(payloads))
+        metrics.add_seconds("batch.merge_seconds",
+                            time.perf_counter() - t0)
+    return CategoryBounds(per_category, joint.bits,
+                          {"joint": joint, **reports})
+
+
+# ----------------------------------------------------------------------
+# Corpus measurement (one job per program)
+
+
+class ProgramResult:
+    """Picklable summary of one corpus program's measurement."""
+
+    __slots__ = ("name", "bits", "output_bytes", "warnings", "cut",
+                 "seconds")
+
+    def __init__(self, name, bits, output_bytes, warnings, cut, seconds):
+        self.name = name
+        self.bits = bits
+        self.output_bytes = output_bytes
+        #: run warnings, verbatim
+        self.warnings = warnings
+        #: the min cut as ``(kind, location, capacity)`` triples
+        self.cut = cut
+        #: in-worker wall time for this program
+        self.seconds = seconds
+
+    def __repr__(self):
+        return "ProgramResult(%r, bits=%d, cut=%d)" % (
+            self.name, self.bits, len(self.cut))
+
+
+def _measure_program_job(payload):
+    """Measure one program of a corpus (online-collapsed trace)."""
+    name, source, secret, public, collapse, entry = payload
+    t0 = time.perf_counter()
+    result = measure(source, secret, public, collapse=collapse,
+                     entry=entry, filename=name, online=True)
+    report = result.report
+    cut = []
+    for cut_edge in report.mincut.edges:
+        label = cut_edge.label
+        if label is None:
+            cut.append((None, None, cut_edge.capacity))
+        else:
+            cut.append((label.kind, str(label.location),
+                        cut_edge.capacity))
+    return ProgramResult(name, report.bits, result.output_bytes,
+                         list(report.warnings or []), cut,
+                         time.perf_counter() - t0)
+
+
+def measure_programs(items, collapse="context", jobs=1, entry="main"):
+    """Measure a corpus of independent programs, ``jobs`` at a time.
+
+    ``items`` yields ``(name, source, secret_input)`` or ``(name,
+    source, secret_input, public_input)`` tuples.  Unlike the multi-run
+    frontends nothing is combined — the programs are unrelated, so the
+    jobs ship back :class:`ProgramResult` summaries, in input order.
+    """
+    _check_collapse(collapse)
+    payloads = []
+    for item in items:
+        if len(item) == 3:
+            name, source, secret = item
+            public = b""
+        else:
+            name, source, secret, public = item
+        payloads.append((name, source, bytes(secret), bytes(public),
+                         collapse, entry))
+    return BatchEngine(jobs).map(_measure_program_job, payloads)

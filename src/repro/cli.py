@@ -8,7 +8,9 @@ The tool workflow from the paper, on FlowLang programs:
 * ``check``  — §6.2 tainting-based check of a run against a policy;
 * ``lockstep`` — §6.3 two-copy output-comparison check;
 * ``static`` — the §10.2 all-static bound, given per-loop trip counts;
-* ``disasm`` — show the compiled bytecode.
+* ``disasm`` — show the compiled bytecode;
+* ``batch`` — measure one program over many secrets across worker
+  processes (§3.2 combined bound; ``--jobs N``).
 
 Secret/public inputs come from ``--secret``/``--public`` (text),
 ``--secret-hex`` (hex bytes), or ``--secret-file``.
@@ -184,6 +186,51 @@ def cmd_disasm(args):
     return 0
 
 
+def _batch_secrets(args):
+    """All --secret/--secret-hex/--secret-file values, in flag-group order."""
+    secrets = [text.encode() for text in args.secret or []]
+    secrets.extend(bytes.fromhex(hex_text)
+                   for hex_text in args.secret_hex or [])
+    for path in args.secret_file or []:
+        with open(path, "rb") as handle:
+            secrets.append(handle.read())
+    return secrets
+
+
+def cmd_batch(args):
+    secrets = _batch_secrets(args)
+    if not secrets:
+        print("error: batch needs at least one --secret / --secret-hex / "
+              "--secret-file", file=sys.stderr)
+        return 2
+    from .batch import measure_program_runs
+    source = _read_program(args.program)
+    result = measure_program_runs(
+        source, secrets, public_input=_input_bytes(args, "public"),
+        collapse=args.collapse, jobs=args.jobs, filename=args.program)
+    report = result.report
+    if args.json:
+        cut = CutPolicy.from_report(report)
+        print(json.dumps({
+            "runs": result.runs,
+            "jobs": result.jobs,
+            "combined_bits": result.bits,
+            "per_run_bits": result.per_run_bits,
+            "per_run_kraft_sum": float(result.kraft_sum),
+            "per_run_sound": result.per_run_sound,
+            "cut": cut.to_dict(),
+            "warnings": report.warnings,
+        }, indent=2))
+    else:
+        print("%d runs across %d job slot(s)" % (result.runs, result.jobs))
+        print("per-run bounds: %s bits (Kraft sum %.4f, %s)"
+              % (result.per_run_bits, float(result.kraft_sum),
+                 "sound alone" if result.per_run_sound
+                 else "NOT jointly sound — combined bound required"))
+        print(report.describe())
+    return 0
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -240,6 +287,29 @@ def build_parser():
     p.add_argument("program")
     _add_metrics_flags(p)
     p.set_defaults(func=cmd_disasm)
+
+    p = sub.add_parser("batch",
+                       help="measure many runs in parallel (§3.2 "
+                            "combined bound)")
+    p.add_argument("program", help="FlowLang source file")
+    p.add_argument("--secret", action="append", metavar="TEXT",
+                   help="one run's secret input as literal text "
+                        "(repeatable)")
+    p.add_argument("--secret-hex", dest="secret_hex", action="append",
+                   metavar="HEX",
+                   help="one run's secret input as hex bytes (repeatable)")
+    p.add_argument("--secret-file", dest="secret_file", action="append",
+                   metavar="FILE",
+                   help="one run's secret input from a file (repeatable)")
+    _add_input_flags(p, "public", "public input (shared by all runs)")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes (default 1: in-process, "
+                        "bit-identical results either way)")
+    p.add_argument("--collapse", default="context",
+                   choices=["context", "location"])
+    p.add_argument("--json", action="store_true")
+    _add_metrics_flags(p)
+    p.set_defaults(func=cmd_batch)
     return parser
 
 

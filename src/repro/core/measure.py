@@ -122,7 +122,7 @@ def measure_graph(graph, collapse="context", stats=None, warnings=None,
 
 
 def measure_runs(graphs, collapse="context", stats_list=None, warnings=None,
-                 solver=dinic_max_flow):
+                 solver=dinic_max_flow, jobs=1):
     """Measure several runs *together* (Section 3.2).
 
     The graphs are combined by edge label before solving, which forces a
@@ -130,13 +130,24 @@ def measure_runs(graphs, collapse="context", stats_list=None, warnings=None,
     covers the whole set soundly (it is the length of one code word that
     could carry any of the runs' messages... more precisely, the sum of
     per-run flows is feasible in the combined graph).
+
+    ``jobs > 1`` combines the graphs in contiguous chunks across worker
+    processes (:func:`repro.batch.runs.combine_graphs_jobs`); the
+    result — bound, cut, and combined graph — is identical to the
+    serial combination.
     """
     graphs = list(graphs)
     metrics = obs.get_metrics()
     with metrics.phase("measure"):
         with metrics.phase("collapse"):
-            combined, collapse_stats = collapse_graphs(
-                graphs, context_sensitive=(collapse == "context"))
+            if jobs and jobs > 1:
+                from ..batch.runs import combine_graphs_jobs
+                combined, collapse_stats = combine_graphs_jobs(
+                    graphs, context_sensitive=(collapse == "context"),
+                    jobs=jobs)
+            else:
+                combined, collapse_stats = collapse_graphs(
+                    graphs, context_sensitive=(collapse == "context"))
         value, residual = solver(combined)
         with metrics.phase("mincut"):
             cut = min_cut_from_residual(combined, residual)

@@ -54,8 +54,8 @@ class CategoryBounds:
         return "CategoryBounds(%s, joint=%d)" % (parts, self.joint)
 
 
-def _solve_with_categories(graph, category_edges, enabled):
-    """Max-flow with only ``enabled`` categories' source edges open."""
+def _restricted_copy(graph, category_edges, enabled):
+    """A copy of ``graph`` with only ``enabled`` categories' sources open."""
     allowed = set()
     for category in enabled:
         allowed.update(category_edges.get(category, ()))
@@ -65,12 +65,18 @@ def _solve_with_categories(graph, category_edges, enabled):
     restricted = graph.copy()
     for index in all_tagged - allowed:
         restricted.edges[index].capacity = 0
+    return restricted
+
+
+def _solve_with_categories(graph, category_edges, enabled):
+    """Max-flow with only ``enabled`` categories' source edges open."""
+    restricted = _restricted_copy(graph, category_edges, enabled)
     value, residual = dinic_max_flow(restricted)
     return value, min_cut_from_residual(restricted, residual)
 
 
 def measure_by_category(graph, category_edges, collapse="none",
-                        stats=None):
+                        stats=None, jobs=1):
     """Measure one graph per-category and jointly.
 
     Args:
@@ -85,9 +91,17 @@ def measure_by_category(graph, category_edges, collapse="none",
             coarser (never lower) when categories share program points
             — see ``docs/performance.md``.
         stats: optional tracker stats for the joint report.
+        jobs: fan the per-category solves over this many worker
+            processes (:func:`repro.batch.runs.measure_by_category_jobs`);
+            bounds and cuts are identical to the serial sweep.
 
     Returns a :class:`CategoryBounds`.
     """
+    if jobs and jobs > 1:
+        from ..batch.runs import measure_by_category_jobs
+        return measure_by_category_jobs(graph, category_edges,
+                                        collapse=collapse, stats=stats,
+                                        jobs=jobs)
     per_category = {}
     reports = {}
     for category in sorted(category_edges):

@@ -388,9 +388,17 @@ def collapse_graph_online(graph, context_sensitive=True):
     return combined, stats
 
 
-def combine_runs(graphs, context_sensitive=True):
+def combine_runs(graphs, context_sensitive=True, jobs=1):
     """Combine the graphs of multiple runs (Section 3.2).
 
     Alias of :func:`collapse_graphs`, named for the multi-run use case.
+    ``jobs > 1`` fans the combination over worker processes in
+    contiguous chunks (:func:`repro.batch.runs.combine_graphs_jobs`);
+    the combined graph is identical to the serial result.
     """
+    if jobs and jobs > 1:
+        from ..batch.runs import combine_graphs_jobs
+        return combine_graphs_jobs(graphs,
+                                   context_sensitive=context_sensitive,
+                                   jobs=jobs)
     return collapse_graphs(graphs, context_sensitive=context_sensitive)

@@ -12,6 +12,12 @@ Format (one record per line, tab-separated)::
     flowgraph-v1
     n\t<num_nodes>
     e\t<tail>\t<head>\t<capacity|inf>[\t<kind>\t<location>\t<context|->]
+    c\t<category>\t<edge_index>...
+
+``c`` records are optional and carry the Section 10.1 multi-secret
+category tags: each maps a secret category to the indices of its source
+edges (``TraceBuilder.category_edges``), so a tagged graph shipped to
+another process can still be swept per-category there.
 """
 
 from __future__ import annotations
@@ -22,8 +28,17 @@ from .flowgraph import INF, EdgeLabel, FlowGraph
 _HEADER = "flowgraph-v1"
 
 
-def dump_graph(graph, stream):
-    """Write ``graph`` to a text ``stream``; returns the edge count."""
+def dump_graph(graph, stream, category_edges=None):
+    """Write ``graph`` to a text ``stream``; returns the edge count.
+
+    ``category_edges`` (a mapping category -> source-edge indices, as
+    kept by ``TraceBuilder.category_edges``) is written as ``c``
+    records; when omitted, a ``category_edges`` attribute on the graph
+    itself (as attached by :func:`load_graph`) is used, so save → load →
+    save round trips preserve the tags without replumbing.
+    """
+    if category_edges is None:
+        category_edges = getattr(graph, "category_edges", None)
     stream.write(_HEADER + "\n")
     stream.write("n\t%d\n" % graph.num_nodes)
     for e in graph.edges:
@@ -36,6 +51,11 @@ def dump_graph(graph, stream):
             stream.write("e\t%d\t%d\t%s\t%s\t%s\t%s\n" % (
                 e.tail, e.head, capacity, e.label.kind,
                 str(e.label.location).replace("\t", " "), context))
+    for category in sorted(category_edges or (), key=str):
+        indices = category_edges[category]
+        stream.write("c\t%s\t%s\n" % (
+            str(category).replace("\t", " "),
+            "\t".join(str(index) for index in indices)))
     return graph.num_edges
 
 
@@ -44,12 +64,15 @@ def load_graph(stream):
 
     Labels come back with *string* locations (the human-readable
     rendering); that is exactly what collapsing and cut policies key
-    on, so save/collapse/measure pipelines are unaffected.
+    on, so save/collapse/measure pipelines are unaffected.  Any ``c``
+    records come back as a ``category_edges`` attribute on the graph
+    (absent when the dump carried no tags).
     """
     header = stream.readline().strip()
     if header != _HEADER:
         raise GraphError("not a %s file (got %r)" % (_HEADER, header))
     graph = FlowGraph()
+    categories = {}
     for line_number, line in enumerate(stream, start=2):
         line = line.rstrip("\n")
         if not line:
@@ -68,9 +91,23 @@ def load_graph(stream):
                 context = None if fields[6] == "-" else int(fields[6])
                 label = EdgeLabel(fields[5], context, fields[4])
             graph.add_edge(tail, head, capacity, label)
+        elif fields[0] == "c":
+            if len(fields) < 2 or not fields[1]:
+                raise GraphError("category record without a name at "
+                                 "line %d" % line_number)
+            categories[fields[1]] = [int(index) for index in fields[2:]]
         else:
             raise GraphError("bad record %r at line %d"
                              % (fields[0], line_number))
+    if categories:
+        for category, indices in categories.items():
+            for index in indices:
+                if not 0 <= index < graph.num_edges:
+                    raise GraphError(
+                        "category %r references edge %d, but the graph "
+                        "has %d edges" % (category, index,
+                                          graph.num_edges))
+        graph.category_edges = categories
     return graph
 
 

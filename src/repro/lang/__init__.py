@@ -42,12 +42,12 @@ from .parser import Parser, parse
 from .checker import Checker, check_program
 from .compiler import compile_program
 from .vm import VM, NullTracker
-from .runner import (RunResult, check, compile_source, execute, lockstep,
-                     measure, measure_live, measure_many)
+from .runner import (RunResult, check, compile_cached, compile_source,
+                     execute, lockstep, measure, measure_live, measure_many)
 
 __all__ = [
     "Lexer", "tokenize", "Parser", "parse", "Checker", "check_program",
     "compile_program", "VM", "NullTracker",
-    "RunResult", "check", "compile_source", "execute", "lockstep",
-    "measure", "measure_live", "measure_many",
+    "RunResult", "check", "compile_cached", "compile_source", "execute",
+    "lockstep", "measure", "measure_live", "measure_many",
 ]

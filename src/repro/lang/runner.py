@@ -11,6 +11,8 @@ The typical workflow mirrors the paper's tool usage:
 
 from __future__ import annotations
 
+import hashlib
+
 from .. import obs
 from ..core.checking import CheckTracker
 from ..core.lockstep import run_lockstep
@@ -46,6 +48,35 @@ def compile_source(source, filename="<source>"):
     checker = Checker(program)
     checker.check()
     return compile_program(program, checker)
+
+
+#: Compiled-program cache for :func:`compile_cached`, keyed by
+#: (sha256 of the source, filename).  Bounded LRU; compiled programs
+#: are immutable once built (the VM never mutates them — ``measure_many``
+#: already reuses one across runs), so sharing is safe.
+_COMPILE_CACHE = {}
+_COMPILE_CACHE_LIMIT = 64
+
+
+def compile_cached(source, filename="<source>"):
+    """:func:`compile_source` with memoization by source hash.
+
+    The batch engine's common case is many runs of the *same* program
+    over different secrets; caching skips the lex/parse/check/compile
+    work on every run after a worker's first.  Hits are counted under
+    the ``lang.compile_cache_hits`` metric.
+    """
+    key = (hashlib.sha256(source.encode("utf-8")).hexdigest(), filename)
+    compiled = _COMPILE_CACHE.pop(key, None)
+    if compiled is not None:
+        _COMPILE_CACHE[key] = compiled  # re-insert: most recently used
+        obs.get_metrics().incr("lang.compile_cache_hits")
+        return compiled
+    compiled = compile_source(source, filename)
+    _COMPILE_CACHE[key] = compiled
+    while len(_COMPILE_CACHE) > _COMPILE_CACHE_LIMIT:
+        _COMPILE_CACHE.pop(next(iter(_COMPILE_CACHE)))
+    return compiled
 
 
 def execute(compiled, secret_input=b"", public_input=b"", tracker=None,
@@ -188,5 +219,5 @@ def lockstep(source_or_compiled, policy, real_secret, dummy_secret,
 
 def _ensure_compiled(source_or_compiled, filename):
     if isinstance(source_or_compiled, str):
-        return compile_source(source_or_compiled, filename)
+        return compile_cached(source_or_compiled, filename)
     return source_or_compiled

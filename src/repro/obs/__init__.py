@@ -68,9 +68,22 @@ def enabled():
     return _default.enabled
 
 
+def merge_snapshot(snapshot):
+    """Fold a worker's snapshot into the process-wide registry.
+
+    No-op when observability is disabled; see
+    :meth:`~repro.obs.metrics.Metrics.merge` for the fold semantics
+    (counters/timers add, gauges keep the maximum).  Returns the
+    process-wide instance.
+    """
+    _default.merge(snapshot)
+    return _default
+
+
 __all__ = [
     "CATALOGUE", "PHASES", "MetricSpec", "snapshot_keys",
     "Metrics", "NullMetrics", "NULL_METRICS",
     "get_metrics", "set_metrics", "enable", "disable", "enabled",
+    "merge_snapshot",
     "to_json", "to_table",
 ]

@@ -11,9 +11,10 @@ Kinds:
 
 * ``counter`` -- monotonically accumulating integer (events, bits).
 * ``gauge``   -- last-written (or max-tracked) point-in-time value.
-* ``timer``   -- accumulated wall-clock seconds of a pipeline phase;
-  every ``phase.<p>.seconds`` timer pairs with a ``phase.<p>.calls``
-  counter maintained by the same context manager.
+* ``timer``   -- accumulated wall-clock seconds.  The ``phase.<p>.seconds``
+  timers pair with a ``phase.<p>.calls`` counter maintained by the same
+  context manager; free-standing timers (``batch.*``) accumulate via
+  :meth:`~repro.obs.metrics.Metrics.add_seconds`.
 
 Stability: ``stable`` names follow the usual deprecation dance before
 changing meaning; ``experimental`` names may change in any release.
@@ -73,6 +74,10 @@ def _specs():
          "branch/index events on tracked values observed by Session"),
         (g, "pytrace.enclosure_depth_max", "regions", "stable",
          "deepest enclosure-region nesting reached in a session"),
+        # FlowLang frontend (repro.lang).
+        (c, "lang.compile_cache_hits", "hits", "experimental",
+         "compiled-program cache hits (compile_cached, keyed by source "
+         "hash + filename)"),
         # Collapsing (repro.graph.collapse).
         (c, "collapse.runs", "calls", "stable",
          "collapse/combine invocations"),
@@ -120,6 +125,19 @@ def _specs():
          "most recent max-flow bound"),
         (g, "mincut.edges", "edges", "stable",
          "edge count of the most recent minimum cut"),
+        # Batch fan-out (repro.batch).
+        (c, "batch.jobs", "jobs", "experimental",
+         "measurement jobs executed by the batch engine"),
+        (g, "batch.workers", "processes", "experimental",
+         "worker pool size of the most recent batch fan-out (1 when "
+         "in-process)"),
+        (TIMER, "batch.worker_seconds", "seconds", "experimental",
+         "accumulated in-job wall time across batch jobs (all workers)"),
+        (c, "batch.graphs_bytes", "bytes", "experimental",
+         "serialized flow-graph bytes shipped between batch workers and "
+         "the parent"),
+        (TIMER, "batch.merge_seconds", "seconds", "experimental",
+         "parent-side wall time merging worker graphs and results"),
     ]
     phase_doc = {
         "trace": "instrumented execution (FlowLang VM run)",

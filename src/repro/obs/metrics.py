@@ -19,6 +19,12 @@ import time
 
 from .catalogue import CATALOGUE, COUNTER, GAUGE, TIMER
 
+#: How worker snapshots fold into a parent registry, by metric kind:
+#: counters and timers are extensive (they add); gauges are point-in-time
+#: observations with no cross-process "most recent", so merging keeps the
+#: high-water mark.
+MERGE_BY_MAX = frozenset((GAUGE,))
+
 
 class _NullPhase:
     """Context manager that does nothing (shared singleton)."""
@@ -52,6 +58,12 @@ class NullMetrics:
         pass
 
     def gauge_max(self, name, value):
+        pass
+
+    def add_seconds(self, name, seconds):
+        pass
+
+    def merge(self, snapshot):
         pass
 
     def phase(self, name):
@@ -124,6 +136,40 @@ class Metrics:
         self._spec(name, GAUGE)
         if value > self._values[name]:
             self._values[name] = value
+
+    def add_seconds(self, name, seconds):
+        """Accumulate ``seconds`` of wall time onto timer ``name``.
+
+        For free-standing timers (``batch.worker_seconds`` and friends)
+        whose intervals are measured outside a ``phase()`` block -- e.g.
+        in a worker process whose registry is not this one.
+        """
+        self._spec(name, TIMER)
+        self._values[name] += seconds
+
+    def merge(self, snapshot):
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        The batch engine's registry-merge: counters and timers add
+        (they are extensive across processes), gauges keep the maximum
+        (a high-water mark; "most recent" has no meaning across
+        concurrent workers).  Every key must be catalogued -- merging
+        an uncatalogued snapshot raises ``KeyError``, keeping the
+        documented contract intact across process boundaries.
+        """
+        values = self._values
+        for name, value in snapshot.items():
+            spec = CATALOGUE.get(name)
+            if spec is None:
+                raise KeyError("snapshot key %r is not in the catalogue; "
+                               "refusing to merge undocumented metrics"
+                               % name)
+            if spec.kind in MERGE_BY_MAX:
+                if value > values[name]:
+                    values[name] = value
+            else:
+                values[name] += value
+        return self
 
     def phase(self, name):
         """Context manager accumulating ``phase.<name>.seconds``/``.calls``."""

@@ -1,0 +1,90 @@
+"""Tests for the process-pool batch engine."""
+
+import pytest
+
+from repro import obs
+from repro.batch import BatchEngine
+
+
+@pytest.fixture
+def metrics():
+    live = obs.enable()
+    try:
+        yield live
+    finally:
+        obs.disable()
+
+
+def double(x):
+    return 2 * x
+
+
+def record_solve(x):
+    """A job that records a catalogued counter under its own registry."""
+    obs.get_metrics().incr("maxflow.solves")
+    obs.get_metrics().gauge("flow.bits", x)
+    return x
+
+
+class TestEngine:
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BatchEngine(0)
+        with pytest.raises(ValueError):
+            BatchEngine(-2)
+
+    def test_in_process_map_preserves_order(self):
+        assert BatchEngine(1).map(double, range(5)) == [0, 2, 4, 6, 8]
+
+    def test_pool_map_preserves_order(self):
+        assert BatchEngine(2).map(double, range(6)) == \
+            BatchEngine(1).map(double, range(6))
+
+    def test_single_payload_stays_in_process(self, metrics):
+        assert BatchEngine(4).map(double, [21]) == [42]
+        snap = metrics.snapshot()
+        assert snap["batch.jobs"] == 1
+        assert snap["batch.workers"] == 1
+
+    def test_empty_payloads(self, metrics):
+        assert BatchEngine(3).map(double, []) == []
+        assert metrics.snapshot()["batch.jobs"] == 0
+
+    def test_batch_metrics_recorded(self, metrics):
+        BatchEngine(1).map(double, range(4))
+        snap = metrics.snapshot()
+        assert snap["batch.jobs"] == 4
+        assert snap["batch.workers"] == 1
+        assert snap["batch.worker_seconds"] > 0
+
+    def test_pool_workers_gauge(self, metrics):
+        BatchEngine(2).map(double, range(4))
+        snap = metrics.snapshot()
+        assert snap["batch.jobs"] == 4
+        assert snap["batch.workers"] == 2
+
+    def test_pool_capped_by_payload_count(self, metrics):
+        BatchEngine(8).map(double, range(2))
+        assert metrics.snapshot()["batch.workers"] == 2
+
+
+class TestMetricsFolding:
+    """Worker snapshots fold into the parent; totals match in-process."""
+
+    def test_in_process_jobs_record_directly(self, metrics):
+        BatchEngine(1).map(record_solve, [3, 9, 6])
+        snap = metrics.snapshot()
+        assert snap["maxflow.solves"] == 3
+        assert snap["flow.bits"] == 6  # last in-process write wins
+
+    def test_pool_counters_sum_gauges_max(self, metrics):
+        BatchEngine(2).map(record_solve, [3, 9, 6])
+        snap = metrics.snapshot()
+        assert snap["maxflow.solves"] == 3
+        assert snap["flow.bits"] == 9  # merged by max across workers
+
+    def test_pool_records_nothing_when_disabled(self):
+        assert not obs.enabled()
+        results = BatchEngine(2).map(record_solve, [1, 2])
+        assert results == [1, 2]
+        assert obs.get_metrics().snapshot() == {}

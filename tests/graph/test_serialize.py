@@ -78,6 +78,71 @@ class TestRoundTrip:
             load_graph(io.StringIO("flowgraph-v1\nx\t1\n"))
 
 
+class TestCategoryRecords:
+    """§10.1 category tags survive the artifact boundary."""
+
+    def tagged_session_graph(self):
+        from repro.pytrace import Session
+        session = Session()
+        alice = session.secret_int(0xAB, 8, category="alice")
+        bob = session.secret_int(0x12, 8, category="bob")
+        session.output(alice ^ bob)
+        graph = session.finish()
+        return graph, session.tracker.category_edges
+
+    def test_explicit_tags_round_trip(self):
+        g = FlowGraph()
+        a = g.add_node()
+        g.add_edge(g.source, a, 8, EdgeLabel("in:1", None, "input"))
+        g.add_edge(g.source, a, 8, EdgeLabel("in:2", None, "input"))
+        g.add_edge(a, g.sink, 16)
+        buffer = io.StringIO()
+        dump_graph(g, buffer, category_edges={"bob": [1], "alice": [0]})
+        buffer.seek(0)
+        loaded = load_graph(buffer)
+        assert loaded.category_edges == {"alice": [0], "bob": [1]}
+
+    def test_untagged_graph_gains_no_attribute(self):
+        g = FlowGraph()
+        g.add_edge(g.source, g.sink, 4)
+        assert not hasattr(round_trip(g), "category_edges")
+
+    def test_traced_categories_round_trip_and_sweep(self):
+        from repro.core.multisecret import measure_by_category
+        graph, category_edges = self.tagged_session_graph()
+        buffer = io.StringIO()
+        dump_graph(graph, buffer, category_edges=category_edges)
+        buffer.seek(0)
+        loaded = load_graph(buffer)
+        assert loaded.category_edges == {
+            category: list(indices)
+            for category, indices in category_edges.items()}
+        original = measure_by_category(graph, category_edges)
+        reloaded = measure_by_category(loaded, loaded.category_edges)
+        assert reloaded.per_category == original.per_category
+        assert reloaded.joint == original.joint
+
+    def test_loaded_tags_auto_redump(self):
+        graph, category_edges = self.tagged_session_graph()
+        first = io.StringIO()
+        dump_graph(graph, first, category_edges=category_edges)
+        first.seek(0)
+        second = io.StringIO()
+        dump_graph(load_graph(first), second)
+        assert "c\talice" in second.getvalue()
+        assert first.getvalue() == second.getvalue()
+
+    def test_out_of_range_index_rejected(self):
+        text = "flowgraph-v1\nn\t2\ne\t0\t1\t4\nc\talice\t7\n"
+        with pytest.raises(GraphError):
+            load_graph(io.StringIO(text))
+
+    def test_nameless_category_rejected(self):
+        text = "flowgraph-v1\nn\t2\ne\t0\t1\t4\nc\t\t0\n"
+        with pytest.raises(GraphError):
+            load_graph(io.StringIO(text))
+
+
 def cut_fingerprint(cut):
     """A min cut in comparable terms: sorted (kind, location, capacity)."""
     entries = []

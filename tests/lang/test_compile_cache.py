@@ -1,0 +1,76 @@
+"""Tests for the compiled-program cache (batch engine fast path)."""
+
+import pytest
+
+from repro import obs
+from repro.lang import compile_cached, measure
+from repro.lang import runner
+
+SOURCE = "fn main() { output(secret_u8() & 0x0F); }"
+OTHER = "fn main() { output(secret_u8() & 0x03); }"
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    runner._COMPILE_CACHE.clear()
+    yield
+    runner._COMPILE_CACHE.clear()
+
+
+@pytest.fixture
+def metrics():
+    live = obs.enable()
+    try:
+        yield live
+    finally:
+        obs.disable()
+
+
+class TestCompileCache:
+    def test_repeat_compile_returns_same_object(self, metrics):
+        first = compile_cached(SOURCE)
+        second = compile_cached(SOURCE)
+        assert second is first
+        assert metrics.snapshot()["lang.compile_cache_hits"] == 1
+
+    def test_different_source_misses(self, metrics):
+        assert compile_cached(SOURCE) is not compile_cached(OTHER)
+        assert metrics.snapshot()["lang.compile_cache_hits"] == 0
+
+    def test_filename_is_part_of_the_key(self, metrics):
+        a = compile_cached(SOURCE, filename="a.fl")
+        b = compile_cached(SOURCE, filename="b.fl")
+        assert a is not b
+        assert metrics.snapshot()["lang.compile_cache_hits"] == 0
+
+    def test_measure_goes_through_the_cache(self, metrics):
+        first = measure(SOURCE, secret_input=b"\xff")
+        second = measure(SOURCE, secret_input=b"\x0a")
+        assert metrics.snapshot()["lang.compile_cache_hits"] == 1
+        assert first.bits == second.bits == 4
+
+    def test_cached_program_measures_identically(self):
+        fresh = measure(SOURCE, secret_input=b"\x5a")
+        cached = measure(SOURCE, secret_input=b"\x5a")
+        assert cached.bits == fresh.bits
+        assert cached.output_bytes == fresh.output_bytes
+
+    def test_cache_is_bounded_lru(self):
+        limit = runner._COMPILE_CACHE_LIMIT
+        for index in range(limit + 5):
+            compile_cached("fn main() { output(%d); }" % index)
+        assert len(runner._COMPILE_CACHE) == limit
+        # The oldest entries were evicted; the newest survive.
+        compiled = compile_cached("fn main() { output(%d); }"
+                                  % (limit + 4))
+        assert any(entry is compiled
+                   for entry in runner._COMPILE_CACHE.values())
+
+    def test_hit_refreshes_lru_position(self):
+        keep = compile_cached("fn main() { output(1); }")
+        for index in range(runner._COMPILE_CACHE_LIMIT - 1):
+            compile_cached("fn filler%d() {} fn main() { }" % index)
+        assert compile_cached("fn main() { output(1); }") is keep
+        # One more insert evicts the oldest *filler*, not the fresh hit.
+        compile_cached("fn main() { output(2); }")
+        assert compile_cached("fn main() { output(1); }") is keep

@@ -93,6 +93,52 @@ class TestRegistry:
         assert not obs.enabled()
 
 
+class TestMergeAndFreeTimers:
+    """The batch engine's registry-merge contract."""
+
+    def test_add_seconds_accumulates(self, metrics):
+        metrics.add_seconds("batch.worker_seconds", 0.25)
+        metrics.add_seconds("batch.worker_seconds", 0.5)
+        assert metrics.snapshot()["batch.worker_seconds"] == 0.75
+
+    def test_add_seconds_rejects_non_timer(self, metrics):
+        with pytest.raises(ValueError):
+            metrics.add_seconds("batch.jobs", 1.0)
+
+    def test_merge_counters_and_timers_add_gauges_max(self, metrics):
+        metrics.incr("maxflow.solves", 2)
+        metrics.gauge("flow.bits", 9)
+        metrics.add_seconds("batch.worker_seconds", 1.0)
+        worker = obs.Metrics()
+        worker.incr("maxflow.solves", 3)
+        worker.gauge("flow.bits", 4)
+        worker.add_seconds("batch.worker_seconds", 0.5)
+        metrics.merge(worker.snapshot())
+        snap = metrics.snapshot()
+        assert snap["maxflow.solves"] == 5
+        assert snap["flow.bits"] == 9          # high-water mark kept
+        assert snap["batch.worker_seconds"] == 1.5
+
+    def test_merge_gauge_takes_larger_incoming(self, metrics):
+        metrics.gauge("flow.bits", 3)
+        metrics.merge({"flow.bits": 8})
+        assert metrics.snapshot()["flow.bits"] == 8
+
+    def test_merge_rejects_uncatalogued_key(self, metrics):
+        with pytest.raises(KeyError):
+            metrics.merge({"not.a.metric": 1})
+
+    def test_merge_snapshot_helper(self):
+        live = obs.enable()
+        try:
+            obs.merge_snapshot({"maxflow.solves": 4})
+            assert live.snapshot()["maxflow.solves"] == 4
+        finally:
+            obs.disable()
+        obs.merge_snapshot({"maxflow.solves": 1})  # null sink: no-op
+        assert obs.get_metrics().snapshot() == {}
+
+
 class TestSolverWiring:
     def test_dinic_counters(self, metrics):
         value, _ = dinic_max_flow(diamond())

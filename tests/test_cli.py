@@ -126,6 +126,63 @@ class TestCheckAndLockstep:
         assert "bits forwarded" in capsys.readouterr().out
 
 
+class TestBatch:
+    def test_human_output(self, program, capsys):
+        assert main(["batch", program, "--secret", "........????",
+                     "--secret", "..?"]) == 0
+        out = capsys.readouterr().out
+        assert "2 runs across 1 job slot(s)" in out
+        assert "per-run bounds" in out
+        assert "flow bound" in out
+
+    def test_json_output_and_jobs(self, program, capsys):
+        assert main(["batch", program, "--jobs", "2",
+                     "--secret", "........????", "--secret", "..?",
+                     "--secret-hex", "2e3f2e", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["runs"] == 3
+        assert payload["jobs"] == 2
+        assert len(payload["per_run_bits"]) == 3
+        assert payload["combined_bits"] >= max(payload["per_run_bits"])
+        assert "cut" in payload
+
+    def test_jobs_match_serial(self, program, capsys):
+        assert main(["batch", program, "--secret", "....",
+                     "--secret", "??..", "--json"]) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert main(["batch", program, "--jobs", "2",
+                     "--secret", "....", "--secret", "??..",
+                     "--json"]) == 0
+        parallel = json.loads(capsys.readouterr().out)
+        for key in ("combined_bits", "per_run_bits", "cut"):
+            assert parallel[key] == serial[key]
+
+    def test_secret_files(self, program, tmp_path, capsys):
+        paths = []
+        for index, payload in enumerate((b"..??", b"?")):
+            path = tmp_path / ("s%d.bin" % index)
+            path.write_bytes(payload)
+            paths.append(str(path))
+        assert main(["batch", program,
+                     "--secret-file", paths[0],
+                     "--secret-file", paths[1]]) == 0
+        assert "2 runs" in capsys.readouterr().out
+
+    def test_no_secrets_rejected(self, program, capsys):
+        assert main(["batch", program]) == 2
+        assert "at least one" in capsys.readouterr().err
+
+    def test_metrics_json_has_batch_keys(self, program, tmp_path, capsys):
+        metrics_file = tmp_path / "m.json"
+        assert main(["batch", program, "--secret", "..?",
+                     "--secret", "?.?", "--metrics=json",
+                     "--metrics-file", str(metrics_file)]) == 0
+        snapshot = json.loads(metrics_file.read_text())
+        assert snapshot["batch.jobs"] == 2
+        assert snapshot["batch.workers"] == 1
+        assert snapshot["batch.graphs_bytes"] > 0
+
+
 class TestStaticAndDisasm:
     def test_static_formula(self, tmp_path, capsys):
         path = tmp_path / "un.fl"
