@@ -6,6 +6,7 @@ paper; EXPERIMENTS.md records these side by side with the paper's
 values.
 
 Run:  python benchmarks/run_all.py [--json FILE] [--jobs N]
+                                   [--trace-dir DIR]
 
 With ``--json``, also writes a machine-readable record: one entry per
 benchmark with its wall time and a ``metrics`` block (the observability
@@ -19,11 +20,18 @@ canonical (paper) order either way, and every worker's metrics are
 merged into a top-level ``metrics`` block of the JSON record.  Wall
 times from a parallel run are noisier than a serial one -- regenerate
 committed baselines serially.
+
+With ``--trace-dir DIR``, structured tracing is enabled for the whole
+run and two files land in DIR: ``run_all.trace.json`` (Chrome
+trace-event JSON; open in Perfetto, one track per worker process) and
+``run_all.trace.jsonl`` (one span per line).  Combine with ``--jobs``
+to see the fan-out timeline.
 """
 
 import argparse
 import io
 import json
+import os
 import sys
 import time
 from contextlib import redirect_stdout
@@ -249,8 +257,9 @@ def _run_one(name):
     buffer = io.StringIO()
     obs.enable()
     t0 = time.perf_counter()
-    with redirect_stdout(buffer):
-        extra = fn()
+    with obs.get_tracer().span("bench.run", benchmark=name):
+        with redirect_stdout(buffer):
+            extra = fn()
     wall = time.perf_counter() - t0
     record = {
         "name": name,
@@ -301,10 +310,27 @@ def main(argv=None):
     ap.add_argument("--jobs", type=int, default=1, metavar="N",
                     help="run benchmarks in N worker processes "
                          "(default: 1, serial)")
+    ap.add_argument("--trace-dir", metavar="DIR",
+                    help="record structured spans for the whole run and "
+                         "write run_all.trace.json (Chrome trace-event; "
+                         "open in Perfetto) and run_all.trace.jsonl "
+                         "there")
     args = ap.parse_args(argv)
     if args.jobs < 1:
         ap.error("--jobs must be >= 1")
+    tracer = None
+    if args.trace_dir:
+        os.makedirs(args.trace_dir, exist_ok=True)
+        tracer = obs.enable_tracing()
     records = run_benchmarks(jobs=args.jobs)
+    if tracer is not None:
+        obs.disable_tracing()
+        spans = tracer.snapshot()
+        chrome_path = os.path.join(args.trace_dir, "run_all.trace.json")
+        obs.write_chrome_trace(spans, chrome_path, parent_pid=tracer.pid)
+        obs.write_jsonl(spans,
+                        os.path.join(args.trace_dir, "run_all.trace.jsonl"))
+        print("\ntrace written to %s" % chrome_path)
     if args.json:
         payload = {
             "generated_by": "benchmarks/run_all.py",

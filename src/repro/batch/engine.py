@@ -36,26 +36,35 @@ from .. import obs
 
 
 def _call_job(item):
-    """Run one job in a worker process; returns ``(result, snapshot, wall)``.
+    """Run one job in a worker process.
 
-    Must be a module-level function so it pickles.  When the parent had
-    metrics enabled at dispatch time (``capture``), the job runs under a
-    fresh registry whose snapshot rides back with the result; the
+    Returns ``(result, metrics_snapshot, span_dicts, wall)``.  Must be a
+    module-level function so it pickles.  When the parent had metrics
+    enabled at dispatch time (``capture``), the job runs under a fresh
+    registry whose snapshot rides back with the result; the
     fork-inherited parent registry is never written to, so nothing is
-    double-counted when the parent later merges.
+    double-counted when the parent later merges.  Likewise, when the
+    parent had tracing enabled (``capture_trace``), the job runs under a
+    fresh worker tracer, inside a ``batch.job`` root span, and the
+    finished span dicts ride home for the parent to ``adopt``.
     """
-    func, payload, capture = item
+    func, payload, index, capture, capture_trace = item
     t0 = time.perf_counter()
-    if not capture:
-        result = func(payload)
-        return result, None, time.perf_counter() - t0
-    obs.enable()
+    if capture:
+        obs.enable()
+    if capture_trace:
+        obs.enable_tracing()
     try:
-        result = func(payload)
-        snapshot = obs.get_metrics().snapshot()
+        with obs.get_tracer().span("batch.job", index=index):
+            result = func(payload)
+        snapshot = obs.get_metrics().snapshot() if capture else None
+        spans = obs.get_tracer().snapshot() if capture_trace else None
     finally:
-        obs.disable()
-    return result, snapshot, time.perf_counter() - t0
+        if capture:
+            obs.disable()
+        if capture_trace:
+            obs.disable_tracing()
+    return result, snapshot, spans, time.perf_counter() - t0
 
 
 class BatchEngine:
@@ -69,9 +78,14 @@ class BatchEngine:
 
     Either way the engine records the ``batch.*`` catalogue keys:
     ``batch.jobs`` (jobs executed), ``batch.workers`` (pool size of the
-    most recent ``map``), and ``batch.worker_seconds`` (summed in-job
-    wall time — with N workers this exceeds elapsed wall time, which is
-    the point).
+    most recent ``map``), ``batch.worker_seconds`` (summed in-job wall
+    time — with N workers this exceeds elapsed wall time, which is the
+    point), and the ``batch.job_seconds`` histogram (one observation
+    per job).  With tracing enabled, the fan-out runs under a
+    ``batch.map`` span, each job under a ``batch.job`` span — recorded
+    worker-side for ``jobs=N`` and adopted back into the parent tracer,
+    re-rooted under the ``batch.map`` span, with worker pids kept so
+    the Chrome trace export shows one track per worker.
     """
 
     def __init__(self, jobs=1):
@@ -90,28 +104,39 @@ class BatchEngine:
         """
         payloads = list(payloads)
         metrics = obs.get_metrics()
+        tracer = obs.get_tracer()
         results = []
         walls = []
-        if self.jobs == 1 or len(payloads) <= 1:
-            workers = 1
-            for payload in payloads:
-                t0 = time.perf_counter()
-                results.append(func(payload))
-                walls.append(time.perf_counter() - t0)
-        else:
-            workers = min(self.jobs, len(payloads))
-            capture = metrics.enabled
-            items = [(func, payload, capture) for payload in payloads]
-            with concurrent.futures.ProcessPoolExecutor(
-                    max_workers=workers) as pool:
-                outcomes = list(pool.map(_call_job, items))
-            for result, snapshot, wall in outcomes:
-                results.append(result)
-                walls.append(wall)
-                if snapshot is not None:
-                    metrics.merge(snapshot)
+        serial = self.jobs == 1 or len(payloads) <= 1
+        workers = 1 if serial else min(self.jobs, len(payloads))
+        map_span = tracer.span("batch.map", jobs=len(payloads),
+                               workers=workers)
+        with map_span:
+            if serial:
+                for index, payload in enumerate(payloads):
+                    t0 = time.perf_counter()
+                    with tracer.span("batch.job", index=index):
+                        results.append(func(payload))
+                    walls.append(time.perf_counter() - t0)
+            else:
+                capture = metrics.enabled
+                capture_trace = tracer.enabled
+                items = [(func, payload, index, capture, capture_trace)
+                         for index, payload in enumerate(payloads)]
+                with concurrent.futures.ProcessPoolExecutor(
+                        max_workers=workers) as pool:
+                    outcomes = list(pool.map(_call_job, items))
+                for result, snapshot, spans, wall in outcomes:
+                    results.append(result)
+                    walls.append(wall)
+                    if snapshot is not None:
+                        metrics.merge(snapshot)
+                    if spans:
+                        tracer.adopt(spans, parent_id=map_span.span_id)
         if metrics.enabled and payloads:
             metrics.incr("batch.jobs", len(payloads))
             metrics.gauge("batch.workers", workers)
             metrics.add_seconds("batch.worker_seconds", sum(walls))
+            for wall in walls:
+                metrics.observe("batch.job_seconds", wall)
         return results

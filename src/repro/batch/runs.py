@@ -160,13 +160,14 @@ def measure_program_runs(source, secret_inputs, public_input=b"",
     stats_list = []
     warnings = []
     shipped_bytes = 0
-    for outcome in outcomes:
-        shipped_bytes += len(outcome["graph"].encode("utf-8"))
-        graphs.append(_load_text(outcome["graph"]))
-        stats_list.append(outcome["stats"])
-        warnings.extend(outcome["warnings"])
-    report = measure_runs(graphs, collapse=collapse, stats_list=stats_list,
-                          warnings=warnings)
+    with obs.get_tracer().span("batch.merge", runs=len(outcomes)):
+        for outcome in outcomes:
+            shipped_bytes += len(outcome["graph"].encode("utf-8"))
+            graphs.append(_load_text(outcome["graph"]))
+            stats_list.append(outcome["stats"])
+            warnings.extend(outcome["warnings"])
+        report = measure_runs(graphs, collapse=collapse,
+                              stats_list=stats_list, warnings=warnings)
     if metrics.enabled:
         metrics.incr("batch.graphs_bytes", shipped_bytes)
         metrics.add_seconds("batch.merge_seconds",
@@ -215,9 +216,10 @@ def combine_graphs_jobs(graphs, context_sensitive=True, jobs=1):
     outcomes = engine.map(_collapse_chunk_job, payloads)
     metrics = obs.get_metrics()
     t0 = time.perf_counter()
-    partials = [_load_text(outcome["graph"]) for outcome in outcomes]
-    combined, _ = collapse_graphs(partials,
-                                  context_sensitive=context_sensitive)
+    with obs.get_tracer().span("batch.merge", chunks=len(outcomes)):
+        partials = [_load_text(outcome["graph"]) for outcome in outcomes]
+        combined, _ = collapse_graphs(partials,
+                                      context_sensitive=context_sensitive)
     stats = CollapseStats(
         sum(outcome["original_nodes"] for outcome in outcomes),
         sum(outcome["original_edges"] for outcome in outcomes),
@@ -271,11 +273,12 @@ def measure_by_category_jobs(graph, category_edges, collapse="none",
     t0 = time.perf_counter()
     per_category = {}
     reports = {}
-    for category, value, mask in outcomes:
-        restricted = _restricted_copy(graph, category_edges, [category])
-        per_category[category] = value
-        reports[category] = MinCut(restricted, mask)
-    joint = measure_graph(graph, collapse=collapse, stats=stats)
+    with obs.get_tracer().span("batch.merge", categories=len(outcomes)):
+        for category, value, mask in outcomes:
+            restricted = _restricted_copy(graph, category_edges, [category])
+            per_category[category] = value
+            reports[category] = MinCut(restricted, mask)
+        joint = measure_graph(graph, collapse=collapse, stats=stats)
     if metrics.enabled:
         metrics.incr("batch.graphs_bytes",
                      len(text.encode("utf-8")) * len(payloads))

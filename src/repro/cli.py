@@ -70,19 +70,47 @@ def _add_metrics_flags(parser):
                              "(table or json; see docs/observability.md)")
     parser.add_argument("--metrics-file", metavar="FILE",
                         help="write metrics there instead of stderr")
+    parser.add_argument("--trace", metavar="FILE",
+                        help="record hierarchical spans and write them "
+                             "there: Chrome trace-event JSON (open in "
+                             "Perfetto), or JSONL when FILE ends in "
+                             ".jsonl (see docs/observability.md)")
 
 
 def _emit_metrics(args):
+    """Render and deliver the metrics snapshot; returns success."""
     snapshot = obs.get_metrics().snapshot()
     if args.metrics == "json":
         text = obs.to_json(snapshot)
     else:
         text = obs.to_table(snapshot)
     if args.metrics_file:
-        with open(args.metrics_file, "w") as handle:
-            handle.write(text + "\n")
+        try:
+            with open(args.metrics_file, "w") as handle:
+                handle.write(text + "\n")
+        except OSError as error:
+            print("error: cannot write metrics file: %s" % error,
+                  file=sys.stderr)
+            return False
     else:
         print(text, file=sys.stderr)
+    return True
+
+
+def _emit_trace(args, tracer):
+    """Write the recorded spans to ``--trace FILE``; returns success."""
+    spans = tracer.snapshot()
+    try:
+        if args.trace.endswith(".jsonl"):
+            obs.write_jsonl(spans, args.trace)
+        else:
+            obs.write_chrome_trace(spans, args.trace,
+                                   parent_pid=tracer.pid)
+    except OSError as error:
+        print("error: cannot write trace file: %s" % error,
+              file=sys.stderr)
+        return False
+    return True
 
 
 def cmd_measure(args):
@@ -317,17 +345,29 @@ def main(argv=None):
     parser = build_parser()
     args = parser.parse_args(argv)
     record_metrics = getattr(args, "metrics", None) is not None
+    trace_file = getattr(args, "trace", None)
     if record_metrics:
         obs.enable()
+    tracer = obs.enable_tracing() if trace_file else None
     try:
-        return args.func(args)
+        span = obs.get_tracer().span("cli.command", command=args.command)
+        with span:
+            status = args.func(args)
+            span.set(status=status)
     except ReproError as error:
         print("error: %s" % error, file=sys.stderr)
-        return 2
+        status = 2
     finally:
+        emitted = True
         if record_metrics:
-            _emit_metrics(args)
+            emitted = _emit_metrics(args)
             obs.disable()
+        if tracer is not None:
+            obs.disable_tracing()
+            emitted = _emit_trace(args, tracer) and emitted
+    if not emitted and status == 0:
+        status = 2
+    return status
 
 
 if __name__ == "__main__":

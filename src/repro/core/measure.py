@@ -7,9 +7,14 @@ minimum cut (Section 6.1), and package everything as a
 
 When observability is enabled (:func:`repro.obs.enable`), each stage is
 timed under ``phase.collapse`` / ``phase.solve`` / ``phase.mincut`` with
-the whole call under ``phase.measure``, the trace builder's event
-counters are published as ``trace.*``, and the report carries a metrics
-snapshot in :attr:`FlowReport.metrics`.
+the whole call under ``phase.measure``, and the report carries a metrics
+snapshot in :attr:`FlowReport.metrics`.  The trace builder's event
+counters are *not* republished here: the builder publishes them itself,
+exactly once, when :meth:`~repro.core.tracker.TraceBuilder.finish` runs
+(see the delta-publishing note in ``docs/observability.md``).  With
+tracing enabled (:func:`repro.obs.enable_tracing`), each call runs under
+a ``measure.graph`` / ``measure.runs`` span and the report carries the
+recorded spans in :attr:`FlowReport.trace_spans`.
 """
 
 from __future__ import annotations
@@ -25,22 +30,14 @@ from .report import FlowReport
 #: ``"location"`` merges by location only (smallest graph).
 COLLAPSE_MODES = ("none", "context", "location")
 
-#: Trace-builder stat keys republished as catalogued counters.
-_TRACE_COUNTERS = (
-    ("operations", "trace.operations"),
-    ("implicit_flows", "trace.implicit_flows"),
-    ("outputs", "trace.outputs"),
-    ("secret_input_bits", "trace.secret_input_bits"),
-    ("tainted_output_bits", "trace.tainted_output_bits"),
-)
+def _publish(metrics, solved, value, cut):
+    """Record the result gauges of one measurement.
 
-
-def _publish(metrics, stats, solved, value, cut):
-    """Record the trace counters and result gauges of one measurement."""
-    for stat_key, metric_name in _TRACE_COUNTERS:
-        amount = stats.get(stat_key)
-        if amount:
-            metrics.incr(metric_name, amount)
+    The trace builder's ``trace.*`` counters are published by the
+    builder itself at ``finish()`` time (delta-tracked, so repeated
+    snapshots of one builder never double-count); only the
+    point-in-time result gauges belong here.
+    """
     metrics.gauge("graph.nodes", solved.num_nodes)
     metrics.gauge("graph.edges", solved.num_edges)
     metrics.gauge("flow.bits", value)
@@ -82,9 +79,12 @@ def measure_graph(graph, collapse="context", stats=None, warnings=None,
             "graph was online-collapsed by location; context-sensitive "
             "collapse is no longer possible")
     metrics = obs.get_metrics()
+    tracer = obs.get_tracer()
     collapse_stats = None
     solved = graph
-    with metrics.phase("measure"):
+    span = tracer.span("measure.graph", collapse=collapse,
+                       nodes=graph.num_nodes, edges=graph.num_edges)
+    with span, metrics.phase("measure"):
         if precollapsed is not None:
             collapse_stats = getattr(graph, "collapse_stats", None)
             if precollapsed == "context" and collapse == "location":
@@ -105,9 +105,10 @@ def measure_graph(graph, collapse="context", stats=None, warnings=None,
         value, residual = solver(solved)
         with metrics.phase("mincut"):
             cut = min_cut_from_residual(solved, residual)
+        span.set(bits=value)
     stats = dict(stats or {})
     if metrics.enabled:
-        _publish(metrics, stats, solved, value, cut)
+        _publish(metrics, solved, value, cut)
     return FlowReport(
         bits=value,
         mincut=cut,
@@ -118,6 +119,7 @@ def measure_graph(graph, collapse="context", stats=None, warnings=None,
         stats=stats,
         warnings=warnings,
         metrics=metrics.snapshot() if metrics.enabled else None,
+        trace_spans=tracer.snapshot() if tracer.enabled else None,
     )
 
 
@@ -138,7 +140,10 @@ def measure_runs(graphs, collapse="context", stats_list=None, warnings=None,
     """
     graphs = list(graphs)
     metrics = obs.get_metrics()
-    with metrics.phase("measure"):
+    tracer = obs.get_tracer()
+    span = tracer.span("measure.runs", runs=len(graphs), collapse=collapse,
+                       jobs=jobs or 1)
+    with span, metrics.phase("measure"):
         with metrics.phase("collapse"):
             if jobs and jobs > 1:
                 from ..batch.runs import combine_graphs_jobs
@@ -151,12 +156,13 @@ def measure_runs(graphs, collapse="context", stats_list=None, warnings=None,
         value, residual = solver(combined)
         with metrics.phase("mincut"):
             cut = min_cut_from_residual(combined, residual)
+        span.set(bits=value)
     merged_stats = {}
     for stats in stats_list or []:
         for key, val in stats.items():
             merged_stats[key] = merged_stats.get(key, 0) + val
     if metrics.enabled:
-        _publish(metrics, merged_stats, combined, value, cut)
+        _publish(metrics, combined, value, cut)
     report = FlowReport(
         bits=value,
         mincut=cut,
@@ -167,5 +173,6 @@ def measure_runs(graphs, collapse="context", stats_list=None, warnings=None,
         stats=merged_stats,
         warnings=warnings,
         metrics=metrics.snapshot() if metrics.enabled else None,
+        trace_spans=tracer.snapshot() if tracer.enabled else None,
     )
     return report

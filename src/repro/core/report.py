@@ -67,11 +67,15 @@ class FlowReport:
         metrics: observability snapshot taken at the end of the
             measurement (a dict over the ``docs/observability.md``
             catalogue), or ``None`` when metrics were disabled.
+        trace_spans: list of span dicts recorded by the structured
+            tracer up to the end of the measurement (see the Tracing
+            section of ``docs/observability.md``), or ``None`` when
+            tracing was disabled.
     """
 
     def __init__(self, bits, mincut, graph, secret_input_bits=None,
                  tainted_output_bits=None, collapse_stats=None, stats=None,
-                 warnings=None, metrics=None):
+                 warnings=None, metrics=None, trace_spans=None):
         self.bits = bits
         self.mincut = mincut
         self.cut = CutDescription(mincut)
@@ -82,6 +86,7 @@ class FlowReport:
         self.stats = stats or {}
         self.warnings = list(warnings or [])
         self.metrics = metrics
+        self.trace_spans = trace_spans
 
     def describe(self):
         """Multi-line summary in the style of the paper's reports."""

@@ -151,6 +151,7 @@ class TraceBuilder:
         #: default builder these are edge indices into ``graph.edges``.
         self.category_edges = {}
         self._labels = {}  # (kind, location, ctx) -> interned EdgeLabel
+        self._trace_published = {}  # stat key -> amount already published
         self._setup()
         self._pending = self._g_node()  # tail of the output chain
 
@@ -391,10 +392,39 @@ class TraceBuilder:
                          self._label(Location("<program>", "exit"),
                                      "output"))
         self._finished = True
+        metrics = obs.get_metrics()
+        if metrics.enabled:
+            self.publish_trace_counters(metrics)
         return self._result()
 
     # ------------------------------------------------------------------
     # Statistics
+
+    #: stat keys published as catalogued ``trace.*`` counters at finish().
+    _TRACE_COUNTERS = (
+        ("operations", "trace.operations"),
+        ("implicit_flows", "trace.implicit_flows"),
+        ("outputs", "trace.outputs"),
+        ("secret_input_bits", "trace.secret_input_bits"),
+        ("tainted_output_bits", "trace.tainted_output_bits"),
+    )
+
+    def publish_trace_counters(self, metrics):
+        """Publish the event counters as ``trace.*`` metric deltas.
+
+        Only the growth since the previous publish is added, so the call
+        is idempotent for a quiescent builder: downstream code can take
+        any number of report snapshots of one builder without
+        double-counting (the republish-per-measurement wart documented
+        in earlier versions of ``docs/observability.md``).
+        """
+        stats = self.stats
+        ledger = self._trace_published
+        for stat_key, metric_name in self._TRACE_COUNTERS:
+            amount = stats.get(stat_key, 0) - ledger.get(stat_key, 0)
+            if amount:
+                metrics.incr(metric_name, amount)
+                ledger[stat_key] = stats[stat_key]
 
     @property
     def stats(self):
@@ -506,7 +536,12 @@ class CollapsingTraceBuilder(TraceBuilder):
         return self._collapser.peak_live_nodes
 
     def _materialize(self):
-        graph = self._collapser.materialize()
+        span = obs.get_tracer().span("collapse.online.materialize",
+                                     nodes_live=self._collapser.live_nodes,
+                                     edges_live=self._collapser.live_edges)
+        with span:
+            graph = self._collapser.materialize()
+            span.set(nodes=graph.num_nodes, edges=graph.num_edges)
         graph.precollapsed = self.collapse_mode
         graph.collapse_stats = CollapseStats(
             self._virtual_nodes, self._virtual_edges,

@@ -69,7 +69,14 @@ def collapse_graphs(graphs, context_sensitive=True):
     graphs = list(graphs)
     if not graphs:
         raise ValueError("collapse_graphs needs at least one graph")
+    span = obs.get_tracer().span(
+        "collapse.graphs", graphs=len(graphs),
+        context_sensitive=bool(context_sensitive))
+    with span:
+        return _collapse_graphs(graphs, context_sensitive, span)
 
+
+def _collapse_graphs(graphs, context_sensitive, span):
     uf = UnionFind()
     # Keys: ("n", graph_index, node_id) for concrete nodes and
     # ("s", label_key) / ("d", label_key) for per-label placeholders.
@@ -144,6 +151,10 @@ def collapse_graphs(graphs, context_sensitive=True):
 
     stats = CollapseStats(original_nodes, original_edges,
                           combined.num_nodes, combined.num_edges)
+    span.set(nodes_before=stats.original_nodes,
+             nodes_after=stats.collapsed_nodes,
+             edges_before=stats.original_edges,
+             edges_after=stats.collapsed_edges)
     metrics = obs.get_metrics()
     if metrics.enabled:
         metrics.incr("collapse.runs")

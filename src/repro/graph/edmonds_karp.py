@@ -35,7 +35,10 @@ def edmonds_karp_max_flow(graph):
     aug_paths = 0
     parent_arc = [-1] * n
 
-    with metrics.phase("solve"):
+    span = obs.get_tracer().span("solve.edmonds_karp",
+                                 nodes=graph.num_nodes,
+                                 edges=graph.num_edges)
+    with span, metrics.phase("solve"):
         while True:
             for i in range(n):
                 parent_arc[i] = -1
@@ -75,6 +78,7 @@ def edmonds_karp_max_flow(graph):
             if total >= INF:
                 total = INF
                 break
+        span.set(value=total)
     if metrics.enabled:
         metrics.incr("maxflow.solves")
         metrics.incr("maxflow.edmonds_karp.augmenting_paths", aug_paths)

@@ -93,8 +93,10 @@ def dinic_max_flow(graph):
     source over unbounded-capacity edges only... which cannot happen for
     trace graphs, whose source edges are always finite.
 
-    With observability enabled, accounts wall time to ``phase.solve``
-    and reports ``maxflow.dinic.bfs_phases`` / ``.augmenting_paths``.
+    With observability enabled, accounts wall time to ``phase.solve``,
+    reports ``maxflow.dinic.bfs_phases`` / ``.augmenting_paths``, and
+    fills the ``maxflow.dinic.path_length`` histogram; with tracing
+    enabled, the solve runs under a ``solve.dinic`` span.
     """
     metrics = obs.get_metrics()
     net = ResidualNetwork(graph)
@@ -140,6 +142,8 @@ def dinic_max_flow(graph):
                         cap[a ^ 1] += bottleneck
                     pushed_total += bottleneck
                     aug_paths += 1
+                    if record_paths:
+                        path_lengths.append(len(path))
                     # Retreat to the first saturated arc on the path.
                     for idx, a in enumerate(path):
                         if cap[a] == 0:
@@ -170,19 +174,26 @@ def dinic_max_flow(graph):
 
     bfs_phases = 0
     aug_paths = 0
-    with metrics.phase("solve"):
-        while bfs():
-            bfs_phases += 1
-            for i in range(n):
-                it[i] = first[i]
-            total += blocking_flow()
-            if total >= INF:
-                total = INF
-                break
+    record_paths = metrics.enabled
+    path_lengths = []
+    with obs.get_tracer().span("solve.dinic", nodes=graph.num_nodes,
+                               edges=graph.num_edges) as span:
+        with metrics.phase("solve"):
+            while bfs():
+                bfs_phases += 1
+                for i in range(n):
+                    it[i] = first[i]
+                total += blocking_flow()
+                if total >= INF:
+                    total = INF
+                    break
+        span.set(value=total)
     if metrics.enabled:
         metrics.incr("maxflow.solves")
         metrics.incr("maxflow.dinic.bfs_phases", bfs_phases)
         metrics.incr("maxflow.dinic.augmenting_paths", aug_paths)
+        for length in path_lengths:
+            metrics.observe("maxflow.dinic.path_length", length)
     return total, net
 
 

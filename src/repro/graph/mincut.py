@@ -12,6 +12,7 @@ and a bit capacity, together forming a compact, checkable flow policy.
 
 from __future__ import annotations
 
+from .. import obs
 from .flowgraph import INF
 from .maxflow import dinic_max_flow
 
@@ -70,7 +71,10 @@ class MinCut:
 
 def min_cut_from_residual(graph, residual):
     """Extract the canonical minimum cut from a saturated residual network."""
-    return MinCut(graph, residual.source_side())
+    with obs.get_tracer().span("mincut.extract") as span:
+        cut = MinCut(graph, residual.source_side())
+        span.set(edges=len(cut.edges))
+    return cut
 
 
 def min_cut(graph):

@@ -82,7 +82,10 @@ def push_relabel_max_flow(graph):
             height_count[best] += 1
         current[u] = first[u]
 
-    with metrics.phase("solve"):
+    span = obs.get_tracer().span("solve.push_relabel",
+                                 nodes=graph.num_nodes,
+                                 edges=graph.num_edges)
+    with span, metrics.phase("solve"):
         # Saturate all source arcs.
         a = first[s]
         while a != -1:
@@ -110,6 +113,7 @@ def push_relabel_max_flow(graph):
                     push(u, a)
                 else:
                     current[u] = nxt[a]
+        span.set(value=excess[t])
 
     if metrics.enabled:
         metrics.incr("maxflow.solves")

@@ -91,8 +91,10 @@ def execute(compiled, secret_input=b"", public_input=b"", tracker=None,
     vm = VM(compiled, tracker, secret_input=secret_input,
             public_input=public_input, region_check=region_check,
             lazy_regions=lazy_regions, interceptor=interceptor, **kwargs)
-    result = vm.run(entry=entry, finish=finish,
-                    exit_observable=exit_observable)
+    with obs.get_tracer().span("lang.execute", entry=entry) as span:
+        result = vm.run(entry=entry, finish=finish,
+                        exit_observable=exit_observable)
+        span.set(outputs=len(vm.outputs))
     return vm, result
 
 
@@ -120,13 +122,19 @@ def measure(source_or_compiled, secret_input=b"", public_input=b"",
     """
     compiled = _ensure_compiled(source_or_compiled, filename)
     tracker = _make_tracker(online, collapse)
-    with obs.get_metrics().phase("trace"):
-        vm, graph = execute(compiled, secret_input, public_input, tracker,
-                            entry=entry, region_check=region_check,
-                            lazy_regions=lazy_regions, max_steps=max_steps,
-                            exit_observable=exit_observable)
-    report = measure_graph(graph, collapse=collapse, stats=tracker.stats,
-                           warnings=vm.warnings)
+    span = obs.get_tracer().span("lang.measure", collapse=collapse,
+                                 online=bool(online))
+    with span:
+        with obs.get_metrics().phase("trace"):
+            vm, graph = execute(compiled, secret_input, public_input,
+                                tracker, entry=entry,
+                                region_check=region_check,
+                                lazy_regions=lazy_regions,
+                                max_steps=max_steps,
+                                exit_observable=exit_observable)
+        report = measure_graph(graph, collapse=collapse,
+                               stats=tracker.stats, warnings=vm.warnings)
+        span.set(bits=report.bits)
     return RunResult(report, vm.outputs, vm.output_bytes, vm)
 
 
@@ -172,19 +180,22 @@ def measure_many(source_or_compiled, secret_inputs, public_input=b"",
     stats_list = []
     per_run = []
     warnings = []
-    for secret in secret_inputs:
-        tracker = TraceBuilder()
-        with obs.get_metrics().phase("trace"):
-            vm, graph = execute(compiled, secret, public_input, tracker,
-                                entry=entry, region_check=region_check)
-        graphs.append(graph)
-        stats_list.append(tracker.stats)
-        warnings.extend(vm.warnings)
-        per_run.append(RunResult(
-            measure_graph(graph, collapse="none", stats=tracker.stats),
-            vm.outputs, vm.output_bytes, vm))
-    combined = measure_runs(graphs, collapse=collapse,
-                            stats_list=stats_list, warnings=warnings)
+    span = obs.get_tracer().span("lang.measure_many", collapse=collapse)
+    with span:
+        for secret in secret_inputs:
+            tracker = TraceBuilder()
+            with obs.get_metrics().phase("trace"):
+                vm, graph = execute(compiled, secret, public_input, tracker,
+                                    entry=entry, region_check=region_check)
+            graphs.append(graph)
+            stats_list.append(tracker.stats)
+            warnings.extend(vm.warnings)
+            per_run.append(RunResult(
+                measure_graph(graph, collapse="none", stats=tracker.stats),
+                vm.outputs, vm.output_bytes, vm))
+        combined = measure_runs(graphs, collapse=collapse,
+                                stats_list=stats_list, warnings=warnings)
+        span.set(runs=len(graphs), bits=combined.bits)
     return combined, per_run
 
 

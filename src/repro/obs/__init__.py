@@ -3,10 +3,12 @@
 The paper's scalability argument (Section 5.3: traces of millions of
 operations collapsing to thousands of nodes) is an empirical claim, and
 every optimization of the pipeline needs to know where the time and the
-graph volume actually go.  This package is the measurement substrate: a
-zero-dependency registry of counters, gauges, and phase timers whose
-*names are a documented contract* (``docs/observability.md``; see
-:mod:`repro.obs.catalogue`).
+graph volume actually go.  This package is the measurement substrate:
+a zero-dependency registry of counters, gauges, timers, and histograms
+(:mod:`repro.obs.metrics`) plus a hierarchical span tracer
+(:mod:`repro.obs.trace`), both behind *documented name contracts*
+(``docs/observability.md``; see :mod:`repro.obs.catalogue` and
+:data:`repro.obs.trace.SPAN_CATALOGUE`).
 
 Usage::
 
@@ -29,13 +31,21 @@ measurement at a time.
 from __future__ import annotations
 
 from .catalogue import CATALOGUE, PHASES, MetricSpec, snapshot_keys
-from .metrics import Metrics, NullMetrics
+from .metrics import Metrics, NullMetrics, histogram_bucket
 from .render import to_json, to_table
+from .trace import (SPAN_CATALOGUE, NullTracer, Span, SpanSpec, Tracer,
+                    chrome_trace_events, span_names, write_chrome_trace,
+                    write_jsonl)
 
 #: The shared no-op sink (the default process-wide instance).
 NULL_METRICS = NullMetrics()
 
 _default = NULL_METRICS
+
+#: The shared no-op tracer (the default process-wide instance).
+NULL_TRACER = NullTracer()
+
+_tracer = NULL_TRACER
 
 
 def get_metrics():
@@ -73,17 +83,52 @@ def merge_snapshot(snapshot):
 
     No-op when observability is disabled; see
     :meth:`~repro.obs.metrics.Metrics.merge` for the fold semantics
-    (counters/timers add, gauges keep the maximum).  Returns the
-    process-wide instance.
+    (counters/timers add, gauges keep the maximum, histograms add
+    bucket-wise).  Returns the process-wide instance.
     """
     _default.merge(snapshot)
     return _default
 
 
+def get_tracer():
+    """The process-wide tracer instance (live or the null sink)."""
+    return _tracer
+
+
+def set_tracer(tracer):
+    """Install ``tracer`` as the process-wide instance; returns the old one."""
+    global _tracer
+    previous = _tracer
+    _tracer = tracer
+    return previous
+
+
+def enable_tracing():
+    """Install (and return) a fresh live :class:`Tracer`."""
+    tracer = Tracer()
+    set_tracer(tracer)
+    return tracer
+
+
+def disable_tracing():
+    """Restore the no-op tracer; returns the previously installed one."""
+    return set_tracer(NULL_TRACER)
+
+
+def tracing_enabled():
+    """Whether the process-wide tracer records anything."""
+    return _tracer.enabled
+
+
 __all__ = [
     "CATALOGUE", "PHASES", "MetricSpec", "snapshot_keys",
-    "Metrics", "NullMetrics", "NULL_METRICS",
+    "Metrics", "NullMetrics", "NULL_METRICS", "histogram_bucket",
     "get_metrics", "set_metrics", "enable", "disable", "enabled",
     "merge_snapshot",
     "to_json", "to_table",
+    "SPAN_CATALOGUE", "SpanSpec", "Span", "Tracer", "NullTracer",
+    "NULL_TRACER", "span_names",
+    "get_tracer", "set_tracer", "enable_tracing", "disable_tracing",
+    "tracing_enabled",
+    "write_jsonl", "write_chrome_trace", "chrome_trace_events",
 ]

@@ -15,6 +15,12 @@ Kinds:
   timers pair with a ``phase.<p>.calls`` counter maintained by the same
   context manager; free-standing timers (``batch.*``) accumulate via
   :meth:`~repro.obs.metrics.Metrics.add_seconds`.
+* ``histogram`` -- a distribution over fixed power-of-two buckets, fed
+  via :meth:`~repro.obs.metrics.Metrics.observe`: an observation ``v``
+  lands in the bucket whose key is the integer exponent ``e`` with
+  ``2**(e-1) <= v < 2**e`` (clamped to ±:data:`HISTOGRAM_MAX_EXPONENT`;
+  non-positive values land in the lowest bucket).  Snapshot value is a
+  ``{exponent: count}`` dict; merging adds bucket-wise.
 
 Stability: ``stable`` names follow the usual deprecation dance before
 changing meaning; ``experimental`` names may change in any release.
@@ -25,6 +31,11 @@ from __future__ import annotations
 COUNTER = "counter"
 GAUGE = "gauge"
 TIMER = "timer"
+HISTOGRAM = "histogram"
+
+#: Histogram bucket exponents are clamped to ±this value, so every
+#: snapshot's buckets come from one fixed, finite key set.
+HISTOGRAM_MAX_EXPONENT = 32
 
 #: Pipeline phases timed by ``Metrics.phase(name)``; each contributes a
 #: ``phase.<name>.seconds`` timer and a ``phase.<name>.calls`` counter.
@@ -45,8 +56,12 @@ class MetricSpec:
 
     @property
     def zero(self):
-        """The metric's initial snapshot value."""
-        return 0.0 if self.kind == TIMER else 0
+        """The metric's initial snapshot value (a fresh object per call)."""
+        if self.kind == TIMER:
+            return 0.0
+        if self.kind == HISTOGRAM:
+            return {}
+        return 0
 
     def __repr__(self):
         return "MetricSpec(%r, %s, %s, %s)" % (self.name, self.kind,
@@ -110,6 +125,9 @@ def _specs():
          "Dinic level-graph (BFS) phases"),
         (c, "maxflow.dinic.augmenting_paths", "paths", "stable",
          "Dinic augmenting paths pushed across all blocking flows"),
+        (HISTOGRAM, "maxflow.dinic.path_length", "edges", "experimental",
+         "distribution of Dinic augmenting-path lengths (arcs per path), "
+         "power-of-two buckets"),
         (c, "maxflow.edmonds_karp.augmenting_paths", "paths", "stable",
          "Edmonds-Karp shortest augmenting paths"),
         (c, "maxflow.push_relabel.pushes", "events", "stable",
@@ -133,6 +151,9 @@ def _specs():
          "in-process)"),
         (TIMER, "batch.worker_seconds", "seconds", "experimental",
          "accumulated in-job wall time across batch jobs (all workers)"),
+        (HISTOGRAM, "batch.job_seconds", "seconds", "experimental",
+         "distribution of per-job wall times across batch jobs, "
+         "power-of-two buckets"),
         (c, "batch.graphs_bytes", "bytes", "experimental",
          "serialized flow-graph bytes shipped between batch workers and "
          "the parent"),

@@ -15,15 +15,34 @@ calls), so enabling metrics mid-process takes effect immediately.
 
 from __future__ import annotations
 
+import math
 import time
 
-from .catalogue import CATALOGUE, COUNTER, GAUGE, TIMER
+from .catalogue import (CATALOGUE, COUNTER, GAUGE, HISTOGRAM,
+                        HISTOGRAM_MAX_EXPONENT, TIMER)
 
 #: How worker snapshots fold into a parent registry, by metric kind:
-#: counters and timers are extensive (they add); gauges are point-in-time
-#: observations with no cross-process "most recent", so merging keeps the
-#: high-water mark.
+#: counters, timers, and histogram buckets are extensive (they add);
+#: gauges are point-in-time observations with no cross-process "most
+#: recent", so merging keeps the high-water mark.
 MERGE_BY_MAX = frozenset((GAUGE,))
+
+
+def histogram_bucket(value):
+    """The fixed power-of-two bucket exponent for one observation.
+
+    Bucket ``e`` holds values with ``2**(e-1) <= value < 2**e``, clamped
+    to ±``HISTOGRAM_MAX_EXPONENT``; non-positive observations land in
+    the lowest bucket.
+    """
+    if value <= 0:
+        return -HISTOGRAM_MAX_EXPONENT
+    exponent = math.frexp(value)[1]
+    if exponent < -HISTOGRAM_MAX_EXPONENT:
+        return -HISTOGRAM_MAX_EXPONENT
+    if exponent > HISTOGRAM_MAX_EXPONENT:
+        return HISTOGRAM_MAX_EXPONENT
+    return exponent
 
 
 class _NullPhase:
@@ -61,6 +80,9 @@ class NullMetrics:
         pass
 
     def add_seconds(self, name, seconds):
+        pass
+
+    def observe(self, name, value):
         pass
 
     def merge(self, snapshot):
@@ -147,15 +169,25 @@ class Metrics:
         self._spec(name, TIMER)
         self._values[name] += seconds
 
+    def observe(self, name, value):
+        """Count one observation into histogram ``name``'s bucket."""
+        self._spec(name, HISTOGRAM)
+        bucket = histogram_bucket(value)
+        buckets = self._values[name]
+        buckets[bucket] = buckets.get(bucket, 0) + 1
+
     def merge(self, snapshot):
         """Fold another registry's :meth:`snapshot` into this one.
 
-        The batch engine's registry-merge: counters and timers add
-        (they are extensive across processes), gauges keep the maximum
-        (a high-water mark; "most recent" has no meaning across
-        concurrent workers).  Every key must be catalogued -- merging
-        an uncatalogued snapshot raises ``KeyError``, keeping the
-        documented contract intact across process boundaries.
+        The batch engine's registry-merge: counters, timers, and
+        histogram buckets add (they are extensive across processes),
+        gauges keep the maximum (a high-water mark; "most recent" has
+        no meaning across concurrent workers).  Every key must be
+        catalogued -- merging an uncatalogued snapshot raises
+        ``KeyError``, keeping the documented contract intact across
+        process boundaries.  Histogram bucket keys are accepted as ints
+        or strings (a snapshot that round-tripped through JSON keeps
+        its integer exponents as string keys).
         """
         values = self._values
         for name, value in snapshot.items():
@@ -164,7 +196,12 @@ class Metrics:
                 raise KeyError("snapshot key %r is not in the catalogue; "
                                "refusing to merge undocumented metrics"
                                % name)
-            if spec.kind in MERGE_BY_MAX:
+            if spec.kind == HISTOGRAM:
+                buckets = values[name]
+                for bucket, count in value.items():
+                    bucket = int(bucket)
+                    buckets[bucket] = buckets.get(bucket, 0) + count
+            elif spec.kind in MERGE_BY_MAX:
                 if value > values[name]:
                     values[name] = value
             else:
@@ -179,5 +216,10 @@ class Metrics:
         return _Phase(self._values, seconds_key, calls_key)
 
     def snapshot(self):
-        """All metrics as a plain dict, in catalogue order."""
-        return dict(self._values)
+        """All metrics as a plain dict, in catalogue order.
+
+        Histogram values are copied, so a snapshot stays frozen while
+        the registry keeps observing.
+        """
+        return {name: dict(value) if isinstance(value, dict) else value
+                for name, value in self._values.items()}

@@ -4,12 +4,27 @@ from __future__ import annotations
 
 import json
 
-from .catalogue import CATALOGUE, TIMER
+from .catalogue import CATALOGUE, HISTOGRAM, TIMER
 
 
 def to_json(snapshot, indent=2):
-    """The snapshot as a JSON object, keys in catalogue order."""
+    """The snapshot as a JSON object, keys in catalogue order.
+
+    Histogram values render as ``{exponent: count}`` objects (JSON
+    turns the integer exponents into string keys; ``Metrics.merge``
+    accepts either form).
+    """
     return json.dumps(snapshot, indent=indent)
+
+
+def _histogram_cell(buckets):
+    """A ``{exponent: count}`` histogram as a compact text cell."""
+    total = sum(buckets.values())
+    if not total:
+        return "n=0"
+    body = " ".join("2^%d:%d" % (int(e), buckets[e])
+                    for e in sorted(buckets, key=int))
+    return "n=%d [%s]" % (total, body)
 
 
 def to_table(snapshot):
@@ -19,6 +34,8 @@ def to_table(snapshot):
         spec = CATALOGUE.get(name)
         if spec is not None and spec.kind == TIMER:
             rendered = "%.6f" % value
+        elif spec is not None and spec.kind == HISTOGRAM:
+            rendered = _histogram_cell(value)
         else:
             rendered = str(value)
         rows.append((name, rendered, spec.unit if spec else ""))

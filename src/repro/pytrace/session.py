@@ -19,6 +19,7 @@ Example (the login check from the package docstring)::
 from __future__ import annotations
 
 import sys
+import time
 
 from .. import obs
 from ..core.checking import CheckTracker
@@ -181,6 +182,10 @@ class Session:
         self._shadow_ops = 0
         self._implicit_events = 0
         self._max_region_depth = 0
+        # Session lifetime, recorded retroactively as a pytrace.session
+        # span at finish() (the span covers __init__ through finish).
+        self._t0_epoch = time.time()
+        self._t0_perf = time.perf_counter()
 
     # ------------------------------------------------------------------
     # Locations
@@ -463,7 +468,13 @@ class Session:
             metrics.incr("pytrace.implicit_events", self._implicit_events)
             metrics.gauge_max("pytrace.enclosure_depth_max",
                               self._max_region_depth)
-        return self.tracker.finish(exit_observable=exit_observable)
+        result = self.tracker.finish(exit_observable=exit_observable)
+        obs.get_tracer().record(
+            "pytrace.session", self._t0_epoch,
+            time.perf_counter() - self._t0_perf,
+            shadow_ops=self._shadow_ops,
+            implicit_events=self._implicit_events)
+        return result
 
     def measure(self, collapse=None, exit_observable=True):
         """Finish and measure; returns a FlowReport.

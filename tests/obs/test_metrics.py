@@ -5,12 +5,16 @@ import json
 import pytest
 
 from repro import obs
+from repro.core.locations import Location
+from repro.core.measure import measure_graph
+from repro.core.tracker import TraceBuilder
 from repro.graph.edmonds_karp import edmonds_karp_max_flow
 from repro.graph.flowgraph import FlowGraph
 from repro.graph.maxflow import dinic_max_flow
 from repro.graph.push_relabel import push_relabel_max_flow
 from repro.lang import measure
 from repro.obs.catalogue import CATALOGUE, snapshot_keys
+from repro.obs.metrics import histogram_bucket
 from repro.pytrace import Session
 
 
@@ -38,7 +42,8 @@ class TestRegistry:
     def test_snapshot_covers_catalogue_zero_filled(self, metrics):
         snap = metrics.snapshot()
         assert list(snap) == snapshot_keys()
-        assert all(v == 0 for v in snap.values())
+        # zero is 0 for scalars and {} (no buckets) for histograms
+        assert not any(snap.values())
 
     def test_counter_and_gauge(self, metrics):
         metrics.incr("maxflow.solves")
@@ -219,6 +224,126 @@ class TestPipelineWiring:
         snap = metrics.snapshot()
         assert snap["phase.measure.calls"] == 2
         assert snap["trace.outputs"] == 2
+
+
+class TestHistograms:
+    def test_bucket_edges(self):
+        assert histogram_bucket(1) == 1        # [1, 2)
+        assert histogram_bucket(1.5) == 1
+        assert histogram_bucket(2) == 2        # [2, 4)
+        assert histogram_bucket(0.5) == 0      # [0.5, 1)
+        assert histogram_bucket(0) == -32      # non-positive: lowest bucket
+        assert histogram_bucket(-7) == -32
+        assert histogram_bucket(2 ** 40) == 32       # clamped high
+        assert histogram_bucket(2.0 ** -40) == -32   # clamped low
+
+    def test_observe_counts_buckets(self, metrics):
+        for value in (1, 1.5, 3, 0.001):
+            metrics.observe("batch.job_seconds", value)
+        buckets = metrics.snapshot()["batch.job_seconds"]
+        assert buckets == {1: 2, 2: 1, histogram_bucket(0.001): 1}
+
+    def test_observe_rejects_non_histogram(self, metrics):
+        with pytest.raises(ValueError):
+            metrics.observe("batch.jobs", 1)
+
+    def test_snapshot_isolated_from_later_observations(self, metrics):
+        metrics.observe("batch.job_seconds", 1)
+        frozen = metrics.snapshot()["batch.job_seconds"]
+        metrics.observe("batch.job_seconds", 1)
+        assert frozen == {1: 1}
+        assert metrics.snapshot()["batch.job_seconds"] == {1: 2}
+
+    def test_merge_adds_bucketwise(self, metrics):
+        metrics.observe("batch.job_seconds", 1)
+        worker = obs.Metrics()
+        worker.observe("batch.job_seconds", 1)
+        worker.observe("batch.job_seconds", 3)
+        metrics.merge(worker.snapshot())
+        assert metrics.snapshot()["batch.job_seconds"] == {1: 2, 2: 1}
+
+    def test_merge_accepts_json_string_bucket_keys(self, metrics):
+        metrics.merge({"batch.job_seconds": {"1": 2, "-32": 1}})
+        metrics.merge(json.loads(json.dumps(
+            {"batch.job_seconds": {1: 1}})))
+        assert metrics.snapshot()["batch.job_seconds"] == {1: 3, -32: 1}
+
+    def test_dinic_records_path_lengths(self, metrics):
+        dinic_max_flow(diamond())
+        buckets = metrics.snapshot()["maxflow.dinic.path_length"]
+        paths = metrics.snapshot()["maxflow.dinic.augmenting_paths"]
+        assert sum(buckets.values()) == paths >= 2
+        assert set(buckets) == {2}  # every diamond path is 2 edges
+
+    def test_to_table_renders_histogram(self, metrics):
+        metrics.observe("batch.job_seconds", 1)
+        metrics.observe("batch.job_seconds", 3)
+        table = obs.to_table(metrics.snapshot())
+        line = next(l for l in table.splitlines()
+                    if l.startswith("batch.job_seconds"))
+        assert "n=2" in line
+        assert "2^1:1" in line and "2^2:1" in line
+
+
+class TestMergeSnapshotEdgeCases:
+    def test_empty_snapshot_is_noop(self, metrics):
+        before = metrics.snapshot()
+        obs.merge_snapshot({})
+        assert metrics.snapshot() == before
+
+    def test_uncatalogued_key_names_the_key(self, metrics):
+        with pytest.raises(KeyError, match="bogus.key"):
+            obs.merge_snapshot({"bogus.key": 1})
+
+    def test_per_kind_semantics(self, metrics):
+        metrics.incr("maxflow.solves", 2)          # counter: adds
+        metrics.gauge("flow.bits", 9)              # gauge: keeps max
+        metrics.add_seconds("batch.worker_seconds", 1.0)  # timer: adds
+        obs.merge_snapshot({"maxflow.solves": 3, "flow.bits": 4,
+                            "batch.worker_seconds": 0.5})
+        snap = metrics.snapshot()
+        assert snap["maxflow.solves"] == 5
+        assert snap["flow.bits"] == 9
+        assert snap["batch.worker_seconds"] == 1.5
+
+
+class TestTraceCounterDeltaPublishing:
+    """Regression: trace.* counters are delta-published, never recounted."""
+
+    def events(self, builder):
+        loc = Location("t.fl", 1)
+        value = builder.secret_value(loc, width=8)
+        builder.output(loc, [value])
+
+    def test_publish_twice_counts_once(self, metrics):
+        builder = TraceBuilder()
+        self.events(builder)
+        builder.publish_trace_counters(metrics)
+        builder.publish_trace_counters(metrics)
+        snap = metrics.snapshot()
+        assert snap["trace.secret_input_bits"] == 8
+        assert snap["trace.outputs"] == 1
+
+    def test_publish_after_more_events_adds_only_delta(self, metrics):
+        builder = TraceBuilder()
+        self.events(builder)
+        builder.publish_trace_counters(metrics)
+        self.events(builder)
+        builder.finish()  # publishes again (the second run's delta)
+        snap = metrics.snapshot()
+        assert snap["trace.secret_input_bits"] == 16
+        assert snap["trace.outputs"] == 2
+
+    def test_repeated_measurement_of_one_graph_counts_once(self, metrics):
+        builder = TraceBuilder()
+        self.events(builder)
+        graph = builder.finish()
+        measure_graph(graph)
+        measure_graph(graph)
+        snap = metrics.snapshot()
+        assert snap["trace.outputs"] == 1
+        assert snap["trace.secret_input_bits"] == 8
+        assert snap["phase.measure.calls"] == 2
 
 
 class TestRendering:

@@ -1,0 +1,221 @@
+"""Tests for the repro.obs span tracer, its sinks, and pipeline wiring."""
+
+import io
+import json
+
+import pytest
+
+from repro import obs
+from repro.lang import measure
+from repro.obs.trace import SPAN_CATALOGUE, Span, Tracer
+
+
+@pytest.fixture
+def tracer():
+    """A live tracer installed process-wide, removed afterwards."""
+    live = obs.enable_tracing()
+    try:
+        yield live
+    finally:
+        obs.disable_tracing()
+
+
+def by_name(spans, name):
+    return [s for s in spans if s["name"] == name]
+
+
+class TestTracer:
+    def test_nesting_records_parent_ids(self, tracer):
+        with tracer.span("measure.graph") as parent:
+            with tracer.span("solve.dinic") as child:
+                assert child.span_id != parent.span_id
+                assert tracer.current_id == child.span_id
+        spans = tracer.snapshot()
+        assert [s["name"] for s in spans] == ["solve.dinic", "measure.graph"]
+        inner, outer = spans
+        assert inner["parent_id"] == outer["span_id"]
+        assert outer["parent_id"] is None
+        assert inner["duration"] >= 0 and outer["duration"] >= 0
+        assert inner["pid"] == outer["pid"] == tracer.pid
+
+    def test_set_attaches_attrs(self, tracer):
+        with tracer.span("solve.dinic", nodes=4) as span:
+            span.set(value=9)
+        (span,) = tracer.snapshot()
+        assert span["attrs"] == {"nodes": 4, "value": 9}
+
+    def test_exception_recorded_and_propagated(self, tracer):
+        with pytest.raises(ZeroDivisionError):
+            with tracer.span("measure.graph"):
+                1 // 0
+        (span,) = tracer.snapshot()
+        assert span["attrs"]["error"] == "ZeroDivisionError"
+        assert span["duration"] is not None
+        assert tracer.current_id is None  # stack fully unwound
+
+    def test_record_retroactive_leaf(self, tracer):
+        with tracer.span("measure.graph") as parent:
+            tracer.record("pytrace.session", 123.0, 0.25, shadow_ops=7)
+        session = by_name(tracer.snapshot(), "pytrace.session")[0]
+        assert session["parent_id"] == parent.span_id
+        assert session["start"] == 123.0
+        assert session["duration"] == 0.25
+        assert session["attrs"] == {"shadow_ops": 7}
+
+    def test_uncatalogued_name_rejected(self, tracer):
+        with pytest.raises(KeyError, match="not in the catalogue"):
+            tracer.span("no.such.span")
+        with pytest.raises(KeyError, match="not in the catalogue"):
+            tracer.record("no.such.span", 0.0, 0.0)
+        assert tracer.snapshot() == []
+
+    def test_every_catalogued_name_accepted(self, tracer):
+        for name in SPAN_CATALOGUE:
+            with tracer.span(name):
+                pass
+        assert len(tracer.snapshot()) == len(SPAN_CATALOGUE)
+
+    def test_enable_disable_swaps_default(self):
+        assert obs.get_tracer() is obs.NULL_TRACER
+        live = obs.enable_tracing()
+        try:
+            assert obs.get_tracer() is live
+            assert obs.tracing_enabled()
+        finally:
+            obs.disable_tracing()
+        assert obs.get_tracer() is obs.NULL_TRACER
+        assert not obs.tracing_enabled()
+
+    def test_null_tracer_accepts_everything(self):
+        null = obs.NULL_TRACER
+        assert not null.enabled
+        with null.span("anything.goes", whatever=1) as span:
+            span.set(more=2)
+            assert span.span_id is None
+        null.record("also.not.catalogued", 0.0, 0.0)
+        null.adopt([{"name": "x"}])
+        assert null.snapshot() == []
+        assert null.spans == []
+
+
+class TestAdopt:
+    def worker_spans(self):
+        """Spans as a worker would ship them: foreign pid, own id space."""
+        return [
+            {"name": "lang.measure", "span_id": 2, "parent_id": 1,
+             "start": 10.0, "duration": 0.5, "pid": 4242, "attrs": {}},
+            {"name": "batch.job", "span_id": 1, "parent_id": None,
+             "start": 10.0, "duration": 0.6, "pid": 4242,
+             "attrs": {"index": 0}},
+        ]
+
+    def test_reroots_and_remaps_ids(self, tracer):
+        with tracer.span("batch.map") as map_span:
+            pass
+        adopted = tracer.adopt(self.worker_spans(),
+                               parent_id=map_span.span_id)
+        measure_span, job = adopted
+        assert job.parent_id == map_span.span_id      # root re-rooted
+        assert measure_span.parent_id == job.span_id  # child link remapped
+        assert job.pid == measure_span.pid == 4242    # worker pid kept
+        local_ids = {s["span_id"] for s in tracer.snapshot()}
+        assert len(local_ids) == 3                    # no id collisions
+
+    def test_two_workers_cannot_collide(self, tracer):
+        first = tracer.adopt(self.worker_spans())
+        second = tracer.adopt(self.worker_spans())
+        ids = [s.span_id for s in first + second]
+        assert len(ids) == len(set(ids))
+        assert all(s.parent_id is None for s in (first[1], second[1]))
+
+
+class TestSinks:
+    def finished_spans(self, tracer):
+        with tracer.span("measure.graph", nodes=5) as span:
+            with tracer.span("solve.dinic"):
+                pass
+            span.set(bits=3)
+        return tracer.spans
+
+    def test_write_jsonl_stream_and_path(self, tracer, tmp_path):
+        spans = self.finished_spans(tracer)
+        stream = io.StringIO()
+        obs.write_jsonl(spans, stream)
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["name"] == "solve.dinic"
+        path = tmp_path / "spans.jsonl"
+        obs.write_jsonl(tracer.snapshot(), str(path))
+        assert [json.loads(line) for line in
+                path.read_text().splitlines()] == [json.loads(line)
+                                                   for line in lines]
+
+    def test_chrome_events_tracks_and_timestamps(self, tracer):
+        spans = self.finished_spans(tracer)
+        spans += Tracer().adopt(
+            [{"name": "batch.job", "span_id": 1, "parent_id": None,
+              "start": 0.0, "duration": 0.1, "pid": 777, "attrs": {}}])
+        events = obs.chrome_trace_events(spans, parent_pid=tracer.pid)
+        meta = [e for e in events if e["ph"] == "M"]
+        names = {e["pid"]: e["args"]["name"] for e in meta}
+        assert names[tracer.pid] == "repro parent"
+        assert names[777] == "worker 777"
+        slices = [e for e in events if e["ph"] == "X"]
+        assert {e["name"] for e in slices} == {"measure.graph",
+                                               "solve.dinic", "batch.job"}
+        assert min(e["ts"] for e in slices) == 0.0  # relative timestamps
+        for event in slices:
+            assert event["tid"] == event["pid"]
+            assert "span_id" in event["args"]
+
+    def test_open_spans_skipped(self, tracer):
+        open_span = Span("solve.dinic", 9, None, 0.0, None, tracer.pid, {})
+        assert obs.chrome_trace_events([open_span]) == []
+
+    def test_write_chrome_trace_file_parses(self, tracer, tmp_path):
+        spans = self.finished_spans(tracer)
+        path = tmp_path / "trace.json"
+        obs.write_chrome_trace(spans, str(path), parent_pid=tracer.pid)
+        payload = json.loads(path.read_text())
+        assert payload["displayTimeUnit"] == "ms"
+        assert len(payload["traceEvents"]) == 3  # 1 meta + 2 slices
+
+
+class TestPipelineWiring:
+    SOURCE = ("fn main() { var x: u8 = secret_u8();"
+              " if (x > 10) { output(1); } else { output(0); } }")
+
+    def test_measure_populates_report_spans(self, tracer):
+        result = measure(self.SOURCE, secret_input=b"\x20")
+        spans = result.report.trace_spans
+        assert spans is not None
+        names = {s["name"] for s in spans}
+        # The report carries the spans finished *so far*; the enclosing
+        # lang.measure span is still open when the report is built.
+        assert {"lang.execute", "measure.graph", "collapse.graphs",
+                "solve.dinic", "mincut.extract"} <= names
+        assert names <= set(SPAN_CATALOGUE)
+        full = tracer.snapshot()
+        outer = by_name(full, "lang.measure")[0]
+        assert by_name(full, "lang.execute")[0]["parent_id"] == \
+            outer["span_id"]
+        graph_span = by_name(full, "measure.graph")[0]
+        assert by_name(full, "solve.dinic")[0]["parent_id"] == \
+            graph_span["span_id"]
+        assert outer["attrs"]["bits"] == result.bits == 1
+
+    def test_report_spans_none_when_disabled(self):
+        result = measure(self.SOURCE, secret_input=b"\x20")
+        assert result.report.trace_spans is None
+
+    def test_span_durations_track_phase_timers(self, tracer):
+        metrics = obs.enable()
+        try:
+            measure(self.SOURCE, secret_input=b"\x20")
+            snap = metrics.snapshot()
+        finally:
+            obs.disable()
+        solve = by_name(tracer.snapshot(), "solve.dinic")
+        assert len(solve) == snap["phase.solve.calls"]
+        total = sum(s["duration"] for s in solve)
+        assert total >= snap["phase.solve.seconds"]

@@ -1,0 +1,63 @@
+"""Docs-drift test: docs/observability.md IS the span contract.
+
+Mirrors ``test_catalogue_drift`` for the tracing half: the span table
+in the docs' "Tracing" section must list exactly the names of
+``repro.obs.trace.SPAN_CATALOGUE``, in order, with matching stability —
+and the pipeline must only ever record catalogued names.
+"""
+
+import pathlib
+import re
+
+from repro import obs
+from repro.lang import measure
+from repro.obs.trace import SPAN_CATALOGUE, span_names
+
+DOC = pathlib.Path(__file__).resolve().parents[2] / "docs" / "observability.md"
+
+_ROW = re.compile(r"^\|\s*`(?P<name>[^`]+)`\s*\|"
+                  r"\s*(?P<stability>stable|experimental)\s*\|"
+                  r"\s*(?P<description>[^|]+?)\s*\|")
+
+
+def tracing_section():
+    text = DOC.read_text()
+    start = text.index("## Tracing")
+    end = text.index("\n## ", start)
+    return text[start:end]
+
+
+def documented_rows():
+    rows = []
+    for line in tracing_section().splitlines():
+        match = _ROW.match(line.strip())
+        if match:
+            rows.append(match.groupdict())
+    return rows
+
+
+class TestDocsMatchCatalogue:
+    def test_doc_table_parses(self):
+        assert len(documented_rows()) > 10
+
+    def test_names_agree_in_order(self):
+        documented = [row["name"] for row in documented_rows()]
+        assert documented == span_names()
+
+    def test_stability_agrees(self):
+        for row in documented_rows():
+            spec = SPAN_CATALOGUE[row["name"]]
+            assert row["stability"] == spec.stability, row["name"]
+
+
+class TestRecordedSpansAreDocumented:
+    def test_pipeline_spans_subset_of_catalogue(self):
+        tracer = obs.enable_tracing()
+        try:
+            measure("fn main() { output(secret_u8()); }",
+                    secret_input=b"\x01")
+            recorded = {span["name"] for span in tracer.snapshot()}
+        finally:
+            obs.disable_tracing()
+        assert recorded
+        assert recorded <= set(SPAN_CATALOGUE)

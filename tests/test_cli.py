@@ -183,6 +183,80 @@ class TestBatch:
         assert snapshot["batch.graphs_bytes"] > 0
 
 
+class TestTraceFlag:
+    def test_measure_writes_chrome_trace(self, program, tmp_path, capsys):
+        trace = tmp_path / "out.json"
+        assert main(["measure", program, "--secret", "..?",
+                     "--trace", str(trace)]) == 0
+        payload = json.loads(trace.read_text())
+        slices = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        names = {e["name"] for e in slices}
+        assert {"cli.command", "lang.measure", "solve.dinic"} <= names
+        command = next(e for e in slices if e["name"] == "cli.command")
+        assert command["args"]["status"] == 0
+
+    def test_measure_writes_jsonl(self, program, tmp_path, capsys):
+        trace = tmp_path / "out.jsonl"
+        assert main(["measure", program, "--secret", "..?",
+                     "--trace", str(trace)]) == 0
+        spans = [json.loads(line)
+                 for line in trace.read_text().splitlines()]
+        assert any(s["name"] == "cli.command" for s in spans)
+        roots = [s for s in spans if s["parent_id"] is None]
+        assert [s["name"] for s in roots] == ["cli.command"]
+
+    def test_batch_trace_has_worker_tracks(self, program, tmp_path,
+                                           capsys):
+        trace = tmp_path / "out.json"
+        assert main(["batch", program, "--jobs", "2",
+                     "--secret", "..?", "--secret", "?.?",
+                     "--trace", str(trace)]) == 0
+        events = json.loads(trace.read_text())["traceEvents"]
+        tracks = {e["args"]["name"] for e in events if e["ph"] == "M"}
+        assert "repro parent" in tracks
+        # Two jobs over two workers; the pool may put both on one.
+        assert 1 <= sum(1 for t in tracks if t.startswith("worker ")) <= 2
+        slices = [e for e in events if e["ph"] == "X"]
+        map_ids = {e["args"]["span_id"] for e in slices
+                   if e["name"] == "batch.map"}
+        jobs = [e for e in slices if e["name"] == "batch.job"]
+        assert len(jobs) == 2
+        assert all(e["args"]["parent_id"] in map_ids for e in jobs)
+
+    def test_trace_leaves_tracer_disabled_afterwards(self, program,
+                                                     tmp_path, capsys):
+        from repro import obs
+        assert main(["measure", program, "--secret", "..?",
+                     "--trace", str(tmp_path / "t.json")]) == 0
+        assert obs.get_tracer() is obs.NULL_TRACER
+        assert main(["measure", program, "--secret", "..?"]) == 0
+        assert obs.get_tracer() is obs.NULL_TRACER
+
+    def test_unwritable_trace_file_fails(self, program, tmp_path, capsys):
+        target = tmp_path / "no" / "such" / "dir" / "t.json"
+        assert main(["measure", program, "--secret", "..?",
+                     "--trace", str(target)]) == 2
+        assert "cannot write trace file" in capsys.readouterr().err
+
+
+class TestMetricsFileErrors:
+    def test_unwritable_metrics_file_fails(self, program, tmp_path,
+                                           capsys):
+        target = tmp_path / "no" / "such" / "dir" / "m.json"
+        assert main(["measure", program, "--secret", "..?",
+                     "--metrics=json", "--metrics-file",
+                     str(target)]) == 2
+        assert "cannot write metrics file" in capsys.readouterr().err
+
+    def test_metrics_disabled_after_write_failure(self, program, tmp_path,
+                                                  capsys):
+        from repro import obs
+        main(["measure", program, "--secret", "..?", "--metrics=json",
+              "--metrics-file", str(tmp_path / "no" / "dir" / "m.json")])
+        capsys.readouterr()
+        assert obs.get_metrics() is obs.NULL_METRICS
+
+
 class TestStaticAndDisasm:
     def test_static_formula(self, tmp_path, capsys):
         path = tmp_path / "un.fl"
