@@ -8,17 +8,22 @@ and :mod:`repro.batch.runs` for the frontends; the higher-level entry
 points are ``measure_runs(..., jobs=N)``, ``combine_runs(...,
 jobs=N)``, ``measure_by_category(..., jobs=N)``, and the ``repro
 batch`` CLI subcommand.
+
+Fault tolerance is configured with a :class:`FaultPolicy` (per-job
+timeouts, bounded retries of transient pool failures, and the
+``on_error`` raise/collect switch); failed jobs surface as
+:class:`JobFailure` records and partial results are explicitly marked.
 """
 
 from __future__ import annotations
 
-from .engine import BatchEngine
+from .engine import ON_ERROR_MODES, BatchEngine, FaultPolicy, JobFailure
 from .runs import (BATCH_COLLAPSE_MODES, BatchResult, ProgramResult,
                    combine_graphs_jobs, measure_by_category_jobs,
                    measure_program_runs, measure_programs)
 
 __all__ = [
-    "BatchEngine",
+    "BatchEngine", "FaultPolicy", "JobFailure", "ON_ERROR_MODES",
     "BATCH_COLLAPSE_MODES", "BatchResult", "ProgramResult",
     "combine_graphs_jobs", "measure_by_category_jobs",
     "measure_program_runs", "measure_programs",

@@ -25,28 +25,248 @@ Design rules that make ``jobs=N`` bit-identical to ``jobs=1``:
 ``ProcessPoolExecutor`` is used rather than ``multiprocessing.Pool``
 deliberately: its workers are non-daemonic, so a job may itself fan out
 (the benchmark driver runs batch benchmarks inside its own pool).
+
+Fault tolerance
+---------------
+
+At corpus scale, per-input failure is routine: a program crashes on one
+secret, a worker hangs, the pool dies.  The engine dispatches with
+``submit`` + completion waits (never bare ``pool.map``) under a
+:class:`FaultPolicy`:
+
+* *job exceptions* are captured worker-side as structured, picklable
+  :class:`JobFailure` records — the worker's partial metrics snapshot
+  and spans still ride home, so observability survives failure.  They
+  are **non-transient**: re-running a deterministic job would fail the
+  same way, so they are never retried.
+* *transient failures* — a per-job wall-clock ``timeout``, a
+  ``BrokenProcessPool``, a pickling transport error — are retried with
+  exponential backoff, up to ``retries`` times per job.  The pool is
+  torn down and resurrected; a job that keeps striking is quarantined
+  (recorded as a :class:`JobFailure` instead of looping forever).
+* ``on_error="raise"`` (the default) re-raises the first failure's
+  original exception, preserving the pre-fault-tolerance behavior;
+  ``on_error="collect"`` returns the failure records in the result
+  list, so one bad payload no longer aborts the whole batch.
+
+The ``jobs=1`` in-process path implements the identical policy surface
+(same capture, same retry accounting, same ``JobFailure`` records), so
+the bit-identicality contract extends to failure handling.  The one
+necessary asymmetry: in-process, a running job cannot be preempted, so
+``timeout`` is enforced *post hoc* — the job runs to completion and the
+attempt is then classified as timed out.
 """
 
 from __future__ import annotations
 
+import collections
 import concurrent.futures
+import pickle
 import time
+import traceback as _traceback
+from concurrent.futures.process import BrokenProcessPool
 
 from .. import obs
+from ..errors import BatchError, JobError, JobTimeout
+
+#: Accepted ``FaultPolicy.on_error`` modes.
+ON_ERROR_MODES = ("raise", "collect")
+
+
+class FaultPolicy:
+    """How a batch fan-out reacts when a job misbehaves.
+
+    Args:
+        timeout: per-job wall-clock budget in seconds, or ``None`` (no
+            limit).  In the pool path a job past its deadline is cut
+            off by terminating its worker (the pool is resurrected);
+            in-process the attempt is classified after the fact.
+        retries: how many times a job struck by a *transient* failure
+            (timeout, broken pool, pickling transport) is re-submitted
+            before being quarantined.  Worker-side job exceptions are
+            deterministic and never retried.
+        backoff: base seconds of the exponential backoff slept before a
+            transient re-submission (``backoff * 2**(strike-1)``).
+        grace: seconds of slack allowed past ``timeout`` for detection
+            and worker termination; a hung job is gone within
+            ``timeout + grace`` wall seconds.
+        on_error: ``"raise"`` (default) re-raises the first failure;
+            ``"collect"`` records failures as :class:`JobFailure`
+            entries in the result list.
+    """
+
+    __slots__ = ("timeout", "retries", "backoff", "grace", "on_error")
+
+    def __init__(self, timeout=None, retries=0, backoff=0.05, grace=1.0,
+                 on_error="raise"):
+        if timeout is not None and not timeout > 0:
+            raise ValueError("timeout must be positive or None, got %r"
+                             % (timeout,))
+        retries = int(retries)
+        if retries < 0:
+            raise ValueError("retries must be >= 0, got %d" % retries)
+        if backoff < 0:
+            raise ValueError("backoff must be >= 0, got %r" % (backoff,))
+        if not grace > 0:
+            raise ValueError("grace must be positive, got %r" % (grace,))
+        if on_error not in ON_ERROR_MODES:
+            raise ValueError("on_error must be one of %r, got %r"
+                             % (ON_ERROR_MODES, on_error))
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.grace = grace
+        self.on_error = on_error
+
+    @property
+    def collecting(self):
+        return self.on_error == "collect"
+
+    def __repr__(self):
+        return ("FaultPolicy(timeout=%r, retries=%d, backoff=%r, "
+                "grace=%r, on_error=%r)"
+                % (self.timeout, self.retries, self.backoff, self.grace,
+                   self.on_error))
+
+
+class JobFailure:
+    """Structured, picklable record of one failed batch job.
+
+    Built worker-side for job exceptions (so the original traceback
+    text survives the process boundary even when the exception object
+    does not pickle) and parent-side for transport-level failures.
+
+    Attributes:
+        index: the payload's position in the batch.
+        error_type: the exception class name (e.g. ``"VMError"``).
+        error: ``repr()`` of the exception.
+        traceback: formatted traceback text, or ``None``.
+        seconds: in-job wall time of the failing attempt (``None`` when
+            the attempt never produced a measurable interval, e.g. a
+            terminated hung worker).
+        metrics: the worker's partial metrics snapshot, or ``None``
+            (in-process jobs record into the live registry directly).
+        spans: the worker's span dicts, or ``None`` (adopted into the
+            parent tracer by the engine; kept here for callers that
+            inspect failures without tracing enabled).
+        attempts: how many times the job was attempted in total.
+        transient: whether the final failure was transport-level
+            (timeout / broken pool / pickling) rather than a job
+            exception.
+        quarantined: whether the job was dropped after exhausting its
+            transient retry budget.
+        exception: the original exception object when it pickled,
+            else ``None``.
+    """
+
+    __slots__ = ("index", "error_type", "error", "traceback", "seconds",
+                 "metrics", "spans", "attempts", "transient",
+                 "quarantined", "exception")
+
+    def __init__(self, index, error_type, error, traceback=None,
+                 seconds=None, metrics=None, spans=None, attempts=1,
+                 transient=False, quarantined=False, exception=None):
+        self.index = index
+        self.error_type = error_type
+        self.error = error
+        self.traceback = traceback
+        self.seconds = seconds
+        self.metrics = metrics
+        self.spans = spans
+        self.attempts = attempts
+        self.transient = transient
+        self.quarantined = quarantined
+        self.exception = exception
+
+    @classmethod
+    def from_exception(cls, index, error, seconds=None, transient=False,
+                       quarantined=False, with_traceback=True):
+        traceback_text = None
+        if with_traceback and error.__traceback__ is not None:
+            traceback_text = "".join(_traceback.format_exception(
+                type(error), error, error.__traceback__))
+        return cls(index, type(error).__name__, repr(error),
+                   traceback=traceback_text, seconds=seconds,
+                   transient=transient, quarantined=quarantined,
+                   exception=_transportable(error))
+
+    def raise_(self):
+        """Re-raise the original exception (or a :class:`JobError`)."""
+        if self.exception is not None:
+            raise self.exception
+        raise JobError("job %d failed: %s" % (self.index, self.error),
+                       index=self.index, failure=self)
+
+    def to_dict(self, traceback=True):
+        """The failure as a plain JSON-able dict (for reports/CLIs)."""
+        payload = {
+            "index": self.index,
+            "error_type": self.error_type,
+            "error": self.error,
+            "seconds": self.seconds,
+            "attempts": self.attempts,
+            "transient": self.transient,
+            "quarantined": self.quarantined,
+        }
+        if traceback:
+            payload["traceback"] = self.traceback
+        return payload
+
+    def __repr__(self):
+        return "JobFailure(index=%d, %s: %s%s)" % (
+            self.index, self.error_type, self.error,
+            ", quarantined" if self.quarantined else "")
+
+
+def _transportable(error):
+    """The exception itself when it survives pickling, else ``None``."""
+    try:
+        pickle.loads(pickle.dumps(error))
+    except Exception:
+        return None
+    return error
+
+
+def _make_pool(workers):
+    """Pool factory (module-level so fault tests can monkeypatch it)."""
+    return concurrent.futures.ProcessPoolExecutor(max_workers=workers)
+
+
+def _terminate_pool(pool):
+    """Kill a pool's workers outright (the only cure for a hung job)."""
+    processes = getattr(pool, "_processes", None)
+    processes = list(processes.values()) if processes else []
+    for process in processes:
+        try:
+            process.terminate()
+        except Exception:
+            pass
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:
+        pass
+    for process in processes:
+        try:
+            process.join(timeout=1.0)
+        except Exception:
+            pass
 
 
 def _call_job(item):
     """Run one job in a worker process.
 
-    Returns ``(result, metrics_snapshot, span_dicts, wall)``.  Must be a
-    module-level function so it pickles.  When the parent had metrics
-    enabled at dispatch time (``capture``), the job runs under a fresh
-    registry whose snapshot rides back with the result; the
-    fork-inherited parent registry is never written to, so nothing is
-    double-counted when the parent later merges.  Likewise, when the
-    parent had tracing enabled (``capture_trace``), the job runs under a
-    fresh worker tracer, inside a ``batch.job`` root span, and the
-    finished span dicts ride home for the parent to ``adopt``.
+    Returns ``(ok, value, metrics_snapshot, span_dicts, wall)``; on
+    success ``value`` is the job's result, on a job exception it is a
+    :class:`JobFailure` (``ok`` False).  Must be a module-level function
+    so it pickles.  When the parent had metrics enabled at dispatch time
+    (``capture``), the job runs under a fresh registry whose snapshot
+    rides back with the result; the fork-inherited parent registry is
+    never written to, so nothing is double-counted when the parent later
+    merges.  Likewise, when the parent had tracing enabled
+    (``capture_trace``), the job runs under a fresh worker tracer,
+    inside a ``batch.job`` root span, and the finished span dicts ride
+    home for the parent to ``adopt``.  Exceptions are captured here —
+    never propagated — so the snapshot and spans survive failure too.
     """
     func, payload, index, capture, capture_trace = item
     t0 = time.perf_counter()
@@ -55,8 +275,16 @@ def _call_job(item):
     if capture_trace:
         obs.enable_tracing()
     try:
-        with obs.get_tracer().span("batch.job", index=index):
-            result = func(payload)
+        span = obs.get_tracer().span("batch.job", index=index)
+        with span:
+            try:
+                value = func(payload)
+                ok = True
+            except Exception as error:
+                value = JobFailure.from_exception(
+                    index, error, seconds=time.perf_counter() - t0)
+                span.set(error=True, error_type=type(error).__name__)
+                ok = False
         snapshot = obs.get_metrics().snapshot() if capture else None
         spans = obs.get_tracer().snapshot() if capture_trace else None
     finally:
@@ -64,7 +292,22 @@ def _call_job(item):
             obs.disable()
         if capture_trace:
             obs.disable_tracing()
-    return result, snapshot, spans, time.perf_counter() - t0
+    return ok, value, snapshot, spans, time.perf_counter() - t0
+
+
+class _MapStats:
+    """Per-``map`` fault accounting, folded into ``batch.*`` metrics."""
+
+    __slots__ = ("walls", "failed", "retries", "timeouts", "restarts",
+                 "quarantined")
+
+    def __init__(self):
+        self.walls = []
+        self.failed = 0
+        self.retries = 0
+        self.timeouts = 0
+        self.restarts = 0
+        self.quarantined = 0
 
 
 class BatchEngine:
@@ -74,69 +317,328 @@ class BatchEngine:
     pickling, jobs record straight into the process-wide metrics
     registry.  ``jobs=N`` dispatches to ``min(N, len(payloads))``
     worker processes and merges each job's metrics snapshot into the
-    parent registry.
+    parent registry.  ``faults`` (a :class:`FaultPolicy`) governs
+    timeouts, retries, and whether failures raise or are collected;
+    the default policy raises on the first failure, exactly as the
+    pre-fault-tolerance engine did.
 
     Either way the engine records the ``batch.*`` catalogue keys:
     ``batch.jobs`` (jobs executed), ``batch.workers`` (pool size of the
     most recent ``map``), ``batch.worker_seconds`` (summed in-job wall
     time — with N workers this exceeds elapsed wall time, which is the
-    point), and the ``batch.job_seconds`` histogram (one observation
-    per job).  With tracing enabled, the fan-out runs under a
-    ``batch.map`` span, each job under a ``batch.job`` span — recorded
-    worker-side for ``jobs=N`` and adopted back into the parent tracer,
-    re-rooted under the ``batch.map`` span, with worker pids kept so
-    the Chrome trace export shows one track per worker.
+    point), the ``batch.job_seconds`` histogram (one observation per
+    attempt), and the fault counters ``batch.failures`` /
+    ``batch.retries`` / ``batch.timeouts`` / ``batch.pool_restarts`` /
+    ``batch.quarantined``.  With tracing enabled, the fan-out runs
+    under a ``batch.map`` span, each job under a ``batch.job`` span —
+    recorded worker-side for ``jobs=N`` and adopted back into the
+    parent tracer, re-rooted under the ``batch.map`` span, with worker
+    pids kept so the Chrome trace export shows one track per worker;
+    failed jobs' spans carry ``error=True``.
     """
 
-    def __init__(self, jobs=1):
+    def __init__(self, jobs=1, faults=None):
         jobs = int(jobs)
         if jobs < 1:
             raise ValueError("jobs must be >= 1, got %d" % jobs)
         self.jobs = jobs
+        self.faults = faults if faults is not None else FaultPolicy()
 
     def map(self, func, payloads):
-        """Apply ``func`` to every payload; returns results in order.
+        """Apply ``func`` to every payload; returns outcomes in
+        *payload order* (completion order never leaks: the pool path
+        reassembles by payload index).
 
         ``func`` must be a module-level function taking one picklable
         payload and returning a picklable result (the ``jobs=1`` path
         does not require picklability, but relying on that forfeits the
-        bit-identicality guarantee).
+        bit-identicality guarantee).  Under ``on_error="collect"``,
+        failed payloads yield :class:`JobFailure` entries in their
+        slots; under ``"raise"`` the first failure propagates.
         """
         payloads = list(payloads)
         metrics = obs.get_metrics()
         tracer = obs.get_tracer()
-        results = []
-        walls = []
         serial = self.jobs == 1 or len(payloads) <= 1
         workers = 1 if serial else min(self.jobs, len(payloads))
+        stats = _MapStats()
         map_span = tracer.span("batch.map", jobs=len(payloads),
                                workers=workers)
         with map_span:
             if serial:
-                for index, payload in enumerate(payloads):
-                    t0 = time.perf_counter()
-                    with tracer.span("batch.job", index=index):
-                        results.append(func(payload))
-                    walls.append(time.perf_counter() - t0)
+                outcomes = self._serial_map(func, payloads, tracer, stats)
             else:
-                capture = metrics.enabled
-                capture_trace = tracer.enabled
-                items = [(func, payload, index, capture, capture_trace)
-                         for index, payload in enumerate(payloads)]
-                with concurrent.futures.ProcessPoolExecutor(
-                        max_workers=workers) as pool:
-                    outcomes = list(pool.map(_call_job, items))
-                for result, snapshot, spans, wall in outcomes:
-                    results.append(result)
-                    walls.append(wall)
-                    if snapshot is not None:
-                        metrics.merge(snapshot)
-                    if spans:
-                        tracer.adopt(spans, parent_id=map_span.span_id)
+                outcomes = self._pool_map(func, payloads, workers, metrics,
+                                          tracer, map_span, stats)
         if metrics.enabled and payloads:
             metrics.incr("batch.jobs", len(payloads))
             metrics.gauge("batch.workers", workers)
-            metrics.add_seconds("batch.worker_seconds", sum(walls))
-            for wall in walls:
+            metrics.add_seconds("batch.worker_seconds", sum(stats.walls))
+            for wall in stats.walls:
                 metrics.observe("batch.job_seconds", wall)
-        return results
+            metrics.incr("batch.failures", stats.failed)
+            metrics.incr("batch.retries", stats.retries)
+            metrics.incr("batch.timeouts", stats.timeouts)
+            metrics.incr("batch.pool_restarts", stats.restarts)
+            metrics.incr("batch.quarantined", stats.quarantined)
+        return outcomes
+
+    # ------------------------------------------------------------------
+    # In-process path (jobs=1): same policy surface, no pool
+
+    def _serial_map(self, func, payloads, tracer, stats):
+        faults = self.faults
+        outcomes = []
+        for index, payload in enumerate(payloads):
+            strikes = 0
+            while True:
+                attempts = strikes + 1
+                t0 = time.perf_counter()
+                span = tracer.span("batch.job", index=index)
+                with span:
+                    try:
+                        result = func(payload)
+                    except Exception as error:
+                        wall = time.perf_counter() - t0
+                        span.set(error=True,
+                                 error_type=type(error).__name__)
+                        stats.walls.append(wall)
+                        if not faults.collecting:
+                            raise
+                        failure = JobFailure.from_exception(index, error,
+                                                            seconds=wall)
+                        failure.attempts = attempts
+                        outcomes.append(failure)
+                        stats.failed += 1
+                        break
+                    wall = time.perf_counter() - t0
+                    stats.walls.append(wall)
+                    if faults.timeout is not None and wall > faults.timeout:
+                        # In-process a running job cannot be preempted;
+                        # the attempt is classified as timed out after
+                        # the fact, with the same strike accounting as
+                        # the pool path.
+                        span.set(error=True, error_type="JobTimeout")
+                        stats.timeouts += 1
+                        strikes += 1
+                        if strikes <= faults.retries:
+                            stats.retries += 1
+                            time.sleep(faults.backoff * (2 ** (strikes - 1)))
+                            continue
+                        stats.quarantined += 1
+                        timeout = JobTimeout(
+                            "job %d exceeded its %.3fs timeout "
+                            "(ran %.3fs)" % (index, faults.timeout, wall),
+                            index=index, seconds=wall)
+                        if not faults.collecting:
+                            raise timeout
+                        failure = JobFailure.from_exception(
+                            index, timeout, seconds=wall, transient=True,
+                            quarantined=True, with_traceback=False)
+                        failure.attempts = attempts
+                        outcomes.append(failure)
+                        stats.failed += 1
+                        break
+                    outcomes.append(result)
+                    break
+        return outcomes
+
+    # ------------------------------------------------------------------
+    # Pool path (jobs=N): submit + completion waits, bounded retries
+
+    def _pool_map(self, func, payloads, workers, metrics, tracer, map_span,
+                  stats):
+        faults = self.faults
+        capture = metrics.enabled
+        capture_trace = tracer.enabled
+        count = len(payloads)
+        outcomes = [_PENDING] * count
+        attempts = [0] * count
+        strikes = [0] * count
+        pending = collections.deque(range(count))
+        pool = None
+        futures = {}            # future -> payload index
+        deadlines = {}          # future -> monotonic deadline or None
+
+        def absorb(index, ok, value, snapshot, spans, wall):
+            """Fold one completed attempt (success or job failure)."""
+            stats.walls.append(wall)
+            if snapshot is not None:
+                metrics.merge(snapshot)
+            if spans:
+                tracer.adopt(spans, parent_id=map_span.span_id)
+            if ok:
+                outcomes[index] = value
+                return
+            value.attempts = attempts[index]
+            value.metrics = snapshot
+            value.spans = spans
+            if not faults.collecting:
+                value.raise_()
+            outcomes[index] = value
+            stats.failed += 1
+
+        def strike(index, error, seconds=None):
+            """One transient strike; retry or quarantine the job."""
+            strikes[index] += 1
+            if strikes[index] <= faults.retries:
+                stats.retries += 1
+                pending.append(index)
+                return strikes[index]
+            stats.quarantined += 1
+            failure = JobFailure.from_exception(
+                index, error, seconds=seconds, transient=True,
+                quarantined=True, with_traceback=False)
+            failure.attempts = attempts[index]
+            if not faults.collecting:
+                failure.raise_()
+            outcomes[index] = failure
+            stats.failed += 1
+            return 0
+
+        def resurrect(backoff_strike):
+            stats.restarts += 1
+            if backoff_strike > 0:
+                time.sleep(faults.backoff * (2 ** (backoff_strike - 1)))
+
+        try:
+            while pending or futures:
+                if pool is None:
+                    pool = _make_pool(workers)
+                # Keep at most ``workers`` jobs in flight, so a
+                # submitted job starts (nearly) immediately and its
+                # wall-clock deadline measures *running* time, not
+                # queueing time.
+                while pending and len(futures) < workers:
+                    index = pending.popleft()
+                    attempts[index] += 1
+                    try:
+                        future = pool.submit(
+                            _call_job,
+                            (func, payloads[index], index, capture,
+                             capture_trace))
+                    except BrokenProcessPool:
+                        # The pool died between submissions.  Requeue
+                        # this job un-attempted; in-flight futures (if
+                        # any) surface the breakage below, otherwise
+                        # resurrect right away.
+                        attempts[index] -= 1
+                        pending.appendleft(index)
+                        if not futures:
+                            _terminate_pool(pool)
+                            pool = None
+                            stats.restarts += 1
+                        break
+                    futures[future] = index
+                    deadlines[future] = (
+                        time.monotonic() + faults.timeout
+                        if faults.timeout is not None else None)
+                if not futures:
+                    continue
+                timeout = None
+                live = [d for d in deadlines.values() if d is not None]
+                if live:
+                    timeout = max(0.0, min(live) - time.monotonic())
+                done, _ = concurrent.futures.wait(
+                    list(futures), timeout=timeout,
+                    return_when=concurrent.futures.FIRST_COMPLETED)
+                now = time.monotonic()
+                expired = [future for future, deadline in deadlines.items()
+                           if deadline is not None and now >= deadline
+                           and not future.done()]
+                broken = None
+                for future in done:
+                    index = futures.pop(future)
+                    deadlines.pop(future)
+                    try:
+                        ok, value, snapshot, spans, wall = future.result()
+                    except BrokenProcessPool as error:
+                        # The whole pool is dead; every sibling future
+                        # breaks too.  Handled below in one sweep.
+                        broken = error
+                        strike(index, error)
+                    except Exception as error:
+                        # Pickling/transport failure between parent and
+                        # worker: transient per policy.
+                        strike(index, error)
+                    else:
+                        absorb(index, ok, value, snapshot, spans, wall)
+                if broken is not None:
+                    # Every job still in flight was a (potential)
+                    # offender: tear the dead pool down, strike them
+                    # all, resurrect, and let the retry budget decide.
+                    # (Teardown comes first so a strike that raises in
+                    # "raise" mode never leaves the finally clause
+                    # waiting on a dead pool.)
+                    in_flight = sorted(futures.values())
+                    futures.clear()
+                    deadlines.clear()
+                    _terminate_pool(pool)
+                    pool = None
+                    worst = 0
+                    for index in in_flight:
+                        worst = max(worst, strike(index, broken))
+                    resurrect(worst)
+                    continue
+                if expired:
+                    # A worker is hung past its deadline.  Harvest any
+                    # sibling results that finished in the window, then
+                    # kill the pool: terminating the worker process is
+                    # the only way to reclaim it.
+                    victims = []
+                    timed_out = []
+                    for future, index in list(futures.items()):
+                        if future in expired:
+                            timed_out.append(index)
+                        elif future.done():
+                            try:
+                                ok, value, snapshot, spans, wall = \
+                                    future.result()
+                            except Exception as error:
+                                strike(index, error)
+                            else:
+                                absorb(index, ok, value, snapshot, spans,
+                                       wall)
+                        else:
+                            victims.append(index)
+                    futures.clear()
+                    deadlines.clear()
+                    _terminate_pool(pool)
+                    pool = None
+                    worst = 0
+                    for index in timed_out:
+                        stats.timeouts += 1
+                        worst = max(worst, strike(index, JobTimeout(
+                            "job %d exceeded its %.3fs timeout"
+                            % (index, faults.timeout), index=index,
+                            seconds=faults.timeout)))
+                    # Collateral victims were not at fault: re-run them
+                    # without a strike, ahead of struck retries.  (A
+                    # victim may have completed between the harvest and
+                    # the kill; re-running a pure job is safe, and its
+                    # unharvested snapshot is never merged, so nothing
+                    # is double-counted.)
+                    for index in sorted(victims, reverse=True):
+                        pending.appendleft(index)
+                    resurrect(worst)
+        finally:
+            if pool is not None:
+                if faults.timeout is None:
+                    pool.shutdown(wait=True)
+                else:
+                    # With a timeout in force, never risk joining a
+                    # hung worker on the abort path.
+                    _terminate_pool(pool)
+        return outcomes
+
+
+class _Pending:
+    """Placeholder for a not-yet-resolved outcome slot (internal)."""
+
+    __slots__ = ()
+
+    def __repr__(self):
+        return "<pending job>"
+
+
+_PENDING = _Pending()

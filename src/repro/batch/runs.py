@@ -13,6 +13,16 @@ the serial Section 3.2 pipeline does.
 dump/load round trip), so the parallel and serial paths cannot drift
 apart: the equivalence suite in ``tests/batch`` asserts bit-identical
 bounds, cuts, and combined-graph serializations.
+
+Fault tolerance: every frontend accepts ``timeout``/``retries``/
+``on_error`` (or a prebuilt :class:`~repro.batch.engine.FaultPolicy`
+via ``faults=``).  Under ``on_error="collect"`` a failed run no longer
+aborts the batch — but the Section 3 Kraft-inequality merge makes
+*silently* skipping a failed run unsound, so degradation is explicit:
+failed runs are excluded from the combined graph, reported in a
+``failures`` field, the Kraft sum is computed only over the succeeded
+runs, and the report is marked ``partial`` so no caller can mistake it
+for a complete bound.
 """
 
 from __future__ import annotations
@@ -25,12 +35,13 @@ from ..core.combine import kraft_satisfied, kraft_sum
 from ..core.measure import measure_graph, measure_runs
 from ..core.multisecret import CategoryBounds, _restricted_copy
 from ..core.tracker import CollapsingTraceBuilder
+from ..errors import BatchError, GraphError
 from ..graph.collapse import CollapseStats, collapse_graphs
 from ..graph.maxflow import dinic_max_flow
 from ..graph.mincut import MinCut
 from ..graph.serialize import dump_graph, load_graph
 from ..lang.runner import compile_cached, execute, measure
-from .engine import BatchEngine
+from .engine import BatchEngine, FaultPolicy, JobFailure
 
 #: Collapse modes a batch worker can trace under.  ``"none"`` is
 #: excluded on purpose: workers must ship *collapsed* graphs, or the
@@ -42,6 +53,38 @@ def _check_collapse(collapse):
     if collapse not in BATCH_COLLAPSE_MODES:
         raise ValueError("batch collapse must be one of %r, got %r"
                          % (BATCH_COLLAPSE_MODES, collapse))
+
+
+def _fault_policy(faults, timeout, retries, on_error):
+    """One :class:`FaultPolicy` from either form of configuration."""
+    if faults is not None:
+        if timeout is not None or retries or on_error != "raise":
+            raise ValueError("pass either faults= or individual "
+                             "timeout/retries/on_error kwargs, not both")
+        return faults
+    return FaultPolicy(timeout=timeout, retries=retries, on_error=on_error)
+
+
+def _corrupt_graph_failure(index, error, metrics):
+    """A worker shipped home an unloadable graph: that is *its* failure.
+
+    Counted under ``batch.failures`` like any other job failure, so the
+    parent's accounting stays consistent with what it actually merged.
+    """
+    if metrics.enabled:
+        metrics.incr("batch.failures")
+    return JobFailure(index, type(error).__name__,
+                      "corrupt worker graph: %s" % error)
+
+
+def _mark_partial(report, failed, attempted):
+    report.partial = True
+    report.warnings.append(
+        "partial result: %d of %d runs failed and were excluded; the "
+        "combined bound covers only the %d surviving runs (the §3 "
+        "Kraft guarantee says nothing about the failed runs)"
+        % (failed, attempted, attempted - failed))
+    return report
 
 
 def _dump_text(graph, category_edges=None):
@@ -79,26 +122,46 @@ def _chunks(count, parts):
 class BatchResult:
     """A batch of runs measured together: combined report + per-run bounds.
 
-    ``per_run_bits`` are each run's *independent* bounds (solved on its
-    own collapsed graph); ``report`` is the Kraft-sound combined bound
-    over the whole batch.  ``kraft_sum``/``per_run_sound`` expose the
-    Section 3.2 arithmetic for the independent bounds, so callers can
-    see when the combined bound is doing real work.
+    ``per_run_bits`` are each *succeeded* run's independent bounds
+    (solved on its own collapsed graph); ``report`` is the Kraft-sound
+    combined bound over those runs.  ``kraft_sum``/``per_run_sound``
+    expose the Section 3.2 arithmetic for the independent bounds, so
+    callers can see when the combined bound is doing real work.
+
+    ``failures`` holds one :class:`~repro.batch.engine.JobFailure` per
+    failed run (only under ``on_error="collect"``; the default policy
+    raises instead).  When any run failed, ``partial`` is ``True``, the
+    combined report is marked partial, and every derived quantity —
+    ``bits``, ``kraft_sum``, ``per_run_sound`` — covers the surviving
+    runs only.
     """
 
-    def __init__(self, report, per_run_bits, jobs):
+    def __init__(self, report, per_run_bits, jobs, failures=()):
         self.report = report
         self.per_run_bits = list(per_run_bits)
         self.jobs = jobs
+        self.failures = list(failures)
 
     @property
     def bits(self):
-        """The combined (Kraft-sound) bound in bits."""
+        """The combined (Kraft-sound) bound in bits — partial when
+        ``failures`` is non-empty."""
         return self.report.bits
 
     @property
     def runs(self):
+        """Succeeded runs (the ones the combined bound covers)."""
         return len(self.per_run_bits)
+
+    @property
+    def attempted(self):
+        """All runs the batch was asked for, failed ones included."""
+        return len(self.per_run_bits) + len(self.failures)
+
+    @property
+    def partial(self):
+        """Whether any run failed (and was excluded from the bound)."""
+        return bool(self.failures)
 
     @property
     def kraft_sum(self):
@@ -111,8 +174,9 @@ class BatchResult:
         return kraft_satisfied(self.per_run_bits)
 
     def __repr__(self):
-        return "BatchResult(runs=%d, bits=%d, jobs=%d)" % (
-            self.runs, self.bits, self.jobs)
+        return "BatchResult(runs=%d, bits=%d, jobs=%d%s)" % (
+            self.runs, self.bits, self.jobs,
+            ", failures=%d" % len(self.failures) if self.failures else "")
 
 
 def _trace_run_job(payload):
@@ -122,12 +186,15 @@ def _trace_run_job(payload):
     measures the run's independent bound on it, and serializes it for
     the parent-side combination.
     """
-    source, filename, secret, public, collapse, entry = payload
+    (source, filename, secret, public, collapse, entry, max_steps,
+     deadline_seconds) = payload
     compiled = compile_cached(source, filename)
     tracker = CollapsingTraceBuilder(
         context_sensitive=(collapse == "context"))
     with obs.get_metrics().phase("trace"):
-        vm, graph = execute(compiled, secret, public, tracker, entry=entry)
+        vm, graph = execute(compiled, secret, public, tracker, entry=entry,
+                            max_steps=max_steps,
+                            deadline_seconds=deadline_seconds)
     report = measure_graph(graph, collapse=collapse, stats=tracker.stats,
                            warnings=vm.warnings)
     return {
@@ -140,39 +207,67 @@ def _trace_run_job(payload):
 
 def measure_program_runs(source, secret_inputs, public_input=b"",
                          collapse="context", jobs=1, filename="<source>",
-                         entry="main"):
+                         entry="main", max_steps=None, deadline_seconds=None,
+                         timeout=None, retries=0, on_error="raise",
+                         faults=None):
     """Measure one program over many secrets, ``jobs`` runs at a time.
 
     The batch analogue of :func:`repro.lang.runner.measure_many`: each
     secret is traced (online-collapsed) in a worker, the workers'
     serialized graphs are combined in the parent for the Section 3.2
-    Kraft-sound bound.  Returns a :class:`BatchResult`.
+    Kraft-sound bound.  ``max_steps``/``deadline_seconds`` bound each
+    run inside its worker (a run past its deadline raises ``VMTimeout``
+    — a non-transient job failure); ``timeout``/``retries``/``on_error``
+    configure the engine's :class:`~repro.batch.engine.FaultPolicy`.
+    Returns a :class:`BatchResult` — partial, with a ``failures`` list,
+    when runs failed under ``on_error="collect"``.
     """
     _check_collapse(collapse)
     secrets = [bytes(secret) for secret in secret_inputs]
     payloads = [(source, filename, secret, bytes(public_input), collapse,
-                 entry) for secret in secrets]
-    engine = BatchEngine(jobs)
+                 entry, max_steps, deadline_seconds) for secret in secrets]
+    engine = BatchEngine(jobs, faults=_fault_policy(faults, timeout,
+                                                    retries, on_error))
     outcomes = engine.map(_trace_run_job, payloads)
     metrics = obs.get_metrics()
     t0 = time.perf_counter()
     graphs = []
     stats_list = []
     warnings = []
+    bits = []
+    failures = []
     shipped_bytes = 0
     with obs.get_tracer().span("batch.merge", runs=len(outcomes)):
-        for outcome in outcomes:
+        for index, outcome in enumerate(outcomes):
+            if isinstance(outcome, JobFailure):
+                failures.append(outcome)
+                continue
             shipped_bytes += len(outcome["graph"].encode("utf-8"))
-            graphs.append(_load_text(outcome["graph"]))
+            try:
+                graph = _load_text(outcome["graph"])
+            except GraphError as error:
+                if not engine.faults.collecting:
+                    raise
+                failures.append(_corrupt_graph_failure(index, error,
+                                                       metrics))
+                continue
+            graphs.append(graph)
             stats_list.append(outcome["stats"])
             warnings.extend(outcome["warnings"])
+            bits.append(outcome["bits"])
+        if not graphs:
+            raise BatchError(
+                "all %d runs failed; no combined bound exists (first "
+                "failure: %s)" % (len(outcomes), failures[0]))
         report = measure_runs(graphs, collapse=collapse,
                               stats_list=stats_list, warnings=warnings)
+        if failures:
+            _mark_partial(report, len(failures), len(outcomes))
     if metrics.enabled:
         metrics.incr("batch.graphs_bytes", shipped_bytes)
         metrics.add_seconds("batch.merge_seconds",
                             time.perf_counter() - t0)
-    return BatchResult(report, [o["bits"] for o in outcomes], engine.jobs)
+    return BatchResult(report, bits, engine.jobs, failures)
 
 
 # ----------------------------------------------------------------------
@@ -192,7 +287,9 @@ def _collapse_chunk_job(payload):
     }
 
 
-def combine_graphs_jobs(graphs, context_sensitive=True, jobs=1):
+def combine_graphs_jobs(graphs, context_sensitive=True, jobs=1,
+                        timeout=None, retries=0, on_error="raise",
+                        faults=None):
     """Parallel :func:`~repro.graph.collapse.collapse_graphs`.
 
     Splits the graph list into contiguous chunks, combines each chunk
@@ -202,11 +299,19 @@ def combine_graphs_jobs(graphs, context_sensitive=True, jobs=1):
     order, capacities, and labels-as-serialized) to combining the whole
     list at once; the reported :class:`CollapseStats` count the
     original inputs, as the serial call would.
+
+    Under ``on_error="collect"``, a failed chunk job is *excluded*:
+    the combined graph covers only the surviving chunks' inputs, and
+    the failures are reported in ``stats.failures`` (callers must
+    treat such a combination as partial — the §3 guarantee does not
+    cover the excluded runs).  At least one chunk must survive, or a
+    :class:`~repro.errors.BatchError` is raised.
     """
     graphs = list(graphs)
     if not graphs:
         raise ValueError("combine_graphs_jobs needs at least one graph")
-    engine = BatchEngine(jobs)
+    engine = BatchEngine(jobs, faults=_fault_policy(faults, timeout,
+                                                    retries, on_error))
     parts = min(engine.jobs, len(graphs))
     if parts <= 1:
         return collapse_graphs(graphs, context_sensitive=context_sensitive)
@@ -216,18 +321,36 @@ def combine_graphs_jobs(graphs, context_sensitive=True, jobs=1):
     outcomes = engine.map(_collapse_chunk_job, payloads)
     metrics = obs.get_metrics()
     t0 = time.perf_counter()
+    failures = []
+    survivors = []
     with obs.get_tracer().span("batch.merge", chunks=len(outcomes)):
-        partials = [_load_text(outcome["graph"]) for outcome in outcomes]
-        combined, _ = collapse_graphs(partials,
+        for index, outcome in enumerate(outcomes):
+            if isinstance(outcome, JobFailure):
+                failures.append(outcome)
+                continue
+            try:
+                partial = _load_text(outcome["graph"])
+            except GraphError as error:
+                if not engine.faults.collecting:
+                    raise
+                failures.append(_corrupt_graph_failure(index, error,
+                                                       metrics))
+                continue
+            survivors.append((partial, outcome))
+        if not survivors:
+            raise BatchError(
+                "all %d combination chunks failed (first failure: %s)"
+                % (len(outcomes), failures[0]))
+        combined, _ = collapse_graphs([graph for graph, _ in survivors],
                                       context_sensitive=context_sensitive)
     stats = CollapseStats(
-        sum(outcome["original_nodes"] for outcome in outcomes),
-        sum(outcome["original_edges"] for outcome in outcomes),
-        combined.num_nodes, combined.num_edges)
+        sum(outcome["original_nodes"] for _, outcome in survivors),
+        sum(outcome["original_edges"] for _, outcome in survivors),
+        combined.num_nodes, combined.num_edges, failures=failures)
     if metrics.enabled:
         shipped = sum(len(text.encode("utf-8")) for text in texts)
         shipped += sum(len(outcome["graph"].encode("utf-8"))
-                       for outcome in outcomes)
+                       for _, outcome in survivors)
         metrics.incr("batch.graphs_bytes", shipped)
         metrics.add_seconds("batch.merge_seconds",
                             time.perf_counter() - t0)
@@ -254,7 +377,8 @@ def _category_solve_job(payload):
 
 
 def measure_by_category_jobs(graph, category_edges, collapse="none",
-                             stats=None, jobs=1):
+                             stats=None, jobs=1, timeout=None, retries=0,
+                             on_error="raise", faults=None):
     """Parallel per-category sweep; see
     :func:`repro.core.multisecret.measure_by_category`.
 
@@ -263,18 +387,29 @@ def measure_by_category_jobs(graph, category_edges, collapse="none",
     graph structure and capacities, so the serialized copy a worker
     solves yields the same flow value and the same canonical cut mask
     as the in-memory graph would.
+
+    Under ``on_error="collect"``, categories whose solve job failed are
+    missing from ``per_category`` and reported in the returned
+    :class:`~repro.core.multisecret.CategoryBounds`' ``failures``.
     """
     text = _dump_text(graph)
+    categories = sorted(category_edges)
     payloads = [(text, category, dict(category_edges))
-                for category in sorted(category_edges)]
-    engine = BatchEngine(jobs)
+                for category in categories]
+    engine = BatchEngine(jobs, faults=_fault_policy(faults, timeout,
+                                                    retries, on_error))
     outcomes = engine.map(_category_solve_job, payloads)
     metrics = obs.get_metrics()
     t0 = time.perf_counter()
     per_category = {}
     reports = {}
+    failures = []
     with obs.get_tracer().span("batch.merge", categories=len(outcomes)):
-        for category, value, mask in outcomes:
+        for outcome in outcomes:
+            if isinstance(outcome, JobFailure):
+                failures.append(outcome)
+                continue
+            category, value, mask = outcome
             restricted = _restricted_copy(graph, category_edges, [category])
             per_category[category] = value
             reports[category] = MinCut(restricted, mask)
@@ -285,7 +420,7 @@ def measure_by_category_jobs(graph, category_edges, collapse="none",
         metrics.add_seconds("batch.merge_seconds",
                             time.perf_counter() - t0)
     return CategoryBounds(per_category, joint.bits,
-                          {"joint": joint, **reports})
+                          {"joint": joint, **reports}, failures=failures)
 
 
 # ----------------------------------------------------------------------
@@ -316,10 +451,13 @@ class ProgramResult:
 
 def _measure_program_job(payload):
     """Measure one program of a corpus (online-collapsed trace)."""
-    name, source, secret, public, collapse, entry = payload
+    (name, source, secret, public, collapse, entry, max_steps,
+     deadline_seconds) = payload
     t0 = time.perf_counter()
     result = measure(source, secret, public, collapse=collapse,
-                     entry=entry, filename=name, online=True)
+                     entry=entry, filename=name, online=True,
+                     max_steps=max_steps,
+                     deadline_seconds=deadline_seconds)
     report = result.report
     cut = []
     for cut_edge in report.mincut.edges:
@@ -334,13 +472,18 @@ def _measure_program_job(payload):
                          time.perf_counter() - t0)
 
 
-def measure_programs(items, collapse="context", jobs=1, entry="main"):
+def measure_programs(items, collapse="context", jobs=1, entry="main",
+                     max_steps=None, deadline_seconds=None, timeout=None,
+                     retries=0, on_error="raise", faults=None):
     """Measure a corpus of independent programs, ``jobs`` at a time.
 
     ``items`` yields ``(name, source, secret_input)`` or ``(name,
     source, secret_input, public_input)`` tuples.  Unlike the multi-run
     frontends nothing is combined — the programs are unrelated, so the
     jobs ship back :class:`ProgramResult` summaries, in input order.
+    Under ``on_error="collect"``, a failed program's slot holds its
+    :class:`~repro.batch.engine.JobFailure` instead (check with
+    ``isinstance``); the other programs' results are unaffected.
     """
     _check_collapse(collapse)
     payloads = []
@@ -351,5 +494,7 @@ def measure_programs(items, collapse="context", jobs=1, entry="main"):
         else:
             name, source, secret, public = item
         payloads.append((name, source, bytes(secret), bytes(public),
-                         collapse, entry))
-    return BatchEngine(jobs).map(_measure_program_job, payloads)
+                         collapse, entry, max_steps, deadline_seconds))
+    engine = BatchEngine(jobs, faults=_fault_policy(faults, timeout,
+                                                    retries, on_error))
+    return engine.map(_measure_program_job, payloads)

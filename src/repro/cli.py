@@ -63,6 +63,16 @@ def _add_input_flags(parser, prefix, help_noun):
                         help="%s read from a file" % help_noun)
 
 
+def _add_budget_flags(parser):
+    parser.add_argument("--max-steps", dest="max_steps", type=int,
+                        default=None, metavar="N",
+                        help="abort a run after N VM steps")
+    parser.add_argument("--deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="abort a run past this wall-clock budget, "
+                             "enforced in the VM step loop (VMTimeout)")
+
+
 def _add_metrics_flags(parser):
     parser.add_argument("--metrics", nargs="?", const="table",
                         choices=["table", "json"], metavar="FORMAT",
@@ -122,7 +132,8 @@ def cmd_measure(args):
     result = lang_measure(source, secret_input=_input_bytes(args, "secret"),
                           public_input=_input_bytes(args, "public"),
                           collapse=args.collapse, filename=args.program,
-                          online=args.online)
+                          online=args.online, max_steps=args.max_steps,
+                          deadline_seconds=args.deadline)
     if args.json:
         cut = CutPolicy.from_report(result.report)
         print(json.dumps({
@@ -235,28 +246,44 @@ def cmd_batch(args):
     source = _read_program(args.program)
     result = measure_program_runs(
         source, secrets, public_input=_input_bytes(args, "public"),
-        collapse=args.collapse, jobs=args.jobs, filename=args.program)
+        collapse=args.collapse, jobs=args.jobs, filename=args.program,
+        max_steps=args.max_steps, deadline_seconds=args.deadline,
+        timeout=args.timeout, retries=args.retries,
+        on_error=args.on_error)
     report = result.report
     if args.json:
         cut = CutPolicy.from_report(report)
         print(json.dumps({
             "runs": result.runs,
+            "attempted": result.attempted,
             "jobs": result.jobs,
+            "partial": result.partial,
             "combined_bits": result.bits,
             "per_run_bits": result.per_run_bits,
             "per_run_kraft_sum": float(result.kraft_sum),
             "per_run_sound": result.per_run_sound,
+            "failures": [failure.to_dict(traceback=False)
+                         for failure in result.failures],
             "cut": cut.to_dict(),
             "warnings": report.warnings,
         }, indent=2))
     else:
         print("%d runs across %d job slot(s)" % (result.runs, result.jobs))
+        if result.partial:
+            print("PARTIAL: %d of %d runs failed and are excluded from "
+                  "the bound:" % (len(result.failures), result.attempted))
+            for failure in result.failures:
+                print("  run %d: %s: %s" % (failure.index,
+                                            failure.error_type,
+                                            failure.error))
         print("per-run bounds: %s bits (Kraft sum %.4f, %s)"
               % (result.per_run_bits, float(result.kraft_sum),
                  "sound alone" if result.per_run_sound
                  else "NOT jointly sound — combined bound required"))
         print(report.describe())
-    return 0
+    # Exit 1 on a partial result: scripting must notice that the bound
+    # does not cover every requested run.
+    return 1 if result.partial else 0
 
 
 def build_parser():
@@ -275,6 +302,7 @@ def build_parser():
     p.add_argument("--online", action="store_true",
                    help="collapse the graph while tracing (constant-size "
                         "live graph; not valid with --collapse none)")
+    _add_budget_flags(p)
     p.add_argument("--json", action="store_true")
     p.add_argument("--save-policy", metavar="FILE")
     p.add_argument("--dot", metavar="FILE",
@@ -335,6 +363,19 @@ def build_parser():
                         "bit-identical results either way)")
     p.add_argument("--collapse", default="context",
                    choices=["context", "location"])
+    _add_budget_flags(p)
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="per-job wall-clock timeout; a hung job's worker "
+                        "is terminated and the pool resurrected")
+    p.add_argument("--retries", type=int, default=0, metavar="N",
+                   help="retry budget for transient job failures (broken "
+                        "pool, timeout, transport); exhausted payloads "
+                        "are quarantined")
+    p.add_argument("--on-error", dest="on_error", default="raise",
+                   choices=["raise", "collect"],
+                   help="raise: first failure aborts the batch (default); "
+                        "collect: finish the surviving runs and report a "
+                        "partial bound (exit status 1)")
     p.add_argument("--json", action="store_true")
     _add_metrics_flags(p)
     p.set_defaults(func=cmd_batch)

@@ -124,7 +124,7 @@ def measure_graph(graph, collapse="context", stats=None, warnings=None,
 
 
 def measure_runs(graphs, collapse="context", stats_list=None, warnings=None,
-                 solver=dinic_max_flow, jobs=1):
+                 solver=dinic_max_flow, jobs=1, faults=None):
     """Measure several runs *together* (Section 3.2).
 
     The graphs are combined by edge label before solving, which forces a
@@ -136,7 +136,9 @@ def measure_runs(graphs, collapse="context", stats_list=None, warnings=None,
     ``jobs > 1`` combines the graphs in contiguous chunks across worker
     processes (:func:`repro.batch.runs.combine_graphs_jobs`); the
     result — bound, cut, and combined graph — is identical to the
-    serial combination.
+    serial combination.  A collecting ``faults`` policy there can drop
+    failed chunks; the report then comes back marked ``partial`` with
+    the failures noted in ``collapse_stats.failures``.
     """
     graphs = list(graphs)
     metrics = obs.get_metrics()
@@ -149,7 +151,7 @@ def measure_runs(graphs, collapse="context", stats_list=None, warnings=None,
                 from ..batch.runs import combine_graphs_jobs
                 combined, collapse_stats = combine_graphs_jobs(
                     graphs, context_sensitive=(collapse == "context"),
-                    jobs=jobs)
+                    jobs=jobs, faults=faults)
             else:
                 combined, collapse_stats = collapse_graphs(
                     graphs, context_sensitive=(collapse == "context"))
@@ -174,5 +176,6 @@ def measure_runs(graphs, collapse="context", stats_list=None, warnings=None,
         warnings=warnings,
         metrics=metrics.snapshot() if metrics.enabled else None,
         trace_spans=tracer.snapshot() if tracer.enabled else None,
+        partial=bool(getattr(collapse_stats, "failures", None)),
     )
     return report

@@ -27,12 +27,24 @@ DEFAULT_CATEGORY = "secret"
 
 
 class CategoryBounds:
-    """Per-category and joint flow bounds from one execution."""
+    """Per-category and joint flow bounds from one execution.
 
-    def __init__(self, per_category, joint, reports):
+    ``failures`` is normally empty; a parallel sweep running under
+    ``on_error="collect"`` records there the
+    :class:`~repro.batch.engine.JobFailure` of every category whose
+    solve job failed — those categories are then missing from
+    ``per_category``, and the sweep is partial.
+    """
+
+    def __init__(self, per_category, joint, reports, failures=()):
         self.per_category = dict(per_category)
         self.joint = joint
         self.reports = reports
+        self.failures = list(failures)
+
+    @property
+    def partial(self):
+        return bool(self.failures)
 
     @property
     def sum_of_categories(self):
@@ -76,7 +88,7 @@ def _solve_with_categories(graph, category_edges, enabled):
 
 
 def measure_by_category(graph, category_edges, collapse="none",
-                        stats=None, jobs=1):
+                        stats=None, jobs=1, faults=None):
     """Measure one graph per-category and jointly.
 
     Args:
@@ -94,6 +106,9 @@ def measure_by_category(graph, category_edges, collapse="none",
         jobs: fan the per-category solves over this many worker
             processes (:func:`repro.batch.runs.measure_by_category_jobs`);
             bounds and cuts are identical to the serial sweep.
+        faults: a :class:`~repro.batch.engine.FaultPolicy` for the
+            parallel sweep; under ``on_error="collect"`` failed
+            categories land in the result's ``failures``.
 
     Returns a :class:`CategoryBounds`.
     """
@@ -101,7 +116,7 @@ def measure_by_category(graph, category_edges, collapse="none",
         from ..batch.runs import measure_by_category_jobs
         return measure_by_category_jobs(graph, category_edges,
                                         collapse=collapse, stats=stats,
-                                        jobs=jobs)
+                                        jobs=jobs, faults=faults)
     per_category = {}
     reports = {}
     for category in sorted(category_edges):

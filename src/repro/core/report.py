@@ -71,11 +71,20 @@ class FlowReport:
             tracer up to the end of the measurement (see the Tracing
             section of ``docs/observability.md``), or ``None`` when
             tracing was disabled.
+        partial: ``True`` when the report deliberately covers only a
+            subset of the requested executions — e.g. a batch under
+            ``on_error="collect"`` whose failed runs were excluded
+            from the combined graph.  A partial bound is sound *for
+            the surviving runs only*: the Section 3 Kraft guarantee
+            says nothing about what the failed runs would have
+            revealed, so callers must never treat a partial report as
+            a complete bound.
     """
 
     def __init__(self, bits, mincut, graph, secret_input_bits=None,
                  tainted_output_bits=None, collapse_stats=None, stats=None,
-                 warnings=None, metrics=None, trace_spans=None):
+                 warnings=None, metrics=None, trace_spans=None,
+                 partial=False):
         self.bits = bits
         self.mincut = mincut
         self.cut = CutDescription(mincut)
@@ -87,11 +96,14 @@ class FlowReport:
         self.warnings = list(warnings or [])
         self.metrics = metrics
         self.trace_spans = trace_spans
+        self.partial = partial
 
     def describe(self):
         """Multi-line summary in the style of the paper's reports."""
-        lines = ["flow bound: %s bits"
-                 % ("inf" if self.bits >= INF else self.bits)]
+        lines = ["flow bound: %s bits%s"
+                 % ("inf" if self.bits >= INF else self.bits,
+                    " (PARTIAL: failed runs excluded)" if self.partial
+                    else "")]
         if self.secret_input_bits is not None:
             lines.append("secret input: %d bits" % self.secret_input_bits)
         if self.tainted_output_bits is not None:
@@ -112,4 +124,5 @@ class FlowReport:
         return "\n".join(lines)
 
     def __repr__(self):
-        return "FlowReport(bits=%s, cut_edges=%d)" % (self.bits, len(self.cut))
+        return "FlowReport(bits=%s, cut_edges=%d%s)" % (
+            self.bits, len(self.cut), ", partial" if self.partial else "")

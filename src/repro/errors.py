@@ -85,3 +85,56 @@ class VMError(ReproError):
             message = "%s: %s" % (location, message)
         super().__init__(message)
         self.location = location
+
+
+class VMTimeout(VMError):
+    """Raised when a run exceeds its ``deadline_seconds`` wall budget.
+
+    The deadline is enforced in the VM step loop alongside ``max_steps``,
+    so a diverging or merely slow program is cut off deterministically
+    close to the budget.  The batch layer classifies this as a
+    *non-transient* job failure: re-running the same program against the
+    same deadline would time out again.
+    """
+
+    def __init__(self, message, deadline_seconds=None, steps=None):
+        super().__init__(message)
+        self.deadline_seconds = deadline_seconds
+        self.steps = steps
+
+
+class BatchError(ReproError):
+    """Base class for batch fan-out failures (:mod:`repro.batch`)."""
+
+
+class JobError(BatchError):
+    """One batch job failed; wraps the worker-side exception.
+
+    Raised in the parent under ``on_error="raise"`` when the original
+    worker exception could not be transported (it did not pickle);
+    otherwise the original exception is re-raised directly.
+
+    Attributes:
+        index: the failing payload's position in the batch.
+        failure: the structured :class:`repro.batch.engine.JobFailure`
+            record, when available.
+    """
+
+    def __init__(self, message, index=None, failure=None):
+        super().__init__(message)
+        self.index = index
+        self.failure = failure
+
+
+class JobTimeout(JobError):
+    """A batch job exceeded its per-job wall-clock ``timeout``.
+
+    Classified as *transient* by the batch engine: the job is retried
+    (with backoff, after the pool is resurrected) until its retry budget
+    is exhausted, at which point it is quarantined and this error is
+    recorded — or raised, under ``on_error="raise"``.
+    """
+
+    def __init__(self, message, index=None, failure=None, seconds=None):
+        super().__init__(message, index=index, failure=failure)
+        self.seconds = seconds

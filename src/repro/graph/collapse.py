@@ -28,22 +28,32 @@ from .unionfind import UnionFind
 
 
 class CollapseStats:
-    """Before/after sizes of a collapse, for the Section 5.3 benchmarks."""
+    """Before/after sizes of a collapse, for the Section 5.3 benchmarks.
+
+    ``failures`` is normally empty; a parallel combination running
+    under ``on_error="collect"`` records there the
+    :class:`~repro.batch.engine.JobFailure` of every chunk it had to
+    *exclude* — the combined graph then covers only the surviving
+    inputs (see ``FlowReport.partial``).
+    """
 
     __slots__ = ("original_nodes", "original_edges", "collapsed_nodes",
-                 "collapsed_edges")
+                 "collapsed_edges", "failures")
 
     def __init__(self, original_nodes, original_edges, collapsed_nodes,
-                 collapsed_edges):
+                 collapsed_edges, failures=()):
         self.original_nodes = original_nodes
         self.original_edges = original_edges
         self.collapsed_nodes = collapsed_nodes
         self.collapsed_edges = collapsed_edges
+        self.failures = list(failures)
 
     def __repr__(self):
-        return ("CollapseStats(nodes %d->%d, edges %d->%d)"
+        return ("CollapseStats(nodes %d->%d, edges %d->%d%s)"
                 % (self.original_nodes, self.collapsed_nodes,
-                   self.original_edges, self.collapsed_edges))
+                   self.original_edges, self.collapsed_edges,
+                   ", %d failed chunks" % len(self.failures)
+                   if self.failures else ""))
 
 
 def _edge_key(label, context_sensitive):
@@ -399,17 +409,19 @@ def collapse_graph_online(graph, context_sensitive=True):
     return combined, stats
 
 
-def combine_runs(graphs, context_sensitive=True, jobs=1):
+def combine_runs(graphs, context_sensitive=True, jobs=1, faults=None):
     """Combine the graphs of multiple runs (Section 3.2).
 
     Alias of :func:`collapse_graphs`, named for the multi-run use case.
     ``jobs > 1`` fans the combination over worker processes in
     contiguous chunks (:func:`repro.batch.runs.combine_graphs_jobs`);
-    the combined graph is identical to the serial result.
+    the combined graph is identical to the serial result.  ``faults``
+    (a :class:`~repro.batch.engine.FaultPolicy`) configures that
+    fan-out's failure handling; see :func:`combine_graphs_jobs`.
     """
     if jobs and jobs > 1:
         from ..batch.runs import combine_graphs_jobs
         return combine_graphs_jobs(graphs,
                                    context_sensitive=context_sensitive,
-                                   jobs=jobs)
+                                   jobs=jobs, faults=faults)
     return collapse_graphs(graphs, context_sensitive=context_sensitive)

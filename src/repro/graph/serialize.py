@@ -67,6 +67,13 @@ def load_graph(stream):
     on, so save/collapse/measure pipelines are unaffected.  Any ``c``
     records come back as a ``category_edges`` attribute on the graph
     (absent when the dump carried no tags).
+
+    Robustness contract: *any* malformed input — truncated lines,
+    non-integer fields, out-of-range node references, a missing header
+    — raises :class:`~repro.errors.GraphError` carrying the offending
+    line number, never a bare ``ValueError``/``IndexError``.  Batch
+    parents rely on this to classify a corrupt graph shipped home from
+    a worker as a job failure instead of crashing the merge.
     """
     header = stream.readline().strip()
     if header != _HEADER:
@@ -78,27 +85,40 @@ def load_graph(stream):
         if not line:
             continue
         fields = line.split("\t")
-        if fields[0] == "n":
-            declared = int(fields[1])
-            if declared < graph.num_nodes:
-                raise GraphError("node count too small")
-            graph.add_nodes(declared - graph.num_nodes)
-        elif fields[0] == "e":
-            tail, head = int(fields[1]), int(fields[2])
-            capacity = INF if fields[3] == "inf" else int(fields[3])
-            label = None
-            if len(fields) > 4:
-                context = None if fields[6] == "-" else int(fields[6])
-                label = EdgeLabel(fields[5], context, fields[4])
-            graph.add_edge(tail, head, capacity, label)
-        elif fields[0] == "c":
-            if len(fields) < 2 or not fields[1]:
-                raise GraphError("category record without a name at "
-                                 "line %d" % line_number)
-            categories[fields[1]] = [int(index) for index in fields[2:]]
-        else:
-            raise GraphError("bad record %r at line %d"
-                             % (fields[0], line_number))
+        try:
+            if fields[0] == "n":
+                if len(fields) != 2:
+                    raise GraphError("node record has %d fields, want 2"
+                                     % len(fields))
+                declared = int(fields[1])
+                if declared < graph.num_nodes:
+                    raise GraphError("node count too small")
+                graph.add_nodes(declared - graph.num_nodes)
+            elif fields[0] == "e":
+                if len(fields) not in (4, 7):
+                    raise GraphError("edge record has %d fields, "
+                                     "want 4 (unlabelled) or 7 (labelled)"
+                                     % len(fields))
+                tail, head = int(fields[1]), int(fields[2])
+                capacity = INF if fields[3] == "inf" else int(fields[3])
+                label = None
+                if len(fields) > 4:
+                    context = None if fields[6] == "-" else int(fields[6])
+                    label = EdgeLabel(fields[5], context, fields[4])
+                graph.add_edge(tail, head, capacity, label)
+            elif fields[0] == "c":
+                if len(fields) < 2 or not fields[1]:
+                    raise GraphError("category record without a name")
+                categories[fields[1]] = [int(index)
+                                         for index in fields[2:]]
+            else:
+                raise GraphError("bad record %r" % fields[0])
+        except GraphError as error:
+            raise GraphError("%s at line %d" % (error, line_number)) \
+                from None
+        except (ValueError, IndexError) as error:
+            raise GraphError("malformed %r record at line %d: %s"
+                             % (fields[0], line_number, error)) from None
     if categories:
         for category, indices in categories.items():
             for index in indices:

@@ -81,13 +81,20 @@ def compile_cached(source, filename="<source>"):
 
 def execute(compiled, secret_input=b"", public_input=b"", tracker=None,
             entry="main", region_check="warn", lazy_regions=True,
-            interceptor=None, max_steps=None, exit_observable=True,
-            finish=True):
-    """Run a compiled program; returns ``(vm, finish_result)``."""
+            interceptor=None, max_steps=None, deadline_seconds=None,
+            exit_observable=True, finish=True):
+    """Run a compiled program; returns ``(vm, finish_result)``.
+
+    ``max_steps`` bounds execution in steps, ``deadline_seconds`` in
+    wall-clock time (enforced in the VM step loop, raising
+    :class:`~repro.errors.VMTimeout`); either may be ``None``.
+    """
     tracker = tracker if tracker is not None else TraceBuilder()
     kwargs = {}
     if max_steps is not None:
         kwargs["max_steps"] = max_steps
+    if deadline_seconds is not None:
+        kwargs["deadline_seconds"] = deadline_seconds
     vm = VM(compiled, tracker, secret_input=secret_input,
             public_input=public_input, region_check=region_check,
             lazy_regions=lazy_regions, interceptor=interceptor, **kwargs)
@@ -111,14 +118,15 @@ def _make_tracker(online, collapse):
 def measure(source_or_compiled, secret_input=b"", public_input=b"",
             collapse="context", entry="main", region_check="warn",
             lazy_regions=True, exit_observable=True, filename="<source>",
-            max_steps=None, online=False):
+            max_steps=None, deadline_seconds=None, online=False):
     """Measure the information one execution reveals.
 
     Accepts either FlowLang source text or an already-compiled program.
     With ``online=True`` the graph is collapsed by ``collapse`` *while
     tracing* (Section 5.2 online), keeping the live graph
     coverage-sized on long runs; the report is equivalent to the
-    post-hoc collapse.  Returns a :class:`RunResult`.
+    post-hoc collapse.  ``max_steps``/``deadline_seconds`` bound the
+    run (steps / wall seconds).  Returns a :class:`RunResult`.
     """
     compiled = _ensure_compiled(source_or_compiled, filename)
     tracker = _make_tracker(online, collapse)
@@ -131,6 +139,7 @@ def measure(source_or_compiled, secret_input=b"", public_input=b"",
                                 region_check=region_check,
                                 lazy_regions=lazy_regions,
                                 max_steps=max_steps,
+                                deadline_seconds=deadline_seconds,
                                 exit_observable=exit_observable)
         report = measure_graph(graph, collapse=collapse,
                                stats=tracker.stats, warnings=vm.warnings)

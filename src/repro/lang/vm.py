@@ -16,10 +16,12 @@ whole-array region updates in O(1).
 
 from __future__ import annotations
 
+import time
+
 from ..core.lazyranges import LazyRangeTable
 from ..core.regions import DeclaredOutput, RegionWriteChecker
 from ..core.tracker import PUBLIC, Provenance
-from ..errors import VMError
+from ..errors import VMError, VMTimeout
 from ..shadow import transfer
 from ..shadow.bitmask import width_mask
 from .bytecode import Op
@@ -27,6 +29,10 @@ from .bytecode import Op
 #: Default execution budget; loops that exceed it are reported rather
 #: than hanging the analysis.
 DEFAULT_MAX_STEPS = 50_000_000
+
+#: The wall-clock deadline is polled every this many steps, so the
+#: per-step overhead of ``deadline_seconds`` is one mask-and-test.
+DEADLINE_POLL_STEPS = 1024
 
 
 class NullTracker:
@@ -150,12 +156,17 @@ class VM:
             set, values produced at the policy's cut locations are
             routed through ``interceptor.intercept``.
         lazy_regions: enable the Section 4.3 deferred array updates.
-        max_steps: execution budget.
+        max_steps: execution budget (steps).
+        deadline_seconds: wall-clock execution budget; ``None`` (the
+            default) means unlimited.  Enforced in the step loop every
+            :data:`DEADLINE_POLL_STEPS` steps, raising
+            :class:`~repro.errors.VMTimeout`.
     """
 
     def __init__(self, program, tracker, secret_input=b"", public_input=b"",
                  region_check="warn", interceptor=None, lazy_regions=True,
-                 max_steps=DEFAULT_MAX_STEPS, output_hook=None):
+                 max_steps=DEFAULT_MAX_STEPS, deadline_seconds=None,
+                 output_hook=None):
         self.program = program
         self.tracker = tracker
         self.secret_input = bytes(secret_input)
@@ -165,6 +176,10 @@ class VM:
         self.region_check = region_check
         self.interceptor = interceptor
         self.max_steps = max_steps
+        if deadline_seconds is not None and not deadline_seconds > 0:
+            raise ValueError("deadline_seconds must be positive or None, "
+                             "got %r" % (deadline_seconds,))
+        self.deadline_seconds = deadline_seconds
         #: Called as ``output_hook(vm)`` after every output event -- the
         #: paper's "recompute the flow on every program output" mode.
         self.output_hook = output_hook
@@ -247,13 +262,24 @@ class VM:
 
     def _execute(self):
         # Every compiled function ends in RET, so the loop terminates
-        # exactly when the entry frame returns (or the budget runs out).
+        # exactly when the entry frame returns (or a budget runs out).
+        deadline = None
+        if self.deadline_seconds is not None:
+            deadline = time.monotonic() + self.deadline_seconds
+        poll_mask = DEADLINE_POLL_STEPS - 1
         while self._frames:
             self._step()
             self.steps += 1
             if self.steps > self.max_steps:
                 raise VMError("execution budget exceeded (%d steps)"
                               % self.max_steps)
+            if deadline is not None and not (self.steps & poll_mask) \
+                    and time.monotonic() > deadline:
+                raise VMTimeout(
+                    "wall-clock deadline exceeded (%.3fs budget, "
+                    "%d steps)" % (self.deadline_seconds, self.steps),
+                    deadline_seconds=self.deadline_seconds,
+                    steps=self.steps)
 
     # ------------------------------------------------------------------
     # The dispatch loop

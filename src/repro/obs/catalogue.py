@@ -159,6 +159,20 @@ def _specs():
          "the parent"),
         (TIMER, "batch.merge_seconds", "seconds", "experimental",
          "parent-side wall time merging worker graphs and results"),
+        (c, "batch.failures", "jobs", "experimental",
+         "batch jobs that ended in a JobFailure record (worker "
+         "exception, or transient-retry budget exhausted)"),
+        (c, "batch.retries", "jobs", "experimental",
+         "job re-submissions after a transient failure (timeout, broken "
+         "pool, pickling transport)"),
+        (c, "batch.timeouts", "jobs", "experimental",
+         "job attempts cut off by the per-job wall-clock timeout"),
+        (c, "batch.pool_restarts", "restarts", "experimental",
+         "worker-pool teardown/resurrection cycles after a broken pool "
+         "or a timed-out (hung) job"),
+        (c, "batch.quarantined", "jobs", "experimental",
+         "jobs dropped from rotation after exhausting their transient "
+         "retry budget"),
     ]
     phase_doc = {
         "trace": "instrumented execution (FlowLang VM run)",

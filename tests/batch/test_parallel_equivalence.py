@@ -178,6 +178,62 @@ class TestCombineEquivalence:
             serial_stats.collapsed_edges
 
 
+#: Crashes (division by zero) exactly when the first secret byte is 0,
+#: so which runs fail is a pure function of the seeded secrets: the
+#: same seed must produce the same outcome set on every path.
+FLAKY = """
+fn main() {
+    var buf: u8[8];
+    var n: u32 = read_secret(buf, 8);
+    var d: u8 = buf[0];
+    var acc: u8 = 0;
+    var i: u32 = 0;
+    while (i < n) {
+        acc = acc + (buf[i] / d);
+        i = i + 1;
+    }
+    output(acc);
+}
+"""
+
+
+class TestCollectModeEquivalence:
+    """jobs=1 ≡ jobs=N extends to on_error="collect" with flaky jobs:
+    the same seed yields the same failed-index set, the same surviving
+    bounds, and the same combined graph."""
+
+    @pytest.mark.parametrize("seed", [2, 9, 31])
+    def test_same_seed_same_outcome_set(self, seed):
+        secrets = random_secrets(seed, 6)  # alphabet includes \x00
+        serial, serial_snap = snapshot_for(
+            lambda: measure_program_runs(FLAKY, secrets, jobs=1,
+                                         on_error="collect"))
+        parallel, parallel_snap = snapshot_for(
+            lambda: measure_program_runs(FLAKY, secrets, jobs=3,
+                                         on_error="collect"))
+        assert [f.index for f in parallel.failures] == \
+            [f.index for f in serial.failures]
+        assert [f.error_type for f in parallel.failures] == \
+            [f.error_type for f in serial.failures]
+        assert parallel.partial == serial.partial
+        assert parallel.attempted == serial.attempted == len(secrets)
+        assert parallel.bits == serial.bits
+        assert parallel.per_run_bits == serial.per_run_bits
+        assert graph_text(parallel.report.graph) == \
+            graph_text(serial.report.graph)
+        assert cut_fingerprint(parallel.report.mincut) == \
+            cut_fingerprint(serial.report.mincut)
+        assert parallel_snap["batch.failures"] == \
+            serial_snap["batch.failures"] == len(serial.failures)
+
+    def test_at_least_one_seed_actually_fails(self):
+        """Guard: the fixture programs must exercise the failure path."""
+        failing = [seed for seed in (2, 9, 31)
+                   if any(secret[0] == 0
+                          for secret in random_secrets(seed, 6))]
+        assert failing, "no seed produces a crashing secret"
+
+
 class TestCategorySweepEquivalence:
     def random_session(self, seed):
         rng = random.Random(seed)

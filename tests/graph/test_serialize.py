@@ -191,3 +191,81 @@ class TestCollapsedBzip2RoundTrip:
         twice = save_graph(str(tmp_path / "twice.fgr"), read_graph(first))
         with open(first) as a, open(twice) as b:
             assert a.read() == b.read()
+
+
+def valid_dump_text():
+    """A representative dump: labelled + unlabelled + inf + categories."""
+    g = FlowGraph()
+    a = g.add_node()
+    b = g.add_node()
+    g.add_edge(g.source, a, 8, EdgeLabel("in.fl:1(main+0)", 7, "input"))
+    g.add_edge(g.source, b, 8, EdgeLabel("in.fl:2(main+1)", None, "input"))
+    g.add_edge(a, b, 3)
+    g.add_edge(b, g.sink, INF, EdgeLabel("out.fl:9(main+4)", 7, "output"))
+    buffer = io.StringIO()
+    dump_graph(g, buffer, category_edges={"alice": [0], "bob": [1]})
+    return buffer.getvalue()
+
+
+class TestMalformedRecords:
+    """The robustness contract: malformed input raises GraphError (with
+    the offending line number), never a bare ValueError/IndexError."""
+
+    @pytest.mark.parametrize("line", [
+        "n",                       # truncated node record
+        "n\tx",                    # non-integer node count
+        "n\t1\t2",                 # too many fields
+        "e\t0\t1",                 # too few edge fields
+        "e\t0\t1\t4\tvalue",       # label needs all three extra fields
+        "e\t0\t1\t4\tvalue\tloc\t-\textra",  # too many edge fields
+        "e\t0\tx\t4",              # non-integer node reference
+        "e\t0\t1\tcap",            # non-integer capacity
+        "e\t0\t99\t4",             # head out of range (FlowGraph check)
+        "e\t0\t1\t-4",             # negative capacity (FlowGraph check)
+        "e\t0\t1\t4\tvalue\tloc\tctx",  # non-integer context
+        "c\talice\tx",             # non-integer category index
+        "c\talice\t99",            # category index out of range
+        "z\t1\t2",                 # unknown record type
+    ])
+    def test_malformed_record_is_graph_error(self, line):
+        text = "flowgraph-v1\nn\t4\ne\t0\t1\t4\n%s\n" % line
+        with pytest.raises(GraphError):
+            load_graph(io.StringIO(text))
+
+    def test_error_carries_line_number(self):
+        text = "flowgraph-v1\nn\t4\ne\t0\t1\t4\ne\t0\tx\t4\n"
+        with pytest.raises(GraphError, match="line 4"):
+            load_graph(io.StringIO(text))
+
+    def test_missing_header_names_what_it_got(self):
+        with pytest.raises(GraphError, match="flowgraph-v1"):
+            load_graph(io.StringIO("e\t0\t1\t4\n"))
+
+
+class TestTruncationFuzz:
+    """Every truncation of a valid dump loads cleanly or raises
+    GraphError — the failure mode a batch parent depends on when a
+    killed worker ships home a half-written graph."""
+
+    def assert_loads_or_graph_error(self, text):
+        try:
+            load_graph(io.StringIO(text))
+        except GraphError:
+            pass  # the contract allows (and expects) exactly this
+
+    def test_every_line_truncation(self):
+        lines = valid_dump_text().splitlines(keepends=True)
+        for count in range(len(lines) + 1):
+            self.assert_loads_or_graph_error("".join(lines[:count]))
+
+    def test_every_character_truncation(self):
+        text = valid_dump_text()
+        for count in range(len(text) + 1):
+            self.assert_loads_or_graph_error(text[:count])
+
+    def test_mid_line_corruption(self):
+        text = valid_dump_text()
+        for index, char in enumerate(text):
+            if char == "\t":
+                self.assert_loads_or_graph_error(
+                    text[:index] + " " + text[index + 1:])

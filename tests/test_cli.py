@@ -183,6 +183,120 @@ class TestBatch:
         assert snapshot["batch.graphs_bytes"] > 0
 
 
+CRASHY = """
+fn main() {
+    var x: u8 = secret_u8();
+    output(250 / x);
+}
+"""
+
+HANG = """
+fn main() {
+    var x: u8 = secret_u8();
+    var i: u32 = 0;
+    while (x > 100) {
+        i = i + 1;
+    }
+    output(x);
+}
+"""
+
+
+@pytest.fixture
+def crashy(tmp_path):
+    path = tmp_path / "crashy.fl"
+    path.write_text(CRASHY)
+    return str(path)
+
+
+@pytest.fixture
+def hang(tmp_path):
+    path = tmp_path / "hang.fl"
+    path.write_text(HANG)
+    return str(path)
+
+
+class TestBatchFaults:
+    def test_collect_reports_partial_and_exits_1(self, crashy, capsys):
+        assert main(["batch", crashy, "--secret-hex", "05",
+                     "--secret-hex", "00", "--secret-hex", "0a",
+                     "--on-error", "collect", "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["partial"] is True
+        assert payload["runs"] == 2
+        assert payload["attempted"] == 3
+        assert [f["index"] for f in payload["failures"]] == [1]
+        assert payload["failures"][0]["error_type"] == "VMError"
+
+    def test_collect_human_output_names_failure(self, crashy, capsys):
+        assert main(["batch", crashy, "--secret-hex", "05",
+                     "--secret-hex", "00", "--on-error", "collect"]) == 1
+        out = capsys.readouterr().out
+        assert "PARTIAL: 1 of 2 runs failed" in out
+        assert "run 1: VMError" in out
+        assert "PARTIAL: failed runs excluded" in out
+
+    def test_default_raise_mode_exits_2(self, crashy, capsys):
+        assert main(["batch", crashy, "--secret-hex", "05",
+                     "--secret-hex", "00"]) == 2
+        assert "division by zero" in capsys.readouterr().err
+
+    def test_clean_batch_still_exits_0(self, crashy, capsys):
+        assert main(["batch", crashy, "--secret-hex", "05",
+                     "--secret-hex", "0a", "--on-error", "collect",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["partial"] is False
+        assert payload["failures"] == []
+
+    def test_timeout_cuts_off_hung_job(self, hang, capsys):
+        import time
+        t0 = time.monotonic()
+        assert main(["batch", hang, "--jobs", "2",
+                     "--secret-hex", "20", "--secret-hex", "ff",
+                     "--timeout", "2", "--on-error", "collect",
+                     "--json"]) == 1
+        assert time.monotonic() - t0 < 30.0
+        payload = json.loads(capsys.readouterr().out)
+        assert [f["error_type"] for f in payload["failures"]] == \
+            ["JobTimeout"]
+
+    def test_deadline_fails_runaway_run(self, hang, capsys):
+        assert main(["batch", hang, "--secret-hex", "20",
+                     "--secret-hex", "ff", "--deadline", "0.3",
+                     "--on-error", "collect", "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert [f["error_type"] for f in payload["failures"]] == \
+            ["VMTimeout"]
+
+    def test_fault_counters_in_metrics(self, crashy, tmp_path, capsys):
+        metrics_file = tmp_path / "m.json"
+        assert main(["batch", crashy, "--secret-hex", "05",
+                     "--secret-hex", "00", "--on-error", "collect",
+                     "--metrics=json", "--metrics-file",
+                     str(metrics_file)]) == 1
+        snapshot = json.loads(metrics_file.read_text())
+        assert snapshot["batch.failures"] == 1
+        assert snapshot["batch.timeouts"] == 0
+
+
+class TestMeasureBudgets:
+    def test_deadline_flag(self, hang, capsys):
+        assert main(["measure", hang, "--secret-hex", "ff",
+                     "--deadline", "0.3"]) == 2
+        assert "wall-clock deadline exceeded" in capsys.readouterr().err
+
+    def test_max_steps_flag(self, hang, capsys):
+        assert main(["measure", hang, "--secret-hex", "ff",
+                     "--max-steps", "1000"]) == 2
+        assert "execution budget exceeded" in capsys.readouterr().err
+
+    def test_budgets_leave_good_runs_alone(self, hang, capsys):
+        assert main(["measure", hang, "--secret-hex", "20",
+                     "--deadline", "5", "--max-steps", "100000"]) == 0
+        assert "flow bound" in capsys.readouterr().out
+
+
 class TestTraceFlag:
     def test_measure_writes_chrome_trace(self, program, tmp_path, capsys):
         trace = tmp_path / "out.json"

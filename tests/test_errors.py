@@ -3,17 +3,34 @@
 import pytest
 
 import repro
-from repro.errors import (CompileError, GraphError, LangError, LexError,
-                          ParseError, PolicyViolation, RegionError,
-                          ReproError, TraceError, TypeCheckError, VMError)
+from repro.errors import (BatchError, CompileError, GraphError, JobError,
+                          JobTimeout, LangError, LexError, ParseError,
+                          PolicyViolation, RegionError, ReproError,
+                          TraceError, TypeCheckError, VMError, VMTimeout)
 
 
 class TestHierarchy:
     def test_everything_is_repro_error(self):
         for exc in (GraphError, TraceError, RegionError, PolicyViolation,
                     LangError, LexError, ParseError, TypeCheckError,
-                    CompileError, VMError):
+                    CompileError, VMError, VMTimeout, BatchError, JobError,
+                    JobTimeout):
             assert issubclass(exc, ReproError)
+
+    def test_vm_timeout_is_vm_error(self):
+        # Batch workers rely on this: a run past its wall-clock deadline
+        # is a deterministic program failure, not a transient pool one.
+        assert issubclass(VMTimeout, VMError)
+        err = VMTimeout("too slow", deadline_seconds=1.5, steps=42)
+        assert err.deadline_seconds == 1.5
+        assert err.steps == 42
+
+    def test_batch_errors_nest(self):
+        assert issubclass(JobError, BatchError)
+        assert issubclass(JobTimeout, JobError)
+        err = JobTimeout("job 3 timed out", index=3, seconds=2.0)
+        assert err.index == 3
+        assert err.seconds == 2.0
 
     def test_lang_errors_under_lang_error(self):
         for exc in (LexError, ParseError, TypeCheckError, CompileError):
