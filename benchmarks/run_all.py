@@ -32,6 +32,7 @@ import argparse
 import io
 import json
 import os
+import random
 import sys
 import time
 from contextlib import redirect_stdout
@@ -47,7 +48,7 @@ from repro.apps.countpunct import FLOWLANG_SOURCE as COUNTPUNCT_SOURCE
 from repro.apps.flowlang_sources import FIGURE6_PROGRAMS
 from repro.apps.pi import workload_of_size
 from repro.batch import BatchEngine, measure_program_runs
-from repro.graph.collapse import collapse_graph
+from repro.graph.collapse import collapse_graph, collapse_graphs
 from repro.graph.maxflow import dinic_max_flow
 from repro.graph.serialize import dump_graph
 from repro.graph.seriesparallel import reduce_series_parallel
@@ -221,6 +222,124 @@ def section101_batch_multisecret():
     }
 
 
+def section_backends():
+    """Reference vs fast shadow propagation on the largest Figure 3 input."""
+    print("\n### Backends: reference vs fast shadow propagation"
+          " (compressor, largest Figure 3 input)")
+    size = 4096
+    data = workload_of_size(size)
+    metrics = obs.get_metrics()
+    medians = {}
+    results = {}
+    reps = 3
+    for backend in ("reference", "fast"):
+        trace_times = []
+        for _ in range(reps):
+            before = metrics.snapshot().get("phase.trace.seconds", 0.0)
+            result = measure_compression_flow(data, online=True,
+                                              backend=backend)
+            after = metrics.snapshot()["phase.trace.seconds"]
+            trace_times.append(after - before)
+        trace_times.sort()
+        medians[backend] = trace_times[reps // 2]
+        results[backend] = result
+    ref, fast = results["reference"], results["fast"]
+    if (ref.flow_bits, ref.report.graph.num_nodes,
+            ref.report.graph.num_edges) != (
+            fast.flow_bits, fast.report.graph.num_nodes,
+            fast.report.graph.num_edges):
+        raise AssertionError("fast backend diverged from reference: "
+                             "%r vs %r" % (ref, fast))
+    speedup = medians["reference"] / medians["fast"]
+    print("%10s %10s %12s" % ("backend", "bits", "trace(s)"))
+    for backend in ("reference", "fast"):
+        print("%10s %10d %12.4f" % (backend, results[backend].flow_bits,
+                                    medians[backend]))
+    print("equivalent: yes (same flow, same collapsed graph); "
+          "phase.trace speedup %.2fx" % speedup)
+    return {
+        "input_bytes": size,
+        "flow_bits": ref.flow_bits,
+        "reference_trace_seconds": medians["reference"],
+        "fast_trace_seconds": medians["fast"],
+        "trace_speedup": speedup,
+    }
+
+
+WARMSTART_SOURCE = """
+fn main() {
+    var buf: u8[32];
+    var n: u32 = read_secret(buf, 32);
+    var acc: u8 = 0;
+    var i: u32 = 0;
+    while (i < n) {
+        if (buf[i] > 127) {
+            acc = acc + 1;
+        } else {
+            acc = acc ^ buf[i];
+        }
+        i = i + 1;
+    }
+    output(acc);
+}
+"""
+
+
+def section_warmstart():
+    """Anytime bounds over 100 runs: cold prefix re-solve vs streaming.
+
+    Both sides produce the sound Kraft-combined bound *after every run*
+    (the anytime-bound use case).  The cold baseline recombines the
+    whole prefix and solves from scratch each time -- the only way to
+    get that bound sequence without the streaming path.  The streaming
+    path folds one graph in and warm-starts the solve from the previous
+    residual (:class:`repro.core.combine.StreamingCombiner`).  The bound
+    sequences must match exactly.
+    """
+    from repro.core.combine import StreamingCombiner
+    from repro.core.tracker import TraceBuilder
+    from repro.lang import compile_cached
+    from repro.lang import execute as lang_execute
+    print("\n### Warm start: anytime bounds over 100 runs,"
+          " cold prefix re-solve vs streaming combine")
+    rng = random.Random(42)
+    compiled = compile_cached(WARMSTART_SOURCE)
+    graphs = []
+    for _ in range(100):
+        secret = bytes(rng.randrange(256)
+                       for _ in range(rng.randrange(8, 32)))
+        tracker = TraceBuilder()
+        _vm, graph = lang_execute(compiled, secret, tracker=tracker)
+        graphs.append(graph)
+    t0 = time.perf_counter()
+    cold_bounds = []
+    for i in range(1, len(graphs) + 1):
+        combined, _ = collapse_graphs(graphs[:i], context_sensitive=True)
+        value, _ = dinic_max_flow(combined)
+        cold_bounds.append(value)
+    cold = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    combiner = StreamingCombiner(context_sensitive=True, warm_start=True)
+    warm_bounds = [combiner.add(graph) for graph in graphs]
+    warm = time.perf_counter() - t0
+    if cold_bounds != warm_bounds:
+        raise AssertionError("streaming anytime bounds diverged from cold "
+                             "prefix re-solve")
+    speedup = cold / warm
+    print("%10s %12s %12s" % ("mode", "final-bits", "wall(s)"))
+    print("%10s %12d %12.4f" % ("cold", cold_bounds[-1], cold))
+    print("%10s %12d %12.4f" % ("streaming", warm_bounds[-1], warm))
+    print("equivalent: yes (identical bound after every run); "
+          "speedup %.1fx" % speedup)
+    return {
+        "runs": len(graphs),
+        "final_bits": warm_bounds[-1],
+        "cold_seconds": cold,
+        "streaming_seconds": warm,
+        "speedup": speedup,
+    }
+
+
 def _print_table(fn):
     def run():
         text, _ = fn()
@@ -241,6 +360,8 @@ BENCHMARKS = (
     ("sec53_scalability", section53),
     ("sec3_batch_multirun", section3_batch),
     ("sec101_batch_multisecret", section101_batch_multisecret),
+    ("backends_fast_vs_reference", section_backends),
+    ("warmstart_streaming_combine", section_warmstart),
 )
 
 

@@ -38,17 +38,22 @@ class CompressionFlowResult:
 
 
 def measure_compression_flow(data, block_size=DEFAULT_BLOCK_SIZE,
-                             collapse="location", online=False):
+                             collapse="location", online=False,
+                             backend=None):
     """Compress secret ``data``; measure the information flow.
 
     With ``online=True`` the trace graph is collapsed by ``collapse``
     *while* the compressor runs (Section 5.2 online), so the live graph
     stays proportional to code coverage instead of trace length; the
     resulting report is equivalent to the post-hoc collapse.
+    ``backend`` selects the shadow-propagation backend
+    (``"reference"``/``"fast"``/``None`` for auto; see
+    ``docs/backends.md``) -- results are bit-identical either way.
 
     Returns a :class:`CompressionFlowResult`.
     """
-    session = Session(online_collapse=collapse if online else None)
+    session = Session(online_collapse=collapse if online else None,
+                      backend=backend)
     with obs.get_metrics().phase("trace"):
         secret = session.secret_bytes(bytes(data))
         out = compress(secret, session=session, block_size=block_size)

@@ -31,7 +31,7 @@ import io
 import time
 
 from .. import obs
-from ..core.combine import kraft_satisfied, kraft_sum
+from ..core.combine import StreamingCombiner, kraft_satisfied, kraft_sum
 from ..core.measure import measure_graph, measure_runs
 from ..core.multisecret import CategoryBounds, _restricted_copy
 from ..core.tracker import CollapsingTraceBuilder
@@ -41,6 +41,7 @@ from ..graph.maxflow import dinic_max_flow
 from ..graph.mincut import MinCut
 from ..graph.serialize import dump_graph, load_graph
 from ..lang.runner import compile_cached, execute, measure
+from ..shadow import resolve_backend
 from .engine import BatchEngine, FaultPolicy, JobFailure
 
 #: Collapse modes a batch worker can trace under.  ``"none"`` is
@@ -187,14 +188,15 @@ def _trace_run_job(payload):
     the parent-side combination.
     """
     (source, filename, secret, public, collapse, entry, max_steps,
-     deadline_seconds) = payload
+     deadline_seconds, backend) = payload
     compiled = compile_cached(source, filename)
     tracker = CollapsingTraceBuilder(
-        context_sensitive=(collapse == "context"))
+        context_sensitive=(collapse == "context"), backend=backend)
     with obs.get_metrics().phase("trace"):
         vm, graph = execute(compiled, secret, public, tracker, entry=entry,
                             max_steps=max_steps,
-                            deadline_seconds=deadline_seconds)
+                            deadline_seconds=deadline_seconds,
+                            backend=backend)
     report = measure_graph(graph, collapse=collapse, stats=tracker.stats,
                            warnings=vm.warnings)
     return {
@@ -209,7 +211,7 @@ def measure_program_runs(source, secret_inputs, public_input=b"",
                          collapse="context", jobs=1, filename="<source>",
                          entry="main", max_steps=None, deadline_seconds=None,
                          timeout=None, retries=0, on_error="raise",
-                         faults=None):
+                         faults=None, warm_start=True, backend=None):
     """Measure one program over many secrets, ``jobs`` runs at a time.
 
     The batch analogue of :func:`repro.lang.runner.measure_many`: each
@@ -221,11 +223,27 @@ def measure_program_runs(source, secret_inputs, public_input=b"",
     configure the engine's :class:`~repro.batch.engine.FaultPolicy`.
     Returns a :class:`BatchResult` — partial, with a ``failures`` list,
     when runs failed under ``on_error="collect"``.
+
+    With ``warm_start`` (the default) the parent merge folds the worker
+    graphs in one at a time through a
+    :class:`~repro.core.combine.StreamingCombiner`, re-solving each
+    intermediate combined graph from the previous residual — the
+    ``maxflow.warm_start.*`` counters report the reuse.  The final
+    bound and combined graph are identical to the one-shot combination
+    (``warm_start=False``, the ``repro batch --no-warm-start`` path);
+    only the tie-broken placement of the minimum cut may differ.
+
+    ``backend`` selects each worker's VM execution backend
+    (``"reference"``/``"fast"``/``"auto"``; see ``docs/backends.md``).
+    It is resolved once in the parent so every worker runs the same
+    backend regardless of per-process environment.
     """
     _check_collapse(collapse)
+    backend = resolve_backend(backend)
     secrets = [bytes(secret) for secret in secret_inputs]
     payloads = [(source, filename, secret, bytes(public_input), collapse,
-                 entry, max_steps, deadline_seconds) for secret in secrets]
+                 entry, max_steps, deadline_seconds, backend)
+                for secret in secrets]
     engine = BatchEngine(jobs, faults=_fault_policy(faults, timeout,
                                                     retries, on_error))
     outcomes = engine.map(_trace_run_job, payloads)
@@ -259,8 +277,20 @@ def measure_program_runs(source, secret_inputs, public_input=b"",
             raise BatchError(
                 "all %d runs failed; no combined bound exists (first "
                 "failure: %s)" % (len(outcomes), failures[0]))
-        report = measure_runs(graphs, collapse=collapse,
-                              stats_list=stats_list, warnings=warnings)
+        if warm_start:
+            combiner = StreamingCombiner(
+                context_sensitive=(collapse == "context"))
+            span = obs.get_tracer().span("measure.runs", runs=len(graphs),
+                                         collapse=collapse, jobs=1)
+            with span, metrics.phase("measure"):
+                for graph in graphs:
+                    combiner.add(graph)
+                span.set(bits=combiner.bits)
+                report = combiner.report(stats_list=stats_list,
+                                         warnings=warnings)
+        else:
+            report = measure_runs(graphs, collapse=collapse,
+                                  stats_list=stats_list, warnings=warnings)
         if failures:
             _mark_partial(report, len(failures), len(outcomes))
     if metrics.enabled:

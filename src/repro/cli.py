@@ -63,6 +63,15 @@ def _add_input_flags(parser, prefix, help_noun):
                         help="%s read from a file" % help_noun)
 
 
+def _add_backend_flag(parser):
+    parser.add_argument("--backend", default=None,
+                        choices=["auto", "reference", "fast"],
+                        help="execution backend: bit-identical results, "
+                             "different speed (default: auto, or the "
+                             "REPRO_BACKEND environment variable; see "
+                             "docs/backends.md)")
+
+
 def _add_budget_flags(parser):
     parser.add_argument("--max-steps", dest="max_steps", type=int,
                         default=None, metavar="N",
@@ -133,7 +142,8 @@ def cmd_measure(args):
                           public_input=_input_bytes(args, "public"),
                           collapse=args.collapse, filename=args.program,
                           online=args.online, max_steps=args.max_steps,
-                          deadline_seconds=args.deadline)
+                          deadline_seconds=args.deadline,
+                          backend=args.backend)
     if args.json:
         cut = CutPolicy.from_report(result.report)
         print(json.dumps({
@@ -249,7 +259,8 @@ def cmd_batch(args):
         collapse=args.collapse, jobs=args.jobs, filename=args.program,
         max_steps=args.max_steps, deadline_seconds=args.deadline,
         timeout=args.timeout, retries=args.retries,
-        on_error=args.on_error)
+        on_error=args.on_error, warm_start=not args.no_warm_start,
+        backend=args.backend)
     report = result.report
     if args.json:
         cut = CutPolicy.from_report(report)
@@ -302,6 +313,7 @@ def build_parser():
     p.add_argument("--online", action="store_true",
                    help="collapse the graph while tracing (constant-size "
                         "live graph; not valid with --collapse none)")
+    _add_backend_flag(p)
     _add_budget_flags(p)
     p.add_argument("--json", action="store_true")
     p.add_argument("--save-policy", metavar="FILE")
@@ -363,6 +375,13 @@ def build_parser():
                         "bit-identical results either way)")
     p.add_argument("--collapse", default="context",
                    choices=["context", "location"])
+    _add_backend_flag(p)
+    p.add_argument("--no-warm-start", dest="no_warm_start",
+                   action="store_true",
+                   help="combine the runs' graphs in one shot instead of "
+                        "streaming them through warm-started incremental "
+                        "re-solves (same bound either way; see "
+                        "docs/backends.md)")
     _add_budget_flags(p)
     p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
                    help="per-job wall-clock timeout; a hung job's worker "

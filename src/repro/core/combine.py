@@ -16,7 +16,12 @@ from __future__ import annotations
 
 from fractions import Fraction
 
-from .measure import measure_runs
+from .. import obs
+from ..graph.collapse import CollapseStats, collapse_graphs
+from ..graph.maxflow import WarmStart, dinic_max_flow
+from ..graph.mincut import min_cut_from_residual
+from .measure import _publish, measure_runs
+from .report import FlowReport
 
 
 def kraft_sum(bounds):
@@ -53,6 +58,110 @@ def consistent_bounds(graphs, stats_list=None, collapse="context"):
     Kraft sense (it corresponds to one fixed cut position, i.e. one code).
     """
     return measure_runs(graphs, collapse=collapse, stats_list=stats_list)
+
+
+class StreamingCombiner:
+    """Fold run graphs in one at a time, re-solving incrementally.
+
+    The streaming counterpart of :func:`consistent_bounds` /
+    :func:`~repro.core.measure.measure_runs`: each :meth:`add` combines
+    the new run's graph into the accumulated combined graph (the same
+    label-driven union-find as the one-shot path -- contiguous-order
+    associativity makes the final graph identical to combining the whole
+    list at once) and re-solves.  Because the merged graph is the old
+    graph plus summed capacities, the previous solve's residual is a
+    feasible starting flow, so each re-solve warm-starts from it
+    (:class:`~repro.graph.maxflow.WarmStart`) and only augments the
+    increment -- near-free when a run adds little new coverage.
+
+    After every ``add`` the current Kraft-sound bound over all runs so
+    far is available as :attr:`bits` -- an *anytime* bound that only the
+    streaming path can provide.  The bound is identical to the one-shot
+    combination's (the max-flow value is unique); with warm starting the
+    minimum *cut* may sit elsewhere when several cuts tie, which is
+    sound -- any minimum cut of the combined graph yields a valid §3
+    policy (``docs/backends.md`` has the full argument).
+
+    Args:
+        context_sensitive: merge-key sensitivity, as for
+            :func:`~repro.graph.collapse.collapse_graphs`.
+        warm_start: seed each re-solve from the previous residual;
+            disable to re-solve cold every time (the reference
+            behaviour the equivalence suite compares against).
+    """
+
+    def __init__(self, context_sensitive=True, warm_start=True):
+        self.context_sensitive = context_sensitive
+        self.warm_start = warm_start
+        self.graph = None
+        self.residual = None
+        self.bits = None
+        self.runs = 0
+        self._warm = None
+        self._original_nodes = 0
+        self._original_edges = 0
+
+    def add(self, graph):
+        """Fold one run's graph in and re-solve; returns the new bound."""
+        metrics = obs.get_metrics()
+        with metrics.phase("collapse"):
+            if self.graph is None:
+                combined, _ = collapse_graphs(
+                    [graph], context_sensitive=self.context_sensitive)
+            else:
+                combined, _ = collapse_graphs(
+                    [self.graph, graph],
+                    context_sensitive=self.context_sensitive)
+        self._original_nodes += graph.num_nodes
+        self._original_edges += graph.num_edges
+        self.runs += 1
+        value, residual = dinic_max_flow(
+            combined, warm_start=self._warm if self.warm_start else None)
+        self.graph = combined
+        self.residual = residual
+        self.bits = value
+        self._warm = WarmStart(combined, residual)
+        return value
+
+    @property
+    def stats(self):
+        """Cumulative :class:`CollapseStats` over every added graph."""
+        if self.graph is None:
+            raise ValueError("no graphs added yet")
+        return CollapseStats(self._original_nodes, self._original_edges,
+                             self.graph.num_nodes, self.graph.num_edges)
+
+    def report(self, stats_list=None, warnings=None, failures=()):
+        """Package the current state as a
+        :class:`~repro.core.report.FlowReport`, mirroring
+        :func:`~repro.core.measure.measure_runs`' assembly."""
+        if self.graph is None:
+            raise ValueError("no graphs added yet")
+        metrics = obs.get_metrics()
+        tracer = obs.get_tracer()
+        with metrics.phase("mincut"):
+            cut = min_cut_from_residual(self.graph, self.residual)
+        merged_stats = {}
+        for stats in stats_list or []:
+            for key, val in stats.items():
+                merged_stats[key] = merged_stats.get(key, 0) + val
+        collapse_stats = self.stats
+        collapse_stats.failures = list(failures)
+        if metrics.enabled:
+            _publish(metrics, self.graph, self.bits, cut)
+        return FlowReport(
+            bits=self.bits,
+            mincut=cut,
+            graph=self.graph,
+            secret_input_bits=merged_stats.get("secret_input_bits"),
+            tainted_output_bits=merged_stats.get("tainted_output_bits"),
+            collapse_stats=collapse_stats,
+            stats=merged_stats,
+            warnings=warnings,
+            metrics=metrics.snapshot() if metrics.enabled else None,
+            trace_spans=tracer.snapshot() if tracer.enabled else None,
+            partial=bool(collapse_stats.failures),
+        )
 
 
 def demonstrate_inconsistency(per_run_bounds):

@@ -22,12 +22,15 @@ class Location:
     render as ``unit:point`` for reports.
     """
 
-    __slots__ = ("unit", "point", "detail")
+    __slots__ = ("unit", "point", "detail", "_hash")
 
     def __init__(self, unit, point, detail=None):
         self.unit = unit
         self.point = point
         self.detail = detail
+        # Locations key every label table and collapse bucket, so the
+        # hash is precomputed once instead of per lookup.
+        self._hash = hash((unit, point, detail))
 
     def __eq__(self, other):
         return (isinstance(other, Location)
@@ -36,7 +39,7 @@ class Location:
                 and self.detail == other.detail)
 
     def __hash__(self):
-        return hash((self.unit, self.point, self.detail))
+        return self._hash
 
     def __repr__(self):
         base = "%s:%s" % (self.unit, self.point)

@@ -44,6 +44,7 @@ from ..errors import TraceError
 from ..graph.collapse import CollapseStats, OnlineCollapser
 from ..graph.flowgraph import INF, EdgeLabel, FlowGraph
 from ..shadow.bitmask import popcount, width_mask
+from ..shadow.fast import resolve_backend
 from .locations import ContextHasher, Location
 
 _LOG2_CACHE = {1: 0, 2: 1}
@@ -70,11 +71,12 @@ class Provenance:
     its mask is then necessarily zero.
     """
 
-    __slots__ = ("mask", "node")
+    __slots__ = ("mask", "node", "_bits")
 
     def __init__(self, mask, node):
         self.mask = mask
         self.node = node
+        self._bits = None
 
     @property
     def is_public(self):
@@ -82,8 +84,11 @@ class Provenance:
 
     @property
     def bits(self):
-        """Secret-bit capacity of this value."""
-        return popcount(self.mask)
+        """Secret-bit capacity of this value (cached; masks are immutable)."""
+        bits = self._bits
+        if bits is None:
+            bits = self._bits = popcount(self.mask)
+        return bits
 
     def __repr__(self):
         if self.node is None:
@@ -150,7 +155,14 @@ class TraceBuilder:
         #: category -> list of input-edge refs (Section 10.1); for the
         #: default builder these are edge indices into ``graph.edges``.
         self.category_edges = {}
-        self._labels = {}  # (kind, location, ctx) -> interned EdgeLabel
+        #: ctx -> {(kind, location) -> interned EdgeLabel}.  The table
+        #: of the *current* context is kept in ``_active_labels`` (and
+        #: swapped on push/pop), so the hot ``_label`` lookup hashes a
+        #: 2-tuple instead of rebuilding a 3-tuple key per event.
+        self._label_tables = {}
+        self._active_ctx = self.context.current if context_sensitive else None
+        self._active_labels = self._label_tables.setdefault(
+            self._active_ctx, {})
         self._trace_published = {}  # stat key -> amount already published
         self._setup()
         self._pending = self._g_node()  # tail of the output chain
@@ -190,13 +202,20 @@ class TraceBuilder:
     # Labels and bookkeeping
 
     def _label(self, location, kind):
-        ctx = self.context.current if self.context_sensitive else None
-        key = (kind, location, ctx)
-        label = self._labels.get(key)
+        table = self._active_labels
+        key = (kind, location)
+        label = table.get(key)
         if label is None:
-            label = EdgeLabel(location, ctx, kind)
-            self._labels[key] = label
+            label = EdgeLabel(location, self._active_ctx, kind)
+            table[key] = label
         return label
+
+    def _activate_context(self, ctx):
+        self._active_ctx = ctx
+        table = self._label_tables.get(ctx)
+        if table is None:
+            table = self._label_tables[ctx] = {}
+        self._active_labels = table
 
     def _check_live(self):
         if self._finished:
@@ -205,10 +224,14 @@ class TraceBuilder:
     def push_call(self, callsite_id):
         """Record entry to a callee (updates the calling-context hash)."""
         self.context.push_call(callsite_id)
+        if self.context_sensitive:
+            self._activate_context(self.context.current)
 
     def pop_call(self):
         """Record return to the caller."""
         self.context.pop_call()
+        if self.context_sensitive:
+            self._activate_context(self.context.current)
 
     # ------------------------------------------------------------------
     # Values
@@ -238,6 +261,21 @@ class TraceBuilder:
         if category is not None:
             self.category_edges.setdefault(category, []).append(edge_ref)
         return Provenance(mask, outer)
+
+    def secret_values(self, location, width, count, mask=None,
+                      category=None):
+        """Introduce ``count`` identically-shaped secret inputs at once.
+
+        Bit-identical to ``count`` calls of :meth:`secret_value` with
+        the same arguments (this reference implementation *is* that
+        loop); returns the list of ``count`` provenances.  The bulk
+        entry point exists so fast-backend frontends can hand over whole
+        buffers in one call -- :class:`CollapsingTraceBuilder` overrides
+        it with an O(1)-per-batch arithmetic update.
+        """
+        return [self.secret_value(location, width, mask=mask,
+                                  category=category)
+                for _ in range(count)]
 
     def operation(self, location, result_mask, operands):
         """Record a basic operation producing a value with ``result_mask``.
@@ -441,6 +479,27 @@ class TraceBuilder:
         }
 
 
+class _OpSite:
+    """Fast-backend cache entry for one operation site.
+
+    Holds the site's interned labels, its collapsed value pair, and the
+    two buckets repeats accumulate into.
+    """
+
+    __slots__ = ("value_label", "data_label", "pair", "pair_edge",
+                 "data_edge", "merged")
+
+    def __init__(self, value_label, data_label):
+        self.value_label = value_label
+        self.data_label = data_label
+        self.pair = None
+        self.pair_edge = None
+        self.data_edge = None
+        #: operand node ids already folded into the data bucket's tail
+        #: class (classes never split, so membership is permanent)
+        self.merged = set()
+
+
 class CollapsingTraceBuilder(TraceBuilder):
     """A trace builder that collapses by code location *while tracing*.
 
@@ -473,7 +532,29 @@ class CollapsingTraceBuilder(TraceBuilder):
         context_sensitive: merge edges by (kind, location, context hash)
             when true, by (kind, location) when false — the latter is
             the smaller, coverage-sized graph.
+        backend: ``"reference"`` replays every event through the
+            generic bucket machinery; ``"fast"`` adds per-site caches
+            that turn exact event repeats (the common case in loops)
+            into capacity arithmetic, skipping label interning and
+            union-find work that is provably a no-op.  ``None``/
+            ``"auto"`` consult ``REPRO_BACKEND`` and auto-detection.
+            Both backends are bit-identical (see ``docs/backends.md``
+            and the equivalence suite).
     """
+
+    def __init__(self, context_sensitive=True, backend=None):
+        self._fast = resolve_backend(backend) == "fast"
+        #: (location, tail node, target node, ctx) -> implicit bucket
+        self._implicit_cache = {}
+        #: (location, ctx) -> _OpSite
+        self._op_cache = {}
+        super().__init__(context_sensitive=context_sensitive)
+        if self._fast:
+            # Bound as instance attributes so the per-event dispatch is
+            # a plain attribute load; the reference backend keeps the
+            # unmodified TraceBuilder methods.
+            self.implicit_flow = self._implicit_flow_fast
+            self.operation = self._operation_fast
 
     def _setup(self):
         self._collapser = OnlineCollapser(
@@ -513,6 +594,147 @@ class CollapsingTraceBuilder(TraceBuilder):
         # TraceBuilder reports for the same events; the collapsed sizes
         # live in ``live_nodes``/``live_edges`` and CollapseStats.
         return self._virtual_nodes, self._virtual_edges
+
+    # -- fast-backend repeat caches ------------------------------------
+    #
+    # Loops replay the same event sites over and over: the same implicit
+    # flow from the same value class into the same pending node, the
+    # same operation feeding the same collapsed value pair.  After the
+    # first occurrence the generic path's label interning, bucket lookup
+    # and union-find merges are all no-ops (classes only ever grow, so
+    # once two endpoints coincide they coincide forever); the caches
+    # below recognize exact repeats and reduce them to the observable
+    # effects -- capacity accumulation and the same counter increments.
+    # The equivalence suite checks the result is bit-identical.
+
+    def _implicit_flow_fast(self, location, provenance, bits):
+        if self._finished:
+            raise TraceError("trace already finished")
+        node = provenance.node
+        if node is None or bits == 0 or provenance.mask == 0:
+            return
+        self._implicit_events += 1
+        regions = self._regions
+        if regions:
+            region = regions[-1]
+            region.bits += bits
+            target = region.node
+            if target is None:
+                region.node = self._g_head(
+                    node, bits, self._label(location, "implicit"))
+                return
+        else:
+            target = self._pending
+        key = (location, node, target, self._active_ctx)
+        edge = self._implicit_cache.get(key)
+        if edge is not None:
+            # Same tail class, same target, same label: the reference
+            # path's two merges are no-ops, only capacity accumulates
+            # (inlined add_capacity, same INF saturation).
+            self._virtual_edges += 1
+            self._collapser.merge_hits += 1
+            cap = edge.capacity
+            edge.capacity = INF if cap >= INF or bits >= INF else cap + bits
+            return
+        self._implicit_cache[key] = self._g_edge(
+            node, target, bits, self._label(location, "implicit"))
+
+    def _operation_fast(self, location, result_mask, operands):
+        if self._finished:
+            raise TraceError("trace already finished")
+        self._operation_events += 1
+        if result_mask == 0:
+            return PUBLIC
+        bits = result_mask.bit_count()
+        collapser = self._collapser
+        site_key = (location, self._active_ctx)
+        site = self._op_cache.get(site_key)
+        if site is None:
+            site = self._op_cache[site_key] = _OpSite(
+                self._label(location, "value"),
+                self._label(location, "data"))
+        self._virtual_nodes += 2
+        self._virtual_edges += 1
+        pair = site.pair
+        if pair is None:
+            pair = site.pair = collapser.capped_pair(bits, site.value_label)
+            site.pair_edge = collapser.bucket_for(site.value_label)
+        else:
+            # Exact repeat of the value pair: the reference capped_pair
+            # only adds capacity and re-finds the endpoints.
+            collapser.merge_hits += 1
+            edge = site.pair_edge
+            cap = edge.capacity
+            edge.capacity = INF if cap >= INF or bits >= INF else cap + bits
+        inner, outer = pair
+        seen_input = False
+        data_edge = site.data_edge
+        merged = site.merged
+        for op in operands:
+            op_node = op.node
+            if op_node is not None and op.mask:
+                seen_input = True
+                self._virtual_edges += 1
+                if data_edge is None:
+                    data_edge = site.data_edge = collapser.add_edge(
+                        op_node, inner, op.mask.bit_count(), site.data_label)
+                    merged.add(op_node)
+                else:
+                    # The head merge is a no-op (the bucket's head is
+                    # this site's inner node); the tail merge folds the
+                    # operand's class in, exactly as add_edge would --
+                    # skipped once this operand id has been folded.
+                    collapser.merge_hits += 1
+                    op_bits = op.mask.bit_count()
+                    cap = data_edge.capacity
+                    data_edge.capacity = (INF if cap >= INF or op_bits >= INF
+                                          else cap + op_bits)
+                    if op_node not in merged:
+                        merged.add(op_node)
+                        collapser._merge(data_edge.tail, op_node)
+        if not seen_input:
+            raise TraceError(
+                "operation at %s produced secret mask %#x from public operands"
+                % (location, result_mask))
+        return Provenance(result_mask, outer)
+
+    # -- bulk events ---------------------------------------------------
+
+    def secret_values(self, location, width, count, mask=None,
+                      category=None):
+        """Bulk :meth:`~TraceBuilder.secret_value`, O(1) per batch.
+
+        The first value goes through the normal path (creating or
+        reusing the location's value and input buckets); each of the
+        remaining ``count - 1`` events is an exact repeat -- same label
+        keys, same endpoints, same capacity -- so the whole tail reduces
+        to arithmetic on the two buckets, the virtual-size counters, and
+        the category refs.  The equivalence suite asserts the result
+        matches the reference loop bucket-for-bucket.
+        """
+        self._check_live()
+        if count <= 0:
+            return []
+        if mask is None:
+            mask = width_mask(width)
+        if mask == 0:
+            return [PUBLIC] * count
+        first = self.secret_value(location, width, mask=mask,
+                                  category=category)
+        extra = count - 1
+        if extra:
+            bits = first.bits
+            self._collapser.repeat_edge(
+                self._label(location, "value"), bits, extra)
+            self._collapser.repeat_edge(
+                self._label(location, "input"), bits, extra)
+            self._secret_input_bits += extra * bits
+            self._virtual_nodes += 2 * extra
+            self._virtual_edges += 2 * extra
+            if category is not None:
+                refs = self.category_edges[category]
+                refs.extend(refs[-1:] * extra)
+        return [first] * count
 
     # -- results ------------------------------------------------------
 

@@ -8,7 +8,8 @@ label-driven collapsing/combining of Sections 3.2 and 5.2.
 """
 
 from .flowgraph import INF, Edge, EdgeLabel, FlowGraph
-from .maxflow import ResidualNetwork, dinic_max_flow, max_flow_value
+from .maxflow import (ResidualNetwork, WarmStart, dinic_max_flow,
+                      max_flow_value)
 from .edmonds_karp import edmonds_karp_max_flow
 from .push_relabel import push_relabel_max_flow
 from .mincut import CutEdge, MinCut, min_cut, min_cut_from_residual
@@ -21,7 +22,7 @@ from .serialize import dump_graph, load_graph, read_graph, save_graph
 
 __all__ = [
     "INF", "Edge", "EdgeLabel", "FlowGraph",
-    "ResidualNetwork", "dinic_max_flow", "max_flow_value",
+    "ResidualNetwork", "WarmStart", "dinic_max_flow", "max_flow_value",
     "edmonds_karp_max_flow", "push_relabel_max_flow",
     "CutEdge", "MinCut", "min_cut", "min_cut_from_residual",
     "CollapseStats", "OnlineCollapser", "collapse_graph",

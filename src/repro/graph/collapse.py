@@ -287,6 +287,37 @@ class OnlineCollapser:
         self._merge(edge.head, head)
         return edge
 
+    def repeat_edge(self, label, capacity, times):
+        """Fold ``times`` exact repeats of an existing bucket in O(1).
+
+        Equivalent to ``times`` more :meth:`add_edge` calls with the
+        bucket's own endpoints: capacity accumulates (saturating at
+        :data:`INF` exactly as the per-call path does) and every repeat
+        counts as a merge hit; the partition is untouched because the
+        endpoints already coincide.  The label must have been seen --
+        this is the bulk tail of a batch whose first element went
+        through the normal path.
+        """
+        key = label.key(self.context_sensitive)
+        edge = self._buckets.get(key)
+        if edge is None:
+            raise KeyError("repeat_edge for unseen label %r" % (label,))
+        self.merge_hits += times
+        total = edge.capacity + capacity * times
+        if total >= INF:
+            # Replay per-step saturation so the result is bit-identical
+            # to the loop even at the INF boundary.
+            for _ in range(times):
+                edge.add_capacity(capacity)
+        else:
+            edge.capacity = total
+        return edge
+
+    def bucket_for(self, label):
+        """The collapsed bucket for ``label``'s merge key, or ``None``."""
+        key = label.key(self.context_sensitive)
+        return None if key is None else self._buckets.get(key)
+
     def head_for(self, tail, capacity, label):
         """Edge from ``tail`` to a fresh-or-reused head; returns the head.
 

@@ -49,7 +49,8 @@ class EdgeLabel:
             the same location stay distinct.
     """
 
-    __slots__ = ("location", "context", "kind", "_key_cs", "_key_ci")
+    __slots__ = ("location", "context", "kind", "_key_cs", "_key_ci",
+                 "_dropped")
 
     def __init__(self, location, context=None, kind="data"):
         self.location = location
@@ -57,6 +58,7 @@ class EdgeLabel:
         self.kind = kind
         self._key_cs = _UNCOMPUTED
         self._key_ci = _UNCOMPUTED
+        self._dropped = None
 
     def key(self, context_sensitive=True):
         """Merge key for collapsing; ``None`` means "never merge"."""
@@ -75,8 +77,18 @@ class EdgeLabel:
         return key
 
     def drop_context(self):
-        """A copy of this label without the calling-context hash."""
-        return EdgeLabel(self.location, None, self.kind)
+        """This label without the calling-context hash.
+
+        Pooled: an already context-free label returns itself, and the
+        stripped variant is built once per label object -- collapsing a
+        context-sensitive graph insensitively asks for it once per edge.
+        """
+        if self.context is None:
+            return self
+        label = self._dropped
+        if label is None:
+            label = self._dropped = EdgeLabel(self.location, None, self.kind)
+        return label
 
     def __eq__(self, other):
         return (isinstance(other, EdgeLabel)

@@ -82,12 +82,14 @@ def compile_cached(source, filename="<source>"):
 def execute(compiled, secret_input=b"", public_input=b"", tracker=None,
             entry="main", region_check="warn", lazy_regions=True,
             interceptor=None, max_steps=None, deadline_seconds=None,
-            exit_observable=True, finish=True):
+            exit_observable=True, finish=True, backend=None):
     """Run a compiled program; returns ``(vm, finish_result)``.
 
     ``max_steps`` bounds execution in steps, ``deadline_seconds`` in
     wall-clock time (enforced in the VM step loop, raising
     :class:`~repro.errors.VMTimeout`); either may be ``None``.
+    ``backend`` selects the VM's execution backend
+    (``"reference"``/``"fast"``/``"auto"``; see ``docs/backends.md``).
     """
     tracker = tracker if tracker is not None else TraceBuilder()
     kwargs = {}
@@ -97,7 +99,8 @@ def execute(compiled, secret_input=b"", public_input=b"", tracker=None,
         kwargs["deadline_seconds"] = deadline_seconds
     vm = VM(compiled, tracker, secret_input=secret_input,
             public_input=public_input, region_check=region_check,
-            lazy_regions=lazy_regions, interceptor=interceptor, **kwargs)
+            lazy_regions=lazy_regions, interceptor=interceptor,
+            backend=backend, **kwargs)
     with obs.get_tracer().span("lang.execute", entry=entry) as span:
         result = vm.run(entry=entry, finish=finish,
                         exit_observable=exit_observable)
@@ -105,20 +108,22 @@ def execute(compiled, secret_input=b"", public_input=b"", tracker=None,
     return vm, result
 
 
-def _make_tracker(online, collapse):
+def _make_tracker(online, collapse, backend=None):
     """Tracker for one measuring run; online mode collapses while tracing."""
     if not online:
         return TraceBuilder()
     if collapse == "none":
         raise ValueError("online=True collapses during tracing; "
                          "collapse='none' is not available")
-    return CollapsingTraceBuilder(context_sensitive=(collapse == "context"))
+    return CollapsingTraceBuilder(context_sensitive=(collapse == "context"),
+                                  backend=backend)
 
 
 def measure(source_or_compiled, secret_input=b"", public_input=b"",
             collapse="context", entry="main", region_check="warn",
             lazy_regions=True, exit_observable=True, filename="<source>",
-            max_steps=None, deadline_seconds=None, online=False):
+            max_steps=None, deadline_seconds=None, online=False,
+            backend=None):
     """Measure the information one execution reveals.
 
     Accepts either FlowLang source text or an already-compiled program.
@@ -129,7 +134,7 @@ def measure(source_or_compiled, secret_input=b"", public_input=b"",
     run (steps / wall seconds).  Returns a :class:`RunResult`.
     """
     compiled = _ensure_compiled(source_or_compiled, filename)
-    tracker = _make_tracker(online, collapse)
+    tracker = _make_tracker(online, collapse, backend=backend)
     span = obs.get_tracer().span("lang.measure", collapse=collapse,
                                  online=bool(online))
     with span:
@@ -140,7 +145,8 @@ def measure(source_or_compiled, secret_input=b"", public_input=b"",
                                 lazy_regions=lazy_regions,
                                 max_steps=max_steps,
                                 deadline_seconds=deadline_seconds,
-                                exit_observable=exit_observable)
+                                exit_observable=exit_observable,
+                                backend=backend)
         report = measure_graph(graph, collapse=collapse,
                                stats=tracker.stats, warnings=vm.warnings)
         span.set(bits=report.bits)
@@ -149,7 +155,7 @@ def measure(source_or_compiled, secret_input=b"", public_input=b"",
 
 def measure_live(source_or_compiled, secret_input=b"", public_input=b"",
                  collapse="location", entry="main", region_check="warn",
-                 filename="<source>", online=False):
+                 filename="<source>", online=False, backend=None):
     """Measure with per-output flow snapshots (§8.1's real-time mode).
 
     The paper observes the battleship flows "in real time by running
@@ -160,7 +166,7 @@ def measure_live(source_or_compiled, secret_input=b"", public_input=b"",
     flow bound right after the i-th output event.
     """
     compiled = _ensure_compiled(source_or_compiled, filename)
-    tracker = _make_tracker(online, collapse)
+    tracker = _make_tracker(online, collapse, backend=backend)
     series = []
 
     def snapshot(vm):
@@ -169,7 +175,7 @@ def measure_live(source_or_compiled, secret_input=b"", public_input=b"",
 
     vm = VM(compiled, tracker, secret_input=secret_input,
             public_input=public_input, region_check=region_check,
-            output_hook=snapshot)
+            output_hook=snapshot, backend=backend)
     graph = vm.run(entry=entry)
     report = measure_graph(graph, collapse=collapse, stats=tracker.stats,
                            warnings=vm.warnings)
@@ -178,7 +184,7 @@ def measure_live(source_or_compiled, secret_input=b"", public_input=b"",
 
 def measure_many(source_or_compiled, secret_inputs, public_input=b"",
                  collapse="context", entry="main", region_check="warn",
-                 filename="<source>"):
+                 filename="<source>", backend=None):
     """Measure several runs *together* for multi-run soundness (§3.2).
 
     Returns ``(combined_report, per_run_results)`` where the per-run
@@ -195,7 +201,8 @@ def measure_many(source_or_compiled, secret_inputs, public_input=b"",
             tracker = TraceBuilder()
             with obs.get_metrics().phase("trace"):
                 vm, graph = execute(compiled, secret, public_input, tracker,
-                                    entry=entry, region_check=region_check)
+                                    entry=entry, region_check=region_check,
+                                    backend=backend)
             graphs.append(graph)
             stats_list.append(tracker.stats)
             warnings.extend(vm.warnings)
@@ -209,7 +216,8 @@ def measure_many(source_or_compiled, secret_inputs, public_input=b"",
 
 
 def check(source_or_compiled, policy, secret_input=b"", public_input=b"",
-          entry="main", region_check="warn", filename="<source>"):
+          entry="main", region_check="warn", filename="<source>",
+          backend=None):
     """Tainting-based policy check of one run (Section 6.2).
 
     Returns a :class:`~repro.core.checking.CheckResult`.
@@ -217,7 +225,8 @@ def check(source_or_compiled, policy, secret_input=b"", public_input=b"",
     compiled = _ensure_compiled(source_or_compiled, filename)
     tracker = CheckTracker(policy)
     _vm, result = execute(compiled, secret_input, public_input, tracker,
-                          entry=entry, region_check=region_check)
+                          entry=entry, region_check=region_check,
+                          backend=backend)
     return result
 
 

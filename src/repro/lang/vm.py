@@ -18,11 +18,12 @@ from __future__ import annotations
 
 import time
 
+from .. import obs
 from ..core.lazyranges import LazyRangeTable
 from ..core.regions import DeclaredOutput, RegionWriteChecker
 from ..core.tracker import PUBLIC, Provenance
 from ..errors import VMError, VMTimeout
-from ..shadow import transfer
+from ..shadow import resolve_backend, transfer
 from ..shadow.bitmask import width_mask
 from .bytecode import Op
 
@@ -33,6 +34,98 @@ DEFAULT_MAX_STEPS = 50_000_000
 #: The wall-clock deadline is polled every this many steps, so the
 #: per-step overhead of ``deadline_seconds`` is one mask-and-test.
 DEADLINE_POLL_STEPS = 1024
+
+
+def _signed_value(value, width):
+    sign = 1 << (width - 1)
+    return (value & (sign - 1)) - (value & sign)
+
+
+def _compile_binop(name, width, signed):
+    """Build a specialised evaluator for one (name, width, signed) BINOP.
+
+    The reference ``VM._eval_binop`` re-dispatches on the operation name
+    (a string-comparison chain) and recomputes the width mask on every
+    execution of every BINOP instruction.  The fast backend compiles each
+    distinct ``instr.arg`` once into a closure with the mask baked in;
+    the closures compute exactly what the reference chain computes (the
+    backend contract in ``docs/backends.md`` is bit-for-bit identity).
+
+    Returns ``(evaluator, result_width)`` where ``evaluator(av, bv, loc)``
+    yields the concrete result value; ``None`` for unknown names (the
+    caller falls back to the reference chain, which raises the right
+    :class:`~repro.errors.VMError`).
+    """
+    w = width_mask(width)
+    result_width = 1 if name in transfer.COMPARISONS else width
+    if name == "add":
+        fn = lambda av, bv, loc: (av + bv) & w
+    elif name == "sub":
+        fn = lambda av, bv, loc: (av - bv) & w
+    elif name == "mul":
+        fn = lambda av, bv, loc: (av * bv) & w
+    elif name == "and":
+        fn = lambda av, bv, loc: av & bv
+    elif name == "or":
+        fn = lambda av, bv, loc: av | bv
+    elif name == "xor":
+        fn = lambda av, bv, loc: av ^ bv
+    elif name == "shl":
+        fn = lambda av, bv, loc: (av << bv) & w if bv < 64 else 0
+    elif name == "shr":
+        fn = lambda av, bv, loc: av >> bv if bv < 64 else 0
+    elif name == "sar":
+        fn = lambda av, bv, loc: \
+            (_signed_value(av, width) >> min(bv, 63)) & w
+    elif name in ("div", "mod"):
+        def fn(av, bv, loc, _div=(name == "div")):
+            if bv == 0:
+                raise VMError("division by zero", loc)
+            if signed:
+                sa = _signed_value(av, width)
+                sb = _signed_value(bv, width)
+                if _div:
+                    quotient = abs(sa) // abs(sb)
+                    if (sa < 0) != (sb < 0):
+                        quotient = -quotient
+                    return quotient & w
+                remainder = abs(sa) % abs(sb)
+                if sa < 0:
+                    remainder = -remainder
+                return remainder & w
+            return (av // bv) & w if _div else (av % bv) & w
+    elif name == "eq":
+        fn = lambda av, bv, loc: int(av == bv)
+    elif name == "ne":
+        fn = lambda av, bv, loc: int(av != bv)
+    elif name in ("lt", "le", "gt", "ge"):
+        op = name
+        def fn(av, bv, loc, _op=op):
+            sa = _signed_value(av, width)
+            sb = _signed_value(bv, width)
+            if _op == "lt":
+                return int(sa < sb)
+            if _op == "le":
+                return int(sa <= sb)
+            if _op == "gt":
+                return int(sa > sb)
+            return int(sa >= sb)
+    elif name == "ult":
+        fn = lambda av, bv, loc: int(av < bv)
+    elif name == "ule":
+        fn = lambda av, bv, loc: int(av <= bv)
+    elif name == "ugt":
+        fn = lambda av, bv, loc: int(av > bv)
+    elif name == "uge":
+        fn = lambda av, bv, loc: int(av >= bv)
+    else:
+        return None
+    return fn, result_width
+
+
+#: Compiled BINOP evaluators keyed by the instruction's ``(name, width,
+#: signed)`` tuple -- shared across VM instances (closures are pure).
+_BINOP_CACHE = {}
 
 
 class NullTracker:
@@ -50,6 +143,10 @@ class NullTracker:
 
     def secret_value(self, location, width, mask=None, category=None):
         return PUBLIC
+
+    def secret_values(self, location, width, count, mask=None,
+                      category=None):
+        return [PUBLIC] * count
 
     def operation(self, location, result_mask, operands):
         return PUBLIC
@@ -161,14 +258,22 @@ class VM:
             default) means unlimited.  Enforced in the step loop every
             :data:`DEADLINE_POLL_STEPS` steps, raising
             :class:`~repro.errors.VMTimeout`.
+        backend: ``"reference"``, ``"fast"``, ``"auto"``/``None``
+            (consult ``REPRO_BACKEND``, then auto-detect).  The fast
+            backend swaps in compiled per-instruction BINOP evaluators
+            and batched array I/O; results are bit-identical to the
+            reference (see ``docs/backends.md``).
     """
 
     def __init__(self, program, tracker, secret_input=b"", public_input=b"",
                  region_check="warn", interceptor=None, lazy_regions=True,
                  max_steps=DEFAULT_MAX_STEPS, deadline_seconds=None,
-                 output_hook=None):
+                 output_hook=None, backend=None):
         self.program = program
         self.tracker = tracker
+        self.backend = resolve_backend(backend)
+        if self.backend == "fast":
+            self._binop = self._binop_fast
         self.secret_input = bytes(secret_input)
         self.public_input = bytes(public_input)
         self._secret_pos = 0
@@ -408,6 +513,39 @@ class VM:
         stack.append(self._intercept_value(instr, (value, mask, prov),
                                            result_width))
 
+    def _binop_fast(self, instr, stack):
+        """BINOP via the compiled-evaluator cache (fast backend).
+
+        Bit-identical to :meth:`_binop`: same values, same transfer
+        masks, same tracker events -- only the concrete evaluation is
+        specialised per distinct ``instr.arg``.
+        """
+        entry = _BINOP_CACHE.get(instr.arg)
+        if entry is None:
+            entry = _compile_binop(*instr.arg)
+            if entry is None:
+                # Unknown op: the reference chain raises the right error.
+                return VM._binop(self, instr, stack)
+            _BINOP_CACHE[instr.arg] = entry
+        fn, result_width = entry
+        b = stack.pop()
+        a = stack.pop()
+        value = fn(a[0], b[0], instr.loc)
+        if a[1] == 0 and b[1] == 0:
+            stack.append(self._intercept_value(instr, (value, 0, PUBLIC),
+                                               result_width))
+            return
+        name, width, _signed = instr.arg
+        mask = transfer.binary_mask(name, a[0], a[1], b[0], b[1], width)
+        mask &= width_mask(result_width)
+        if mask == 0:
+            stack.append(self._intercept_value(instr, (value, 0, PUBLIC),
+                                               result_width))
+            return
+        prov = self.tracker.operation(instr.loc, mask, [a[2], b[2]])
+        stack.append(self._intercept_value(instr, (value, mask, prov),
+                                           result_width))
+
     def _eval_binop(self, name, av, bv, width, signed, loc):
         w = width_mask(width)
         if name == "add":
@@ -584,6 +722,11 @@ class VM:
         stream = self.secret_input if secret else self.public_input
         pos = self._secret_pos if secret else self._public_pos
         count = min(max_count, array.length, len(stream) - pos)
+        if secret and count > 1 and self.backend == "fast":
+            secret_values = getattr(self.tracker, "secret_values", None)
+            if secret_values is not None:
+                return self._read_into_array_bulk(loc, array, stream, pos,
+                                                  count, secret_values)
         for i in range(count):
             byte = stream[pos + i]
             if secret:
@@ -596,6 +739,35 @@ class VM:
             self._secret_pos = pos + count
         else:
             self._public_pos = pos + count
+        return (count, 0, PUBLIC)
+
+    def _read_into_array_bulk(self, loc, array, stream, pos, count,
+                              secret_values):
+        """Fast-backend secret array read: one tracker call, slice stores.
+
+        Equivalent to the per-byte reference loop: the tracker's
+        ``secret_values`` produces the same graph as ``count`` calls to
+        ``secret_value`` (for a collapsing builder, in O(1) instead of
+        O(count)), and the slice assignments store the same
+        (value, mask, prov) triples.  Counted under
+        ``shadow.fast.batch_ops`` / ``shadow.fast.batch_values``.
+        """
+        provs = secret_values(loc, 8, count)
+        lazy = self.lazy
+        if lazy is not None:
+            base = array.base_addr
+            for i in range(count):
+                if not len(lazy):
+                    break
+                lazy.exclude(base + i)
+        array.values[:count] = list(stream[pos:pos + count])
+        array.masks[:count] = [p.mask for p in provs]
+        array.provs[:count] = provs
+        self._secret_pos = pos + count
+        metrics = obs.get_metrics()
+        if metrics.enabled:
+            metrics.incr("shadow.fast.batch_ops")
+            metrics.incr("shadow.fast.batch_values", count)
         return (count, 0, PUBLIC)
 
     def _store_element_raw(self, array, i, value):
@@ -632,6 +804,27 @@ class VM:
         if not isinstance(array, ArrayObject):
             raise VMError("output source is not an array", loc)
         count = min(count, array.length)
+        if (count > 1 and self.backend == "fast"
+                and (self.lazy is None or not len(self.lazy))):
+            # Fast backend, no deferred region updates pending: batch the
+            # output without per-element lazy checks.  Same outputs, same
+            # provenance list, same single tracker.output event.
+            values = array.values[:count]
+            self.outputs.extend(values)
+            self.output_bytes.extend(v & 0xFF for v in values)
+            masks = array.masks
+            arr_provs = array.provs
+            provs = [arr_provs[i] for i in range(count) if masks[i]]
+            if self.interceptor is not None:
+                self.interceptor.output(bytes(v & 0xFF for v in values))
+            self.tracker.output(loc, provs)
+            metrics = obs.get_metrics()
+            if metrics.enabled:
+                metrics.incr("shadow.fast.batch_ops")
+                metrics.incr("shadow.fast.batch_values", count)
+            if self.output_hook is not None:
+                self.output_hook(self)
+            return
         provs = []
         for i in range(count):
             if self.lazy is not None and len(self.lazy):

@@ -93,6 +93,12 @@ def _specs():
         (c, "lang.compile_cache_hits", "hits", "experimental",
          "compiled-program cache hits (compile_cached, keyed by source "
          "hash + filename)"),
+        # Fast backend (repro.shadow.fast + frontend fast paths).
+        (c, "shadow.fast.batch_ops", "calls", "experimental",
+         "bulk shadow-propagation calls taken by the fast backend "
+         "(secret_values batches, bulk array reads/writes)"),
+        (c, "shadow.fast.batch_values", "values", "experimental",
+         "individual values processed through fast-backend bulk calls"),
         # Collapsing (repro.graph.collapse).
         (c, "collapse.runs", "calls", "stable",
          "collapse/combine invocations"),
@@ -134,6 +140,15 @@ def _specs():
          "push-relabel push operations"),
         (c, "maxflow.push_relabel.relabels", "events", "stable",
          "push-relabel relabel operations"),
+        # Warm-start incremental max-flow (dinic_max_flow(warm_start=...)).
+        (c, "maxflow.warm_start.hits", "calls", "experimental",
+         "solves that successfully reused a prior residual network"),
+        (c, "maxflow.warm_start.fallbacks", "calls", "experimental",
+         "warm-start attempts abandoned for a cold solve (infeasible "
+         "carry-over)"),
+        (c, "maxflow.warm_start.reused_bits", "bits", "experimental",
+         "flow bits carried over from reused residuals instead of being "
+         "re-augmented"),
         # Measurement results (repro.core.measure).
         (g, "graph.nodes", "nodes", "stable",
          "node count of the most recently solved graph"),

@@ -27,9 +27,44 @@ from ..core.locations import Location
 from ..core.measure import measure_graph
 from ..core.tracker import PUBLIC, CollapsingTraceBuilder, TraceBuilder
 from ..errors import TraceError
-from ..shadow import transfer
+from ..graph.flowgraph import INF
+from ..shadow import resolve_backend, transfer
 from ..shadow.bitmask import popcount, width_mask
 from .values import SecretInt, _WidthInt, concrete_of, mask_of, width_of
+
+#: Fast-backend binary evaluators: one closure per op instead of the
+#: :meth:`Session._eval` string-comparison chain.  Each computes exactly
+#: what the reference chain computes for that op (``w`` is the result
+#: width mask).
+_BIN_EVAL = {
+    "add": lambda av, bv, w: (av + bv) & w,
+    "sub": lambda av, bv, w: (av - bv) & w,
+    "mul": lambda av, bv, w: (av * bv) & w,
+    "div": lambda av, bv, w: (av // bv) & w,
+    "mod": lambda av, bv, w: (av % bv) & w,
+    "and": lambda av, bv, w: av & bv,
+    "or": lambda av, bv, w: (av | bv) & w,
+    "xor": lambda av, bv, w: (av ^ bv) & w,
+    "shl": lambda av, bv, w: (av << bv) & w if bv < 4096 else 0,
+    "shr": lambda av, bv, w: (av >> bv) if bv < 4096 else 0,
+}
+
+#: Fast-backend comparison evaluators; results are 1-bit, so the fast
+#: path can skip result-width computation entirely when both operands
+#: are public.
+_CMP_EVAL = {
+    "eq": lambda av, bv: av == bv,
+    "ne": lambda av, bv: av != bv,
+    "ult": lambda av, bv: av < bv,
+    "ule": lambda av, bv: av <= bv,
+    "ugt": lambda av, bv: av > bv,
+    "uge": lambda av, bv: av >= bv,
+}
+
+#: Evaluator paired with its transfer function, so the fast binary-op
+#: path resolves both with a single dict probe.
+_CMP_PAIRS = {op: (fn, transfer.BINARY[op]) for op, fn in _CMP_EVAL.items()}
+_BIN_PAIRS = {op: (fn, transfer.BINARY[op]) for op, fn in _BIN_EVAL.items()}
 
 
 class Region:
@@ -158,9 +193,15 @@ class Session:
             long runs.  Mutually exclusive with ``tracker``.
         location_depth: how many frames up to look for the caller's
             source position (the default suits direct use).
+        backend: ``"reference"``, ``"fast"``, or ``"auto"``/``None``
+            (consult ``REPRO_BACKEND``, then auto-detect).  The fast
+            backend swaps in dict-dispatched operator evaluation and
+            bulk secret introduction; reports are bit-identical to the
+            reference (see ``docs/backends.md``).
     """
 
-    def __init__(self, tracker=None, interceptor=None, online_collapse=None):
+    def __init__(self, tracker=None, interceptor=None, online_collapse=None,
+                 backend=None):
         if online_collapse:
             if tracker is not None:
                 raise TraceError(
@@ -171,9 +212,32 @@ class Session:
                     "online_collapse must be 'context' or 'location', "
                     "got %r" % (online_collapse,))
             tracker = CollapsingTraceBuilder(
-                context_sensitive=(mode == "context"))
+                context_sensitive=(mode == "context"), backend=backend)
         self.tracker = tracker if tracker is not None else TraceBuilder()
         self.interceptor = interceptor
+        self.backend = resolve_backend(backend)
+        self._location_sites = {}
+        self._fused_sites = {}
+        if self.backend == "fast":
+            # Bound-method swap: callers (SecretInt dunders, user code)
+            # keep identical call depths, so location derivation is
+            # unchanged.
+            self.binary_op = self._binary_op_fast
+            self.secret_bytes = self._secret_bytes_fast
+            self._caller_location = self._caller_location_fast
+            if isinstance(self.tracker, TraceBuilder):
+                # These inline the TraceBuilder delegations (indexed /
+                # branch are defined as implicit_flow calls), so they
+                # only apply to trackers with those semantics.  With a
+                # fast collapsing tracker the fused variants also
+                # inline its repeat-cache hit path.
+                fused = (isinstance(self.tracker, CollapsingTraceBuilder)
+                         and self.tracker._fast)
+                self.index_on = (self._index_on_fused if fused
+                                 else self._index_on_fast)
+                if interceptor is None:
+                    self.branch_on = (self._branch_on_fused if fused
+                                      else self._branch_on_fast)
         self.outputs = []
         self._locations = {}
         self._finished = False
@@ -198,6 +262,20 @@ class Session:
             loc = Location(frame.f_code.co_filename.rsplit("/", 1)[-1],
                            frame.f_lineno, detail)
             self._locations[key] = loc
+        return loc
+
+    def _caller_location_fast(self, depth, detail=None):
+        # Keyed by (code object, bytecode offset) instead of
+        # (filename, line): avoids the lazy f_lineno computation on
+        # hits.  Distinct sites on one line intern to equal Locations,
+        # so labels and buckets are unchanged.
+        frame = sys._getframe(depth)
+        key = (frame.f_code, frame.f_lasti, detail)
+        loc = self._location_sites.get(key)
+        if loc is None:
+            loc = Location(frame.f_code.co_filename.rsplit("/", 1)[-1],
+                           frame.f_lineno, detail)
+            self._location_sites[key] = loc
         return loc
 
     def scope(self, name):
@@ -232,6 +310,36 @@ class Session:
             else:
                 out.append(SecretInt(self, byte, 8, prov.mask, prov))
         return out
+
+    def _secret_bytes_fast(self, data, name=None, category=None):
+        """Fast-backend :meth:`secret_bytes`: one bulk tracker call.
+
+        Produces the same tracked values and the same graph as the
+        per-byte reference loop; with a collapsing tracker the bulk
+        call is O(1) in ``len(data)``.  Counted under
+        ``shadow.fast.batch_ops`` / ``shadow.fast.batch_values``.
+        """
+        loc = self._caller_location(2, name or "secret_bytes")
+        secret_values = getattr(self.tracker, "secret_values", None)
+        if secret_values is None:
+            # Checking trackers have no bulk entry point; take the
+            # reference path event by event.
+            out = []
+            for byte in data:
+                prov = self.tracker.secret_value(loc, 8, category=category)
+                if prov.mask == 0:
+                    out.append(byte)
+                else:
+                    out.append(SecretInt(self, byte, 8, prov.mask, prov))
+            return out
+        provs = secret_values(loc, 8, len(data), category=category)
+        metrics = obs.get_metrics()
+        if metrics.enabled:
+            metrics.incr("shadow.fast.batch_ops")
+            metrics.incr("shadow.fast.batch_values", len(provs))
+        return [byte if prov.mask == 0
+                else SecretInt(self, byte, 8, prov.mask, prov)
+                for byte, prov in zip(data, provs)]
 
     def public(self, value):
         """Explicitly mark a plain value as public (identity helper)."""
@@ -316,6 +424,90 @@ class Session:
             return value  # declassified at a cut (checking mode)
         return SecretInt(self, value, result_width, mask, prov)
 
+    def _binary_op_fast(self, op, a, b, reflected=False):
+        """Fast-backend :meth:`binary_op`.
+
+        Identical results to the reference: same concrete values, same
+        transfer masks, same tracker events.  The speedups are dict
+        dispatch instead of the ``_eval`` if-chain, operand unwrapping
+        and caller-site lookup inlined, skipping the transfer function
+        when both operands are public (it returns 0 there), and
+        skipping result-width computation for all-public comparisons
+        (their result is 1-bit regardless).
+        """
+        if reflected:
+            a, b = b, a
+        self._shadow_ops += 1
+        sa = isinstance(a, SecretInt)
+        sb = isinstance(b, SecretInt)
+        if sa:
+            av, am = a.value, a.mask
+        else:
+            av, am = int(a), 0
+        if sb:
+            bv, bm = b.value, b.mask
+        else:
+            bv, bm = int(b), 0
+        pair = _CMP_PAIRS.get(op)
+        if pair is not None:
+            value = int(pair[0](av, bv))
+            if am == 0 and bm == 0:
+                if self.interceptor is None:
+                    return value
+                return self.intercept_value(
+                    self._caller_location(3, op), value, 1)
+            # Comparisons take the transfer width from the widest
+            # operand (``_result_width`` falls through to that).
+            if sa:
+                wa = a.width
+            else:
+                wa = getattr(a, "width", None)
+                if wa is None:
+                    wa = max(av.bit_length(), 1)
+            if sb:
+                wb = b.width
+            else:
+                wb = getattr(b, "width", None)
+                if wb is None:
+                    wb = max(bv.bit_length(), 1)
+            mask = pair[1](av, am, bv, bm, wa if wa >= wb else wb) & 1
+            result_width = 1
+        else:
+            pair = _BIN_PAIRS.get(op)
+            if pair is None:
+                raise TraceError("unsupported operation %r" % op)
+            width = self._result_width(op, a, b, av, bv)
+            w = width_mask(width)
+            value = pair[0](av, bv, w)
+            if am == 0 and bm == 0:
+                if self.interceptor is None:
+                    return value
+                return self.intercept_value(
+                    self._caller_location(3, op), value, width)
+            mask = pair[1](av, am, bv, bm, width) & w
+            result_width = width
+        # Inline _caller_location_fast (same frame as the reference's
+        # ``_caller_location(3, op)`` resolves: the operator dunder).
+        frame = sys._getframe(2)
+        site = (frame.f_code, frame.f_lasti, op)
+        loc = self._location_sites.get(site)
+        if loc is None:
+            loc = Location(frame.f_code.co_filename.rsplit("/", 1)[-1],
+                           frame.f_lineno, op)
+            self._location_sites[site] = loc
+        if mask == 0:
+            if self.interceptor is not None:
+                value = self.intercept_value(loc, value, result_width)
+            return value
+        if sa:
+            operands = [a.prov, b.prov] if sb else [a.prov]
+        else:
+            operands = [b.prov] if sb else []
+        prov = self.tracker.operation(loc, mask, operands)
+        if prov.mask == 0:
+            return value  # declassified at a cut (checking mode)
+        return SecretInt(self, value, result_width, mask, prov)
+
     def unary_op(self, op, a):
         self._shadow_ops += 1
         av, am = concrete_of(a), mask_of(a)
@@ -388,6 +580,112 @@ class Session:
         self._implicit_events += 1
         loc = self._caller_location(3, "index")
         self.tracker.indexed(loc, secret.prov)
+
+    def _branch_on_fast(self, secret):
+        # branch_on with TraceBuilder.branch inlined (one implicit flow
+        # of ``bits_for_arms(2) == 1`` bit); bound only when no
+        # interceptor is installed.
+        if secret.mask == 0:
+            return
+        self._implicit_events += 1
+        frame = sys._getframe(2)
+        key = (frame.f_code, frame.f_lasti, "branch")
+        loc = self._location_sites.get(key)
+        if loc is None:
+            loc = Location(frame.f_code.co_filename.rsplit("/", 1)[-1],
+                           frame.f_lineno, "branch")
+            self._location_sites[key] = loc
+        self.tracker.implicit_flow(loc, secret.prov, 1)
+
+    def _index_on_fast(self, secret):
+        # index_on with _caller_location and TraceBuilder.indexed
+        # (an implicit flow of the index's secret bits) inlined.
+        if secret.mask == 0:
+            return
+        self._implicit_events += 1
+        frame = sys._getframe(2)
+        key = (frame.f_code, frame.f_lasti, "index")
+        loc = self._location_sites.get(key)
+        if loc is None:
+            loc = Location(frame.f_code.co_filename.rsplit("/", 1)[-1],
+                           frame.f_lineno, "index")
+            self._location_sites[key] = loc
+        prov = secret.prov
+        self.tracker.implicit_flow(loc, prov, prov.bits)
+
+    # The fused handlers inline
+    # :meth:`CollapsingTraceBuilder._implicit_flow_fast`'s repeat-cache
+    # hit path (bit-identical: same counters, same INF saturation);
+    # anything else falls back to the tracker method.  The bodies are
+    # duplicated rather than shared -- a helper would re-add the call
+    # frame these exist to remove.
+
+    def _branch_on_fused(self, secret):
+        if secret.mask == 0:
+            return
+        self._implicit_events += 1
+        frame = sys._getframe(2)
+        prov = secret.prov
+        tracker = self.tracker
+        regions = tracker._regions
+        region = regions[-1] if regions else None
+        target = region.node if region is not None else tracker._pending
+        key = (frame.f_code, frame.f_lasti, prov.node, target,
+               tracker._active_ctx)
+        entry = self._fused_sites.get(key)
+        if entry is not None and not tracker._finished:
+            tracker._implicit_events += 1
+            tracker._virtual_edges += 1
+            tracker._collapser.merge_hits += 1
+            if region is not None:
+                region.bits += 1
+            cap = entry.capacity
+            entry.capacity = cap + 1 if cap < INF else INF
+            return
+        self._fused_fallback(frame, "branch", prov, 1, target, key)
+
+    def _index_on_fused(self, secret):
+        if secret.mask == 0:
+            return
+        self._implicit_events += 1
+        frame = sys._getframe(2)
+        prov = secret.prov
+        tracker = self.tracker
+        regions = tracker._regions
+        region = regions[-1] if regions else None
+        target = region.node if region is not None else tracker._pending
+        key = (frame.f_code, frame.f_lasti, prov.node, target,
+               tracker._active_ctx)
+        entry = self._fused_sites.get(key)
+        if entry is not None and not tracker._finished:
+            bits = prov.bits
+            tracker._implicit_events += 1
+            tracker._virtual_edges += 1
+            tracker._collapser.merge_hits += 1
+            if region is not None:
+                region.bits += bits
+            cap = entry.capacity
+            entry.capacity = (INF if cap >= INF or bits >= INF
+                              else cap + bits)
+            return
+        self._fused_fallback(frame, "index", prov, prov.bits, target, key)
+
+    def _fused_fallback(self, frame, detail, prov, bits, target, fused_key):
+        """Cold path of the fused handlers: resolve the location, run
+        the full tracker event, then remember the bucket it landed in."""
+        site = (frame.f_code, frame.f_lasti, detail)
+        loc = self._location_sites.get(site)
+        if loc is None:
+            loc = Location(frame.f_code.co_filename.rsplit("/", 1)[-1],
+                           frame.f_lineno, detail)
+            self._location_sites[site] = loc
+        tracker = self.tracker
+        tracker.implicit_flow(loc, prov, bits)
+        if target is not None:
+            edge = tracker._implicit_cache.get(
+                (loc, prov.node, target, tracker._active_ctx))
+            if edge is not None:
+                self._fused_sites[fused_key] = edge
 
     # ------------------------------------------------------------------
     # Regions

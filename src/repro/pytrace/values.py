@@ -35,9 +35,10 @@ class SecretInt:
 
     def __init__(self, session, value, width, mask, prov):
         self.session = session
-        self.value = value & width_mask(width)
+        w = (1 << width) - 1
+        self.value = value & w
         self.width = width
-        self.mask = mask & width_mask(width)
+        self.mask = mask & w
         self.prov = prov
 
     # ------------------------------------------------------------------

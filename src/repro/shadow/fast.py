@@ -1,0 +1,97 @@
+"""The fast shadow-propagation backend and the backend registry.
+
+The measurement pipeline has two interchangeable implementations of its
+hot frontend kernels, selected by name:
+
+* ``"reference"`` -- the straightforward per-value / per-bit code the
+  rest of this package documents.  It exists to be read against the
+  paper and to serve as the oracle in equivalence tests.
+* ``"fast"`` -- batch int-bitset kernels (this module) plus
+  specialised dispatch paths installed by the frontends
+  (:class:`repro.pytrace.session.Session`, :class:`repro.lang.vm.VM`)
+  and the bulk tracker entry point
+  (:meth:`repro.core.tracker.TraceBuilder.secret_values`).
+
+The contract between them is *bit identity*: for any program and input,
+both backends must produce the same trace-event stream and therefore
+the same flow graph, capacities, min-cut value, and
+:class:`~repro.core.report.FlowReport` bounds.  ``docs/backends.md``
+spells the contract out; ``tests/shadow/test_backend_equivalence.py``
+enforces it on randomized programs.
+
+Both backends are pure Python, so ``"fast"`` is always available and is
+what ``"auto"`` resolves to.  The ``REPRO_BACKEND`` environment variable
+overrides the *auto* choice (useful for CI matrix legs); an explicit
+``backend=`` argument always wins over the environment.
+"""
+
+from __future__ import annotations
+
+import os
+
+from .bitmask import truncate
+
+#: Recognised backend names, in preference order for documentation.
+BACKENDS = ("reference", "fast")
+
+#: Environment variable consulted when a caller asks for ``"auto"``.
+ENV_VAR = "REPRO_BACKEND"
+
+
+def detect_backend():
+    """The best backend available in this interpreter.
+
+    The fast path is pure Python (big-int batch kernels, precomputed
+    dispatch tables), so it is always available; a future native
+    extension would be probed here and preferred when importable.
+    """
+    return "fast"
+
+
+def resolve_backend(backend=None):
+    """Resolve a backend selector to a concrete backend name.
+
+    ``None`` and ``"auto"`` consult :data:`ENV_VAR` and then
+    :func:`detect_backend`; explicit names pass through.  Raises
+    ``ValueError`` for anything outside :data:`BACKENDS`.
+    """
+    if backend is None or backend == "auto":
+        backend = os.environ.get(ENV_VAR, "").strip().lower() or "auto"
+        if backend == "auto":
+            backend = detect_backend()
+    if backend not in BACKENDS:
+        raise ValueError("unknown backend %r (expected one of %s, or "
+                         "'auto')" % (backend, "/".join(BACKENDS)))
+    return backend
+
+
+# ----------------------------------------------------------------------
+# Batch int-bitset kernels.
+#
+# The reference helpers in .bitmask walk masks one byte at a time; the
+# batched forms below do the same splits and joins through a single
+# ``bytes`` buffer, which CPython performs in C.  Each is bit-identical
+# to its reference counterpart (asserted by the equivalence suite).
+
+def pack_byte_masks(masks):
+    """Batched :func:`~repro.shadow.bitmask.join_byte_masks`.
+
+    Recombines little-endian per-byte masks into one mask via a single
+    ``int.from_bytes`` call instead of a shift-or loop.
+    """
+    try:
+        buf = bytes(masks)
+    except (ValueError, TypeError):
+        # A mask outside 0..255: fall back to per-byte truncation,
+        # matching join_byte_masks' `m & 0xFF`.
+        buf = bytes(m & 0xFF for m in masks)
+    return int.from_bytes(buf, "little")
+
+
+def unpack_byte_masks(mask, num_bytes):
+    """Batched :func:`~repro.shadow.bitmask.byte_masks`.
+
+    Splits a mask into ``num_bytes`` little-endian 8-bit masks via a
+    single ``int.to_bytes`` call instead of a shift loop.
+    """
+    return list(truncate(mask, 8 * num_bytes).to_bytes(num_bytes, "little"))

@@ -1,0 +1,71 @@
+"""Docs-drift test for CLI flags: every ``--flag`` the docs mention exists.
+
+Companion to ``tests/test_docs_drift.py`` (API names) and
+``tests/obs/test_catalogue_drift.py`` (metric names): the command-line
+paragraphs of ``docs/api.md`` and the README name flags in backticks,
+and a renamed or removed argparse option must break the suite rather
+than rot the docs.
+"""
+
+import argparse
+import pathlib
+import re
+
+import pytest
+
+from repro.cli import build_parser
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+DOCS = (ROOT / "docs" / "api.md", ROOT / "README.md")
+
+_FLAG = re.compile(r"(--[a-z][a-z0-9-]*)")
+
+#: Flags the docs mention that belong to other tools, not `python -m repro`.
+_FOREIGN = {"--benchmark-only"}  # pytest-benchmark
+
+
+def cli_option_strings():
+    """Every option string of the top-level parser and all subcommands."""
+    parser = build_parser()
+    options = set()
+    stack = [parser]
+    while stack:
+        current = stack.pop()
+        for action in current._actions:
+            options.update(action.option_strings)
+            if isinstance(action, argparse._SubParsersAction):
+                stack.extend(action.choices.values())
+    return options
+
+
+def documented_flags():
+    pairs = []
+    for doc in DOCS:
+        for backticked in re.findall(r"`([^`]*)`", doc.read_text()):
+            for flag in _FLAG.findall(backticked):
+                if flag not in _FOREIGN:
+                    pairs.append((doc.name, flag))
+    return sorted(set(pairs))
+
+
+def test_docs_mention_flags():
+    flags = {flag for _, flag in documented_flags()}
+    assert len(flags) > 10, "CLI flags went missing from the docs"
+
+
+@pytest.mark.parametrize("doc,flag", documented_flags(),
+                         ids=["%s:%s" % pair for pair in documented_flags()])
+def test_documented_flag_exists(doc, flag):
+    assert flag in cli_option_strings(), (
+        "%s mentions %s, but no CLI subcommand defines it" % (doc, flag))
+
+
+def test_backend_and_warm_start_flags_are_documented():
+    """The backend-selection surface must stay documented (backends.md
+    contract): the flags exist in the parser AND in docs/api.md."""
+    options = cli_option_strings()
+    assert "--backend" in options
+    assert "--no-warm-start" in options
+    documented = {flag for _, flag in documented_flags()}
+    assert "--backend" in documented
+    assert "--no-warm-start" in documented
