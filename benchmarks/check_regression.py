@@ -14,7 +14,11 @@ in the baseline (the benchmark never collapsed that way) is skipped.
 The batch benchmarks additionally pin their workload shape exactly:
 ``batch.jobs`` and ``batch.workers`` must match the baseline, so a
 change that silently drops jobs or stops fanning out fails the check
-even when graph sizes are unaffected.
+even when graph sizes are unaffected.  The corpus-combine benchmark
+pins ``combine.tree_levels`` and ``store.shards_written`` the same way:
+a change that silently flattens the tree reduction or stops deduping
+distinct shards fails even though the (bit-identical) results cannot
+show it.
 
 Wall times are printed for context but never fail the check -- CI
 machines are too noisy for absolute time gates; timing trajectories
@@ -30,8 +34,10 @@ import sys
 CHECKED_GAUGES = ("collapse.nodes_after", "collapse.online.nodes_live")
 
 #: Metrics that must match the baseline *exactly* (when nonzero there):
-#: the batch benchmarks' workload shape.
-CHECKED_EXACT = ("batch.jobs", "batch.workers")
+#: the batch benchmarks' workload shape and the corpus-combine
+#: benchmark's reduction shape.
+CHECKED_EXACT = ("batch.jobs", "batch.workers", "combine.tree_levels",
+                 "store.shards_written")
 
 
 def load(path):

@@ -340,6 +340,112 @@ def section_warmstart():
     }
 
 
+def _corpus_shards(count, seed):
+    """``count`` distinct collapsed per-run shards of WARMSTART_SOURCE."""
+    from repro.core.tracker import TraceBuilder
+    from repro.lang import compile_cached
+    from repro.lang import execute as lang_execute
+    rng = random.Random(seed)
+    compiled = compile_cached(WARMSTART_SOURCE)
+    shards = []
+    for _ in range(count):
+        secret = bytes(rng.randrange(256)
+                       for _ in range(rng.randrange(8, 32)))
+        tracker = TraceBuilder()
+        _vm, graph = lang_execute(compiled, secret, tracker=tracker)
+        shard, _ = collapse_graphs([graph], context_sensitive=True)
+        shards.append(shard)
+    return shards
+
+
+def _corpus_variant(name, corpus):
+    """One corpus through both combine paths; returns the record dict.
+
+    The parent-side fold is the pre-store pipeline: one
+    ``collapse_graphs`` over the literal run list, then a solve.  The
+    store path is what ``repro batch --store`` + ``repro combine`` do:
+    content-addressed puts of the runs' canonical text (each distinct
+    shard is parsed and written once; repeats cost a hash and a
+    manifest line), then :func:`repro.batch.runs.combine_store_jobs` —
+    a multiplicity-weighted tree reduction whose working graph stays
+    coverage-sized.  Both paths must produce bit-identical results.
+    """
+    import shutil
+    import tempfile
+    from repro.batch.runs import combine_store_jobs
+    from repro.graph.serialize import dumps_graph
+    from repro.store import ShardStore
+    t0 = time.perf_counter()
+    folded, _stats = collapse_graphs(corpus, context_sensitive=True)
+    fold_bits, _ = dinic_max_flow(folded)
+    fold_seconds = time.perf_counter() - t0
+    texts = {}
+    for shard in corpus:
+        if id(shard) not in texts:
+            texts[id(shard)] = dumps_graph(shard)
+    root = tempfile.mkdtemp(prefix="repro-corpus-")
+    try:
+        t0 = time.perf_counter()
+        store = ShardStore(root)
+        for shard in corpus:
+            store.put_text(texts[id(shard)])
+        result = combine_store_jobs(store, context_sensitive=True)
+        store_seconds = time.perf_counter() - t0
+        if (result.bits != fold_bits
+                or dumps_graph(result.report.graph) != dumps_graph(folded)):
+            raise AssertionError(
+                "store combine diverged from the parent fold on the %s "
+                "corpus: %d vs %d bits" % (name, result.bits, fold_bits))
+        for prefix, final in zip(result.anytime, result.anytime[1:]):
+            if prefix < final:
+                raise AssertionError("anytime trail is not "
+                                     "nonincreasing: %r" % result.anytime)
+        record = {
+            "runs": len(corpus),
+            "distinct": store.distinct,
+            "combined_bits": fold_bits,
+            "peak_graph_nodes": result.report.graph.num_nodes,
+            "fold_seconds": fold_seconds,
+            "store_seconds": store_seconds,
+            "speedup": fold_seconds / store_seconds,
+        }
+    finally:
+        shutil.rmtree(root)
+    print("%8s %8d %9d %6d %11.4f %11.4f %9.2fx"
+          % (name, record["runs"], record["distinct"],
+             record["combined_bits"], fold_seconds, store_seconds,
+             record["speedup"]))
+    return record
+
+
+def section3_corpus_combine():
+    """Corpus-scale combine: shard store + tree reduction vs parent fold.
+
+    Two corpus shapes: *dedup-heavy* (few distinct runs repeated many
+    times — the realistic shape for repeated measurements of one
+    program, where the store reduces the combine to a
+    multiplicity-weighted fold over the distinct shards) and
+    *dedup-hostile* (every run distinct, so the store adds pure
+    overhead: each shard is parsed, hashed, written, and re-read).
+    Both must stay bit-identical to the parent fold; the heavy corpus
+    must show the store path's asymptotic win.
+    """
+    print("\n### Section 3.2 corpus: content-addressed store +"
+          " tree-reduction combine vs parent fold")
+    print("%8s %8s %9s %6s %11s %11s %10s"
+          % ("corpus", "runs", "distinct", "bits", "fold(s)",
+             "store(s)", "speedup"))
+    distinct = _corpus_shards(8, seed=1234)
+    heavy_corpus = [distinct[i % len(distinct)] for i in range(5000)]
+    heavy = _corpus_variant("heavy", heavy_corpus)
+    hostile = _corpus_variant("hostile", _corpus_shards(300, seed=99))
+    print("equivalent: yes (both corpora bit-identical to the parent "
+          "fold); heavy-corpus speedup %.1fx with peak graph %d nodes "
+          "(coverage-sized, vs %d run graphs held by the fold)"
+          % (heavy["speedup"], heavy["peak_graph_nodes"], heavy["runs"]))
+    return {"heavy": heavy, "hostile": hostile}
+
+
 def _print_table(fn):
     def run():
         text, _ = fn()
@@ -362,6 +468,7 @@ BENCHMARKS = (
     ("sec101_batch_multisecret", section101_batch_multisecret),
     ("backends_fast_vs_reference", section_backends),
     ("warmstart_streaming_combine", section_warmstart),
+    ("sec3_corpus_combine", section3_corpus_combine),
 )
 
 

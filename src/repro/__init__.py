@@ -33,13 +33,14 @@ from .core import (CheckTracker, CutPolicy, FlowPolicy, FlowReport,
                    Location, TraceBuilder, measure_graph, measure_runs)
 from .errors import (CompileError, GraphError, LangError, LexError,
                      ParseError, PolicyViolation, RegionError, ReproError,
-                     TraceError, TypeCheckError, VMError)
+                     StoreError, TraceError, TypeCheckError, VMError)
+from .store import ShardStore
 
 __all__ = [
     "core", "graph", "obs", "shadow",
     "CheckTracker", "CutPolicy", "FlowPolicy", "FlowReport", "Location",
-    "TraceBuilder", "measure_graph", "measure_runs",
+    "ShardStore", "TraceBuilder", "measure_graph", "measure_runs",
     "CompileError", "GraphError", "LangError", "LexError", "ParseError",
-    "PolicyViolation", "RegionError", "ReproError", "TraceError",
-    "TypeCheckError", "VMError",
+    "PolicyViolation", "RegionError", "ReproError", "StoreError",
+    "TraceError", "TypeCheckError", "VMError",
 ]

@@ -19,12 +19,14 @@ from __future__ import annotations
 
 from .engine import ON_ERROR_MODES, BatchEngine, FaultPolicy, JobFailure
 from .runs import (BATCH_COLLAPSE_MODES, BatchResult, ProgramResult,
-                   combine_graphs_jobs, measure_by_category_jobs,
+                   StoreCombineResult, combine_graphs_jobs,
+                   combine_store_jobs, measure_by_category_jobs,
                    measure_program_runs, measure_programs)
 
 __all__ = [
     "BatchEngine", "FaultPolicy", "JobFailure", "ON_ERROR_MODES",
     "BATCH_COLLAPSE_MODES", "BatchResult", "ProgramResult",
-    "combine_graphs_jobs", "measure_by_category_jobs",
-    "measure_program_runs", "measure_programs",
+    "StoreCombineResult", "combine_graphs_jobs", "combine_store_jobs",
+    "measure_by_category_jobs", "measure_program_runs",
+    "measure_programs",
 ]

@@ -31,17 +31,19 @@ import io
 import time
 
 from .. import obs
-from ..core.combine import StreamingCombiner, kraft_satisfied, kraft_sum
+from ..core.combine import (IncrementalKraft, StreamingCombiner,
+                            kraft_satisfied, kraft_sum)
 from ..core.measure import measure_graph, measure_runs
 from ..core.multisecret import CategoryBounds, _restricted_copy
 from ..core.tracker import CollapsingTraceBuilder
-from ..errors import BatchError, GraphError
+from ..errors import BatchError, GraphError, StoreError
 from ..graph.collapse import CollapseStats, collapse_graphs
 from ..graph.maxflow import dinic_max_flow
 from ..graph.mincut import MinCut
 from ..graph.serialize import dump_graph, load_graph
 from ..lang.runner import compile_cached, execute, measure
 from ..shadow import resolve_backend
+from ..store import ShardStore
 from .engine import BatchEngine, FaultPolicy, JobFailure
 
 #: Collapse modes a batch worker can trace under.  ``"none"`` is
@@ -211,20 +213,24 @@ def measure_program_runs(source, secret_inputs, public_input=b"",
                          collapse="context", jobs=1, filename="<source>",
                          entry="main", max_steps=None, deadline_seconds=None,
                          timeout=None, retries=0, on_error="raise",
-                         faults=None, warm_start=True, backend=None):
+                         faults=None, warm_start=True, backend=None,
+                         store=None):
     """Measure one program over many secrets, ``jobs`` runs at a time.
 
     The batch analogue of :func:`repro.lang.runner.measure_many`: each
-    secret is traced (online-collapsed) in a worker, the workers'
-    serialized graphs are combined in the parent for the Section 3.2
-    Kraft-sound bound.  ``max_steps``/``deadline_seconds`` bound each
+    secret is traced (online-collapsed) in a worker, and the workers'
+    serialized graphs are re-combined for the Section 3.2 Kraft-sound
+    bound — streamed through a warm-started
+    :class:`~repro.core.combine.StreamingCombiner` by default, or by
+    the tree-reduction merge across the pool when a shard ``store`` is
+    given.  ``max_steps``/``deadline_seconds`` bound each
     run inside its worker (a run past its deadline raises ``VMTimeout``
     — a non-transient job failure); ``timeout``/``retries``/``on_error``
     configure the engine's :class:`~repro.batch.engine.FaultPolicy`.
     Returns a :class:`BatchResult` — partial, with a ``failures`` list,
     when runs failed under ``on_error="collect"``.
 
-    With ``warm_start`` (the default) the parent merge folds the worker
+    With ``warm_start`` (the default) the merge folds the worker
     graphs in one at a time through a
     :class:`~repro.core.combine.StreamingCombiner`, re-solving each
     intermediate combined graph from the previous residual — the
@@ -232,6 +238,16 @@ def measure_program_runs(source, secret_inputs, public_input=b"",
     bound and combined graph are identical to the one-shot combination
     (``warm_start=False``, the ``repro batch --no-warm-start`` path);
     only the tie-broken placement of the minimum cut may differ.
+
+    ``store`` (a :class:`~repro.store.ShardStore` or a directory path,
+    created if missing) switches the merge to the corpus pipeline: each
+    run's shard is appended to the store content-addressed (identical
+    collapsed runs dedup to a multiplicity), and the combined report is
+    computed by :func:`combine_store_jobs` — a tree reduction across
+    the worker pool in O(coverage) memory per process.  The report then
+    covers the *whole* store corpus, including shards from earlier
+    batches appended to the same store; ``per_run_bits`` still covers
+    only this batch's runs.
 
     ``backend`` selects each worker's VM execution backend
     (``"reference"``/``"fast"``/``"auto"``; see ``docs/backends.md``).
@@ -249,6 +265,10 @@ def measure_program_runs(source, secret_inputs, public_input=b"",
     outcomes = engine.map(_trace_run_job, payloads)
     metrics = obs.get_metrics()
     t0 = time.perf_counter()
+    shard_store = None
+    if store is not None:
+        shard_store = store if isinstance(store, ShardStore) \
+            else ShardStore(store)
     graphs = []
     stats_list = []
     warnings = []
@@ -262,22 +282,33 @@ def measure_program_runs(source, secret_inputs, public_input=b"",
                 continue
             shipped_bytes += len(outcome["graph"].encode("utf-8"))
             try:
-                graph = _load_text(outcome["graph"])
+                if shard_store is not None:
+                    # The parent never materializes the graph: the text
+                    # goes straight into the store (parsed only when its
+                    # digest is new).
+                    shard_store.put_text(outcome["graph"])
+                else:
+                    graphs.append(_load_text(outcome["graph"]))
             except GraphError as error:
                 if not engine.faults.collecting:
                     raise
                 failures.append(_corrupt_graph_failure(index, error,
                                                        metrics))
                 continue
-            graphs.append(graph)
             stats_list.append(outcome["stats"])
             warnings.extend(outcome["warnings"])
             bits.append(outcome["bits"])
-        if not graphs:
+        if not bits:
             raise BatchError(
                 "all %d runs failed; no combined bound exists (first "
                 "failure: %s)" % (len(outcomes), failures[0]))
-        if warm_start:
+        if shard_store is not None:
+            result = combine_store_jobs(
+                shard_store, context_sensitive=(collapse == "context"),
+                jobs=jobs, faults=engine.faults, warm_start=warm_start,
+                stats_list=stats_list, warnings=warnings)
+            report = result.report
+        elif warm_start:
             combiner = StreamingCombiner(
                 context_sensitive=(collapse == "context"))
             span = obs.get_tracer().span("measure.runs", runs=len(graphs),
@@ -301,40 +332,70 @@ def measure_program_runs(source, secret_inputs, public_input=b"",
 
 
 # ----------------------------------------------------------------------
-# Chunked multi-run combination (parallel collapse_graphs)
+# Tree-reduced multi-run combination (parallel collapse_graphs)
 
 
-def _collapse_chunk_job(payload):
-    """Combine one contiguous chunk of serialized graphs in a worker."""
-    texts, context_sensitive = payload
-    chunk = [_load_text(text) for text in texts]
-    combined, stats = collapse_graphs(chunk,
-                                      context_sensitive=context_sensitive)
+def _default_fanin(count, jobs):
+    """Default reduction fan-in: one worker-sized chunk per level.
+
+    Chosen so the first level matches the old one-level split into
+    ``jobs`` contiguous chunks; further levels keep reducing until one
+    chunk remains for the parent-side root fold.
+    """
+    return max(2, -(-count // max(jobs, 1)))
+
+
+def _tree_parts(count, jobs, fanin):
+    """Chunk count for one reduction level (1 means: root fold next)."""
+    if count <= fanin:
+        return 1
+    return min(jobs, -(-count // fanin))
+
+
+def _combine_chunk_job(payload):
+    """Combine one contiguous chunk of serialized shards in a worker.
+
+    Each item is ``(text, original_nodes, original_edges)``; the
+    returned original counts are the *carried* sums, so multi-level
+    reduction keeps counting the true corpus size rather than the
+    intermediate graphs'.
+    """
+    items, context_sensitive = payload
+    chunk = [_load_text(text) for text, _, _ in items]
+    combined, _ = collapse_graphs(chunk,
+                                  context_sensitive=context_sensitive)
     return {
         "graph": _dump_text(combined),
-        "original_nodes": stats.original_nodes,
-        "original_edges": stats.original_edges,
+        "original_nodes": sum(nodes for _, nodes, _ in items),
+        "original_edges": sum(edges for _, _, edges in items),
     }
 
 
 def combine_graphs_jobs(graphs, context_sensitive=True, jobs=1,
                         timeout=None, retries=0, on_error="raise",
-                        faults=None):
-    """Parallel :func:`~repro.graph.collapse.collapse_graphs`.
+                        faults=None, fanin=None):
+    """Tree-reduced parallel :func:`~repro.graph.collapse.collapse_graphs`.
 
-    Splits the graph list into contiguous chunks, combines each chunk
-    in a worker, then combines the chunk results in the parent.  The
-    union-find construction is associative over ordered contiguous
-    chunks, so the result is identical (same node numbering, edge
-    order, capacities, and labels-as-serialized) to combining the whole
-    list at once; the reported :class:`CollapseStats` count the
-    original inputs, as the serial call would.
+    The graph list is split into contiguous chunks and combined as a
+    reduction *tree*: every level sends chunks of at most ``fanin``
+    intermediate graphs to the worker pool, until one chunk remains,
+    which the parent folds as the root.  No process — parent included —
+    ever materializes more than one chunk of coverage-sized graphs at a
+    time, which is what lets corpus-scale combines run in O(coverage)
+    memory per process.  The union-find construction is associative
+    over ordered contiguous chunks, so the result is identical (same
+    node numbering, edge order, capacities, and labels-as-serialized)
+    to combining the whole list at once, whatever the topology; the
+    reported :class:`CollapseStats` count the original inputs, as the
+    serial call would.  ``fanin`` defaults to one worker-sized chunk
+    per level (the first level then matches the old single-level
+    split).
 
-    Under ``on_error="collect"``, a failed chunk job is *excluded*:
-    the combined graph covers only the surviving chunks' inputs, and
+    Under ``on_error="collect"``, a failed chunk job *excludes its
+    subtree*: the combined graph covers only the surviving inputs, and
     the failures are reported in ``stats.failures`` (callers must
     treat such a combination as partial — the §3 guarantee does not
-    cover the excluded runs).  At least one chunk must survive, or a
+    cover the excluded runs).  At least one subtree must survive, or a
     :class:`~repro.errors.BatchError` is raised.
     """
     graphs = list(graphs)
@@ -342,49 +403,287 @@ def combine_graphs_jobs(graphs, context_sensitive=True, jobs=1,
         raise ValueError("combine_graphs_jobs needs at least one graph")
     engine = BatchEngine(jobs, faults=_fault_policy(faults, timeout,
                                                     retries, on_error))
-    parts = min(engine.jobs, len(graphs))
-    if parts <= 1:
+    if min(engine.jobs, len(graphs)) <= 1:
         return collapse_graphs(graphs, context_sensitive=context_sensitive)
-    texts = [_dump_text(graph) for graph in graphs]
-    payloads = [(texts[lo:hi], context_sensitive)
-                for lo, hi in _chunks(len(texts), parts)]
-    outcomes = engine.map(_collapse_chunk_job, payloads)
+    if fanin is None:
+        fanin = _default_fanin(len(graphs), engine.jobs)
+    elif fanin < 2:
+        raise ValueError("fanin must be >= 2, got %r" % (fanin,))
+    items = [(_dump_text(g), g.num_nodes, g.num_edges) for g in graphs]
     metrics = obs.get_metrics()
     t0 = time.perf_counter()
     failures = []
-    survivors = []
-    with obs.get_tracer().span("batch.merge", chunks=len(outcomes)):
-        for index, outcome in enumerate(outcomes):
-            if isinstance(outcome, JobFailure):
-                failures.append(outcome)
-                continue
+    levels = 0
+    shipped = 0
+    with obs.get_tracer().span("batch.merge", chunks=len(items)):
+        while True:
+            parts = _tree_parts(len(items), engine.jobs, fanin)
+            if parts <= 1:
+                break
+            payloads = [(items[lo:hi], context_sensitive)
+                        for lo, hi in _chunks(len(items), parts)]
+            outcomes = engine.map(_combine_chunk_job, payloads)
+            levels += 1
+            next_items = []
+            for payload, outcome in zip(payloads, outcomes):
+                if isinstance(outcome, JobFailure):
+                    failures.append(outcome)
+                    continue
+                shipped += sum(len(text.encode("utf-8"))
+                               for text, _, _ in payload[0])
+                shipped += len(outcome["graph"].encode("utf-8"))
+                next_items.append((outcome["graph"],
+                                   outcome["original_nodes"],
+                                   outcome["original_edges"]))
+            if not next_items:
+                raise BatchError(
+                    "all %d combination chunks failed (first failure: %s)"
+                    % (len(outcomes), failures[0]))
+            items = next_items
+        # Root fold, in the parent: at most ``fanin`` survivors.
+        survivors = []
+        original_nodes = original_edges = 0
+        for index, (text, nodes, edges) in enumerate(items):
             try:
-                partial = _load_text(outcome["graph"])
+                survivors.append(_load_text(text))
             except GraphError as error:
                 if not engine.faults.collecting:
                     raise
                 failures.append(_corrupt_graph_failure(index, error,
                                                        metrics))
                 continue
-            survivors.append((partial, outcome))
+            original_nodes += nodes
+            original_edges += edges
         if not survivors:
             raise BatchError(
                 "all %d combination chunks failed (first failure: %s)"
-                % (len(outcomes), failures[0]))
-        combined, _ = collapse_graphs([graph for graph, _ in survivors],
+                % (len(items), failures[0]))
+        combined, _ = collapse_graphs(survivors,
                                       context_sensitive=context_sensitive)
-    stats = CollapseStats(
-        sum(outcome["original_nodes"] for _, outcome in survivors),
-        sum(outcome["original_edges"] for _, outcome in survivors),
-        combined.num_nodes, combined.num_edges, failures=failures)
+        levels += 1
+    stats = CollapseStats(original_nodes, original_edges,
+                          combined.num_nodes, combined.num_edges,
+                          failures=failures)
     if metrics.enabled:
-        shipped = sum(len(text.encode("utf-8")) for text in texts)
-        shipped += sum(len(outcome["graph"].encode("utf-8"))
-                       for _, outcome in survivors)
+        metrics.gauge("combine.tree_levels", levels)
         metrics.incr("batch.graphs_bytes", shipped)
         metrics.add_seconds("batch.merge_seconds",
                             time.perf_counter() - t0)
     return combined, stats
+
+
+# ----------------------------------------------------------------------
+# Store-backed corpus combine (tree reduction over a ShardStore)
+
+
+class StoreCombineResult:
+    """A store-backed corpus combine: report plus anytime-bound trail.
+
+    ``report`` is the usual Kraft-sound combined
+    :class:`~repro.core.report.FlowReport` (bit-identical to folding
+    the corpus without a store); ``anytime`` is the
+    :class:`~repro.core.combine.IncrementalKraft` trail — a monotone
+    nonincreasing sequence of sound upper bounds, starting when the
+    corpus is sealed and ending at the exact combined bound; ``levels``
+    counts reduction levels (parent root fold included).
+    """
+
+    def __init__(self, report, anytime, levels, attempted, distinct,
+                 covered, failures=()):
+        self.report = report
+        self.anytime = list(anytime)
+        self.levels = levels
+        self.attempted = attempted
+        self.distinct = distinct
+        #: runs the combined bound covers (== ``attempted`` unless partial)
+        self.covered = covered
+        self.failures = list(failures)
+
+    @property
+    def bits(self):
+        return self.report.bits
+
+    @property
+    def runs(self):
+        """Alias of :attr:`covered`."""
+        return self.covered
+
+    @property
+    def partial(self):
+        return bool(self.failures)
+
+    def __repr__(self):
+        return ("StoreCombineResult(runs=%d/%d, distinct=%d, bits=%d, "
+                "levels=%d%s)"
+                % (self.covered, self.attempted, self.distinct, self.bits,
+                   self.levels,
+                   ", failures=%d" % len(self.failures)
+                   if self.failures else ""))
+
+
+def _store_combine_chunk_job(payload):
+    """Left-fold one contiguous chunk of store shards in a worker.
+
+    Streams the chunk one shard at a time (the worker holds the
+    running combination plus a single shard — O(coverage) memory,
+    whatever the chunk length) and writes the result back to the store
+    as a content-addressed object, so only a digest crosses the
+    process boundary.  Items are ``(digest, mult, nodes, edges,
+    runs)`` with per-repeat original sizes.
+    """
+    root, items, context_sensitive = payload
+    store = ShardStore(root, create=False)
+    combined = None
+    for digest, mult, _, _, _ in items:
+        graph = store.get(digest)
+        if combined is None:
+            combined, _ = collapse_graphs(
+                [graph], context_sensitive=context_sensitive,
+                multiplicities=[mult])
+        else:
+            combined, _ = collapse_graphs(
+                [combined, graph], context_sensitive=context_sensitive,
+                multiplicities=[1, mult])
+    return {
+        "digest": store.put_object(combined),
+        "source_cap": combined.source_capacity(),
+        "sink_cap": combined.sink_capacity(),
+        "original_nodes": sum(m * n for _, m, n, _, _ in items),
+        "original_edges": sum(m * e for _, m, _, e, _ in items),
+        "runs": sum(m * r for _, m, _, _, r in items),
+    }
+
+
+def combine_store_jobs(store, context_sensitive=True, jobs=1, fanin=None,
+                       timeout=None, retries=0, on_error="raise",
+                       faults=None, warm_start=True, stats_list=None,
+                       warnings=None):
+    """Combine a :class:`~repro.store.ShardStore` corpus by tree
+    reduction; returns a :class:`StoreCombineResult`.
+
+    The corpus is taken in its deduped first-occurrence view (digest +
+    multiplicity) when every shard is dedup-safe, falling back to the
+    literal manifest order otherwise — either way the combined graph,
+    cut, and bound are bit-identical to folding the manifest's graphs
+    through the plain :func:`combine_graphs_jobs` /
+    :func:`~repro.graph.collapse.collapse_graphs` path.  Reduction
+    levels run across the worker pool exchanging only store references;
+    the root level streams the surviving subtrees through a
+    :class:`~repro.core.combine.StreamingCombiner` with warm-started
+    re-solves.  Incremental Kraft accounting
+    (:class:`~repro.core.combine.IncrementalKraft`) maintains a sound
+    anytime upper bound throughout; the trail is returned as
+    ``result.anytime``.
+
+    Under ``on_error="collect"``, a failed subtree is dropped from both
+    the combined graph and the anytime account; the report comes back
+    partial.
+    """
+    if not isinstance(store, ShardStore):
+        store = ShardStore(store, create=False)
+    if not len(store):
+        raise ValueError("combine_store_jobs needs a non-empty store "
+                         "(no manifest entries in %s)" % store.root)
+    engine = BatchEngine(jobs, faults=_fault_policy(faults, timeout,
+                                                    retries, on_error))
+    entries = store.multiplicities()
+    metas = {digest: store.meta(digest) for digest, _ in entries}
+    safe_key = ("dedup_safe_context" if context_sensitive
+                else "dedup_safe_location")
+    if all(metas[digest][safe_key] for digest, _ in entries):
+        refs = entries
+    else:
+        # A shard with unmergeable-only nodes would contribute fresh
+        # classes per repeat; keep the literal order so bit-identity
+        # with the plain fold holds unconditionally.
+        refs = [(digest, 1) for digest in store.order()]
+    kraft = IncrementalKraft()
+    items = []
+    gids = []
+    for digest, mult in refs:
+        meta = metas[digest]
+        gids.append(kraft.admit(meta["source_cap"], meta["sink_cap"], mult))
+        items.append((digest, mult, meta["nodes"], meta["edges"], 1))
+    if fanin is None:
+        fanin = _default_fanin(len(items), engine.jobs)
+    elif fanin < 2:
+        raise ValueError("fanin must be >= 2, got %r" % (fanin,))
+    kraft.seal()
+    metrics = obs.get_metrics()
+    t0 = time.perf_counter()
+    failures = []
+    levels = 0
+    with obs.get_tracer().span("batch.merge", chunks=len(items)):
+        while True:
+            parts = _tree_parts(len(items), engine.jobs, fanin)
+            if parts <= 1:
+                break
+            slices = _chunks(len(items), parts)
+            payloads = [(store.root, items[lo:hi], context_sensitive)
+                        for lo, hi in slices]
+            outcomes = engine.map(_store_combine_chunk_job, payloads)
+            levels += 1
+            next_items = []
+            next_gids = []
+            for (lo, hi), outcome in zip(slices, outcomes):
+                if isinstance(outcome, JobFailure):
+                    failures.append(outcome)
+                    for gid in gids[lo:hi]:
+                        kraft.drop(gid)
+                    continue
+                next_gids.append(kraft.merge(gids[lo:hi],
+                                             outcome["source_cap"],
+                                             outcome["sink_cap"]))
+                next_items.append((outcome["digest"], 1,
+                                   outcome["original_nodes"],
+                                   outcome["original_edges"],
+                                   outcome["runs"]))
+            if not next_items:
+                raise BatchError(
+                    "all %d combination chunks failed (first failure: %s)"
+                    % (len(outcomes), failures[0]))
+            items, gids = next_items, next_gids
+        # Root level: stream the survivors through warm-started solves.
+        combiner = StreamingCombiner(context_sensitive=context_sensitive,
+                                     warm_start=warm_start)
+        acc_gid = None
+        for index, ((digest, mult, nodes, edges, runs), gid) \
+                in enumerate(zip(items, gids)):
+            try:
+                graph = store.get(digest)
+            except (StoreError, GraphError) as error:
+                if not engine.faults.collecting:
+                    raise
+                failures.append(_corrupt_graph_failure(index, error,
+                                                       metrics))
+                kraft.drop(gid)
+                continue
+            combiner.add(graph, times=mult, original_nodes=nodes,
+                         original_edges=edges, run_count=runs)
+            if acc_gid is None:
+                acc_gid = gid
+            else:
+                acc_gid = kraft.merge(
+                    [acc_gid, gid], combiner.graph.source_capacity(),
+                    combiner.graph.sink_capacity())
+        if combiner.graph is None:
+            raise BatchError(
+                "all %d shards failed to combine (first failure: %s)"
+                % (len(items), failures[0]))
+        levels += 1
+        kraft.finalize(combiner.bits)
+        report = combiner.report(stats_list=stats_list,
+                                 warnings=list(warnings or []),
+                                 failures=failures)
+    attempted = len(store)
+    if failures:
+        _mark_partial(report, attempted - combiner.runs, attempted)
+    if metrics.enabled:
+        metrics.gauge("combine.tree_levels", levels)
+        metrics.add_seconds("batch.merge_seconds",
+                            time.perf_counter() - t0)
+    return StoreCombineResult(report, kraft.trail, levels, attempted,
+                              store.distinct, combiner.runs, failures)
 
 
 # ----------------------------------------------------------------------

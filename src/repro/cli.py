@@ -10,7 +10,11 @@ The tool workflow from the paper, on FlowLang programs:
 * ``static`` — the §10.2 all-static bound, given per-loop trip counts;
 * ``disasm`` — show the compiled bytecode;
 * ``batch`` — measure one program over many secrets across worker
-  processes (§3.2 combined bound; ``--jobs N``).
+  processes (§3.2 combined bound; ``--jobs N``; ``--store DIR`` appends
+  each run to a content-addressed shard corpus and bounds the whole
+  corpus);
+* ``combine`` — recombine an existing shard store into one corpus
+  bound by tree reduction, with the incremental-Kraft anytime trail.
 
 Secret/public inputs come from ``--secret``/``--public`` (text),
 ``--secret-hex`` (hex bytes), or ``--secret-file``.
@@ -260,11 +264,15 @@ def cmd_batch(args):
         max_steps=args.max_steps, deadline_seconds=args.deadline,
         timeout=args.timeout, retries=args.retries,
         on_error=args.on_error, warm_start=not args.no_warm_start,
-        backend=args.backend)
+        backend=args.backend, store=args.store)
     report = result.report
+    corpus = None
+    if args.store:
+        from .store import ShardStore
+        corpus = ShardStore(args.store, create=False).stats()
     if args.json:
         cut = CutPolicy.from_report(report)
-        print(json.dumps({
+        payload = {
             "runs": result.runs,
             "attempted": result.attempted,
             "jobs": result.jobs,
@@ -277,9 +285,16 @@ def cmd_batch(args):
                          for failure in result.failures],
             "cut": cut.to_dict(),
             "warnings": report.warnings,
-        }, indent=2))
+        }
+        if corpus is not None:
+            payload["store"] = corpus
+        print(json.dumps(payload, indent=2))
     else:
         print("%d runs across %d job slot(s)" % (result.runs, result.jobs))
+        if corpus is not None:
+            print("store corpus: %d runs, %d distinct shards; the "
+                  "combined bound covers the whole corpus"
+                  % (corpus["runs"], corpus["distinct"]))
         if result.partial:
             print("PARTIAL: %d of %d runs failed and are excluded from "
                   "the bound:" % (len(result.failures), result.attempted))
@@ -294,6 +309,53 @@ def cmd_batch(args):
         print(report.describe())
     # Exit 1 on a partial result: scripting must notice that the bound
     # does not cover every requested run.
+    return 1 if result.partial else 0
+
+
+def cmd_combine(args):
+    from .batch.runs import combine_store_jobs
+    from .store import ShardStore
+    store = ShardStore(args.store, create=False)
+    if len(store) == 0:
+        print("error: store %s has an empty corpus (no manifest entries)"
+              % args.store, file=sys.stderr)
+        return 2
+    result = combine_store_jobs(
+        store, context_sensitive=(args.collapse == "context"),
+        jobs=args.jobs, fanin=args.fanin, timeout=args.timeout,
+        retries=args.retries, on_error=args.on_error,
+        warm_start=not args.no_warm_start)
+    report = result.report
+    if args.json:
+        cut = CutPolicy.from_report(report)
+        print(json.dumps({
+            "runs": result.runs,
+            "attempted": result.attempted,
+            "distinct": result.distinct,
+            "partial": result.partial,
+            "combined_bits": result.bits,
+            "anytime_bits": result.anytime,
+            "tree_levels": result.levels,
+            "store": store.stats(),
+            "failures": [failure.to_dict(traceback=False)
+                         for failure in result.failures],
+            "cut": cut.to_dict(),
+            "warnings": report.warnings,
+        }, indent=2))
+    else:
+        print("corpus: %d runs, %d distinct shards"
+              % (result.attempted, result.distinct))
+        print("anytime upper bound: %s bits"
+              % " >= ".join(str(b) for b in result.anytime))
+        if result.partial:
+            print("PARTIAL: %d of %d runs failed and are excluded from "
+                  "the bound:" % (result.attempted - result.runs,
+                                  result.attempted))
+            for failure in result.failures:
+                print("  shard %d: %s: %s" % (failure.index,
+                                              failure.error_type,
+                                              failure.error))
+        print(report.describe())
     return 1 if result.partial else 0
 
 
@@ -395,9 +457,49 @@ def build_parser():
                    help="raise: first failure aborts the batch (default); "
                         "collect: finish the surviving runs and report a "
                         "partial bound (exit status 1)")
+    p.add_argument("--store", metavar="DIR",
+                   help="append each run's collapsed shard to a "
+                        "content-addressed store (created if missing) "
+                        "and bound the store's whole corpus by tree "
+                        "reduction instead of the parent-side fold")
     p.add_argument("--json", action="store_true")
     _add_metrics_flags(p)
     p.set_defaults(func=cmd_batch)
+
+    p = sub.add_parser("combine",
+                       help="combine a shard-store corpus into one "
+                            "bound (tree reduction + anytime Kraft "
+                            "trail)")
+    p.add_argument("--store", required=True, metavar="DIR",
+                   help="shard store directory (see repro batch --store)")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes for the reduction levels "
+                        "(default 1: in-process, bit-identical results "
+                        "either way)")
+    p.add_argument("--fanin", type=int, default=None, metavar="K",
+                   help="shards merged per reduction node (default: "
+                        "corpus size / jobs, i.e. one level plus the "
+                        "root fold)")
+    p.add_argument("--collapse", default="context",
+                   choices=["context", "location"])
+    p.add_argument("--no-warm-start", dest="no_warm_start",
+                   action="store_true",
+                   help="solve the root fold's intermediates cold "
+                        "instead of warm-starting from the previous "
+                        "residual (same bound either way)")
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="per-merge-job wall-clock timeout")
+    p.add_argument("--retries", type=int, default=0, metavar="N",
+                   help="retry budget for transient merge-job failures")
+    p.add_argument("--on-error", dest="on_error", default="raise",
+                   choices=["raise", "collect"],
+                   help="raise: first failure aborts (default); collect: "
+                        "drop failed subtrees from the graph and the "
+                        "Kraft account, report a partial bound (exit "
+                        "status 1)")
+    p.add_argument("--json", action="store_true")
+    _add_metrics_flags(p)
+    p.set_defaults(func=cmd_combine)
     return parser
 
 

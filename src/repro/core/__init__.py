@@ -14,9 +14,10 @@ from .lazyranges import (LazyRangeTable, MAX_DESCRIPTORS, MAX_EXCEPTIONS,
                          MIN_RANGE, RangeDescriptor)
 from .measure import COLLAPSE_MODES, measure_graph, measure_runs
 from .multisecret import CategoryBounds, measure_by_category
-from .combine import (StreamingCombiner, code_lengths_for,
-                      consistent_bounds, demonstrate_inconsistency,
-                      kraft_satisfied, kraft_sum)
+from .combine import (IncrementalKraft, StreamingCombiner,
+                      code_lengths_for, consistent_bounds,
+                      demonstrate_inconsistency, kraft_satisfied,
+                      kraft_sum)
 from .report import CutDescription, FlowReport
 from .policy import CutPolicy, FlowPolicy
 from .checking import CheckResult, CheckTracker, UnexpectedFlow
@@ -32,8 +33,9 @@ __all__ = [
     "RangeDescriptor",
     "COLLAPSE_MODES", "measure_graph", "measure_runs",
     "CategoryBounds", "measure_by_category",
-    "StreamingCombiner", "code_lengths_for", "consistent_bounds",
-    "demonstrate_inconsistency", "kraft_satisfied", "kraft_sum",
+    "IncrementalKraft", "StreamingCombiner", "code_lengths_for",
+    "consistent_bounds", "demonstrate_inconsistency", "kraft_satisfied",
+    "kraft_sum",
     "CutDescription", "FlowReport",
     "CutPolicy", "FlowPolicy",
     "CheckResult", "CheckTracker", "UnexpectedFlow",

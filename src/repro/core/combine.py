@@ -18,6 +18,7 @@ from fractions import Fraction
 
 from .. import obs
 from ..graph.collapse import CollapseStats, collapse_graphs
+from ..graph.flowgraph import INF
 from ..graph.maxflow import WarmStart, dinic_max_flow
 from ..graph.mincut import min_cut_from_residual
 from .measure import _publish, measure_runs
@@ -101,20 +102,40 @@ class StreamingCombiner:
         self._original_nodes = 0
         self._original_edges = 0
 
-    def add(self, graph):
-        """Fold one run's graph in and re-solve; returns the new bound."""
+    def add(self, graph, times=1, original_nodes=None, original_edges=None,
+            run_count=None):
+        """Fold one run's graph in and re-solve; returns the new bound.
+
+        ``times > 1`` folds that many repeats of the graph in one step
+        (the shard-store dedup path), via the same
+        ``multiplicities`` contract as
+        :func:`~repro.graph.collapse.collapse_graphs`.
+        ``original_nodes``/``original_edges``/``run_count`` override the
+        pre-collapse size and run count attributed to this addition (per
+        repeat) when ``graph`` is itself already a combination — the
+        tree-reduction merge uses this to keep :attr:`stats` and
+        :attr:`runs` counting the true corpus size.
+        """
+        if times < 1:
+            raise ValueError("times must be >= 1, got %r" % (times,))
         metrics = obs.get_metrics()
         with metrics.phase("collapse"):
             if self.graph is None:
                 combined, _ = collapse_graphs(
-                    [graph], context_sensitive=self.context_sensitive)
+                    [graph], context_sensitive=self.context_sensitive,
+                    multiplicities=[times])
             else:
                 combined, _ = collapse_graphs(
                     [self.graph, graph],
-                    context_sensitive=self.context_sensitive)
-        self._original_nodes += graph.num_nodes
-        self._original_edges += graph.num_edges
-        self.runs += 1
+                    context_sensitive=self.context_sensitive,
+                    multiplicities=[1, times])
+        if original_nodes is None:
+            original_nodes = graph.num_nodes
+        if original_edges is None:
+            original_edges = graph.num_edges
+        self._original_nodes += times * original_nodes
+        self._original_edges += times * original_edges
+        self.runs += times * (1 if run_count is None else run_count)
         value, residual = dinic_max_flow(
             combined, warm_start=self._warm if self.warm_start else None)
         self.graph = combined
@@ -162,6 +183,137 @@ class StreamingCombiner:
             trace_spans=tracer.snapshot() if tracer.enabled else None,
             partial=bool(collapse_stats.failures),
         )
+
+
+class IncrementalKraft:
+    """Sound anytime upper bound on a corpus combine, updated as
+    shards merge.
+
+    The tree-reduction merge only knows the exact Kraft-sound bound
+    (the combined max-flow) at the root; this accountant gives a sound
+    bound at *every* moment in between, from two globally consistent
+    structural cuts.  For each live merge group ``g`` (initially one
+    per shard, merged as reduction proceeds) it tracks the group
+    graph's source-cut and sink-cut capacities; since every s-t flow in
+    the final combined graph decomposes into flows crossing each
+    group's source (and sink) cut,
+
+        bound = min(sum_g source_cap(g), sum_g sink_cap(g))
+
+    is an upper bound on the final combined max-flow at all times.
+    Merging groups only lowers it (a merged graph's structural cuts
+    are at most the sums of its parts' — label merges saturate and
+    self-loops drop capacity), so once :meth:`seal` marks the corpus
+    complete the recorded :attr:`trail` is monotone nonincreasing and
+    every entry is ``>=`` the final exact bound, which
+    :meth:`finalize` snaps to.  Note the *per-group min-cut* sum is
+    not usable here: merging can unlock capacity across groups, so it
+    is a lower trail, not an upper bound.
+    """
+
+    def __init__(self):
+        self._groups = {}
+        self._next_id = 0
+        self._src_finite = 0
+        self._src_inf = 0
+        self._sink_finite = 0
+        self._sink_inf = 0
+        self._sealed = False
+        self._final = None
+        self.trail = []
+        self.updates = 0
+
+    @staticmethod
+    def _scale(capacity, multiplicity):
+        if capacity >= INF:
+            return INF
+        return min(capacity * multiplicity, INF)
+
+    def _account(self, source_cap, sink_cap, sign):
+        if source_cap >= INF:
+            self._src_inf += sign
+        else:
+            self._src_finite += sign * source_cap
+        if sink_cap >= INF:
+            self._sink_inf += sign
+        else:
+            self._sink_finite += sign * sink_cap
+
+    def admit(self, source_cap, sink_cap, multiplicity=1):
+        """Register one shard (``multiplicity`` identical runs) as its
+        own merge group; returns the group id."""
+        if self._sealed:
+            raise ValueError("cannot admit shards after seal()")
+        if multiplicity < 1:
+            raise ValueError("multiplicity must be >= 1")
+        gid = self._next_id
+        self._next_id += 1
+        caps = (self._scale(source_cap, multiplicity),
+                self._scale(sink_cap, multiplicity))
+        self._groups[gid] = caps
+        self._account(caps[0], caps[1], +1)
+        return gid
+
+    def seal(self):
+        """Mark the corpus complete; starts the monotone trail.
+
+        From here on the bound only moves down (merges, drops, the
+        final exact solve), so :attr:`trail` is the sound anytime
+        sequence the CLI reports.
+        """
+        self._sealed = True
+        self._record()
+        return self.bits
+
+    def merge(self, group_ids, source_cap, sink_cap):
+        """Replace ``group_ids`` by their merged group, whose combined
+        graph has the given structural cut capacities; returns the new
+        group id."""
+        for gid in group_ids:
+            src, sink = self._groups.pop(gid)
+            self._account(src, sink, -1)
+        gid = self._next_id
+        self._next_id += 1
+        caps = (min(source_cap, INF), min(sink_cap, INF))
+        self._groups[gid] = caps
+        self._account(caps[0], caps[1], +1)
+        self._record()
+        return gid
+
+    def drop(self, group_id):
+        """Remove a group whose subtree failed (``on_error="collect"``):
+        the bound then covers only the surviving shards."""
+        src, sink = self._groups.pop(group_id)
+        self._account(src, sink, -1)
+        self._record()
+
+    def finalize(self, bits):
+        """Snap to the exact combined bound from the root solve."""
+        self._final = bits
+        self._record()
+        return self.bits
+
+    def _record(self):
+        if self._sealed:
+            self.trail.append(self.bits)
+            self.updates += 1
+            metrics = obs.get_metrics()
+            if metrics.enabled:
+                metrics.incr("combine.kraft_updates")
+
+    @property
+    def groups_live(self):
+        return len(self._groups)
+
+    @property
+    def bits(self):
+        """The current sound upper bound (:data:`~repro.graph.flowgraph.INF`
+        when both structural cuts are unbounded)."""
+        if self._final is not None:
+            return self._final
+        src = INF if self._src_inf else min(self._src_finite, INF)
+        sink = INF if self._sink_inf else min(self._sink_finite, INF)
+        return min(src, sink)
 
 
 def demonstrate_inconsistency(per_run_bounds):

@@ -124,7 +124,7 @@ def measure_graph(graph, collapse="context", stats=None, warnings=None,
 
 
 def measure_runs(graphs, collapse="context", stats_list=None, warnings=None,
-                 solver=dinic_max_flow, jobs=1, faults=None):
+                 solver=dinic_max_flow, jobs=1, faults=None, store=None):
     """Measure several runs *together* (Section 3.2).
 
     The graphs are combined by edge label before solving, which forces a
@@ -133,13 +133,34 @@ def measure_runs(graphs, collapse="context", stats_list=None, warnings=None,
     could carry any of the runs' messages... more precisely, the sum of
     per-run flows is feasible in the combined graph).
 
-    ``jobs > 1`` combines the graphs in contiguous chunks across worker
+    ``jobs > 1`` combines the graphs by tree reduction across worker
     processes (:func:`repro.batch.runs.combine_graphs_jobs`); the
     result — bound, cut, and combined graph — is identical to the
     serial combination.  A collecting ``faults`` policy there can drop
-    failed chunks; the report then comes back marked ``partial`` with
+    failed subtrees; the report then comes back marked ``partial`` with
     the failures noted in ``collapse_stats.failures``.
+
+    ``store`` (a :class:`~repro.store.ShardStore` or a directory path)
+    routes the combine through the corpus pipeline instead: the graphs
+    are appended to the store content-addressed (identical graphs dedup
+    to a multiplicity) and the bound is computed over the *entire*
+    store corpus by :func:`repro.batch.runs.combine_store_jobs` — so
+    the report also covers shards appended in earlier calls against the
+    same store.  On a fresh store the result is bit-identical to the
+    plain combine of ``graphs``.
     """
+    if store is not None:
+        from ..batch.runs import combine_store_jobs
+        from ..store import ShardStore
+        shard_store = store if isinstance(store, ShardStore) \
+            else ShardStore(store)
+        for graph in graphs:
+            shard_store.put(graph)
+        result = combine_store_jobs(
+            shard_store, context_sensitive=(collapse == "context"),
+            jobs=jobs or 1, faults=faults, stats_list=stats_list,
+            warnings=warnings)
+        return result.report
     graphs = list(graphs)
     metrics = obs.get_metrics()
     tracer = obs.get_tracer()

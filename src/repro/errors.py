@@ -103,6 +103,17 @@ class VMTimeout(VMError):
         self.steps = steps
 
 
+class StoreError(ReproError):
+    """Raised for shard-store failures (:mod:`repro.store`).
+
+    Covers structural problems with a store directory — a missing or
+    malformed manifest, a manifest entry whose blob is gone, a blob
+    whose content no longer matches its digest.  Corrupt *graph
+    payloads* inside a blob still surface as :class:`GraphError`, per
+    the loader-hardening contract.
+    """
+
+
 class BatchError(ReproError):
     """Base class for batch fan-out failures (:mod:`repro.batch`)."""
 

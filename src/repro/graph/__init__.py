@@ -14,11 +14,15 @@ from .edmonds_karp import edmonds_karp_max_flow
 from .push_relabel import push_relabel_max_flow
 from .mincut import CutEdge, MinCut, min_cut, min_cut_from_residual
 from .collapse import (CollapseStats, OnlineCollapser, collapse_graph,
-                       collapse_graph_online, collapse_graphs, combine_runs)
+                       collapse_graph_online, collapse_graphs, combine_runs,
+                       dedup_safe)
 from .seriesparallel import SPReduction, reduce_series_parallel
 from .unionfind import UnionFind
 from .dot import to_dot, write_dot
-from .serialize import dump_graph, load_graph, read_graph, save_graph
+from .serialize import (dump_graph, dump_graph_binary, dumps_graph,
+                        graph_digest, load_graph, load_graph_binary,
+                        read_graph, read_graph_binary, save_graph,
+                        save_graph_binary, text_digest)
 
 __all__ = [
     "INF", "Edge", "EdgeLabel", "FlowGraph",
@@ -27,8 +31,11 @@ __all__ = [
     "CutEdge", "MinCut", "min_cut", "min_cut_from_residual",
     "CollapseStats", "OnlineCollapser", "collapse_graph",
     "collapse_graph_online", "collapse_graphs", "combine_runs",
+    "dedup_safe",
     "SPReduction", "reduce_series_parallel",
     "UnionFind",
     "to_dot", "write_dot",
-    "dump_graph", "load_graph", "read_graph", "save_graph",
+    "dump_graph", "dump_graph_binary", "dumps_graph", "graph_digest",
+    "load_graph", "load_graph_binary", "read_graph", "read_graph_binary",
+    "save_graph", "save_graph_binary", "text_digest",
 ]

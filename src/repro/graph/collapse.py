@@ -62,7 +62,56 @@ def _edge_key(label, context_sensitive):
     return label.key(context_sensitive)
 
 
-def collapse_graphs(graphs, context_sensitive=True):
+def dedup_safe(graph, context_sensitive=True):
+    """Whether repeats of ``graph`` can combine by multiplicity alone.
+
+    A duplicate of a graph contributes nothing structurally new to
+    :func:`collapse_graphs` — no fresh node classes, no fresh edge
+    buckets — exactly when every node that appears as an edge endpoint
+    (terminals aside) is incident to at least one *mergeable* edge
+    (``label.key() is not None``): those placeholders pin the
+    duplicate's classes onto the first copy's.  A node reachable only
+    through unmergeable edges would allocate a fresh class per copy,
+    so such graphs must be folded literally.  Collapsed shards are
+    dedup-safe in practice; raw traces with anonymous plumbing edges
+    may not be.
+    """
+    covered = set()
+    endpoints = set()
+    for e in graph.edges:
+        if _edge_key(e.label, context_sensitive) is None:
+            endpoints.add(e.tail)
+            endpoints.add(e.head)
+        else:
+            covered.add(e.tail)
+            covered.add(e.head)
+    endpoints.difference_update(covered)
+    endpoints.discard(graph.source)
+    endpoints.discard(graph.sink)
+    return not endpoints
+
+
+def _add_repeated(prev, capacity, times):
+    """Fold ``times`` adds of ``capacity`` into ``prev`` in O(1).
+
+    Bit-identical to ``times`` iterations of the per-edge saturating
+    add (freeze once the running value reaches :data:`INF`), including
+    the exact overshoot value at the INF boundary — the same replay
+    discipline as :meth:`OnlineCollapser.repeat_edge`.
+    """
+    if times <= 0 or prev >= INF or capacity == 0:
+        return prev
+    if capacity >= INF:
+        return INF
+    total = prev + capacity * times
+    if total < INF:
+        return total
+    # Freeze at the first step that reaches INF.
+    steps = (INF - prev + capacity - 1) // capacity
+    return prev + min(steps, times) * capacity
+
+
+def collapse_graphs(graphs, context_sensitive=True, multiplicities=None):
     """Combine one or more flow graphs by merging same-labelled edges.
 
     Args:
@@ -71,6 +120,14 @@ def collapse_graphs(graphs, context_sensitive=True):
             their sinks).
         context_sensitive: whether the calling-context hash participates
             in the merge key.
+        multiplicities: optional per-graph repeat counts (each ``>= 1``,
+            same length as ``graphs``).  ``multiplicities=[3, 1]`` is
+            equivalent to passing ``[g0, g0, g0, g1]`` literally but
+            folds each :func:`dedup_safe` graph's repeats in O(1) per
+            edge bucket — the contract the content-addressed shard
+            store relies on.  Graphs that are not dedup-safe are
+            expanded and folded literally, so the equivalence holds
+            unconditionally.
 
     Returns:
         ``(combined_graph, stats)`` where ``stats`` is a
@@ -79,14 +136,34 @@ def collapse_graphs(graphs, context_sensitive=True):
     graphs = list(graphs)
     if not graphs:
         raise ValueError("collapse_graphs needs at least one graph")
+    if multiplicities is None:
+        counts = [1] * len(graphs)
+    else:
+        counts = [int(m) for m in multiplicities]
+        if len(counts) != len(graphs):
+            raise ValueError(
+                "got %d multiplicities for %d graphs"
+                % (len(counts), len(graphs)))
+        if any(m < 1 for m in counts):
+            raise ValueError("multiplicities must be >= 1: %r" % (counts,))
+        if any(m > 1 for m in counts):
+            expanded, expanded_counts = [], []
+            for g, m in zip(graphs, counts):
+                if m > 1 and not dedup_safe(g, context_sensitive):
+                    expanded.extend([g] * m)
+                    expanded_counts.extend([1] * m)
+                else:
+                    expanded.append(g)
+                    expanded_counts.append(m)
+            graphs, counts = expanded, expanded_counts
     span = obs.get_tracer().span(
-        "collapse.graphs", graphs=len(graphs),
+        "collapse.graphs", graphs=len(graphs), runs=sum(counts),
         context_sensitive=bool(context_sensitive))
     with span:
-        return _collapse_graphs(graphs, context_sensitive, span)
+        return _collapse_graphs(graphs, counts, context_sensitive, span)
 
 
-def _collapse_graphs(graphs, context_sensitive, span):
+def _collapse_graphs(graphs, counts, context_sensitive, span):
     uf = UnionFind()
     # Keys: ("n", graph_index, node_id) for concrete nodes and
     # ("s", label_key) / ("d", label_key) for per-label placeholders.
@@ -125,9 +202,10 @@ def _collapse_graphs(graphs, context_sensitive, span):
     merged = {}
     label_of = {}
     merge_hits = 0
-    original_nodes = sum(g.num_nodes for g in graphs)
-    original_edges = sum(g.num_edges for g in graphs)
+    original_nodes = sum(m * g.num_nodes for g, m in zip(graphs, counts))
+    original_edges = sum(m * g.num_edges for g, m in zip(graphs, counts))
     for gi, g in enumerate(graphs):
+        m = counts[gi]
         for e in g.edges:
             tail = node_for(gi, e.tail)
             head = node_for(gi, e.head)
@@ -141,12 +219,10 @@ def _collapse_graphs(graphs, context_sensitive, span):
             prev = merged.get(bucket)
             if prev is None:
                 prev = 0
+                merge_hits += m - 1
             else:
-                merge_hits += 1
-            if prev >= INF or e.capacity >= INF:
-                merged[bucket] = INF
-            else:
-                merged[bucket] = prev + e.capacity
+                merge_hits += m
+            merged[bucket] = _add_repeated(prev, e.capacity, m)
             if bucket not in label_of:
                 # Preserve a representative label (context dropped when
                 # merging context-insensitively) and the endpoints.
@@ -440,16 +516,38 @@ def collapse_graph_online(graph, context_sensitive=True):
     return combined, stats
 
 
-def combine_runs(graphs, context_sensitive=True, jobs=1, faults=None):
+def combine_runs(graphs, context_sensitive=True, jobs=1, faults=None,
+                 store=None):
     """Combine the graphs of multiple runs (Section 3.2).
 
     Alias of :func:`collapse_graphs`, named for the multi-run use case.
-    ``jobs > 1`` fans the combination over worker processes in
-    contiguous chunks (:func:`repro.batch.runs.combine_graphs_jobs`);
-    the combined graph is identical to the serial result.  ``faults``
+    ``jobs > 1`` fans the combination over worker processes as a tree
+    reduction (:func:`repro.batch.runs.combine_graphs_jobs`): chunks
+    merge level by level across the pool and the parent folds only the
+    last level, so no process ever holds more than O(coverage) graph.
+    The combined graph is identical to the serial result.  ``faults``
     (a :class:`~repro.batch.engine.FaultPolicy`) configures that
     fan-out's failure handling; see :func:`combine_graphs_jobs`.
+
+    ``store`` (a :class:`~repro.store.ShardStore` or a directory path)
+    appends the graphs to a content-addressed corpus first and combines
+    the *whole* store via
+    :func:`repro.batch.runs.combine_store_jobs` — identical graphs
+    dedup to a multiplicity, and reduction levels exchange digests
+    instead of serialized graphs.  On a fresh store the returned
+    ``(graph, stats)`` is bit-identical to the plain combine.
     """
+    if store is not None:
+        from ..batch.runs import combine_store_jobs
+        from ..store import ShardStore
+        shard_store = store if isinstance(store, ShardStore) \
+            else ShardStore(store)
+        for graph in graphs:
+            shard_store.put(graph)
+        result = combine_store_jobs(shard_store,
+                                    context_sensitive=context_sensitive,
+                                    jobs=jobs or 1, faults=faults)
+        return result.report.graph, result.report.collapse_stats
     if jobs and jobs > 1:
         from ..batch.runs import combine_graphs_jobs
         return combine_graphs_jobs(graphs,

@@ -210,6 +210,34 @@ class FlowGraph:
         """Sum of all finite edge capacities."""
         return sum(e.capacity for e in self.edges if e.capacity < INF)
 
+    def source_capacity(self):
+        """Capacity of the structural source cut: sum over edges leaving
+        the source, saturating at :data:`INF`.
+
+        An upper bound on the max-flow (any s-t flow crosses this cut),
+        used by the incremental Kraft accounting of
+        :class:`~repro.core.combine.IncrementalKraft`.
+        """
+        total = 0
+        for e in self.edges:
+            if e.tail == self.SOURCE:
+                if e.capacity >= INF:
+                    return INF
+                total += e.capacity
+        return min(total, INF)
+
+    def sink_capacity(self):
+        """Capacity of the structural sink cut: sum over edges entering
+        the sink, saturating at :data:`INF`.  See :meth:`source_capacity`.
+        """
+        total = 0
+        for e in self.edges:
+            if e.head == self.SINK:
+                if e.capacity >= INF:
+                    return INF
+                total += e.capacity
+        return min(total, INF)
+
     def adjacency(self):
         """Return ``(heads, caps, firsts, nexts)`` forward-star arrays.
 

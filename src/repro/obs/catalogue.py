@@ -188,6 +188,21 @@ def _specs():
         (c, "batch.quarantined", "jobs", "experimental",
          "jobs dropped from rotation after exhausting their transient "
          "retry budget"),
+        # Shard store (repro.store) and corpus combine (tree reduction).
+        (c, "store.shards_written", "shards", "experimental",
+         "distinct content-addressed shard blobs written to a store "
+         "(corpus puts and intermediate merge objects)"),
+        (c, "store.dedup_hits", "shards", "experimental",
+         "store puts whose digest was already present (no blob write)"),
+        (c, "store.bytes", "bytes", "experimental",
+         "shard-blob bytes written to stores (dedup hits write none)"),
+        (g, "combine.tree_levels", "levels", "experimental",
+         "reduction levels of the most recent tree-reduction combine "
+         "(the parent-side root fold counts as one)"),
+        (c, "combine.kraft_updates", "updates", "experimental",
+         "incremental Kraft accounting updates: recorded anytime-bound "
+         "points after the corpus is sealed (merges, drops, the final "
+         "exact solve)"),
     ]
     phase_doc = {
         "trace": "instrumented execution (FlowLang VM run)",

@@ -1,0 +1,300 @@
+"""Content-addressed shard store for corpus-scale combining.
+
+The §3.2 multi-run combine turns per-run flow graphs into one
+Kraft-sound corpus bound.  At millions of runs the interesting fact is
+that most runs of the same program at the same coverage *collapse
+identically* — so the corpus is tiny once content-addressed.  A
+:class:`ShardStore` keeps each distinct collapsed ``flowgraph-v1``
+shard exactly once on disk, keyed by its canonical digest
+(:func:`~repro.graph.serialize.graph_digest`: SHA-256 over the
+canonical text form, independent of the on-disk framing), and records
+every put in an append-only manifest so the corpus is just an ordered
+list of digests with multiplicities.
+
+Layout under the store root::
+
+    manifest            one digest per line, in put order (append-only)
+    objects/<digest>.fgb    the shard, compact binary framing
+    objects/<digest>.json   shard metadata (sizes, structural cut
+                            capacities, dedup safety) for the
+                            incremental Kraft accounting
+
+Blob and metadata writes are atomic (unique temp file + ``os.replace``)
+and idempotent, so pool workers may write intermediate merge results
+into ``objects/`` concurrently; the *manifest* has a single writer —
+the parent process that owns the corpus.
+
+Corrupt store structure raises :class:`~repro.errors.StoreError`;
+corrupt graph payloads keep raising
+:class:`~repro.errors.GraphError`, exactly as every other loader in
+the package.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import re
+
+from . import obs
+from .errors import StoreError
+from .graph.collapse import dedup_safe
+from .graph.serialize import (dump_graph_binary, dumps_graph,
+                              load_graph, load_graph_binary, text_digest)
+
+_DIGEST = re.compile(r"^[0-9a-f]{64}$")
+_MANIFEST = "manifest"
+_OBJECTS = "objects"
+
+
+def _shard_meta(graph):
+    """The per-shard metadata the combine layer needs without loading
+    the blob: sizes for :class:`~repro.graph.collapse.CollapseStats`,
+    structural cut capacities for
+    :class:`~repro.core.combine.IncrementalKraft`, dedup safety for the
+    multiplicity fold."""
+    return {
+        "nodes": graph.num_nodes,
+        "edges": graph.num_edges,
+        "source_cap": graph.source_capacity(),
+        "sink_cap": graph.sink_capacity(),
+        "dedup_safe_context": dedup_safe(graph, context_sensitive=True),
+        "dedup_safe_location": dedup_safe(graph, context_sensitive=False),
+    }
+
+
+class ShardStore:
+    """A content-addressed, dedup-ing, on-disk corpus of graph shards.
+
+    ``put`` appends a run to the corpus (writing its blob only the
+    first time its digest is seen); ``put_object`` writes a blob
+    *without* a manifest entry, which the tree-reduction merge uses to
+    pass intermediate combined graphs between workers by reference.
+    All order-sensitive views (:meth:`order`, :meth:`multiplicities`)
+    follow manifest order, so a store-backed combine can reproduce the
+    plain fold's input order bit-for-bit.
+    """
+
+    def __init__(self, root, create=True):
+        self._manifest_handle = None
+        self.root = os.fspath(root)
+        self._objects = os.path.join(self.root, _OBJECTS)
+        self._manifest_path = os.path.join(self.root, _MANIFEST)
+        if create:
+            os.makedirs(self._objects, exist_ok=True)
+        elif not os.path.isdir(self._objects):
+            raise StoreError("not a shard store (no %s/ directory): %s"
+                             % (_OBJECTS, self.root))
+        self._order = []
+        self._counts = {}
+        if os.path.exists(self._manifest_path):
+            self._load_manifest()
+
+    # ------------------------------------------------------------------
+    # Paths and manifest
+
+    def _blob_path(self, digest):
+        return os.path.join(self._objects, digest + ".fgb")
+
+    def _meta_path(self, digest):
+        return os.path.join(self._objects, digest + ".json")
+
+    def _load_manifest(self):
+        self._order = []
+        self._counts = {}
+        with open(self._manifest_path) as handle:
+            for line_number, line in enumerate(handle, start=1):
+                digest = line.strip()
+                if not digest:
+                    continue
+                if not _DIGEST.match(digest):
+                    raise StoreError(
+                        "malformed manifest line %d in %s: %r"
+                        % (line_number, self._manifest_path, digest))
+                self._order.append(digest)
+                self._counts[digest] = self._counts.get(digest, 0) + 1
+
+    def _append_manifest(self, digest):
+        # One persistent append handle: a corpus ingest is put-per-run,
+        # and reopening the manifest per put dominates the dedup-hit
+        # fast path.  Flushed per line so concurrent *readers* (and a
+        # crash) see only whole lines.
+        if self._manifest_handle is None:
+            self._manifest_handle = open(self._manifest_path, "a")
+        self._manifest_handle.write(digest + "\n")
+        self._manifest_handle.flush()
+        self._order.append(digest)
+        self._counts[digest] = self._counts.get(digest, 0) + 1
+
+    def close(self):
+        """Release the manifest append handle (reads stay valid)."""
+        if self._manifest_handle is not None:
+            self._manifest_handle.close()
+            self._manifest_handle = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+    def __del__(self):
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Writing
+
+    def _write_object(self, digest, graph, category_edges=None):
+        """Atomically write blob + metadata; returns bytes written (0 on
+        dedup)."""
+        blob_path = self._blob_path(digest)
+        if os.path.exists(blob_path):
+            return 0
+        tmp = "%s.tmp.%d" % (blob_path, os.getpid())
+        with open(tmp, "wb") as handle:
+            dump_graph_binary(graph, handle, category_edges=category_edges)
+        size = os.path.getsize(tmp)
+        meta_tmp = "%s.tmp.%d" % (self._meta_path(digest), os.getpid())
+        with open(meta_tmp, "w") as handle:
+            json.dump(_shard_meta(graph), handle, sort_keys=True)
+        os.replace(meta_tmp, self._meta_path(digest))
+        os.replace(tmp, blob_path)
+        return size
+
+    def put(self, graph, category_edges=None):
+        """Append one run's shard to the corpus; returns its digest.
+
+        Content-addressed: an already-seen graph writes nothing but its
+        manifest line and bumps the multiplicity.
+        """
+        text = dumps_graph(graph, category_edges=category_edges)
+        return self._put_common(text_digest(text), graph, category_edges)
+
+    def put_text(self, text):
+        """:meth:`put` for a shard already in canonical text form (as
+        shipped home by batch workers).
+
+        The graph is parsed (hardened loader: corrupt text raises
+        :class:`~repro.errors.GraphError`) only when the digest is new;
+        a dedup hit costs one hash and one manifest line.
+        """
+        digest = text_digest(text)
+        graph = None
+        if not os.path.exists(self._blob_path(digest)):
+            graph = load_graph(io.StringIO(text))
+        return self._put_common(digest, graph, None)
+
+    def _put_common(self, digest, graph, category_edges):
+        metrics = obs.get_metrics()
+        written = 0
+        if graph is not None:
+            written = self._write_object(digest, graph, category_edges)
+        if metrics.enabled:
+            if written:
+                metrics.incr("store.shards_written")
+                metrics.incr("store.bytes", written)
+            else:
+                metrics.incr("store.dedup_hits")
+        self._append_manifest(digest)
+        return digest
+
+    def put_object(self, graph, category_edges=None):
+        """Write a graph as a content-addressed object *without* adding
+        it to the corpus; returns its digest.
+
+        The tree-reduction merge stores each intermediate combined
+        graph this way, so reduction levels exchange O(1) references
+        instead of O(coverage) payloads — and identical subtree merges
+        (common under heavy dedup) are written once.
+        """
+        digest = text_digest(dumps_graph(graph,
+                                         category_edges=category_edges))
+        written = self._write_object(digest, graph, category_edges)
+        metrics = obs.get_metrics()
+        if metrics.enabled:
+            if written:
+                metrics.incr("store.shards_written")
+                metrics.incr("store.bytes", written)
+            else:
+                metrics.incr("store.dedup_hits")
+        return digest
+
+    # ------------------------------------------------------------------
+    # Reading
+
+    def has(self, digest):
+        return os.path.exists(self._blob_path(digest))
+
+    def get(self, digest, verify=False):
+        """Load a stored shard.  ``verify=True`` re-derives the digest
+        from the loaded graph and raises :class:`StoreError` on
+        mismatch (bit-rot detection)."""
+        path = self._blob_path(digest)
+        try:
+            with open(path, "rb") as handle:
+                graph = load_graph_binary(handle)
+        except FileNotFoundError:
+            raise StoreError("no object %s in store %s"
+                             % (digest, self.root)) from None
+        if verify:
+            actual = text_digest(dumps_graph(graph))
+            if actual != digest:
+                raise StoreError(
+                    "object %s in store %s hashes to %s: blob corrupt"
+                    % (digest, self.root, actual))
+        return graph
+
+    def meta(self, digest):
+        """The shard's stored metadata dict (see module docstring)."""
+        try:
+            with open(self._meta_path(digest)) as handle:
+                return json.load(handle)
+        except FileNotFoundError:
+            raise StoreError("no metadata for object %s in store %s"
+                             % (digest, self.root)) from None
+        except ValueError as error:
+            raise StoreError("corrupt metadata for object %s: %s"
+                             % (digest, error)) from None
+
+    # ------------------------------------------------------------------
+    # Corpus views
+
+    def __len__(self):
+        """Total runs in the corpus (manifest entries, with repeats)."""
+        return len(self._order)
+
+    @property
+    def distinct(self):
+        """Number of distinct shards in the corpus."""
+        return len(self._counts)
+
+    def order(self):
+        """Every run's digest, in put order."""
+        return list(self._order)
+
+    def multiplicities(self):
+        """``(digest, count)`` pairs in first-occurrence order.
+
+        The dedup view of the corpus: combining these with
+        ``collapse_graphs(..., multiplicities=...)`` is bit-identical
+        to folding :meth:`order` literally whenever every shard is
+        dedup-safe.
+        """
+        seen = {}
+        for digest in self._order:
+            if digest not in seen:
+                seen[digest] = 0
+            seen[digest] += 1
+        return list(seen.items())
+
+    def stats(self):
+        """Summary dict for reports and the CLI."""
+        size = 0
+        for digest in self._counts:
+            try:
+                size += os.path.getsize(self._blob_path(digest))
+            except OSError:
+                pass
+        return {"runs": len(self), "distinct": self.distinct,
+                "bytes": size}

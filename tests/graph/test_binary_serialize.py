@@ -1,0 +1,202 @@
+"""Tests for the compact binary framing of ``flowgraph-v1`` shards.
+
+The binary form is a transport/storage twin of the canonical text
+format: the same record set, the same sanitization and saturation
+rules, and — the property everything else leans on — the same
+*content address* (``graph_digest`` hashes the canonical text, so a
+graph loaded from either framing re-dumps to the same digest).  The
+hardening contract matches the text loader's: every malformed frame
+surfaces as one ``GraphError`` naming the frame, never any other
+exception type.
+"""
+
+import io
+import random
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.flowgraph import INF, EdgeLabel, FlowGraph
+from repro.graph.serialize import (dump_graph_binary, dumps_graph,
+                                   graph_digest, load_graph_binary,
+                                   read_graph_binary, save_graph_binary,
+                                   text_digest)
+
+
+def binary_round_trip(graph, category_edges=None):
+    buffer = io.BytesIO()
+    dump_graph_binary(graph, buffer, category_edges=category_edges)
+    buffer.seek(0)
+    return load_graph_binary(buffer)
+
+
+def random_graph(rng):
+    graph = FlowGraph()
+    width = rng.randrange(1, 4)
+    layer1 = [graph.add_node() for _ in range(width)]
+    layer2 = [graph.add_node() for _ in range(width)]
+    for i in range(width):
+        graph.add_edge(graph.SOURCE, layer1[i], rng.choice([1, 8, 64, INF]))
+        graph.add_edge(layer2[i], graph.SINK, rng.choice([1, 8, 64, INF]))
+        for _ in range(rng.randrange(1, 4)):
+            context = rng.randrange(4) if rng.random() < 0.5 else None
+            graph.add_edge(layer1[i], layer2[rng.randrange(width)],
+                           rng.choice([1, 2, 8]),
+                           label=EdgeLabel("prog.fl:%d" % i, context,
+                                           rng.choice(["data", "implicit"])))
+    return graph
+
+
+class TestRoundTrip:
+    def test_structure_and_labels_preserved(self):
+        g = FlowGraph()
+        a = g.add_node()
+        g.add_edge(g.SOURCE, a, 7,
+                   EdgeLabel("file.fl:7(main+2)", 12345, "implicit"))
+        g.add_edge(a, g.SINK, INF)
+        loaded = binary_round_trip(g)
+        assert loaded.num_nodes == g.num_nodes
+        assert [(e.tail, e.head, e.capacity) for e in loaded.edges] == \
+            [(e.tail, e.head, e.capacity) for e in g.edges]
+        label = loaded.edges[0].label
+        assert (label.kind, label.location, label.context) == \
+            ("implicit", "file.fl:7(main+2)", 12345)
+        assert loaded.edges[1].label is None
+        assert loaded.edges[1].capacity >= INF
+
+    def test_digest_is_framing_independent(self):
+        rng = random.Random(7)
+        for _ in range(50):
+            graph = random_graph(rng)
+            loaded = binary_round_trip(graph)
+            assert text_digest(dumps_graph(loaded)) == graph_digest(graph)
+            assert dumps_graph(loaded) == dumps_graph(graph)
+
+    def test_category_records_round_trip(self):
+        g = FlowGraph()
+        a = g.add_node()
+        g.add_edge(g.SOURCE, a, 8)
+        g.add_edge(a, g.SINK, 8)
+        loaded = binary_round_trip(g, category_edges={"alice": [0]})
+        assert loaded.category_edges == {"alice": [0]}
+        assert graph_digest(loaded) == \
+            graph_digest(g, category_edges={"alice": [0]})
+
+    def test_tab_in_location_sanitized_like_text(self):
+        g = FlowGraph()
+        g.add_edge(g.SOURCE, g.SINK, 1, EdgeLabel("has\ttab", None, "data"))
+        loaded = binary_round_trip(g)
+        assert loaded.edges[0].label.location == "has tab"
+        assert graph_digest(loaded) == graph_digest(g)
+
+    def test_file_helpers(self, tmp_path):
+        rng = random.Random(3)
+        graph = random_graph(rng)
+        path = tmp_path / "graph.fgb"
+        save_graph_binary(path, graph)
+        assert graph_digest(read_graph_binary(path)) == graph_digest(graph)
+
+    def test_capacity_saturates_at_inf(self):
+        g = FlowGraph()
+        g.add_edge(g.SOURCE, g.SINK, INF * 3)
+        assert binary_round_trip(g).edges[0].capacity == INF
+
+
+def dump_bytes(graph):
+    buffer = io.BytesIO()
+    dump_graph_binary(graph, buffer)
+    return buffer.getvalue()
+
+
+def try_load(blob):
+    """Load; returns "ok" or "graph-error".  Anything else propagates
+    and fails the fuzz test."""
+    try:
+        load_graph_binary(io.BytesIO(blob))
+    except GraphError:
+        return "graph-error"
+    return "ok"
+
+
+class TestMalformedFrames:
+    def test_bad_magic_rejected(self):
+        blob = b"not a shard at all"
+        with pytest.raises(GraphError):
+            load_graph_binary(io.BytesIO(blob))
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(GraphError):
+            load_graph_binary(io.BytesIO(b""))
+
+    def test_unknown_frame_type_names_the_frame(self):
+        g = FlowGraph()
+        g.add_edge(g.SOURCE, g.SINK, 1)
+        blob = dump_bytes(g) + b"Z\x00\x00\x00\x00"
+        with pytest.raises(GraphError) as excinfo:
+            load_graph_binary(io.BytesIO(blob))
+        assert "frame" in str(excinfo.value)
+
+    def test_out_of_range_edge_endpoint_rejected(self):
+        # Corrupt the node-count frame down to 2 so the payload's edge
+        # endpoints point past the node table.
+        g = FlowGraph()
+        a = g.add_node()
+        b = g.add_node()
+        g.add_edge(g.SOURCE, a, 1)
+        g.add_edge(b, g.SINK, 1)
+        blob = bytearray(dump_bytes(g))
+        # Magic is 8 bytes; then the N frame: type(1) + len(4) + u32.
+        assert blob[8:9] == b"N"
+        blob[13:17] = (2).to_bytes(4, "big")
+        with pytest.raises(GraphError):
+            load_graph_binary(io.BytesIO(bytes(blob)))
+
+    def test_category_index_out_of_range_rejected(self):
+        g = FlowGraph()
+        g.add_edge(g.SOURCE, g.SINK, 1)
+        buffer = io.BytesIO()
+        dump_graph_binary(g, buffer, category_edges={"alice": [0]})
+        blob = bytearray(buffer.getvalue())
+        # The category frame's single index is the last 4 bytes.
+        blob[-4:] = (99).to_bytes(4, "big")
+        with pytest.raises(GraphError):
+            load_graph_binary(io.BytesIO(bytes(blob)))
+
+
+class TestCorruptionFuzz:
+    """No corruption may surface as anything but ``GraphError``."""
+
+    def blob(self):
+        rng = random.Random(17)
+        graph = random_graph(rng)
+        buffer = io.BytesIO()
+        dump_graph_binary(graph, buffer, category_edges={"alice": [0]})
+        return buffer.getvalue()
+
+    def test_every_byte_truncation(self):
+        blob = self.blob()
+        outcomes = {"ok": 0, "graph-error": 0}
+        for end in range(len(blob)):
+            outcomes[try_load(blob[:end])] += 1
+        # Only clean frame boundaries can parse as a (shorter) valid
+        # file; the overwhelming majority of cuts must be detected.
+        assert outcomes["graph-error"] > len(blob) * 0.9
+
+    def test_random_byte_flips(self):
+        blob = self.blob()
+        rng = random.Random(23)
+        for _ in range(500):
+            corrupted = bytearray(blob)
+            position = rng.randrange(len(corrupted))
+            corrupted[position] ^= 1 << rng.randrange(8)
+            try_load(bytes(corrupted))
+
+    def test_random_splices(self):
+        blob = self.blob()
+        rng = random.Random(29)
+        for _ in range(200):
+            lo = rng.randrange(len(blob))
+            hi = rng.randrange(lo, min(len(blob), lo + 32) + 1)
+            junk = bytes(rng.randrange(256)
+                         for _ in range(rng.randrange(8)))
+            try_load(blob[:lo] + junk + blob[hi:])

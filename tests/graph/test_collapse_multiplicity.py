@@ -1,0 +1,138 @@
+"""Multiplicity-weighted combining: ``collapse_graphs(multiplicities=)``.
+
+The dedup lemma the shard store leans on: repeats of a *dedup-safe*
+graph (every non-terminal edge endpoint touched by at least one
+mergeable-labelled edge) combine by multiplicity alone, bit-identically
+to literally repeating the graph — including saturation overshoot at
+``INF``.  Non-safe graphs must be (and are, automatically) expanded
+literally.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.collapse import _add_repeated, collapse_graphs, dedup_safe
+from repro.graph.flowgraph import INF, EdgeLabel, FlowGraph
+from repro.graph.serialize import dumps_graph
+
+
+def labelled_graph(capacity=3, width=2, context=None):
+    graph = FlowGraph()
+    layer1 = [graph.add_node() for _ in range(width)]
+    layer2 = [graph.add_node() for _ in range(width)]
+    for i in range(width):
+        graph.add_edge(graph.SOURCE, layer1[i], capacity * 2,
+                       EdgeLabel("in.fl:%d" % i, context, "io"))
+        graph.add_edge(layer1[i], layer2[i], capacity,
+                       EdgeLabel("op.fl:%d" % i, context, "data"))
+        graph.add_edge(layer2[i], graph.SINK, capacity * 2,
+                       EdgeLabel("out.fl:%d" % i, context, "io"))
+    return graph
+
+
+def unlabelled_graph(capacity=3):
+    graph = FlowGraph()
+    a = graph.add_node()
+    graph.add_edge(graph.SOURCE, a, capacity)
+    graph.add_edge(a, graph.SINK, capacity)
+    return graph
+
+
+def stats_tuple(stats):
+    return (stats.original_nodes, stats.original_edges,
+            stats.collapsed_nodes, stats.collapsed_edges)
+
+
+class TestDedupSafe:
+    def test_fully_labelled_graph_is_safe(self):
+        assert dedup_safe(labelled_graph())
+
+    def test_unlabelled_inner_node_is_unsafe(self):
+        assert not dedup_safe(unlabelled_graph())
+
+    def test_context_sensitivity_changes_safety(self):
+        # A context-only label has key None under context_sensitive but
+        # also under location-only?  No: location-None labels never
+        # merge either way, so a graph covered only by location-less
+        # labels is unsafe in both modes.
+        graph = FlowGraph()
+        a = graph.add_node()
+        graph.add_edge(graph.SOURCE, a, 2, EdgeLabel(None, 7, "data"))
+        graph.add_edge(a, graph.SINK, 2, EdgeLabel(None, 7, "data"))
+        assert not dedup_safe(graph, context_sensitive=True)
+        assert not dedup_safe(graph, context_sensitive=False)
+
+
+class TestAddRepeated:
+    def test_plain_arithmetic(self):
+        assert _add_repeated(5, 3, 4) == 17
+
+    def test_zero_and_negative_times(self):
+        assert _add_repeated(5, 3, 0) == 5
+        assert _add_repeated(5, 3, -1) == 5
+
+    def test_inf_capacity_saturates(self):
+        assert _add_repeated(5, INF, 3) == INF
+
+    def test_overshoot_matches_stepwise_loop(self):
+        rng = random.Random(11)
+        for _ in range(500):
+            prev = rng.randrange(0, INF, INF // 1000)
+            capacity = rng.choice([1, INF // 7, INF // 3, INF - 1, INF])
+            times = rng.randrange(0, 9)
+            expected = prev
+            for _ in range(times):
+                if expected >= INF:
+                    break
+                expected = INF if capacity >= INF else expected + capacity
+            assert _add_repeated(prev, capacity, times) == expected, \
+                (prev, capacity, times)
+
+
+class TestMultiplicityEquivalence:
+    def test_literal_expansion_matches(self):
+        g1 = labelled_graph(3)
+        g2 = labelled_graph(5)
+        literal, literal_stats = collapse_graphs([g1, g1, g1, g2])
+        deduped, deduped_stats = collapse_graphs(
+            [g1, g2], multiplicities=[3, 1])
+        assert dumps_graph(deduped) == dumps_graph(literal)
+        assert stats_tuple(deduped_stats) == stats_tuple(literal_stats)
+
+    def test_unsafe_graph_expanded_literally(self):
+        g = unlabelled_graph(4)
+        literal, literal_stats = collapse_graphs([g, g, g])
+        deduped, deduped_stats = collapse_graphs([g], multiplicities=[3])
+        assert dumps_graph(deduped) == dumps_graph(literal)
+        assert stats_tuple(deduped_stats) == stats_tuple(literal_stats)
+
+    def test_saturation_overshoot_matches(self):
+        g = labelled_graph(INF // 2)
+        literal, _ = collapse_graphs([g, g, g, g])
+        deduped, _ = collapse_graphs([g], multiplicities=[4])
+        assert dumps_graph(deduped) == dumps_graph(literal)
+
+    def test_randomized_equivalence(self):
+        rng = random.Random(41)
+        for _ in range(40):
+            distinct = [labelled_graph(rng.randrange(1, 9),
+                                       width=rng.randrange(1, 3),
+                                       context=rng.choice([None, 1]))
+                        for _ in range(rng.randrange(1, 4))]
+            counts = [rng.randrange(1, 6) for _ in distinct]
+            literal_list = [g for g, m in zip(distinct, counts)
+                            for _ in range(m)]
+            literal, literal_stats = collapse_graphs(literal_list)
+            deduped, deduped_stats = collapse_graphs(
+                distinct, multiplicities=counts)
+            assert dumps_graph(deduped) == dumps_graph(literal)
+            assert stats_tuple(deduped_stats) == stats_tuple(literal_stats)
+
+    def test_validation(self):
+        g = labelled_graph()
+        with pytest.raises(ValueError):
+            collapse_graphs([g], multiplicities=[1, 2])
+        with pytest.raises(ValueError):
+            collapse_graphs([g], multiplicities=[0])

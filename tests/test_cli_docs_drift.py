@@ -60,6 +60,31 @@ def test_documented_flag_exists(doc, flag):
         "%s mentions %s, but no CLI subcommand defines it" % (doc, flag))
 
 
+def test_combine_subcommand_and_store_flags_are_documented():
+    """The corpus-combine surface must stay documented: the ``combine``
+    subcommand exists, ``--store`` is defined on both ``batch`` and
+    ``combine``, and docs/api.md names them."""
+    parser = build_parser()
+    subparsers = next(action for action in parser._actions
+                      if isinstance(action, argparse._SubParsersAction))
+    assert "combine" in subparsers.choices
+    combine_options = {opt for action in
+                       subparsers.choices["combine"]._actions
+                       for opt in action.option_strings}
+    batch_options = {opt for action in
+                     subparsers.choices["batch"]._actions
+                     for opt in action.option_strings}
+    assert "--store" in combine_options
+    assert "--store" in batch_options
+    assert {"--jobs", "--fanin", "--collapse", "--json",
+            "--on-error"} <= combine_options
+    api_text = (ROOT / "docs" / "api.md").read_text()
+    assert "`combine`" in api_text or "repro combine" in api_text
+    documented = {flag for _, flag in documented_flags()}
+    assert "--store" in documented
+    assert "--fanin" in documented
+
+
 def test_backend_and_warm_start_flags_are_documented():
     """The backend-selection surface must stay documented (backends.md
     contract): the flags exist in the parser AND in docs/api.md."""

@@ -1,0 +1,162 @@
+"""Unit tests for the content-addressed shard store (``repro.store``)."""
+
+import os
+
+import pytest
+
+from repro import obs
+from repro.errors import GraphError, StoreError
+from repro.graph.flowgraph import EdgeLabel, FlowGraph
+from repro.graph.serialize import dumps_graph, graph_digest
+from repro.store import ShardStore
+
+
+def make_graph(capacity=4, location="a.fl:1"):
+    graph = FlowGraph()
+    a = graph.add_node()
+    graph.add_edge(graph.SOURCE, a, capacity,
+                   EdgeLabel(location, None, "data"))
+    graph.add_edge(a, graph.SINK, capacity)
+    return graph
+
+
+class TestPut:
+    def test_put_is_content_addressed(self, tmp_path):
+        store = ShardStore(tmp_path / "store")
+        g = make_graph()
+        digest = store.put(g)
+        assert digest == graph_digest(g)
+        assert store.put(g) == digest
+        assert len(store) == 2
+        assert store.distinct == 1
+        assert store.multiplicities() == [(digest, 2)]
+        blobs = [n for n in os.listdir(tmp_path / "store" / "objects")
+                 if n.endswith(".fgb")]
+        assert blobs == [digest + ".fgb"]
+
+    def test_put_text_matches_put(self, tmp_path):
+        store = ShardStore(tmp_path / "store")
+        g = make_graph()
+        assert store.put_text(dumps_graph(g)) == store.put(g)
+        assert store.distinct == 1
+
+    def test_put_text_rejects_corrupt_text(self, tmp_path):
+        store = ShardStore(tmp_path / "store")
+        with pytest.raises(GraphError):
+            store.put_text("flowgraph-v1\nnonsense record\n")
+        # The failed put left no manifest entry behind.
+        assert len(store) == 0
+
+    def test_put_object_skips_manifest(self, tmp_path):
+        store = ShardStore(tmp_path / "store")
+        digest = store.put_object(make_graph())
+        assert store.has(digest)
+        assert len(store) == 0
+        assert store.distinct == 0
+
+    def test_get_round_trips(self, tmp_path):
+        store = ShardStore(tmp_path / "store")
+        g = make_graph(capacity=9)
+        digest = store.put(g)
+        assert dumps_graph(store.get(digest, verify=True)) == dumps_graph(g)
+
+    def test_order_preserved(self, tmp_path):
+        store = ShardStore(tmp_path / "store")
+        g1, g2 = make_graph(1), make_graph(2)
+        d1, d2 = store.put(g1), store.put(g2)
+        store.put(g1)
+        assert store.order() == [d1, d2, d1]
+        assert store.multiplicities() == [(d1, 2), (d2, 1)]
+
+
+class TestPersistence:
+    def test_reopen_restores_corpus(self, tmp_path):
+        root = tmp_path / "store"
+        store = ShardStore(root)
+        g1, g2 = make_graph(1), make_graph(2)
+        store.put(g1), store.put(g2), store.put(g1)
+        store.close()
+        reopened = ShardStore(root, create=False)
+        assert len(reopened) == 3
+        assert reopened.distinct == 2
+        assert reopened.order() == store.order()
+        stats = reopened.stats()
+        assert stats["runs"] == 3 and stats["distinct"] == 2
+        assert stats["bytes"] > 0
+
+    def test_metadata_contents(self, tmp_path):
+        store = ShardStore(tmp_path / "store")
+        g = make_graph(capacity=6)
+        meta = store.meta(store.put(g))
+        assert meta["nodes"] == g.num_nodes
+        assert meta["edges"] == g.num_edges
+        assert meta["source_cap"] == 6
+        assert meta["sink_cap"] == 6
+        assert meta["dedup_safe_context"] is True
+
+    def test_context_manager_closes(self, tmp_path):
+        with ShardStore(tmp_path / "store") as store:
+            store.put(make_graph())
+        assert store._manifest_handle is None
+
+
+class TestStoreErrors:
+    def test_missing_store_rejected(self, tmp_path):
+        with pytest.raises(StoreError):
+            ShardStore(tmp_path / "nope", create=False)
+
+    def test_missing_object_rejected(self, tmp_path):
+        store = ShardStore(tmp_path / "store")
+        with pytest.raises(StoreError):
+            store.get("0" * 64)
+        with pytest.raises(StoreError):
+            store.meta("0" * 64)
+
+    def test_malformed_manifest_rejected(self, tmp_path):
+        root = tmp_path / "store"
+        ShardStore(root).put(make_graph())
+        with open(root / "manifest", "a") as handle:
+            handle.write("THIS IS NOT A DIGEST\n")
+        with pytest.raises(StoreError):
+            ShardStore(root, create=False)
+
+    def test_bitrot_detected_on_verify(self, tmp_path):
+        root = tmp_path / "store"
+        store = ShardStore(root)
+        other = make_graph(capacity=50)
+        digest = store.put(make_graph())
+        # Swap in a different (valid) blob: only verify=True notices.
+        blob = root / "objects" / (digest + ".fgb")
+        from repro.graph.serialize import save_graph_binary
+        save_graph_binary(blob, other)
+        store.get(digest)
+        with pytest.raises(StoreError):
+            store.get(digest, verify=True)
+
+    def test_corrupt_blob_payload_is_graph_error(self, tmp_path):
+        root = tmp_path / "store"
+        store = ShardStore(root)
+        digest = store.put(make_graph())
+        with open(root / "objects" / (digest + ".fgb"), "r+b") as handle:
+            handle.seek(20)
+            byte = handle.read(1)
+            handle.seek(20)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        with pytest.raises((GraphError, StoreError)):
+            store.get(digest, verify=True)
+
+
+class TestMetrics:
+    def test_store_metrics_catalogued_and_counted(self, tmp_path):
+        obs.enable()
+        try:
+            store = ShardStore(tmp_path / "store")
+            g1, g2 = make_graph(1), make_graph(2)
+            store.put(g1), store.put(g2), store.put(g1)
+            store.put_object(make_graph(3))
+            snapshot = obs.get_metrics().snapshot()
+        finally:
+            obs.disable()
+        assert snapshot["store.shards_written"] == 3
+        assert snapshot["store.dedup_hits"] == 1
+        assert snapshot["store.bytes"] > 0
