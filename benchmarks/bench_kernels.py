@@ -1,0 +1,119 @@
+"""Per-backend kernel micro-benchmarks: the `kernels()` surface.
+
+Times the low-level kernel functions every backend must implement
+bit-identically (``repro.shadow.kernels`` — pack/unpack byte masks,
+popcount, width_mask) in isolation, per backend, so a kernel-level
+regression is visible before it washes out in end-to-end phase times.
+
+Two ways to run it:
+
+* ``pytest benchmarks/bench_kernels.py`` — pytest-benchmark timings,
+  one case per (backend, kernel); native cases skip when the compiled
+  extension is absent.
+* standalone / via the harness — :func:`kernel_timings` returns the
+  median seconds per (backend, kernel) with no pytest dependency;
+  ``benchmarks/run_all.py`` wires it in as the ``kernels_by_backend``
+  benchmark, and ``python benchmarks/bench_kernels.py`` prints the
+  same table.
+
+Every case also asserts the backends' answers agree — a micro-bench
+that quietly timed *wrong* kernels would be worse than none.
+"""
+
+import random
+import sys
+import time
+
+sys.path.insert(0, ".")  # allow running from the repo root
+
+from repro.shadow import BACKENDS, kernels, native_available
+from repro.shadow.bitmask import join_byte_masks
+
+
+def available_backends():
+    return tuple(b for b in BACKENDS
+                 if b != "native" or native_available())
+
+
+def _workload(seed=7, count=4096):
+    rng = random.Random(seed)
+    masks = [rng.randrange(256) for _ in range(count)]
+    packed = join_byte_masks(masks)
+    values = [rng.getrandbits(rng.randrange(1, 64)) for _ in range(512)]
+    return masks, packed, values
+
+
+MASKS, PACKED, VALUES = _workload()
+
+#: kernel name -> callable(kern) running one workload pass.
+KERNEL_CASES = {
+    "pack_byte_masks": lambda kern: kern["pack_byte_masks"](MASKS),
+    "unpack_byte_masks":
+        lambda kern: kern["unpack_byte_masks"](PACKED, len(MASKS)),
+    "popcount": lambda kern: [kern["popcount"](v) for v in VALUES],
+    "width_mask": lambda kern: [kern["width_mask"](w)
+                                for w in (1, 8, 16, 32, 64)],
+}
+
+#: Reference answers, computed once; every timed case must reproduce
+#: them (the bit-identity contract, docs/backends.md).
+EXPECTED = {name: case(kernels("reference"))
+            for name, case in KERNEL_CASES.items()}
+
+
+def kernel_timings(reps=5):
+    """Median seconds per (backend, kernel); asserts answers agree."""
+    timings = {}
+    for backend in available_backends():
+        kern = kernels(backend)
+        per_kernel = {}
+        for name, case in KERNEL_CASES.items():
+            samples = []
+            for _ in range(reps):
+                t0 = time.perf_counter()
+                result = case(kern)
+                samples.append(time.perf_counter() - t0)
+            if result != EXPECTED[name]:
+                raise AssertionError(
+                    "backend %r kernel %r diverged from reference"
+                    % (backend, name))
+            samples.sort()
+            per_kernel[name] = samples[len(samples) // 2]
+        timings[backend] = per_kernel
+    return timings
+
+
+def print_table(timings):
+    print("%10s %20s %14s" % ("backend", "kernel", "median(us)"))
+    for backend, per_kernel in timings.items():
+        for name, seconds in per_kernel.items():
+            print("%10s %20s %14.2f" % (backend, name, seconds * 1e6))
+
+
+def main():
+    timings = kernel_timings()
+    print_table(timings)
+    if "native" not in timings:
+        print("note: native backend unavailable here (no compiled "
+              "repro._native); only the pure-Python kernels were timed")
+    return 0
+
+
+try:
+    import pytest
+except ImportError:  # standalone use never needs pytest
+    pytest = None
+
+if pytest is not None:
+    @pytest.mark.parametrize("kernel", sorted(KERNEL_CASES))
+    @pytest.mark.parametrize("backend", ["reference", "fast", "native"])
+    def test_kernel_bench(benchmark, backend, kernel):
+        if backend == "native" and not native_available():
+            pytest.skip("compiled repro._native extension not built here")
+        kern = kernels(backend)
+        result = benchmark(KERNEL_CASES[kernel], kern)
+        assert result == EXPECTED[kernel]
+
+
+if __name__ == "__main__":
+    sys.exit(main())

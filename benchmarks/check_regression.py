@@ -20,6 +20,15 @@ a change that silently flattens the tree reduction or stops deduping
 distinct shards fails even though the (bit-identical) results cannot
 show it.
 
+The native-backend benchmark pins its ``maxflow.native.*`` counters
+*per benchmark and including zeros*: ``sec53_native_vs_fast`` must
+execute exactly as many compiled solves as the baseline and zero
+fallbacks, so a change that silently punts the native kernel back to
+Python (the timings would still "pass" -- they'd just time the wrong
+thing) fails the check.  These pins are skipped when either record
+was produced without the compiled extension (the benchmark's
+``extra.native_available`` flag).
+
 Wall times are printed for context but never fail the check -- CI
 machines are too noisy for absolute time gates; timing trajectories
 live in the committed ``BENCH_*.json`` files instead.
@@ -38,6 +47,19 @@ CHECKED_GAUGES = ("collapse.nodes_after", "collapse.online.nodes_live")
 #: benchmark's reduction shape.
 CHECKED_EXACT = ("batch.jobs", "batch.workers", "combine.tree_levels",
                  "store.shards_written")
+
+#: Per-benchmark exact pins, checked *including zeros* -- but only when
+#: both records ran with the compiled extension available
+#: (``extra.native_available``), since a no-compiler host legitimately
+#: reports zero native solves.
+CHECKED_EXACT_PER_BENCHMARK = {
+    "sec53_native_vs_fast": ("maxflow.native.solves",
+                             "maxflow.native.fallbacks"),
+}
+
+
+def _native_available(record):
+    return bool(record.get("extra", {}).get("native_available"))
 
 
 def load(path):
@@ -83,6 +105,24 @@ def compare(baseline, current):
                     "match the baseline)" % (name, metric, base_value,
                                              value))
             print("%s %-24s %-28s %6d -> %6d   (exact)"
+                  % (status, name, metric, base_value, value))
+        pinned = CHECKED_EXACT_PER_BENCHMARK.get(name, ())
+        if pinned and not (_native_available(base_record)
+                           and _native_available(record)):
+            print("SKIP %-24s native pins (extension unavailable in "
+                  "baseline or current run)" % name)
+            pinned = ()
+        for metric in pinned:
+            base_value = base_metrics.get(metric, 0)
+            value = metrics.get(metric, 0)
+            status = "OK  "
+            if value != base_value:
+                status = "FAIL"
+                regressions.append(
+                    "%s: %s changed %d -> %d (the compiled solves must "
+                    "neither vanish nor start punting to Python)"
+                    % (name, metric, base_value, value))
+            print("%s %-24s %-28s %6d -> %6d   (exact, incl. zero)"
                   % (status, name, metric, base_value, value))
     return regressions
 

@@ -266,6 +266,88 @@ def section_backends():
     }
 
 
+def section_kernels():
+    """Per-backend kernel micro-times (benchmarks/bench_kernels.py)."""
+    from benchmarks.bench_kernels import kernel_timings, print_table
+    print("\n### Kernels: per-backend micro-times"
+          " (pack/unpack/popcount/width_mask)")
+    timings = kernel_timings()
+    print_table(timings)
+    if "native" not in timings:
+        print("note: native backend unavailable (no compiled "
+              "repro._native); pure-Python kernels only")
+    return {
+        "backends": sorted(timings),
+        "median_seconds": timings,
+    }
+
+
+def section53_native_vs_fast():
+    """Native (compiled) vs fast (pure Python) Dinic solves.
+
+    Two workloads: the *raw* trace graph of the largest Figure 3
+    compressor input (the §5.3 "solve before collapsing" stress --
+    shallow and wide, Python overhead per arc is modest) and an
+    adversarial grid graph where the blocking-flow loop dominates and
+    the compiled kernel's advantage is structural.  Values, residual
+    capacities, and cut sides must be bit-identical
+    (docs/backends.md); with the extension built, the grid solve must
+    be at least 2x faster under the native backend.
+    """
+    from repro.graph.generators import grid_graph
+    from repro.shadow import native_available
+    print("\n### Section 5.3: native vs fast max-flow"
+          " (compressor trace + adversarial grid)")
+    if not native_available():
+        print("SKIP: compiled repro._native extension not built here; "
+              "`pip install .` with a C compiler enables it "
+              "(docs/backends.md)")
+        return {"native_available": False}
+    workloads = (
+        ("trace4096", trace_graph(4096)),
+        ("grid100", grid_graph(100, 100, seed=5)),
+    )
+    reps = 3
+    record = {"native_available": True}
+    print("%10s %10s %8s %12s %12s %9s" % (
+        "workload", "edges", "flow", "fast(s)", "native(s)", "speedup"))
+    for name, graph in workloads:
+        medians = {}
+        sides = {}
+        for backend in ("fast", "native"):
+            times = []
+            for _ in range(reps):
+                t0 = time.perf_counter()
+                value, net = dinic_max_flow(graph, backend=backend)
+                times.append(time.perf_counter() - t0)
+            times.sort()
+            medians[backend] = times[reps // 2]
+            sides[backend] = (value, net.cap, net.source_side())
+        if sides["native"] != sides["fast"]:
+            raise AssertionError(
+                "native solver diverged from fast on %s: value/residual/"
+                "cut mismatch" % name)
+        speedup = medians["fast"] / medians["native"]
+        flow = sides["fast"][0]
+        print("%10s %10d %8d %12.4f %12.4f %8.2fx" % (
+            name, graph.num_edges, flow, medians["fast"],
+            medians["native"], speedup))
+        record[name] = {
+            "flow_bits": flow,
+            "fast_seconds": medians["fast"],
+            "native_seconds": medians["native"],
+            "speedup": speedup,
+        }
+    if record["grid100"]["speedup"] < 2.0:
+        raise AssertionError(
+            "native Dinic under 2x on the grid workload: %.2fx"
+            % record["grid100"]["speedup"])
+    print("equivalent: yes (same flow, residual, and cut side on both "
+          "workloads); solve speedup %.1fx (trace) / %.1fx (grid)"
+          % (record["trace4096"]["speedup"], record["grid100"]["speedup"]))
+    return record
+
+
 WARMSTART_SOURCE = """
 fn main() {
     var buf: u8[32];
@@ -467,6 +549,8 @@ BENCHMARKS = (
     ("sec3_batch_multirun", section3_batch),
     ("sec101_batch_multisecret", section101_batch_multisecret),
     ("backends_fast_vs_reference", section_backends),
+    ("sec53_native_vs_fast", section53_native_vs_fast),
+    ("kernels_by_backend", section_kernels),
     ("warmstart_streaming_combine", section_warmstart),
     ("sec3_corpus_combine", section3_corpus_combine),
 )

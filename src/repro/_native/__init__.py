@@ -1,0 +1,45 @@
+"""Optional compiled kernels: the ``"native"`` backend's engine room.
+
+``repro._native._kernels`` is a small, dependency-free C extension built
+by ``setup.py`` with ``optional=True``: on a machine without a C
+compiler the build step is skipped, installation succeeds, and the
+backend registry (:mod:`repro.shadow.fast`) silently resolves ``"auto"``
+to the pure-Python ``"fast"`` backend instead.  Nothing in the package
+imports this module's kernels unconditionally.
+
+:func:`load` is the only sanctioned way in: it returns the kernel
+module when (a) the extension imported and (b) its compiled-in
+``KERNEL_ABI`` matches :data:`KERNEL_ABI` here, and ``None`` otherwise.
+The ABI check makes a stale ``.so`` from an older checkout degrade to
+"extension unavailable" rather than to subtly wrong kernels.
+
+Kernel semantics are pinned to the pure-Python backends by the
+bit-identity contract (``docs/backends.md``); each kernel either
+returns exactly what the Python code would, or returns ``None`` to send
+the caller down the Python path (wide masks, widths over 64 bits,
+capacities outside int64).
+"""
+
+from __future__ import annotations
+
+#: The kernel ABI this Python tree expects; compared against the
+#: extension's compiled-in ``KERNEL_ABI``.
+KERNEL_ABI = 1
+
+try:
+    from . import _kernels as _impl
+except ImportError:  # no compiler at install time, or not built yet
+    _impl = None
+
+if _impl is not None and getattr(_impl, "KERNEL_ABI", None) != KERNEL_ABI:
+    _impl = None  # stale extension: treat as unavailable, never as wrong
+
+
+def load():
+    """The compiled kernel module, or ``None`` when unavailable."""
+    return _impl
+
+
+def available():
+    """Whether the compiled kernels can be used in this interpreter."""
+    return _impl is not None

@@ -69,11 +69,12 @@ def _add_input_flags(parser, prefix, help_noun):
 
 def _add_backend_flag(parser):
     parser.add_argument("--backend", default=None,
-                        choices=["auto", "reference", "fast"],
+                        choices=["auto", "reference", "fast", "native"],
                         help="execution backend: bit-identical results, "
                              "different speed (default: auto, or the "
-                             "REPRO_BACKEND environment variable; see "
-                             "docs/backends.md)")
+                             "REPRO_BACKEND environment variable; "
+                             "'native' needs the compiled repro._native "
+                             "extension; see docs/backends.md)")
 
 
 def _add_budget_flags(parser):

@@ -543,7 +543,10 @@ class CollapsingTraceBuilder(TraceBuilder):
     """
 
     def __init__(self, context_sensitive=True, backend=None):
-        self._fast = resolve_backend(backend) == "fast"
+        # The native backend's tracker-side behaviour IS the fast
+        # backend: its compiled kernels live in the frontends and the
+        # solver, while the repeat-event caches here are shared.
+        self._fast = resolve_backend(backend) in ("fast", "native")
         #: (location, tail node, target node, ctx) -> implicit bucket
         self._implicit_cache = {}
         #: (location, ctx) -> _OpSite

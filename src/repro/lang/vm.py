@@ -272,7 +272,11 @@ class VM:
         self.program = program
         self.tracker = tracker
         self.backend = resolve_backend(backend)
-        if self.backend == "fast":
+        if self.backend in ("fast", "native"):
+            # The VM's hot loop is the compiled-evaluator BINOP cache,
+            # shared by the fast and native backends; the native
+            # backend's compiled kernels take over at the max-flow
+            # solve (graph.maxflow) below this frontend.
             self._binop = self._binop_fast
         self.secret_input = bytes(secret_input)
         self.public_input = bytes(public_input)
@@ -722,7 +726,7 @@ class VM:
         stream = self.secret_input if secret else self.public_input
         pos = self._secret_pos if secret else self._public_pos
         count = min(max_count, array.length, len(stream) - pos)
-        if secret and count > 1 and self.backend == "fast":
+        if secret and count > 1 and self.backend in ("fast", "native"):
             secret_values = getattr(self.tracker, "secret_values", None)
             if secret_values is not None:
                 return self._read_into_array_bulk(loc, array, stream, pos,
@@ -804,7 +808,7 @@ class VM:
         if not isinstance(array, ArrayObject):
             raise VMError("output source is not an array", loc)
         count = min(count, array.length)
-        if (count > 1 and self.backend == "fast"
+        if (count > 1 and self.backend in ("fast", "native")
                 and (self.lazy is None or not len(self.lazy))):
             # Fast backend, no deferred region updates pending: batch the
             # output without per-element lazy checks.  Same outputs, same

@@ -29,6 +29,7 @@ from ..core.tracker import PUBLIC, CollapsingTraceBuilder, TraceBuilder
 from ..errors import TraceError
 from ..graph.flowgraph import INF
 from ..shadow import resolve_backend, transfer
+from ..shadow.fast import native_kernels
 from ..shadow.bitmask import popcount, width_mask
 from .values import SecretInt, _WidthInt, concrete_of, mask_of, width_of
 
@@ -193,11 +194,16 @@ class Session:
             long runs.  Mutually exclusive with ``tracker``.
         location_depth: how many frames up to look for the caller's
             source position (the default suits direct use).
-        backend: ``"reference"``, ``"fast"``, or ``"auto"``/``None``
-            (consult ``REPRO_BACKEND``, then auto-detect).  The fast
-            backend swaps in dict-dispatched operator evaluation and
-            bulk secret introduction; reports are bit-identical to the
-            reference (see ``docs/backends.md``).
+        backend: ``"reference"``, ``"fast"``, ``"native"``, or
+            ``"auto"``/``None`` (consult ``REPRO_BACKEND``, then
+            auto-detect).  The fast backend swaps in dict-dispatched
+            operator evaluation and bulk secret introduction; the
+            native backend additionally evaluates each binary
+            operation and its transfer function as one compiled
+            :mod:`repro._native` kernel call (operands outside the
+            machine-word fast path fall back to the pure pairs,
+            counted as ``shadow.native.fallbacks``).  Reports are
+            bit-identical across backends (see ``docs/backends.md``).
     """
 
     def __init__(self, tracker=None, interceptor=None, online_collapse=None,
@@ -218,13 +224,20 @@ class Session:
         self.backend = resolve_backend(backend)
         self._location_sites = {}
         self._fused_sites = {}
-        if self.backend == "fast":
+        if self.backend in ("fast", "native"):
             # Bound-method swap: callers (SecretInt dunders, user code)
             # keep identical call depths, so location derivation is
             # unchanged.
             self.binary_op = self._binary_op_fast
             self.secret_bytes = self._secret_bytes_fast
             self._caller_location = self._caller_location_fast
+            if self.backend == "native":
+                kern = native_kernels()
+                if kern is not None:
+                    self._nk_binary = kern.binary_kernel
+                    self._nk_op_ids = kern.OP_IDS
+                    self.binary_op = self._binary_op_native
+                    self.secret_bytes = self._secret_bytes_native
             if isinstance(self.tracker, TraceBuilder):
                 # These inline the TraceBuilder delegations (indexed /
                 # branch are defined as implicit_flow calls), so they
@@ -246,6 +259,8 @@ class Session:
         self._shadow_ops = 0
         self._implicit_events = 0
         self._max_region_depth = 0
+        self._native_calls = 0
+        self._native_fallbacks = 0
         # Session lifetime, recorded retroactively as a pytrace.session
         # span at finish() (the span covers __init__ through finish).
         self._t0_epoch = time.time()
@@ -337,6 +352,37 @@ class Session:
         if metrics.enabled:
             metrics.incr("shadow.fast.batch_ops")
             metrics.incr("shadow.fast.batch_values", len(provs))
+        return [byte if prov.mask == 0
+                else SecretInt(self, byte, 8, prov.mask, prov)
+                for byte, prov in zip(data, provs)]
+
+    def _secret_bytes_native(self, data, name=None, category=None):
+        """Native-backend :meth:`secret_bytes`.
+
+        Identical events to the fast path (the bulk work happens in
+        the tracker, which is shared by both backends); additionally
+        sizes the batch into the ``shadow.native.batch_size``
+        histogram.
+        """
+        loc = self._caller_location(2, name or "secret_bytes")
+        secret_values = getattr(self.tracker, "secret_values", None)
+        if secret_values is None:
+            # Checking trackers have no bulk entry point; take the
+            # reference path event by event.
+            out = []
+            for byte in data:
+                prov = self.tracker.secret_value(loc, 8, category=category)
+                if prov.mask == 0:
+                    out.append(byte)
+                else:
+                    out.append(SecretInt(self, byte, 8, prov.mask, prov))
+            return out
+        provs = secret_values(loc, 8, len(data), category=category)
+        metrics = obs.get_metrics()
+        if metrics.enabled:
+            metrics.incr("shadow.fast.batch_ops")
+            metrics.incr("shadow.fast.batch_values", len(provs))
+            metrics.observe("shadow.native.batch_size", len(provs))
         return [byte if prov.mask == 0
                 else SecretInt(self, byte, 8, prov.mask, prov)
                 for byte, prov in zip(data, provs)]
@@ -485,6 +531,90 @@ class Session:
                 return self.intercept_value(
                     self._caller_location(3, op), value, width)
             mask = pair[1](av, am, bv, bm, width) & w
+            result_width = width
+        # Inline _caller_location_fast (same frame as the reference's
+        # ``_caller_location(3, op)`` resolves: the operator dunder).
+        frame = sys._getframe(2)
+        site = (frame.f_code, frame.f_lasti, op)
+        loc = self._location_sites.get(site)
+        if loc is None:
+            loc = Location(frame.f_code.co_filename.rsplit("/", 1)[-1],
+                           frame.f_lineno, op)
+            self._location_sites[site] = loc
+        if mask == 0:
+            if self.interceptor is not None:
+                value = self.intercept_value(loc, value, result_width)
+            return value
+        if sa:
+            operands = [a.prov, b.prov] if sb else [a.prov]
+        else:
+            operands = [b.prov] if sb else []
+        prov = self.tracker.operation(loc, mask, operands)
+        if prov.mask == 0:
+            return value  # declassified at a cut (checking mode)
+        return SecretInt(self, value, result_width, mask, prov)
+
+    def _binary_op_native(self, op, a, b, reflected=False):
+        """Native-backend :meth:`binary_op`.
+
+        The fast path's structure with the evaluate+transfer pair
+        fused into one compiled :mod:`repro._native` kernel call.
+        Operands or widths outside the machine-word fast path punt
+        back to the pure-Python pairs (counted as
+        ``shadow.native.fallbacks``), including division by zero, so
+        every exception is raised by the same code as the reference.
+        The kernel is bit-identical where it applies, so values,
+        masks, and tracker events match the other backends exactly.
+        """
+        if reflected:
+            a, b = b, a
+        self._shadow_ops += 1
+        self._native_calls += 1
+        sa = isinstance(a, SecretInt)
+        sb = isinstance(b, SecretInt)
+        if sa:
+            av, am = a.value, a.mask
+        else:
+            av, am = int(a), 0
+        if sb:
+            bv, bm = b.value, b.mask
+        else:
+            bv, bm = int(b), 0
+        pair = _CMP_PAIRS.get(op)
+        if pair is not None:
+            res = self._nk_binary(self._nk_op_ids[op], av, am, bv, bm, 1)
+            if res is None:
+                self._native_fallbacks += 1
+                value = int(pair[0](av, bv))
+                mask = (pair[1](av, am, bv, bm, 1) & 1) if (am or bm) else 0
+            else:
+                value, mask = res
+            if am == 0 and bm == 0:
+                if self.interceptor is None:
+                    return value
+                return self.intercept_value(
+                    self._caller_location(3, op), value, 1)
+            result_width = 1
+        else:
+            pair = _BIN_PAIRS.get(op)
+            if pair is None:
+                raise TraceError("unsupported operation %r" % op)
+            width = self._result_width(op, a, b, av, bv)
+            res = self._nk_binary(self._nk_op_ids[op], av, am, bv, bm,
+                                  width)
+            if res is None:
+                self._native_fallbacks += 1
+                w = width_mask(width)
+                value = pair[0](av, bv, w)
+                mask = (pair[1](av, am, bv, bm, width) & w) if (am or bm) \
+                    else 0
+            else:
+                value, mask = res
+            if am == 0 and bm == 0:
+                if self.interceptor is None:
+                    return value
+                return self.intercept_value(
+                    self._caller_location(3, op), value, width)
             result_width = width
         # Inline _caller_location_fast (same frame as the reference's
         # ``_caller_location(3, op)`` resolves: the operator dunder).
@@ -766,6 +896,12 @@ class Session:
             metrics.incr("pytrace.implicit_events", self._implicit_events)
             metrics.gauge_max("pytrace.enclosure_depth_max",
                               self._max_region_depth)
+            if self._native_calls:
+                metrics.incr("shadow.native.kernel_calls",
+                             self._native_calls)
+            if self._native_fallbacks:
+                metrics.incr("shadow.native.fallbacks",
+                             self._native_fallbacks)
         result = self.tracker.finish(exit_observable=exit_observable)
         obs.get_tracer().record(
             "pytrace.session", self._t0_epoch,

@@ -27,6 +27,16 @@ from repro.graph.mincut import min_cut_from_residual
 from repro.graph.serialize import dump_graph
 from repro.lang import execute as lang_execute
 from repro.lang import compile_cached
+from repro.shadow import native_available
+
+needs_native = pytest.mark.skipif(
+    not native_available(),
+    reason="compiled repro._native extension not built here")
+
+#: Solver backends available here; the warm-start contract must hold
+#: identically under each of them.
+SOLVER_BACKENDS = ("reference", "fast") + \
+    (("native",) if native_available() else ())
 
 
 BRANCHY = """
@@ -109,7 +119,8 @@ class TestRepeatEdge:
 
 class TestWarmStartSolve:
     @pytest.mark.parametrize("seed", [31, 32, 33])
-    def test_incremental_value_matches_cold(self, seed):
+    @pytest.mark.parametrize("backend", SOLVER_BACKENDS)
+    def test_incremental_value_matches_cold(self, seed, backend):
         graphs = trace_graphs(seed, 6)
         from repro.graph.collapse import collapse_graphs
 
@@ -119,7 +130,8 @@ class TestWarmStartSolve:
             pair = [combined, graph] if combined is not None else [graph]
             combined, _ = collapse_graphs(pair)
             warm_value, warm_net = dinic_max_flow(combined,
-                                                  warm_start=warm)
+                                                  warm_start=warm,
+                                                  backend=backend)
             cold_value, cold_net = dinic_max_flow(combined)
             assert warm_value == cold_value
             # Any minimum cut has the same capacity as the flow value.
@@ -127,6 +139,35 @@ class TestWarmStartSolve:
             cold_cut = min_cut_from_residual(combined, cold_net)
             assert warm_cut.capacity == cold_cut.capacity == warm_value
             warm = WarmStart(combined, warm_net)
+
+    @needs_native
+    @pytest.mark.parametrize("seed", [36, 37])
+    def test_native_warm_start_residual_identical(self, seed):
+        # Bit-identity under warm start: the native kernel receives the
+        # pre-seeded residual and must saturate it exactly like the
+        # Python loop -- same value, same residual capacities, so the
+        # same canonical cut.
+        graphs = trace_graphs(seed, 4)
+        from repro.graph.collapse import collapse_graphs
+
+        nets = {}
+        for backend in ("fast", "native"):
+            warm = None
+            combined = None
+            for graph in graphs:
+                pair = [combined, graph] if combined is not None \
+                    else [graph]
+                combined, _ = collapse_graphs(pair)
+                value, net = dinic_max_flow(combined, warm_start=warm,
+                                            backend=backend)
+                warm = WarmStart(combined, net)
+            nets[backend] = (value, net.cap, net.source_side(), combined)
+        fast_value, fast_cap, fast_side, fast_graph = nets["fast"]
+        nat_value, nat_cap, nat_side, nat_graph = nets["native"]
+        assert nat_value == fast_value
+        assert nat_cap == fast_cap
+        assert nat_side == fast_side
+        assert graph_text(nat_graph) == graph_text(fast_graph)
 
     def test_unrelated_graph_falls_back_cold(self):
         graphs = trace_graphs(41, 2)

@@ -1,11 +1,13 @@
-"""Randomized reference ≡ fast backend equivalence.
+"""Randomized reference ≡ fast ≡ native backend equivalence.
 
-The backend contract (``docs/backends.md``): ``backend="fast"`` changes
-only how events are computed, never what they are.  Bounds, cuts,
-combined graphs, outputs, and tracker statistics must be bit-identical
-to ``backend="reference"``.  These suites drive randomized workloads
-(seeded, so failures reproduce) through both backends on both frontends
-and compare everything observable.
+The backend contract (``docs/backends.md``): ``backend="fast"`` and
+``backend="native"`` change only how events are computed, never what
+they are.  Bounds, cuts, combined graphs, outputs, and tracker
+statistics must be bit-identical to ``backend="reference"``.  These
+suites drive randomized workloads (seeded, so failures reproduce)
+through every backend on both frontends and compare everything
+observable.  Native legs skip when the compiled ``repro._native``
+extension is absent; the pure-Python pair always runs.
 """
 
 import io
@@ -20,9 +22,20 @@ from repro.lang import measure as lang_measure
 from repro.lang import measure_many
 from repro.pytrace import Session
 from repro.shadow import (BACKENDS, byte_masks, detect_backend,
-                          join_byte_masks, pack_byte_masks, resolve_backend,
+                          join_byte_masks, native_available,
+                          pack_byte_masks, resolve_backend,
                           unpack_byte_masks)
+from repro.shadow import fast as fast_mod
 from repro.shadow.fast import ENV_VAR
+
+needs_native = pytest.mark.skipif(
+    not native_available(),
+    reason="compiled repro._native extension not built here")
+
+
+def available_backends():
+    return tuple(b for b in BACKENDS
+                 if b != "native" or native_available())
 
 MIXED_OPS = """
 fn main() {
@@ -79,14 +92,45 @@ def random_secret(seed, length=48):
 
 class TestRegistry:
     def test_backends_tuple(self):
-        assert BACKENDS == ("reference", "fast")
+        assert BACKENDS == ("reference", "fast", "native")
 
     def test_detect_is_valid(self):
         assert detect_backend() in BACKENDS
 
+    def test_detect_prefers_native_when_available(self):
+        expected = "native" if native_available() else "fast"
+        assert detect_backend() == expected
+
     def test_explicit_names_pass_through(self):
         assert resolve_backend("reference") == "reference"
         assert resolve_backend("fast") == "fast"
+
+    @needs_native
+    def test_explicit_native_passes_through(self):
+        assert resolve_backend("native") == "native"
+
+    def test_explicit_native_unavailable_raises(self, monkeypatch):
+        # Simulate a host without the compiled extension: the probe has
+        # run and found nothing.  Explicit requests must fail loudly
+        # (naming the fallback); "auto" must degrade silently to fast.
+        monkeypatch.setattr(fast_mod, "_NATIVE", None)
+        monkeypatch.setattr(fast_mod, "_NATIVE_PROBED", True)
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        with pytest.raises(ValueError) as excinfo:
+            resolve_backend("native")
+        message = str(excinfo.value)
+        assert "native" in message
+        assert "fast" in message
+        assert resolve_backend("auto") == "fast"
+        assert resolve_backend(None) == "fast"
+
+    def test_env_native_unavailable_raises(self, monkeypatch):
+        # REPRO_BACKEND=native is as explicit as backend="native".
+        monkeypatch.setattr(fast_mod, "_NATIVE", None)
+        monkeypatch.setattr(fast_mod, "_NATIVE_PROBED", True)
+        monkeypatch.setenv(ENV_VAR, "native")
+        with pytest.raises(ValueError):
+            resolve_backend(None)
 
     def test_none_and_auto_detect(self):
         old = os.environ.pop(ENV_VAR, None)
@@ -144,6 +188,26 @@ class TestBatchKernels:
         assert pack_byte_masks([]) == 0
         assert unpack_byte_masks(0, 0) == []
 
+    @pytest.mark.parametrize("seed", [11, 12, 13])
+    def test_kernel_surface_matrix(self, seed):
+        # kernels(backend) exposes the same four callables for every
+        # backend; drive them all against the reference answers.
+        from repro.shadow import kernels
+        rng = random.Random(seed)
+        masks = [rng.randrange(256) for _ in range(rng.randrange(1, 80))]
+        packed = join_byte_masks(masks)
+        value = rng.getrandbits(rng.randrange(1, 128))
+        for backend in available_backends():
+            kern = kernels(backend)
+            assert kern["pack_byte_masks"](masks) == packed, backend
+            assert kern["unpack_byte_masks"](packed,
+                                             len(masks)) == masks, backend
+            assert kern["popcount"](value) == bin(value).count("1"), \
+                backend
+            for width in (1, 8, 31, 64, 65, 200):
+                assert kern["width_mask"](width) == (1 << width) - 1, \
+                    backend
+
 
 class TestVMEquivalence:
     @pytest.mark.parametrize("seed,online", [
@@ -152,7 +216,7 @@ class TestVMEquivalence:
     def test_single_run_bit_identical(self, seed, online):
         secret = random_secret(seed)
         results = {}
-        for backend in BACKENDS:
+        for backend in available_backends():
             run = lang_measure(MIXED_OPS, secret_input=secret,
                                backend=backend, online=online)
             results[backend] = (
@@ -164,12 +228,13 @@ class TestVMEquivalence:
                 run.report.secret_input_bits,
                 run.report.tainted_output_bits,
             )
-        assert results["fast"] == results["reference"]
+        for backend, observed in results.items():
+            assert observed == results["reference"], backend
 
     def test_multi_run_bit_identical(self):
         secrets = [random_secret(seed, length=24) for seed in (7, 8, 9)]
         results = {}
-        for backend in BACKENDS:
+        for backend in available_backends():
             combined, per_run = measure_many(MIXED_OPS, secrets,
                                              backend=backend)
             results[backend] = (
@@ -179,7 +244,8 @@ class TestVMEquivalence:
                 [r.bits for r in per_run],
                 [r.outputs for r in per_run],
             )
-        assert results["fast"] == results["reference"]
+        for backend, observed in results.items():
+            assert observed == results["reference"], backend
 
 
 def drive_session(backend, seed, tracker_mode):
@@ -223,12 +289,19 @@ class TestSessionEquivalence:
     ])
     def test_session_bit_identical(self, seed, tracker_mode):
         reference = drive_session("reference", seed, tracker_mode)
-        fast = drive_session("fast", seed, tracker_mode)
-        assert fast == reference
+        for backend in available_backends():
+            if backend == "reference":
+                continue
+            assert drive_session(backend, seed, tracker_mode) == \
+                reference, backend
 
     def test_session_records_backend(self):
         assert Session(backend="fast").backend == "fast"
         assert Session(backend="reference").backend == "reference"
+
+    @needs_native
+    def test_session_records_native_backend(self):
+        assert Session(backend="native").backend == "native"
 
 
 class TestBulkSecretValues:

@@ -21,7 +21,10 @@ DOCS = (ROOT / "docs" / "api.md", ROOT / "README.md")
 _FLAG = re.compile(r"(--[a-z][a-z0-9-]*)")
 
 #: Flags the docs mention that belong to other tools, not `python -m repro`.
-_FOREIGN = {"--benchmark-only"}  # pytest-benchmark
+_FOREIGN = {
+    "--benchmark-only",  # pytest-benchmark
+    "--inplace",         # setuptools build_ext (the native extension)
+}
 
 
 def cli_option_strings():
@@ -94,3 +97,27 @@ def test_backend_and_warm_start_flags_are_documented():
     documented = {flag for _, flag in documented_flags()}
     assert "--backend" in documented
     assert "--no-warm-start" in documented
+
+
+def test_backend_flag_choices_cover_registry():
+    """Every ``--backend`` flag accepts exactly the registry's backends
+    plus ``auto`` -- adding a backend (e.g. ``native``) without updating
+    the CLI, or vice versa, must fail here."""
+    from repro.shadow import BACKENDS
+    expected = {"auto"} | set(BACKENDS)
+    parser = build_parser()
+    stack, backend_actions = [parser], []
+    while stack:
+        current = stack.pop()
+        for action in current._actions:
+            if "--backend" in action.option_strings:
+                backend_actions.append(action)
+            if isinstance(action, argparse._SubParsersAction):
+                stack.extend(action.choices.values())
+    assert backend_actions, "no subcommand defines --backend"
+    for action in backend_actions:
+        assert set(action.choices) == expected
+    # The native backend is part of the documented surface.
+    assert "native" in BACKENDS
+    for doc in ("api.md", "backends.md"):
+        assert "native" in (ROOT / "docs" / doc).read_text(), doc
