@@ -29,6 +29,13 @@ thing) fails the check.  These pins are skipped when either record
 was produced without the compiled extension (the benchmark's
 ``extra.native_available`` flag).
 
+Telemetry overhead is the one *relative-time* pin: a record carrying
+``extra.overhead_fraction`` (``bench_telemetry_overhead.py``; the
+committed ``BENCH_5.json``) promises that continuous export costs at
+most :data:`TELEMETRY_OVERHEAD_LIMIT` of trace time.  Being a ratio of
+two interleaved runs on the *same* machine, it is robust to the
+machine-speed noise that rules out absolute wall-time gates.
+
 Wall times are printed for context but never fail the check -- CI
 machines are too noisy for absolute time gates; timing trajectories
 live in the committed ``BENCH_*.json`` files instead.
@@ -38,6 +45,10 @@ Exit status: 0 when no gauge regressed, 1 otherwise.
 
 import json
 import sys
+
+#: Hard ceiling on ``extra.overhead_fraction`` of telemetry-overhead
+#: records: continuous export may cost at most 5% of trace time.
+TELEMETRY_OVERHEAD_LIMIT = 0.05
 
 #: Gauges whose growth marks a collapsed-graph-size regression.
 CHECKED_GAUGES = ("collapse.nodes_after", "collapse.online.nodes_live")
@@ -124,6 +135,21 @@ def compare(baseline, current):
                     % (name, metric, base_value, value))
             print("%s %-24s %-28s %6d -> %6d   (exact, incl. zero)"
                   % (status, name, metric, base_value, value))
+        overhead = record.get("extra", {}).get("overhead_fraction")
+        if overhead is not None:
+            base_overhead = base_record.get("extra", {}).get(
+                "overhead_fraction", 0.0)
+            status = "OK  "
+            if overhead > TELEMETRY_OVERHEAD_LIMIT:
+                status = "FAIL"
+                regressions.append(
+                    "%s: telemetry overhead %.2f%% exceeds the %.0f%% "
+                    "ceiling" % (name, 100 * overhead,
+                                 100 * TELEMETRY_OVERHEAD_LIMIT))
+            print("%s %-24s %-28s %5.2f%% -> %5.2f%%  (ceiling %.0f%%)"
+                  % (status, name, "telemetry overhead",
+                     100 * base_overhead, 100 * overhead,
+                     100 * TELEMETRY_OVERHEAD_LIMIT))
     return regressions
 
 

@@ -26,6 +26,14 @@ run and two files land in DIR: ``run_all.trace.json`` (Chrome
 trace-event JSON; open in Perfetto, one track per worker process) and
 ``run_all.trace.jsonl`` (one span per line).  Combine with ``--jobs``
 to see the fan-out timeline.
+
+With ``--telemetry-dir DIR``, a background exporter writes the
+``telemetry-v1`` layout (JSONL metric/resource/event time series +
+OpenMetrics text; see docs/observability.md) every
+``--telemetry-interval`` seconds for the whole run, so a long
+regeneration can be watched live with ``repro obs tail DIR``.  The
+exporter's publish ledger keeps exported counters monotone even
+though each benchmark runs under a fresh registry window.
 """
 
 import argparse
@@ -627,6 +635,13 @@ def main(argv=None):
                          "write run_all.trace.json (Chrome trace-event; "
                          "open in Perfetto) and run_all.trace.jsonl "
                          "there")
+    ap.add_argument("--telemetry-dir", dest="telemetry_dir", metavar="DIR",
+                    help="continuously export metrics, resource samples, "
+                         "and events there (telemetry-v1; watch with "
+                         "'repro obs tail DIR')")
+    ap.add_argument("--telemetry-interval", dest="telemetry_interval",
+                    type=float, default=1.0, metavar="SECONDS",
+                    help="seconds between telemetry flushes (default 1.0)")
     args = ap.parse_args(argv)
     if args.jobs < 1:
         ap.error("--jobs must be >= 1")
@@ -634,7 +649,23 @@ def main(argv=None):
     if args.trace_dir:
         os.makedirs(args.trace_dir, exist_ok=True)
         tracer = obs.enable_tracing()
-    records = run_benchmarks(jobs=args.jobs)
+    exporter = None
+    if args.telemetry_dir:
+        obs.enable_events()
+        exporter = obs.TelemetryExporter(args.telemetry_dir,
+                                         interval=args.telemetry_interval)
+        obs.set_exporter(exporter)
+        exporter.start()
+    try:
+        records = run_benchmarks(jobs=args.jobs)
+    finally:
+        if exporter is not None:
+            obs.set_exporter(None)
+            flush_error = exporter.stop()
+            obs.disable_events()
+            if flush_error is not None:
+                print("warning: telemetry flush failed: %s" % flush_error,
+                      file=sys.stderr)
     if tracer is not None:
         obs.disable_tracing()
         spans = tracer.snapshot()

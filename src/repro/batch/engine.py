@@ -255,25 +255,35 @@ def _terminate_pool(pool):
 def _call_job(item):
     """Run one job in a worker process.
 
-    Returns ``(ok, value, metrics_snapshot, span_dicts, wall)``; on
-    success ``value`` is the job's result, on a job exception it is a
-    :class:`JobFailure` (``ok`` False).  Must be a module-level function
-    so it pickles.  When the parent had metrics enabled at dispatch time
-    (``capture``), the job runs under a fresh registry whose snapshot
-    rides back with the result; the fork-inherited parent registry is
-    never written to, so nothing is double-counted when the parent later
-    merges.  Likewise, when the parent had tracing enabled
-    (``capture_trace``), the job runs under a fresh worker tracer,
-    inside a ``batch.job`` root span, and the finished span dicts ride
-    home for the parent to ``adopt``.  Exceptions are captured here —
-    never propagated — so the snapshot and spans survive failure too.
+    Returns ``(ok, value, metrics_snapshot, span_dicts, events,
+    resource_sample, wall)``; on success ``value`` is the job's result,
+    on a job exception it is a :class:`JobFailure` (``ok`` False).
+    Must be a module-level function so it pickles.  When the parent had
+    metrics enabled at dispatch time (``capture``), the job runs under
+    a fresh registry whose snapshot rides back with the result; the
+    fork-inherited parent registry is never written to, so nothing is
+    double-counted when the parent later merges.  Likewise, when the
+    parent had tracing enabled (``capture_trace``), the job runs under
+    a fresh worker tracer, inside a ``batch.job`` root span, and the
+    finished span dicts ride home for the parent to ``adopt``; with
+    event logging on (``capture_events``) the job's drained event
+    records ride home the same way.  When the parent has a telemetry
+    exporter running (``capture_resources``), a resource sample is
+    taken at job end — *before* the metrics snapshot, so the
+    ``resource.*`` gauges merge home as cross-worker high-water marks —
+    and shipped back for the exporter's per-worker time series.
+    Exceptions are captured here — never propagated — so the snapshot,
+    spans, and events survive failure too.
     """
-    func, payload, index, capture, capture_trace = item
+    (func, payload, index, capture, capture_trace, capture_events,
+     capture_resources) = item
     t0 = time.perf_counter()
     if capture:
         obs.enable()
     if capture_trace:
         obs.enable_tracing()
+    if capture_events:
+        obs.enable_events()
     try:
         span = obs.get_tracer().span("batch.job", index=index)
         with span:
@@ -285,14 +295,22 @@ def _call_job(item):
                     index, error, seconds=time.perf_counter() - t0)
                 span.set(error=True, error_type=type(error).__name__)
                 ok = False
+        rsample = None
+        if capture_resources:
+            from ..obs import resources
+            rsample = resources.sample(obs.get_metrics())
         snapshot = obs.get_metrics().snapshot() if capture else None
         spans = obs.get_tracer().snapshot() if capture_trace else None
+        events = obs.get_event_log().drain() if capture_events else None
     finally:
         if capture:
             obs.disable()
         if capture_trace:
             obs.disable_tracing()
-    return ok, value, snapshot, spans, time.perf_counter() - t0
+        if capture_events:
+            obs.disable_events()
+    return ok, value, snapshot, spans, events, rsample, \
+        time.perf_counter() - t0
 
 
 class _MapStats:
@@ -335,6 +353,16 @@ class BatchEngine:
     parent tracer, re-rooted under the ``batch.map`` span, with worker
     pids kept so the Chrome trace export shows one track per worker;
     failed jobs' spans carry ``error=True``.
+
+    With event logging enabled, the fault path is narrated as
+    structured events (``batch.retry`` / ``batch.timeout`` /
+    ``batch.quarantine`` / ``batch.failure`` / ``batch.pool_restart``),
+    emitted parent-side inside the ``batch.map`` span so each record
+    carries that span's id; workers' own drained events are adopted
+    home alongside their spans.  When a telemetry exporter is
+    installed (:func:`repro.obs.get_exporter`), every pool job also
+    ships one end-of-job resource sample back for the exporter's
+    per-worker ``resources.jsonl`` time series.
     """
 
     def __init__(self, jobs=1, faults=None):
@@ -388,6 +416,7 @@ class BatchEngine:
 
     def _serial_map(self, func, payloads, tracer, stats):
         faults = self.faults
+        event_log = obs.get_event_log()
         outcomes = []
         for index, payload in enumerate(payloads):
             strikes = 0
@@ -408,6 +437,11 @@ class BatchEngine:
                         failure = JobFailure.from_exception(index, error,
                                                             seconds=wall)
                         failure.attempts = attempts
+                        event_log.event("batch.failure", index=index,
+                                        error_type=failure.error_type,
+                                        transient=False,
+                                        quarantined=False,
+                                        attempts=attempts)
                         outcomes.append(failure)
                         stats.failed += 1
                         break
@@ -420,12 +454,20 @@ class BatchEngine:
                         # the pool path.
                         span.set(error=True, error_type="JobTimeout")
                         stats.timeouts += 1
+                        event_log.event("batch.timeout", index=index,
+                                        timeout=faults.timeout)
                         strikes += 1
                         if strikes <= faults.retries:
                             stats.retries += 1
+                            event_log.event("batch.retry", index=index,
+                                            strikes=strikes,
+                                            error_type="JobTimeout")
                             time.sleep(faults.backoff * (2 ** (strikes - 1)))
                             continue
                         stats.quarantined += 1
+                        event_log.event("batch.quarantine", index=index,
+                                        attempts=attempts,
+                                        error_type="JobTimeout")
                         timeout = JobTimeout(
                             "job %d exceeded its %.3fs timeout "
                             "(ran %.3fs)" % (index, faults.timeout, wall),
@@ -436,6 +478,10 @@ class BatchEngine:
                             index, timeout, seconds=wall, transient=True,
                             quarantined=True, with_traceback=False)
                         failure.attempts = attempts
+                        event_log.event("batch.failure", index=index,
+                                        error_type="JobTimeout",
+                                        transient=True, quarantined=True,
+                                        attempts=attempts)
                         outcomes.append(failure)
                         stats.failed += 1
                         break
@@ -451,6 +497,10 @@ class BatchEngine:
         faults = self.faults
         capture = metrics.enabled
         capture_trace = tracer.enabled
+        event_log = obs.get_event_log()
+        capture_events = event_log.enabled
+        exporter = obs.get_exporter()
+        capture_resources = exporter is not None
         count = len(payloads)
         outcomes = [_PENDING] * count
         attempts = [0] * count
@@ -460,13 +510,18 @@ class BatchEngine:
         futures = {}            # future -> payload index
         deadlines = {}          # future -> monotonic deadline or None
 
-        def absorb(index, ok, value, snapshot, spans, wall):
+        def absorb(index, ok, value, snapshot, spans, events, rsample,
+                   wall):
             """Fold one completed attempt (success or job failure)."""
             stats.walls.append(wall)
             if snapshot is not None:
                 metrics.merge(snapshot)
             if spans:
                 tracer.adopt(spans, parent_id=map_span.span_id)
+            if events:
+                event_log.adopt(events)
+            if rsample is not None and exporter is not None:
+                exporter.absorb_worker(rsample)
             if ok:
                 outcomes[index] = value
                 return
@@ -475,6 +530,11 @@ class BatchEngine:
             value.spans = spans
             if not faults.collecting:
                 value.raise_()
+            event_log.event("batch.failure", index=index,
+                            error_type=value.error_type,
+                            transient=value.transient,
+                            quarantined=value.quarantined,
+                            attempts=value.attempts)
             outcomes[index] = value
             stats.failed += 1
 
@@ -483,21 +543,32 @@ class BatchEngine:
             strikes[index] += 1
             if strikes[index] <= faults.retries:
                 stats.retries += 1
+                event_log.event("batch.retry", index=index,
+                                strikes=strikes[index],
+                                error_type=type(error).__name__)
                 pending.append(index)
                 return strikes[index]
             stats.quarantined += 1
+            event_log.event("batch.quarantine", index=index,
+                            attempts=attempts[index],
+                            error_type=type(error).__name__)
             failure = JobFailure.from_exception(
                 index, error, seconds=seconds, transient=True,
                 quarantined=True, with_traceback=False)
             failure.attempts = attempts[index]
             if not faults.collecting:
                 failure.raise_()
+            event_log.event("batch.failure", index=index,
+                            error_type=failure.error_type,
+                            transient=True, quarantined=True,
+                            attempts=failure.attempts)
             outcomes[index] = failure
             stats.failed += 1
             return 0
 
         def resurrect(backoff_strike):
             stats.restarts += 1
+            event_log.event("batch.pool_restart", restarts=stats.restarts)
             if backoff_strike > 0:
                 time.sleep(faults.backoff * (2 ** (backoff_strike - 1)))
 
@@ -516,7 +587,8 @@ class BatchEngine:
                         future = pool.submit(
                             _call_job,
                             (func, payloads[index], index, capture,
-                             capture_trace))
+                             capture_trace, capture_events,
+                             capture_resources))
                     except BrokenProcessPool:
                         # The pool died between submissions.  Requeue
                         # this job un-attempted; in-flight futures (if
@@ -528,6 +600,8 @@ class BatchEngine:
                             _terminate_pool(pool)
                             pool = None
                             stats.restarts += 1
+                            event_log.event("batch.pool_restart",
+                                            restarts=stats.restarts)
                         break
                     futures[future] = index
                     deadlines[future] = (
@@ -551,7 +625,8 @@ class BatchEngine:
                     index = futures.pop(future)
                     deadlines.pop(future)
                     try:
-                        ok, value, snapshot, spans, wall = future.result()
+                        (ok, value, snapshot, spans, events, rsample,
+                         wall) = future.result()
                     except BrokenProcessPool as error:
                         # The whole pool is dead; every sibling future
                         # breaks too.  Handled below in one sweep.
@@ -562,7 +637,8 @@ class BatchEngine:
                         # worker: transient per policy.
                         strike(index, error)
                     else:
-                        absorb(index, ok, value, snapshot, spans, wall)
+                        absorb(index, ok, value, snapshot, spans, events,
+                               rsample, wall)
                 if broken is not None:
                     # Every job still in flight was a (potential)
                     # offender: tear the dead pool down, strike them
@@ -592,13 +668,13 @@ class BatchEngine:
                             timed_out.append(index)
                         elif future.done():
                             try:
-                                ok, value, snapshot, spans, wall = \
-                                    future.result()
+                                (ok, value, snapshot, spans, events,
+                                 rsample, wall) = future.result()
                             except Exception as error:
                                 strike(index, error)
                             else:
                                 absorb(index, ok, value, snapshot, spans,
-                                       wall)
+                                       events, rsample, wall)
                         else:
                             victims.append(index)
                     futures.clear()
@@ -608,6 +684,8 @@ class BatchEngine:
                     worst = 0
                     for index in timed_out:
                         stats.timeouts += 1
+                        event_log.event("batch.timeout", index=index,
+                                        timeout=faults.timeout)
                         worst = max(worst, strike(index, JobTimeout(
                             "job %d exceeded its %.3fs timeout"
                             % (index, faults.timeout), index=index,

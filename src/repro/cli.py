@@ -14,7 +14,11 @@ The tool workflow from the paper, on FlowLang programs:
   each run to a content-addressed shard corpus and bounds the whole
   corpus);
 * ``combine`` — recombine an existing shard store into one corpus
-  bound by tree reduction, with the incremental-Kraft anytime trail.
+  bound by tree reduction, with the incremental-Kraft anytime trail;
+* ``obs`` — inspect a ``--telemetry-dir`` directory while (or after) a
+  run writes it: ``obs tail`` renders the latest snapshot as the
+  metrics table, ``obs check`` lints the directory (OpenMetrics rules,
+  counter monotonicity, event schema).
 
 Secret/public inputs come from ``--secret``/``--public`` (text),
 ``--secret-hex`` (hex bytes), or ``--secret-file``.
@@ -99,6 +103,21 @@ def _add_metrics_flags(parser):
                              "there: Chrome trace-event JSON (open in "
                              "Perfetto), or JSONL when FILE ends in "
                              ".jsonl (see docs/observability.md)")
+
+
+def _add_telemetry_flags(parser):
+    parser.add_argument("--telemetry-dir", dest="telemetry_dir",
+                        metavar="DIR",
+                        help="continuously export metrics, resource "
+                             "samples, and structured events to DIR "
+                             "(telemetry-v1 layout: JSONL time series + "
+                             "OpenMetrics text; watch it live with "
+                             "'repro obs tail DIR'; see "
+                             "docs/observability.md)")
+    parser.add_argument("--telemetry-interval", dest="telemetry_interval",
+                        type=float, default=1.0, metavar="SECONDS",
+                        help="seconds between telemetry flushes "
+                             "(default 1.0)")
 
 
 def _emit_metrics(args):
@@ -360,6 +379,41 @@ def cmd_combine(args):
     return 1 if result.partial else 0
 
 
+def cmd_obs_tail(args):
+    try:
+        doc = obs.read_latest(args.dir)
+    except (OSError, ValueError) as error:
+        print("error: cannot read telemetry snapshot: %s" % error,
+              file=sys.stderr)
+        return 2
+    print("telemetry snapshot seq %s (%s)"
+          % (doc.get("seq"), doc.get("format")))
+    samples = doc.get("resources") or {}
+    for worker in sorted(samples, key=lambda w: (w != "parent", w)):
+        record = samples[worker]
+        print("  %-8s rss %.1f MiB, cpu %.2fs, %d fds, live graph "
+              "%d nodes / %d edges"
+              % (worker, record.get("rss_bytes", 0) / (1024.0 * 1024.0),
+                 record.get("cpu_seconds", 0),
+                 record.get("open_fds", 0),
+                 record.get("graph_nodes_live", 0),
+                 record.get("graph_edges_live", 0)))
+    print(obs.to_table(doc.get("metrics", {})))
+    return 0
+
+
+def cmd_obs_check(args):
+    problems = obs.check_dir(args.dir)
+    if problems:
+        for problem in problems:
+            print("FAIL: %s" % problem, file=sys.stderr)
+        print("%s: %d problem(s)" % (args.dir, len(problems)),
+              file=sys.stderr)
+        return 1
+    print("ok: %s passes the telemetry-v1 checks" % args.dir)
+    return 0
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -383,6 +437,7 @@ def build_parser():
     p.add_argument("--dot", metavar="FILE",
                    help="write the (collapsed) graph + cut as Graphviz")
     _add_metrics_flags(p)
+    _add_telemetry_flags(p)
     p.set_defaults(func=cmd_measure)
 
     p = sub.add_parser("check", help="taint-check a run against a policy")
@@ -465,6 +520,7 @@ def build_parser():
                         "reduction instead of the parent-side fold")
     p.add_argument("--json", action="store_true")
     _add_metrics_flags(p)
+    _add_telemetry_flags(p)
     p.set_defaults(func=cmd_batch)
 
     p = sub.add_parser("combine",
@@ -500,7 +556,25 @@ def build_parser():
                         "status 1)")
     p.add_argument("--json", action="store_true")
     _add_metrics_flags(p)
+    _add_telemetry_flags(p)
     p.set_defaults(func=cmd_combine)
+
+    p = sub.add_parser("obs",
+                       help="inspect a --telemetry-dir directory")
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+    pt = obs_sub.add_parser("tail",
+                            help="render the latest telemetry snapshot "
+                                 "as the metrics table")
+    pt.add_argument("dir", help="telemetry directory "
+                                "(a run's --telemetry-dir)")
+    pt.set_defaults(func=cmd_obs_tail)
+    pc = obs_sub.add_parser("check",
+                            help="lint a telemetry directory: OpenMetrics "
+                                 "rules, counter monotonicity, event "
+                                 "schema")
+    pc.add_argument("dir", help="telemetry directory "
+                                "(a run's --telemetry-dir)")
+    pc.set_defaults(func=cmd_obs_check)
     return parser
 
 
@@ -509,10 +583,31 @@ def main(argv=None):
     args = parser.parse_args(argv)
     record_metrics = getattr(args, "metrics", None) is not None
     trace_file = getattr(args, "trace", None)
-    if record_metrics:
+    telemetry_dir = getattr(args, "telemetry_dir", None)
+    # --telemetry-dir implies a live registry, a live event log, and a
+    # live tracer (so exported events carry span ids) even when the
+    # corresponding print-at-exit flags are absent.
+    if record_metrics or telemetry_dir:
         obs.enable()
-    tracer = obs.enable_tracing() if trace_file else None
+    tracer = None
+    if trace_file or telemetry_dir:
+        tracer = obs.enable_tracing()
+    if telemetry_dir:
+        obs.enable_events()
+    exporter = None
+    status = 0
     try:
+        if telemetry_dir:
+            try:
+                exporter = obs.TelemetryExporter(
+                    telemetry_dir,
+                    interval=getattr(args, "telemetry_interval", 1.0))
+            except OSError as error:
+                print("error: cannot write telemetry directory: %s"
+                      % error, file=sys.stderr)
+                return 2
+            obs.set_exporter(exporter)
+            exporter.start()
         span = obs.get_tracer().span("cli.command", command=args.command)
         with span:
             status = args.func(args)
@@ -522,12 +617,23 @@ def main(argv=None):
         status = 2
     finally:
         emitted = True
+        if exporter is not None:
+            obs.set_exporter(None)
+            flush_error = exporter.stop()
+            if flush_error is not None:
+                print("error: cannot write telemetry directory: %s"
+                      % flush_error, file=sys.stderr)
+                emitted = False
+        if telemetry_dir:
+            obs.disable_events()
         if record_metrics:
-            emitted = _emit_metrics(args)
+            emitted = _emit_metrics(args) and emitted
+        if record_metrics or telemetry_dir:
             obs.disable()
         if tracer is not None:
             obs.disable_tracing()
-            emitted = _emit_trace(args, tracer) and emitted
+            if trace_file:
+                emitted = _emit_trace(args, tracer) and emitted
     if not emitted and status == 0:
         status = 2
     return status

@@ -295,11 +295,16 @@ class IncrementalKraft:
 
     def _record(self):
         if self._sealed:
-            self.trail.append(self.bits)
+            bits = self.bits
+            self.trail.append(bits)
             self.updates += 1
             metrics = obs.get_metrics()
             if metrics.enabled:
                 metrics.incr("combine.kraft_updates")
+            obs.get_event_log().event(
+                "combine.kraft_update",
+                bits=None if bits >= INF else bits,
+                groups=len(self._groups))
 
     @property
     def groups_live(self):

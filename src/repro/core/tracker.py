@@ -41,6 +41,7 @@ from __future__ import annotations
 
 from .. import obs
 from ..errors import TraceError
+from ..obs import resources
 from ..graph.collapse import CollapseStats, OnlineCollapser
 from ..graph.flowgraph import INF, EdgeLabel, FlowGraph
 from ..shadow.bitmask import popcount, width_mask
@@ -566,6 +567,9 @@ class CollapsingTraceBuilder(TraceBuilder):
         # pre-allocated), kept for CollapseStats' "before" numbers.
         self._virtual_nodes = 2
         self._virtual_edges = 0
+        # Weakly registered so the telemetry resource sampler can read
+        # live graph sizes mid-trace (resource.graph_*_live gauges).
+        resources.track_builder(self)
 
     @property
     def collapse_mode(self):
@@ -754,6 +758,11 @@ class CollapsingTraceBuilder(TraceBuilder):
     def live_nodes(self):
         """Current live collapsed node count (the O(coverage) gauge)."""
         return self._collapser.live_nodes
+
+    @property
+    def live_edges(self):
+        """Current live collapsed edge-bucket count."""
+        return self._collapser.live_edges
 
     @property
     def peak_live_nodes(self):

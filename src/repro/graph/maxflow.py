@@ -210,6 +210,8 @@ def dinic_max_flow(graph, warm_start=None, backend=None):
             net = ResidualNetwork(graph)  # discard partial application
             if metrics.enabled:
                 metrics.incr("maxflow.warm_start.fallbacks")
+            obs.get_event_log().event("backend.fallback",
+                                      kind="maxflow.warm_start")
         elif metrics.enabled:
             metrics.incr("maxflow.warm_start.hits")
             metrics.incr("maxflow.warm_start.reused_bits", carried)
@@ -303,6 +305,9 @@ def dinic_max_flow(graph, warm_start=None, backend=None):
                     metrics.incr("maxflow.native.solves"
                                  if solved is not None
                                  else "maxflow.native.fallbacks")
+                if solved is None:
+                    obs.get_event_log().event("backend.fallback",
+                                              kind="maxflow.native")
             if solved is not None:
                 total, bfs_phases, aug_paths, lengths = solved
                 if lengths is not None:

@@ -24,15 +24,31 @@ sink, so instrumented code pays only an attribute lookup and an empty
 method call when observability is off (measured at well under 2% on the
 Figure 3 compressor benchmark; see ``docs/observability.md``).
 
-The registry is process-wide and not thread-safe; enable it around one
-measurement at a time.
+The registry is process-wide and single-threaded by default; enable it
+around one measurement at a time.  Background consumers (the telemetry
+exporter's flusher thread) call
+:meth:`~repro.obs.metrics.Metrics.enable_thread_safety` on whatever
+registry is live, which installs a lock guarding every mutation and
+snapshot from then on.
+
+Three further layers ride on the same enable/disable pattern: a
+hierarchical span tracer (:mod:`repro.obs.trace`), a structured event
+log (:mod:`repro.obs.log`), and a continuous telemetry exporter
+(:mod:`repro.obs.export`) that periodically writes registry snapshots,
+resource samples (:mod:`repro.obs.resources`), and drained events to a
+``telemetry-v1`` directory as JSONL and OpenMetrics text.
 """
 
 from __future__ import annotations
 
 from .catalogue import CATALOGUE, PHASES, MetricSpec, snapshot_keys
+from .export import (FORMAT, TelemetryExporter, check_dir, lint_openmetrics,
+                     parse_openmetrics, read_latest, render_openmetrics)
+from .log import (EVENT_CATALOGUE, RESERVED_FIELDS, EventLog, EventSpec,
+                  NullEventLog, event_names)
 from .metrics import Metrics, NullMetrics, histogram_bucket
 from .render import to_json, to_table
+from .resources import SAMPLE_FIELDS, live_graph_sizes, sample, track_builder
 from .trace import (SPAN_CATALOGUE, NullTracer, Span, SpanSpec, Tracer,
                     chrome_trace_events, span_names, write_chrome_trace,
                     write_jsonl)
@@ -46,6 +62,13 @@ _default = NULL_METRICS
 NULL_TRACER = NullTracer()
 
 _tracer = NULL_TRACER
+
+#: The shared no-op event log (the default process-wide instance).
+NULL_EVENT_LOG = NullEventLog()
+
+_event_log = NULL_EVENT_LOG
+
+_exporter = None
 
 
 def get_metrics():
@@ -120,6 +143,55 @@ def tracing_enabled():
     return _tracer.enabled
 
 
+def get_event_log():
+    """The process-wide event log instance (live or the null sink)."""
+    return _event_log
+
+
+def set_event_log(event_log):
+    """Install ``event_log`` as the process-wide instance; returns the old one."""
+    global _event_log
+    previous = _event_log
+    _event_log = event_log
+    return previous
+
+
+def enable_events(capacity=4096):
+    """Install (and return) a fresh live :class:`EventLog`."""
+    event_log = EventLog(capacity=capacity)
+    set_event_log(event_log)
+    return event_log
+
+
+def disable_events():
+    """Restore the no-op event log; returns the previously installed one."""
+    return set_event_log(NULL_EVENT_LOG)
+
+
+def events_enabled():
+    """Whether the process-wide event log records anything."""
+    return _event_log.enabled
+
+
+def get_exporter():
+    """The process-wide telemetry exporter, or ``None``."""
+    return _exporter
+
+
+def set_exporter(exporter):
+    """Install ``exporter`` (may be ``None``); returns the previous one.
+
+    Unlike the metrics/tracer/event-log accessors there is no null
+    object: producers (the batch engine shipping worker resource
+    samples home) check for ``None``, since telemetry export is the
+    exception, not the default.
+    """
+    global _exporter
+    previous = _exporter
+    _exporter = exporter
+    return previous
+
+
 __all__ = [
     "CATALOGUE", "PHASES", "MetricSpec", "snapshot_keys",
     "Metrics", "NullMetrics", "NULL_METRICS", "histogram_bucket",
@@ -131,4 +203,12 @@ __all__ = [
     "get_tracer", "set_tracer", "enable_tracing", "disable_tracing",
     "tracing_enabled",
     "write_jsonl", "write_chrome_trace", "chrome_trace_events",
+    "EVENT_CATALOGUE", "RESERVED_FIELDS", "EventSpec", "EventLog",
+    "NullEventLog", "NULL_EVENT_LOG", "event_names",
+    "get_event_log", "set_event_log", "enable_events", "disable_events",
+    "events_enabled",
+    "SAMPLE_FIELDS", "sample", "track_builder", "live_graph_sizes",
+    "FORMAT", "TelemetryExporter", "render_openmetrics",
+    "parse_openmetrics", "lint_openmetrics", "read_latest", "check_dir",
+    "get_exporter", "set_exporter",
 ]

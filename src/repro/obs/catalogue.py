@@ -220,6 +220,30 @@ def _specs():
          "incremental Kraft accounting updates: recorded anytime-bound "
          "points after the corpus is sealed (merges, drops, the final "
          "exact solve)"),
+        # Process-resource sampling (repro.obs.resources).
+        (g, "resource.rss_bytes", "bytes", "experimental",
+         "resident set size at the most recent resource sample"),
+        (g, "resource.cpu_seconds", "seconds", "experimental",
+         "accumulated process CPU time (user+system) at the most "
+         "recent resource sample"),
+        (g, "resource.open_fds", "fds", "experimental",
+         "open file descriptors at the most recent resource sample"),
+        (g, "resource.gc_collections", "collections", "experimental",
+         "total garbage collections (all generations) at the most "
+         "recent resource sample"),
+        (g, "resource.graph_nodes_live", "nodes", "experimental",
+         "summed live node count of online collapsers tracing at the "
+         "most recent resource sample"),
+        (g, "resource.graph_edges_live", "edges", "experimental",
+         "summed live edge-bucket count of online collapsers tracing "
+         "at the most recent resource sample"),
+        # Continuous telemetry export (repro.obs.export).
+        (c, "obs.export.flushes", "flushes", "experimental",
+         "completed telemetry flushes (periodic and final)"),
+        (c, "obs.export.bytes", "bytes", "experimental",
+         "bytes written to the telemetry directory by flushes"),
+        (c, "obs.export.errors", "errors", "experimental",
+         "telemetry flushes that failed (the exporter keeps running)"),
     ]
     phase_doc = {
         "trace": "instrumented execution (FlowLang VM run)",

@@ -16,6 +16,7 @@ calls), so enabling metrics mid-process takes effect immediately.
 from __future__ import annotations
 
 import math
+import threading
 import time
 
 from .catalogue import (CATALOGUE, COUNTER, GAUGE, HISTOGRAM,
@@ -69,6 +70,10 @@ class NullMetrics:
 
     __slots__ = ()
     enabled = False
+    thread_safe = True
+
+    def enable_thread_safety(self):
+        return self
 
     def incr(self, name, amount=1):
         pass
@@ -99,10 +104,10 @@ class NullMetrics:
 class _Phase:
     """Times one ``with metrics.phase(name):`` block."""
 
-    __slots__ = ("_values", "_seconds_key", "_calls_key", "_t0")
+    __slots__ = ("_metrics", "_seconds_key", "_calls_key", "_t0")
 
-    def __init__(self, values, seconds_key, calls_key):
-        self._values = values
+    def __init__(self, metrics, seconds_key, calls_key):
+        self._metrics = metrics
         self._seconds_key = seconds_key
         self._calls_key = calls_key
 
@@ -111,8 +116,17 @@ class _Phase:
         return self
 
     def __exit__(self, exc_type, exc, tb):
-        self._values[self._seconds_key] += time.perf_counter() - self._t0
-        self._values[self._calls_key] += 1
+        elapsed = time.perf_counter() - self._t0
+        metrics = self._metrics
+        lock = metrics._lock
+        values = metrics._values
+        if lock is None:
+            values[self._seconds_key] += elapsed
+            values[self._calls_key] += 1
+        else:
+            with lock:
+                values[self._seconds_key] += elapsed
+                values[self._calls_key] += 1
         return False
 
 
@@ -124,13 +138,38 @@ class Metrics:
     the docs-drift test and the ``--metrics=json`` contract rely on.
     Values accumulate for the life of the instance; create a fresh one
     (:func:`repro.obs.enable` does) to start a new measurement window.
+
+    The registry is single-threaded by default (no locking cost on the
+    hot per-event paths).  :meth:`enable_thread_safety` installs an
+    internal lock guarding every mutation and :meth:`snapshot`, so a
+    background flusher (the telemetry exporter enables this
+    automatically when it starts) can snapshot concurrently with
+    instrumented code without lost increments or torn histograms.
     """
 
-    __slots__ = ("_values",)
+    __slots__ = ("_values", "_lock")
     enabled = True
 
     def __init__(self):
         self._values = {name: spec.zero for name, spec in CATALOGUE.items()}
+        self._lock = None
+
+    def enable_thread_safety(self):
+        """Install (idempotently) a lock guarding every mutation.
+
+        Off by default so single-threaded measurements pay nothing;
+        the telemetry exporter calls this on whatever registry is
+        current at each flush.  Once enabled, it stays enabled for the
+        registry's lifetime.
+        """
+        if self._lock is None:
+            self._lock = threading.Lock()
+        return self
+
+    @property
+    def thread_safe(self):
+        """Whether :meth:`enable_thread_safety` has been called."""
+        return self._lock is not None
 
     def _spec(self, name, kind):
         spec = CATALOGUE.get(name)
@@ -146,7 +185,12 @@ class Metrics:
     def incr(self, name, amount=1):
         """Add ``amount`` to counter ``name``."""
         self._spec(name, COUNTER)
-        self._values[name] += amount
+        lock = self._lock
+        if lock is None:
+            self._values[name] += amount
+        else:
+            with lock:
+                self._values[name] += amount
 
     def gauge(self, name, value):
         """Set gauge ``name`` to ``value``."""
@@ -156,8 +200,14 @@ class Metrics:
     def gauge_max(self, name, value):
         """Raise gauge ``name`` to ``value`` if larger (high-water mark)."""
         self._spec(name, GAUGE)
-        if value > self._values[name]:
-            self._values[name] = value
+        lock = self._lock
+        if lock is None:
+            if value > self._values[name]:
+                self._values[name] = value
+        else:
+            with lock:
+                if value > self._values[name]:
+                    self._values[name] = value
 
     def add_seconds(self, name, seconds):
         """Accumulate ``seconds`` of wall time onto timer ``name``.
@@ -167,14 +217,25 @@ class Metrics:
         in a worker process whose registry is not this one.
         """
         self._spec(name, TIMER)
-        self._values[name] += seconds
+        lock = self._lock
+        if lock is None:
+            self._values[name] += seconds
+        else:
+            with lock:
+                self._values[name] += seconds
 
     def observe(self, name, value):
         """Count one observation into histogram ``name``'s bucket."""
         self._spec(name, HISTOGRAM)
         bucket = histogram_bucket(value)
-        buckets = self._values[name]
-        buckets[bucket] = buckets.get(bucket, 0) + 1
+        lock = self._lock
+        if lock is None:
+            buckets = self._values[name]
+            buckets[bucket] = buckets.get(bucket, 0) + 1
+        else:
+            with lock:
+                buckets = self._values[name]
+                buckets[bucket] = buckets.get(bucket, 0) + 1
 
     def merge(self, snapshot):
         """Fold another registry's :meth:`snapshot` into this one.
@@ -189,6 +250,15 @@ class Metrics:
         or strings (a snapshot that round-tripped through JSON keeps
         its integer exponents as string keys).
         """
+        lock = self._lock
+        if lock is None:
+            self._merge(snapshot)
+        else:
+            with lock:
+                self._merge(snapshot)
+        return self
+
+    def _merge(self, snapshot):
         values = self._values
         for name, value in snapshot.items():
             spec = CATALOGUE.get(name)
@@ -206,20 +276,28 @@ class Metrics:
                     values[name] = value
             else:
                 values[name] += value
-        return self
 
     def phase(self, name):
         """Context manager accumulating ``phase.<name>.seconds``/``.calls``."""
         seconds_key = "phase.%s.seconds" % name
         calls_key = "phase.%s.calls" % name
         self._spec(seconds_key, TIMER)
-        return _Phase(self._values, seconds_key, calls_key)
+        return _Phase(self, seconds_key, calls_key)
 
     def snapshot(self):
         """All metrics as a plain dict, in catalogue order.
 
         Histogram values are copied, so a snapshot stays frozen while
-        the registry keeps observing.
+        the registry keeps observing.  With thread safety enabled the
+        copy is taken under the registry lock, so a concurrent flusher
+        never sees a torn multi-key update.
         """
+        lock = self._lock
+        if lock is None:
+            values = self._values
+        else:
+            with lock:
+                return {name: dict(value) if isinstance(value, dict)
+                        else value for name, value in self._values.items()}
         return {name: dict(value) if isinstance(value, dict) else value
-                for name, value in self._values.items()}
+                for name, value in values.items()}

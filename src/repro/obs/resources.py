@@ -1,0 +1,138 @@
+"""Lightweight process-resource sampling for continuous telemetry.
+
+One :func:`sample` call reads the handful of numbers that make the
+paper's §5.3 live-memory claim — million-operation traces collapsing
+to coverage-sized graphs — *continuously* observable while work is in
+flight: resident set size, accumulated CPU time, garbage-collector
+activity, open file descriptors, and the live node/edge counts of
+every online collapser currently tracing in this process.  The same
+call publishes the values as the catalogued ``resource.*`` gauges and
+returns them as a plain JSON-able record (the ``resources.jsonl``
+time-series format of the telemetry directory).
+
+Everything here is stdlib-only and degrades gracefully: readings that
+a platform cannot provide (``/proc`` on non-Linux hosts) come back as
+zero rather than raising, so the sampler is safe to run from the
+exporter's flusher thread and from inside every batch worker.
+
+Live-graph gauges come from a weak registry: an online-collapsing
+trace builder registers itself at construction
+(:func:`track_builder`) and drops out automatically when collected,
+so a mid-trace sample can read the *current* collapsed sizes without
+the sampler keeping any builder alive.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import time
+import weakref
+
+#: The record keys of one sample, in serialization order.  ``ts`` and
+#: ``pid`` identify the sample; each remaining key mirrors the
+#: catalogued gauge ``resource.<key>``.
+SAMPLE_FIELDS = ("ts", "pid", "rss_bytes", "cpu_seconds", "open_fds",
+                 "gc_collections", "graph_nodes_live", "graph_edges_live")
+
+try:
+    _PAGE_SIZE = os.sysconf("SC_PAGE_SIZE")
+except (AttributeError, ValueError, OSError):
+    _PAGE_SIZE = 4096
+
+#: Weakly-held live online-collapse builders (see :func:`track_builder`).
+_live_builders = weakref.WeakSet()
+
+
+def track_builder(builder):
+    """Register an online-collapsing builder for live-graph sampling.
+
+    The builder must expose ``live_nodes`` and ``live_edges``; it is
+    held weakly, so registration never extends its lifetime.  Builders
+    that cannot be weakly referenced are silently skipped (sampling is
+    best-effort by design).
+    """
+    try:
+        _live_builders.add(builder)
+    except TypeError:
+        pass
+
+
+def live_graph_sizes():
+    """Summed ``(nodes, edges)`` over the registered live builders."""
+    nodes = edges = 0
+    for builder in list(_live_builders):
+        try:
+            nodes += builder.live_nodes
+            edges += builder.live_edges
+        except Exception:
+            continue
+    return nodes, edges
+
+
+def rss_bytes():
+    """Resident set size in bytes (0 when unreadable)."""
+    try:
+        with open("/proc/self/statm") as handle:
+            return int(handle.read().split()[1]) * _PAGE_SIZE
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+        # ru_maxrss is kibibytes on Linux (bytes on macOS, where the
+        # /proc read above already failed); a high-water mark is the
+        # best available fallback.
+        factor = 1 if os.uname().sysname == "Darwin" else 1024
+        return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * factor
+    except Exception:
+        return 0
+
+
+def cpu_seconds():
+    """Accumulated user+system CPU seconds of this process."""
+    times = os.times()
+    return times.user + times.system
+
+
+def open_fds():
+    """Open file-descriptor count (0 when ``/proc`` is unavailable)."""
+    try:
+        return len(os.listdir("/proc/self/fd"))
+    except OSError:
+        return 0
+
+
+def gc_collections():
+    """Total garbage collections across all generations so far."""
+    try:
+        return sum(stat["collections"] for stat in gc.get_stats())
+    except Exception:
+        return 0
+
+
+def sample(metrics=None):
+    """Take one resource sample; returns the JSON-able record.
+
+    When ``metrics`` (default: the process-wide registry) is a live
+    registry, the sample is also published as the ``resource.*``
+    gauges — plain last-written values locally, which the batch merge
+    turns into cross-process high-water marks (gauges merge by max).
+    """
+    if metrics is None:
+        from repro import obs
+        metrics = obs.get_metrics()
+    nodes, edges = live_graph_sizes()
+    record = {
+        "ts": time.time(),
+        "pid": os.getpid(),
+        "rss_bytes": rss_bytes(),
+        "cpu_seconds": cpu_seconds(),
+        "open_fds": open_fds(),
+        "gc_collections": gc_collections(),
+        "graph_nodes_live": nodes,
+        "graph_edges_live": edges,
+    }
+    if metrics.enabled:
+        for field in SAMPLE_FIELDS[2:]:
+            metrics.gauge("resource.%s" % field, record[field])
+    return record

@@ -177,6 +177,8 @@ class NullTracer:
 
     __slots__ = ()
     enabled = False
+    current_id = None
+    current_name = None
 
     def span(self, name, **attrs):
         return _NULL_SPAN
@@ -259,6 +261,11 @@ class Tracer:
     def current_id(self):
         """The innermost open span's id, or ``None`` at the root."""
         return self._stack[-1].span_id if self._stack else None
+
+    @property
+    def current_name(self):
+        """The innermost open span's name, or ``None`` at the root."""
+        return self._stack[-1].name if self._stack else None
 
     def span(self, name, **attrs):
         """Open a catalogued span as a context manager."""

@@ -902,6 +902,10 @@ class Session:
             if self._native_fallbacks:
                 metrics.incr("shadow.native.fallbacks",
                              self._native_fallbacks)
+        if self._native_fallbacks:
+            obs.get_event_log().event("backend.fallback",
+                                      kind="shadow.native",
+                                      count=self._native_fallbacks)
         result = self.tracker.finish(exit_observable=exit_observable)
         obs.get_tracer().record(
             "pytrace.session", self._t0_epoch,

@@ -196,6 +196,8 @@ class ShardStore:
                 metrics.incr("store.bytes", written)
             else:
                 metrics.incr("store.dedup_hits")
+        if not written:
+            obs.get_event_log().event("store.dedup", digest=digest)
         self._append_manifest(digest)
         return digest
 
@@ -218,6 +220,8 @@ class ShardStore:
                 metrics.incr("store.bytes", written)
             else:
                 metrics.incr("store.dedup_hits")
+        if not written:
+            obs.get_event_log().event("store.dedup", digest=digest)
         return digest
 
     # ------------------------------------------------------------------

@@ -1,0 +1,62 @@
+"""Docs-drift test: docs/observability.md IS the event contract.
+
+Mirrors ``test_catalogue_drift`` and ``test_trace_drift`` for the
+third closed catalogue: the events-v1 table in the docs' "Continuous
+export" section must list exactly the names of
+``repro.obs.log.EVENT_CATALOGUE``, in order, with matching stability —
+and the pipeline must only ever emit catalogued names (the live
+:class:`EventLog` enforces that at emit time, so here we pin the docs
+half and the reserved-field schema).
+"""
+
+import pathlib
+import re
+
+from repro.obs.log import EVENT_CATALOGUE, RESERVED_FIELDS, event_names
+
+DOC = pathlib.Path(__file__).resolve().parents[2] / "docs" / "observability.md"
+
+_ROW = re.compile(r"^\|\s*`(?P<name>[^`]+)`\s*\|"
+                  r"\s*(?P<stability>stable|experimental)\s*\|"
+                  r"\s*(?P<description>[^|]+?)\s*\|")
+
+
+def events_section():
+    text = DOC.read_text()
+    start = text.index("### Structured events")
+    end = text.index("\n### ", start)
+    return text[start:end]
+
+
+def documented_rows():
+    rows = []
+    for line in events_section().splitlines():
+        match = _ROW.match(line.strip())
+        if match:
+            rows.append(match.groupdict())
+    return rows
+
+
+class TestDocsMatchCatalogue:
+    def test_doc_table_parses(self):
+        assert len(documented_rows()) >= 9
+
+    def test_names_agree_in_order(self):
+        documented = [row["name"] for row in documented_rows()]
+        assert documented == event_names()
+
+    def test_stability_agrees(self):
+        for row in documented_rows():
+            spec = EVENT_CATALOGUE[row["name"]]
+            assert row["stability"] == spec.stability, row["name"]
+
+    def test_descriptions_are_not_placeholders(self):
+        for row in documented_rows():
+            assert len(row["description"].split()) >= 3, row["name"]
+
+
+class TestSchemaDocumented:
+    def test_reserved_fields_named_in_docs(self):
+        section = events_section()
+        for field in RESERVED_FIELDS:
+            assert "`%s`" % field in section, field

@@ -1,0 +1,128 @@
+"""The structured event log: catalogue validation, ring, correlation.
+
+The event log is the third closed catalogue (after metrics and spans):
+every record names a catalogued event, carries the five reserved
+events-v1 fields, and — when tracing is live — correlates with the
+innermost open span.  The ring is bounded so a failure storm degrades
+to dropped history, never to unbounded memory.
+"""
+
+import os
+
+import pytest
+
+from repro import obs
+from repro.obs.log import (EVENT_CATALOGUE, RESERVED_FIELDS, EventLog,
+                           NullEventLog, event_names)
+
+
+class TestCatalogue:
+    def test_event_names_are_insertion_ordered_keys(self):
+        assert event_names() == list(EVENT_CATALOGUE)
+
+    def test_specs_carry_stability_and_description(self):
+        for spec in EVENT_CATALOGUE.values():
+            assert spec.stability in ("stable", "experimental")
+            assert len(spec.description.split()) >= 3
+
+    def test_uncatalogued_name_raises(self):
+        log = EventLog()
+        with pytest.raises(KeyError):
+            log.event("batch.totally_made_up")
+        assert log.snapshot() == []
+
+    def test_reserved_field_collision_raises(self):
+        log = EventLog()
+        for reserved in RESERVED_FIELDS:
+            with pytest.raises(ValueError):
+                log.event("store.dedup", **{reserved: 1})
+        assert log.snapshot() == []
+
+
+class TestRecords:
+    def test_record_shape(self):
+        log = EventLog()
+        record = log.event("store.dedup", digest="abc123")
+        assert record["event"] == "store.dedup"
+        assert record["pid"] == os.getpid()
+        assert record["ts"] > 0
+        assert record["digest"] == "abc123"
+        # No live tracer: correlation fields present but null.
+        assert record["span_id"] is None
+        assert record["span"] is None
+        assert log.snapshot() == [record]
+
+    def test_span_correlation_with_live_tracer(self):
+        tracer = obs.enable_tracing()
+        log = EventLog()
+        try:
+            with tracer.span("batch.map"):
+                record = log.event("batch.retry", index=0, strikes=1)
+            assert record["span"] == "batch.map"
+            assert record["span_id"] is not None
+            outside = log.event("store.dedup", digest="d")
+            assert outside["span"] is None
+        finally:
+            obs.disable_tracing()
+
+    def test_drain_consumes_snapshot_does_not(self):
+        log = EventLog()
+        log.event("store.dedup", digest="a")
+        log.event("store.dedup", digest="b")
+        assert len(log.snapshot()) == 2
+        drained = log.drain()
+        assert [r["digest"] for r in drained] == ["a", "b"]
+        assert log.snapshot() == []
+        assert log.drain() == []
+
+
+class TestRing:
+    def test_capacity_drops_oldest_and_counts(self):
+        log = EventLog(capacity=3)
+        for index in range(5):
+            log.event("batch.retry", index=index, strikes=1)
+        records = log.snapshot()
+        assert [r["index"] for r in records] == [2, 3, 4]
+        assert log.dropped == 2
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            EventLog(capacity=0)
+
+
+class TestAdopt:
+    def test_adopt_keeps_records_verbatim(self):
+        worker = EventLog()
+        worker.event("batch.timeout", index=3, timeout=2.0)
+        shipped = worker.drain()
+        parent = EventLog()
+        parent.adopt(shipped)
+        assert parent.snapshot() == shipped
+
+    def test_adopt_validates_names(self):
+        parent = EventLog()
+        with pytest.raises(KeyError):
+            parent.adopt([{"event": "not.catalogued", "ts": 0.0,
+                           "pid": 1, "span_id": None, "span": None}])
+
+
+class TestNullAndToggle:
+    def test_null_log_is_inert(self):
+        null = NullEventLog()
+        assert null.enabled is False
+        null.event("anything.goes", because="disabled")
+        null.adopt([{"event": "still.anything"}])
+        assert null.snapshot() == []
+        assert null.drain() == []
+
+    def test_enable_disable_round_trip(self):
+        assert obs.get_event_log() is obs.NULL_EVENT_LOG
+        log = obs.enable_events()
+        try:
+            assert obs.get_event_log() is log
+            assert log.enabled
+            assert obs.events_enabled()
+        finally:
+            obs.disable_events()
+        assert obs.get_event_log() is obs.NULL_EVENT_LOG
+        assert not obs.events_enabled()

@@ -1,0 +1,196 @@
+"""CLI ``--telemetry-dir`` and the ``repro obs`` subcommands.
+
+End-to-end over the real CLI entry point: a measurement with
+telemetry on must leave a valid ``telemetry-v1`` directory that its
+own ``repro obs check`` accepts and ``repro obs tail`` renders; a
+fault-injection batch must populate per-worker resource files and a
+span-correlated failure event; and the sink write-failure contract
+(exit 2, null sinks restored) extends from ``--metrics-file`` to the
+telemetry directory.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+
+SIMPLE = """
+fn main() {
+    var x: u8 = secret_u8();
+    output(x & 7);
+}
+"""
+
+CRASHY = """
+fn main() {
+    var x: u8 = secret_u8();
+    output(250 / x);
+}
+"""
+
+
+@pytest.fixture
+def simple(tmp_path):
+    path = tmp_path / "simple.fl"
+    path.write_text(SIMPLE)
+    return str(path)
+
+
+@pytest.fixture
+def crashy(tmp_path):
+    path = tmp_path / "crashy.fl"
+    path.write_text(CRASHY)
+    return str(path)
+
+
+def read_jsonl(path):
+    with open(path) as handle:
+        return [json.loads(line) for line in handle]
+
+
+class TestMeasureTelemetry:
+    def test_measure_writes_valid_directory(self, simple, tmp_path,
+                                            capsys):
+        telemetry = str(tmp_path / "telemetry")
+        assert main(["measure", simple, "--secret-hex", "2a",
+                     "--telemetry-dir", telemetry]) == 0
+        capsys.readouterr()
+        assert obs.check_dir(telemetry) == []
+        with open(os.path.join(telemetry, "format")) as handle:
+            assert handle.read().strip() == "telemetry-v1"
+        records = read_jsonl(os.path.join(telemetry, "metrics.jsonl"))
+        assert records[-1]["metrics"]["phase.trace.calls"] >= 1
+
+    def test_obs_check_passes(self, simple, tmp_path, capsys):
+        telemetry = str(tmp_path / "telemetry")
+        main(["measure", simple, "--secret-hex", "2a",
+              "--telemetry-dir", telemetry])
+        capsys.readouterr()
+        assert main(["obs", "check", telemetry]) == 0
+        assert "passes the telemetry-v1 checks" in capsys.readouterr().out
+
+    def test_obs_tail_renders_latest(self, simple, tmp_path, capsys):
+        telemetry = str(tmp_path / "telemetry")
+        main(["measure", simple, "--secret-hex", "2a",
+              "--telemetry-dir", telemetry])
+        capsys.readouterr()
+        assert main(["obs", "tail", telemetry]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry snapshot seq" in out
+        assert "parent" in out
+        assert "phase.trace.calls" in out
+
+    def test_obs_check_flags_corruption(self, simple, tmp_path, capsys):
+        telemetry = str(tmp_path / "telemetry")
+        main(["measure", simple, "--secret-hex", "2a",
+              "--telemetry-dir", telemetry])
+        capsys.readouterr()
+        with open(os.path.join(telemetry, "metrics.prom"), "w") as handle:
+            handle.write("repro_rogue 1\n")   # no TYPE, no EOF
+        assert main(["obs", "check", telemetry]) == 1
+        assert "FAIL" in capsys.readouterr().err
+
+    def test_obs_commands_reject_missing_dir(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope")
+        assert main(["obs", "tail", missing]) == 2
+        assert main(["obs", "check", missing]) == 1
+        capsys.readouterr()
+
+
+class TestBatchTelemetry:
+    def test_fault_injection_populates_workers_and_events(
+            self, crashy, tmp_path, capsys):
+        telemetry = str(tmp_path / "telemetry")
+        # One crashing payload (x=0 divides by zero) among good ones,
+        # fanned out to two workers with collect-mode faults.
+        assert main(["batch", crashy, "--secret-hex", "05",
+                     "--secret-hex", "00", "--secret-hex", "0a",
+                     "--jobs", "2", "--on-error", "collect",
+                     "--telemetry-dir", telemetry]) == 1
+        capsys.readouterr()
+        assert obs.check_dir(telemetry) == []
+        workers_dir = os.path.join(telemetry, "workers")
+        worker_pids = os.listdir(workers_dir)
+        assert worker_pids, "no per-worker resource files shipped home"
+        for pid in worker_pids:
+            samples = read_jsonl(os.path.join(workers_dir, pid,
+                                              "resources.jsonl"))
+            assert samples
+            assert all(s["pid"] == int(pid) for s in samples)
+            assert all(s["rss_bytes"] > 0 for s in samples)
+        events = read_jsonl(os.path.join(telemetry, "events.jsonl"))
+        failures = [e for e in events if e["event"] == "batch.failure"]
+        assert len(failures) == 1
+        assert failures[0]["index"] == 1
+        assert failures[0]["error_type"] == "VMError"
+        # Parent-side batch events are emitted inside the batch.map
+        # span, so the failure correlates with its fan-out.
+        assert failures[0]["span"] == "batch.map"
+        assert failures[0]["span_id"] is not None
+
+    def test_prom_snapshot_of_real_batch_lints_clean(self, crashy,
+                                                     tmp_path, capsys):
+        telemetry = str(tmp_path / "telemetry")
+        main(["batch", crashy, "--secret-hex", "05", "--secret-hex",
+              "0a", "--jobs", "2", "--on-error", "collect",
+              "--telemetry-dir", telemetry])
+        capsys.readouterr()
+        with open(os.path.join(telemetry, "metrics.prom")) as handle:
+            text = handle.read()
+        assert obs.lint_openmetrics(text) == []
+        families = obs.parse_openmetrics(text)
+        jobs = families["repro_batch_jobs"]
+        assert jobs.samples == [("repro_batch_jobs_total", {}, 2)]
+        rss = families["repro_resource_rss_bytes"]
+        workers = {labels["worker"] for _n, labels, _v in rss.samples}
+        assert "parent" in workers
+        assert len(workers) >= 2    # parent plus at least one worker
+
+    def test_counters_monotone_in_jsonl(self, crashy, tmp_path, capsys):
+        telemetry = str(tmp_path / "telemetry")
+        main(["batch", crashy, "--secret-hex", "05", "--secret-hex",
+              "0a", "--on-error", "collect", "--telemetry-dir",
+              telemetry, "--telemetry-interval", "0.05"])
+        capsys.readouterr()
+        records = read_jsonl(os.path.join(telemetry, "metrics.jsonl"))
+        for key in ("batch.jobs", "phase.trace.calls",
+                    "obs.export.flushes"):
+            series = [r["metrics"][key] for r in records]
+            assert series == sorted(series), key
+
+
+class TestTelemetryDirErrors:
+    def test_unwritable_telemetry_dir_exits_2(self, simple, tmp_path,
+                                              capsys):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file, not a directory\n")
+        target = str(blocker / "telemetry")
+        assert main(["measure", simple, "--secret-hex", "2a",
+                     "--telemetry-dir", target]) == 2
+        assert "cannot write telemetry directory" in \
+            capsys.readouterr().err
+
+    def test_sinks_restored_after_failure(self, simple, tmp_path,
+                                          capsys):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file, not a directory\n")
+        main(["measure", simple, "--secret-hex", "2a",
+              "--telemetry-dir", str(blocker / "telemetry")])
+        capsys.readouterr()
+        assert obs.get_metrics() is obs.NULL_METRICS
+        assert obs.get_tracer() is obs.NULL_TRACER
+        assert obs.get_event_log() is obs.NULL_EVENT_LOG
+        assert obs.get_exporter() is None
+
+    def test_sinks_restored_after_success(self, simple, tmp_path,
+                                          capsys):
+        main(["measure", simple, "--secret-hex", "2a",
+              "--telemetry-dir", str(tmp_path / "telemetry")])
+        capsys.readouterr()
+        assert obs.get_metrics() is obs.NULL_METRICS
+        assert obs.get_tracer() is obs.NULL_TRACER
+        assert obs.get_event_log() is obs.NULL_EVENT_LOG
+        assert obs.get_exporter() is None
