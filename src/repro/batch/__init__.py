@@ -17,14 +17,15 @@ timeouts, bounded retries of transient pool failures, and the
 
 from __future__ import annotations
 
-from .engine import ON_ERROR_MODES, BatchEngine, FaultPolicy, JobFailure
+from .engine import (ON_ERROR_MODES, PENDING, BatchEngine, FaultPolicy,
+                     JobFailure)
 from .runs import (BATCH_COLLAPSE_MODES, BatchResult, ProgramResult,
                    StoreCombineResult, combine_graphs_jobs,
                    combine_store_jobs, measure_by_category_jobs,
                    measure_program_runs, measure_programs)
 
 __all__ = [
-    "BatchEngine", "FaultPolicy", "JobFailure", "ON_ERROR_MODES",
+    "BatchEngine", "FaultPolicy", "JobFailure", "ON_ERROR_MODES", "PENDING",
     "BATCH_COLLAPSE_MODES", "BatchResult", "ProgramResult",
     "StoreCombineResult", "combine_graphs_jobs", "combine_store_jobs",
     "measure_by_category_jobs", "measure_program_runs",

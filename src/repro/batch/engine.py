@@ -372,7 +372,7 @@ class BatchEngine:
         self.jobs = jobs
         self.faults = faults if faults is not None else FaultPolicy()
 
-    def map(self, func, payloads):
+    def map(self, func, payloads, on_outcome=None, stop=None):
         """Apply ``func`` to every payload; returns outcomes in
         *payload order* (completion order never leaks: the pool path
         reassembles by payload index).
@@ -383,6 +383,19 @@ class BatchEngine:
         bit-identicality guarantee).  Under ``on_error="collect"``,
         failed payloads yield :class:`JobFailure` entries in their
         slots; under ``"raise"`` the first failure propagates.
+
+        ``on_outcome(index, outcome)``, when given, is called in the
+        parent as each slot *resolves* — a successful result or a
+        collected :class:`JobFailure` — which is the checkpoint hook
+        the measurement service journals from: by the time the call
+        returns the outcome is durable, whatever happens to the rest
+        of the batch.  It fires in resolution order, not payload order.
+
+        ``stop()``, when given, is polled between dispatches; once it
+        returns true no *new* payload is launched (in-flight pool jobs
+        drain normally).  Unlaunched slots keep the :data:`PENDING`
+        sentinel in the returned list, so a draining caller can tell
+        "never ran" from "ran and failed".
         """
         payloads = list(payloads)
         metrics = obs.get_metrics()
@@ -394,10 +407,12 @@ class BatchEngine:
                                workers=workers)
         with map_span:
             if serial:
-                outcomes = self._serial_map(func, payloads, tracer, stats)
+                outcomes = self._serial_map(func, payloads, tracer, stats,
+                                            on_outcome, stop)
             else:
                 outcomes = self._pool_map(func, payloads, workers, metrics,
-                                          tracer, map_span, stats)
+                                          tracer, map_span, stats,
+                                          on_outcome, stop)
         if metrics.enabled and payloads:
             metrics.incr("batch.jobs", len(payloads))
             metrics.gauge("batch.workers", workers)
@@ -414,11 +429,20 @@ class BatchEngine:
     # ------------------------------------------------------------------
     # In-process path (jobs=1): same policy surface, no pool
 
-    def _serial_map(self, func, payloads, tracer, stats):
+    def _serial_map(self, func, payloads, tracer, stats, on_outcome=None,
+                    stop=None):
         faults = self.faults
         event_log = obs.get_event_log()
-        outcomes = []
+        outcomes = [PENDING] * len(payloads)
+
+        def resolve(index, outcome):
+            outcomes[index] = outcome
+            if on_outcome is not None:
+                on_outcome(index, outcome)
+
         for index, payload in enumerate(payloads):
+            if stop is not None and stop():
+                break
             strikes = 0
             while True:
                 attempts = strikes + 1
@@ -442,7 +466,7 @@ class BatchEngine:
                                         transient=False,
                                         quarantined=False,
                                         attempts=attempts)
-                        outcomes.append(failure)
+                        resolve(index, failure)
                         stats.failed += 1
                         break
                     wall = time.perf_counter() - t0
@@ -482,10 +506,10 @@ class BatchEngine:
                                         error_type="JobTimeout",
                                         transient=True, quarantined=True,
                                         attempts=attempts)
-                        outcomes.append(failure)
+                        resolve(index, failure)
                         stats.failed += 1
                         break
-                    outcomes.append(result)
+                    resolve(index, result)
                     break
         return outcomes
 
@@ -493,7 +517,7 @@ class BatchEngine:
     # Pool path (jobs=N): submit + completion waits, bounded retries
 
     def _pool_map(self, func, payloads, workers, metrics, tracer, map_span,
-                  stats):
+                  stats, on_outcome=None, stop=None):
         faults = self.faults
         capture = metrics.enabled
         capture_trace = tracer.enabled
@@ -524,6 +548,8 @@ class BatchEngine:
                 exporter.absorb_worker(rsample)
             if ok:
                 outcomes[index] = value
+                if on_outcome is not None:
+                    on_outcome(index, value)
                 return
             value.attempts = attempts[index]
             value.metrics = snapshot
@@ -537,6 +563,8 @@ class BatchEngine:
                             attempts=value.attempts)
             outcomes[index] = value
             stats.failed += 1
+            if on_outcome is not None:
+                on_outcome(index, value)
 
         def strike(index, error, seconds=None):
             """One transient strike; retry or quarantine the job."""
@@ -564,6 +592,8 @@ class BatchEngine:
                             attempts=failure.attempts)
             outcomes[index] = failure
             stats.failed += 1
+            if on_outcome is not None:
+                on_outcome(index, failure)
             return 0
 
         def resurrect(backoff_strike):
@@ -574,6 +604,12 @@ class BatchEngine:
 
         try:
             while pending or futures:
+                if stop is not None and pending and stop():
+                    # Drain: drop unlaunched payloads (their slots stay
+                    # PENDING); in-flight jobs finish normally.
+                    pending.clear()
+                    if not futures:
+                        break
                 if pool is None:
                     pool = _make_pool(workers)
                 # Keep at most ``workers`` jobs in flight, so a
@@ -699,6 +735,14 @@ class BatchEngine:
                     for index in sorted(victims, reverse=True):
                         pending.appendleft(index)
                     resurrect(worst)
+        except BaseException:
+            # Abort path (a raised failure, KeyboardInterrupt, a drain
+            # signal): never wait on a possibly-hung worker — kill the
+            # pool outright before propagating.
+            if pool is not None:
+                _terminate_pool(pool)
+                pool = None
+            raise
         finally:
             if pool is not None:
                 if faults.timeout is None:
@@ -711,7 +755,7 @@ class BatchEngine:
 
 
 class _Pending:
-    """Placeholder for a not-yet-resolved outcome slot (internal)."""
+    """Placeholder for a not-yet-resolved outcome slot."""
 
     __slots__ = ()
 
@@ -719,4 +763,10 @@ class _Pending:
         return "<pending job>"
 
 
-_PENDING = _Pending()
+#: Sentinel left in an outcome slot whose payload was never launched
+#: (a ``stop()`` drain fired first).  Callers that pass ``stop=`` must
+#: treat these slots as "not attempted", never as results.
+PENDING = _Pending()
+
+# Backwards-compatible private alias (pre-drain-support name).
+_PENDING = PENDING

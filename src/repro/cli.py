@@ -18,17 +18,27 @@ The tool workflow from the paper, on FlowLang programs:
 * ``obs`` — inspect a ``--telemetry-dir`` directory while (or after) a
   run writes it: ``obs tail`` renders the latest snapshot as the
   metrics table, ``obs check`` lints the directory (OpenMetrics rules,
-  counter monotonicity, event schema).
+  counter monotonicity, event schema);
+* ``serve`` — run the fault-tolerant measurement service: an HTTP/JSON
+  frontend over a crash-safe persistent job queue with admission
+  control and graceful drain (see ``docs/service.md``).
 
 Secret/public inputs come from ``--secret``/``--public`` (text),
 ``--secret-hex`` (hex bytes), or ``--secret-file``.
+
+Signals: every command exits 130 on SIGINT and 143 on SIGTERM after
+tearing down worker pools and flushing any ``--telemetry-dir`` /
+``--trace`` sinks (no raw traceback); ``serve`` instead treats both
+signals as the graceful-drain request and exits 0 after a clean drain.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
+import threading
 
 from . import obs
 from .core.policy import CutPolicy
@@ -414,6 +424,17 @@ def cmd_obs_check(args):
     return 0
 
 
+def cmd_serve(args):
+    from .serve import MeasurementDaemon, ServeConfig
+    config = ServeConfig(
+        args.state_dir, host=args.host, port=args.port, jobs=args.jobs,
+        queue_depth=args.queue_depth, tenant_inflight=args.max_inflight,
+        shed_runs=args.shed_runs, timeout=args.timeout,
+        retries=args.retries, telemetry=not args.no_telemetry,
+        telemetry_interval=args.telemetry_interval)
+    return MeasurementDaemon(config).run()
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -575,12 +596,87 @@ def build_parser():
     pc.add_argument("dir", help="telemetry directory "
                                 "(a run's --telemetry-dir)")
     pc.set_defaults(func=cmd_obs_check)
+
+    p = sub.add_parser("serve",
+                       help="run the measurement service: HTTP/JSON "
+                            "frontend, crash-safe job queue, admission "
+                            "control (see docs/service.md)")
+    p.add_argument("--dir", dest="state_dir", required=True,
+                   metavar="DIR",
+                   help="service state directory: queue journal, "
+                        "per-job checkpoints, endpoint.json, telemetry "
+                        "(created if missing; survives restarts)")
+    p.add_argument("--host", default="127.0.0.1", metavar="ADDR",
+                   help="listen address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8675, metavar="N",
+                   help="listen port (default 8675; 0 picks an "
+                        "ephemeral port, recorded in DIR/endpoint.json)")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes per measurement job "
+                        "(default 1: in-process, bit-identical results "
+                        "either way)")
+    p.add_argument("--queue-depth", dest="queue_depth", type=int,
+                   default=16, metavar="N",
+                   help="maximum accepted-but-not-running jobs; beyond "
+                        "it submissions get 429 + Retry-After")
+    p.add_argument("--max-inflight", dest="max_inflight", type=int,
+                   default=4, metavar="N",
+                   help="per-tenant cap on live (queued + running) "
+                        "jobs (429 tenant_cap beyond it)")
+    p.add_argument("--shed-runs", dest="shed_runs", type=int,
+                   default=64, metavar="N",
+                   help="with the queue hot, shed submissions asking "
+                        "for more than N runs (429 load_shed)")
+    p.add_argument("--timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="per-run wall-clock timeout inside a job; a "
+                        "hung worker is terminated and the run "
+                        "recorded as failed (the job completes "
+                        "partial)")
+    p.add_argument("--retries", type=int, default=0, metavar="N",
+                   help="retry budget for transient run failures")
+    p.add_argument("--no-telemetry", dest="no_telemetry",
+                   action="store_true",
+                   help="do not write the DIR/telemetry directory")
+    p.add_argument("--telemetry-interval", dest="telemetry_interval",
+                   type=float, default=1.0, metavar="SECONDS",
+                   help="seconds between telemetry flushes "
+                        "(default 1.0)")
+    p.set_defaults(func=cmd_serve)
     return parser
+
+
+class _Signalled(BaseException):
+    """SIGTERM, re-raised in the main thread so ``finally`` blocks run.
+
+    Derives from ``BaseException`` (like ``KeyboardInterrupt``) so
+    worker pools are torn down by the engine's interrupt path rather
+    than swallowed by broad ``except Exception`` handlers.
+    """
+
+    def __init__(self, signum):
+        super().__init__(signum)
+        self.signum = signum
+
+
+def _install_signal_exits():
+    """Make SIGTERM raise, so the CLI flushes its sinks and exits 143
+    instead of dying mid-write (SIGINT already raises
+    ``KeyboardInterrupt``).  ``serve`` overrides both with its
+    graceful-drain handlers."""
+    if threading.current_thread() is not threading.main_thread():
+        return
+
+    def _raise(signum, frame):
+        raise _Signalled(signum)
+
+    signal.signal(signal.SIGTERM, _raise)
 
 
 def main(argv=None):
     parser = build_parser()
     args = parser.parse_args(argv)
+    _install_signal_exits()
     record_metrics = getattr(args, "metrics", None) is not None
     trace_file = getattr(args, "trace", None)
     telemetry_dir = getattr(args, "telemetry_dir", None)
@@ -615,6 +711,17 @@ def main(argv=None):
     except ReproError as error:
         print("error: %s" % error, file=sys.stderr)
         status = 2
+    except KeyboardInterrupt:
+        # Pools are already torn down (the engine's BaseException
+        # path); flush the sinks below and exit with the conventional
+        # 128 + SIGINT code.
+        print("interrupted (SIGINT): flushing sinks and exiting 130",
+              file=sys.stderr)
+        status = 130
+    except _Signalled:
+        print("terminated (SIGTERM): flushing sinks and exiting 143",
+              file=sys.stderr)
+        status = 143
     finally:
         emitted = True
         if exporter is not None:

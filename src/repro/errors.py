@@ -114,6 +114,16 @@ class StoreError(ReproError):
     """
 
 
+class ServeError(ReproError):
+    """Raised for measurement-service failures (:mod:`repro.serve`).
+
+    Covers state-directory problems (an unusable queue journal, a
+    duplicate job id) and invalid service operations (acknowledging an
+    already-terminal job).  Malformed *requests* are answered with HTTP
+    4xx statuses, not exceptions — the daemon must outlive bad input.
+    """
+
+
 class BatchError(ReproError):
     """Base class for batch fan-out failures (:mod:`repro.batch`)."""
 

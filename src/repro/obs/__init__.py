@@ -42,8 +42,9 @@ resource samples (:mod:`repro.obs.resources`), and drained events to a
 from __future__ import annotations
 
 from .catalogue import CATALOGUE, PHASES, MetricSpec, snapshot_keys
-from .export import (FORMAT, TelemetryExporter, check_dir, lint_openmetrics,
-                     parse_openmetrics, read_latest, render_openmetrics)
+from .export import (FORMAT, Ledger, TelemetryExporter, check_dir,
+                     lint_openmetrics, parse_openmetrics, read_latest,
+                     render_openmetrics)
 from .log import (EVENT_CATALOGUE, RESERVED_FIELDS, EventLog, EventSpec,
                   NullEventLog, event_names)
 from .metrics import Metrics, NullMetrics, histogram_bucket
@@ -208,7 +209,7 @@ __all__ = [
     "get_event_log", "set_event_log", "enable_events", "disable_events",
     "events_enabled",
     "SAMPLE_FIELDS", "sample", "track_builder", "live_graph_sizes",
-    "FORMAT", "TelemetryExporter", "render_openmetrics",
+    "FORMAT", "Ledger", "TelemetryExporter", "render_openmetrics",
     "parse_openmetrics", "lint_openmetrics", "read_latest", "check_dir",
     "get_exporter", "set_exporter",
 ]

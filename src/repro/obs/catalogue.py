@@ -244,6 +244,22 @@ def _specs():
          "bytes written to the telemetry directory by flushes"),
         (c, "obs.export.errors", "errors", "experimental",
          "telemetry flushes that failed (the exporter keeps running)"),
+        # Measurement service (repro.serve).
+        (c, "serve.admitted", "jobs", "experimental",
+         "jobs accepted by the measurement service's admission "
+         "controller and journaled into the queue"),
+        (c, "serve.rejected", "jobs", "experimental",
+         "job submissions refused by admission control (backpressure, "
+         "per-tenant caps, load shedding, or a drain in progress)"),
+        (c, "serve.drained", "jobs", "experimental",
+         "jobs checkpointed and left unacknowledged by a graceful "
+         "drain (they resume on the next start)"),
+        (c, "serve.replayed", "jobs", "experimental",
+         "unacknowledged jobs re-enqueued from the queue journal at "
+         "service start"),
+        (g, "serve.queue_depth", "jobs", "experimental",
+         "jobs currently queued (accepted, not yet running) in the "
+         "measurement service"),
     ]
     phase_doc = {
         "trace": "instrumented execution (FlowLang VM run)",

@@ -387,6 +387,12 @@ class _Ledger:
                 self._published[name] = published[name]
 
 
+#: Public name for the monotone-publishing ledger: the measurement
+#: service's ``/metrics`` endpoint keeps its own instance so scrapes
+#: stay monotone across registry resets, exactly like the exporter's.
+Ledger = _Ledger
+
+
 def _atomic_write(path, text):
     """Write ``text`` to ``path`` via a temp file and ``os.replace``."""
     tmp = "%s.tmp.%d" % (path, os.getpid())

@@ -66,6 +66,9 @@ def _event_specs():
         ("store.dedup", "experimental",
          "a store put's digest was already present, so no blob was "
          "written"),
+        ("store.recovered", "experimental",
+         "opening a shard store repaired or dropped corrupt manifest "
+         "lines instead of raising"),
         ("combine.kraft_update", "experimental",
          "the incremental Kraft accountant recorded an anytime-bound "
          "trail point"),
@@ -74,6 +77,20 @@ def _event_specs():
          "implementation"),
         ("export.flush_error", "experimental",
          "one telemetry flush failed; the exporter keeps running"),
+        ("queue.submit", "experimental",
+         "the measurement service journaled one accepted job "
+         "(durable before the 202 response)"),
+        ("queue.ack", "experimental",
+         "one job reached a terminal state and its acknowledge record "
+         "was journaled"),
+        ("queue.replay", "experimental",
+         "service start re-enqueued an unacknowledged job from the "
+         "queue journal"),
+        ("queue.reject", "experimental",
+         "admission control refused a job submission (the HTTP 429/503 "
+         "path)"),
+        ("queue.cancel", "experimental",
+         "a cancel request was journaled for a queued or running job"),
     ]
 
 

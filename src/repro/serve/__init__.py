@@ -1,0 +1,35 @@
+"""A fault-tolerant measurement service over the batch layer.
+
+``repro serve`` runs the §5 measurement pipeline as a long-lived
+daemon: an HTTP/JSON frontend (:mod:`repro.serve.api`) accepts jobs
+into a crash-safe persistent queue (:mod:`repro.serve.queue`), an
+admission controller applies backpressure before work is accepted
+(:mod:`repro.serve.admission`), and a dispatcher executes jobs over
+the existing :class:`~repro.batch.engine.BatchEngine` pool with
+per-run checkpoints (:mod:`repro.serve.daemon`) — so a ``kill -9`` at
+any instant loses no accepted job, and a restart resumes half-finished
+jobs from their stored shard digests with bit-identical final bounds.
+
+Zero third-party dependencies, like everything else in the package:
+the frontend is the stdlib's threaded ``http.server``, durability is
+``fsync`` on an append-only journal, and the measurement math is the
+same Kraft-sound accounting (:class:`~repro.core.combine
+.IncrementalKraft`) the offline paths use.
+"""
+
+from __future__ import annotations
+
+from .admission import REASONS, AdmissionController, Decision
+from .api import MAX_BODY_BYTES, make_server
+from .daemon import (MeasurementDaemon, ServeConfig, load_progress,
+                     validate_spec)
+from .queue import (ACK_STATES, QUEUE_FORMAT, JobQueue, JobRecord,
+                    replay_journal)
+
+__all__ = [
+    "ACK_STATES", "QUEUE_FORMAT", "JobQueue", "JobRecord",
+    "replay_journal",
+    "REASONS", "AdmissionController", "Decision",
+    "MAX_BODY_BYTES", "make_server",
+    "MeasurementDaemon", "ServeConfig", "load_progress", "validate_spec",
+]

@@ -1,0 +1,170 @@
+"""The HTTP/JSON frontend of the measurement service.
+
+A deliberately small, zero-dependency API over the stdlib's threaded
+``http.server``.  Handler threads only touch thread-safe daemon
+surfaces (the queue's lock, the admission controller's lock, the
+live-progress map); all measurement work happens on the dispatcher
+thread, so a slow job never blocks a health check.
+
+Routes (see ``docs/service.md`` for the full contract):
+
+=========================  ==========================================
+``POST /v1/jobs``          submit a job spec; ``202`` + id, or
+                           ``429``/``503`` + ``Retry-After`` when
+                           refused, ``400`` on a malformed spec
+``GET /v1/jobs/<id>``      status + anytime bounds (+ final result)
+``DELETE /v1/jobs/<id>``   request cancellation (``202``; ``409`` if
+                           the job is already terminal)
+``GET /v1/queue``          depth, inflight, quarantine, limits
+``GET /healthz``           liveness (``ok`` / ``draining``)
+``GET /metrics``           OpenMetrics exposition for scraping
+=========================  ==========================================
+
+Error responses are JSON: ``{"error": reason, ...}``.  Request bodies
+are capped (8 MiB → ``413``); anything that is not valid JSON is a
+``400``.  The tenant is taken from the spec's ``tenant`` field or the
+``X-Tenant`` header (spec wins).
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+#: Submission bodies larger than this are refused with HTTP 413.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+_OPENMETRICS_TYPE = ("application/openmetrics-text; version=1.0.0; "
+                     "charset=utf-8")
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One request; ``daemon`` is injected via the server instance."""
+
+    server_version = "repro-serve/1"
+
+    # ------------------------------------------------------------------
+    # Plumbing
+
+    @property
+    def daemon(self):
+        return self.server.daemon
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib name
+        pass  # the event log narrates; stderr chatter helps nobody
+
+    def _send_json(self, status, doc, headers=()):
+        body = (json.dumps(doc, sort_keys=False) + "\n").encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in headers:
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self):
+        """The request body as JSON, or ``None`` after an error reply."""
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = -1
+        if length < 0:
+            self._send_json(411, {"error": "length_required"})
+            return None
+        if length > MAX_BODY_BYTES:
+            self._send_json(413, {"error": "body_too_large",
+                                  "limit_bytes": MAX_BODY_BYTES})
+            return None
+        body = self.rfile.read(length) if length else b""
+        try:
+            return json.loads(body) if body else {}
+        except (ValueError, UnicodeDecodeError):
+            self._send_json(400, {"error": "invalid_json"})
+            return None
+
+    # ------------------------------------------------------------------
+    # Routes
+
+    def do_POST(self):
+        if self.path != "/v1/jobs":
+            self._send_json(404, {"error": "not_found"})
+            return
+        spec = self._read_json()
+        if spec is None:
+            return
+        tenant = self.headers.get("X-Tenant")
+        decision, job, message = self.daemon.submit_job(spec,
+                                                        tenant=tenant)
+        if message is not None:
+            self._send_json(400, {"error": "invalid_spec",
+                                  "detail": message})
+            return
+        if not decision.admitted:
+            self._send_json(
+                decision.status,
+                {"error": decision.reason,
+                 "retry_after": decision.retry_after},
+                headers=[("Retry-After", str(decision.retry_after))])
+            return
+        self._send_json(202, {"id": job.id, "state": job.state,
+                              "tenant": job.tenant})
+
+    def do_GET(self):
+        if self.path == "/healthz":
+            doc = self.daemon.health()
+            self._send_json(200 if doc["status"] == "ok" else 503, doc)
+        elif self.path == "/metrics":
+            body = self.daemon.metrics_text().encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", _OPENMETRICS_TYPE)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        elif self.path == "/v1/queue":
+            self._send_json(200, self.daemon.queue_status())
+        elif self.path.startswith("/v1/jobs/"):
+            job_id = self.path[len("/v1/jobs/"):]
+            doc = self.daemon.job_status(job_id)
+            if doc is None:
+                self._send_json(404, {"error": "unknown_job",
+                                      "id": job_id})
+            else:
+                self._send_json(200, doc)
+        else:
+            self._send_json(404, {"error": "not_found"})
+
+    def do_DELETE(self):
+        if not self.path.startswith("/v1/jobs/"):
+            self._send_json(404, {"error": "not_found"})
+            return
+        job_id = self.path[len("/v1/jobs/"):]
+        if self.daemon.queue.get(job_id) is None:
+            self._send_json(404, {"error": "unknown_job", "id": job_id})
+            return
+        job = self.daemon.cancel_job(job_id)
+        if job is None:
+            terminal = self.daemon.queue.get(job_id)
+            self._send_json(409, {"error": "already_terminal",
+                                  "id": job_id,
+                                  "state": terminal.state})
+            return
+        self._send_json(202, {"id": job_id, "state": job.state,
+                              "cancel_requested": True})
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, daemon, address):
+        self.daemon = daemon
+        super().__init__(address, _Handler)
+
+    def handle_error(self, request, client_address):
+        pass  # a client hanging up mid-reply is routine, not a crash
+
+
+def make_server(daemon, host, port):
+    """Bind the frontend (``port=0`` picks an ephemeral port)."""
+    return _Server(daemon, (host, port))

@@ -22,10 +22,21 @@ Layout under the store root::
 Blob and metadata writes are atomic (unique temp file + ``os.replace``)
 and idempotent, so pool workers may write intermediate merge results
 into ``objects/`` concurrently; the *manifest* has a single writer —
-the parent process that owns the corpus.
+the parent process that owns the corpus.  Manifest appends flush whole
+lines, and manifest *rewrites* (recovery) go through a temp file +
+``os.replace``, so a crash can tear at most the final line.
 
-Corrupt store structure raises :class:`~repro.errors.StoreError`;
-corrupt graph payloads keep raising
+A torn or corrupt manifest line is **recovered**, not fatal: a
+truncated line whose hex prefix matches exactly one shard blob under
+``objects/`` is repaired to that digest; anything else is dropped
+(the blob, if any, stays on disk — content addressing makes orphans
+harmless).  The repaired manifest is rewritten atomically and the
+store notes what happened on :attr:`ShardStore.recovered` (and as a
+``store.recovered`` event), so a daemon restarting over a
+kill-9-interrupted ingest reopens the corpus instead of raising.
+
+Other corrupt store structure raises
+:class:`~repro.errors.StoreError`; corrupt graph payloads keep raising
 :class:`~repro.errors.GraphError`, exactly as every other loader in
 the package.
 """
@@ -88,6 +99,9 @@ class ShardStore:
                              % (_OBJECTS, self.root))
         self._order = []
         self._counts = {}
+        #: ``{"repaired": n, "dropped": m}`` when opening this store had
+        #: to recover from corrupt manifest lines, else ``None``.
+        self.recovered = None
         if os.path.exists(self._manifest_path):
             self._load_manifest()
 
@@ -103,17 +117,52 @@ class ShardStore:
     def _load_manifest(self):
         self._order = []
         self._counts = {}
+        repaired = dropped = 0
         with open(self._manifest_path) as handle:
-            for line_number, line in enumerate(handle, start=1):
+            for line in handle:
                 digest = line.strip()
                 if not digest:
                     continue
                 if not _DIGEST.match(digest):
-                    raise StoreError(
-                        "malformed manifest line %d in %s: %r"
-                        % (line_number, self._manifest_path, digest))
+                    digest = self._recover_digest(digest)
+                    if digest is None:
+                        dropped += 1
+                        continue
+                    repaired += 1
                 self._order.append(digest)
                 self._counts[digest] = self._counts.get(digest, 0) + 1
+        if repaired or dropped:
+            # Rewrite the repaired manifest atomically so the damage is
+            # healed on disk, not just in this process's view.
+            tmp = "%s.tmp.%d" % (self._manifest_path, os.getpid())
+            with open(tmp, "w") as handle:
+                handle.write("".join(d + "\n" for d in self._order))
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, self._manifest_path)
+            self.recovered = {"repaired": repaired, "dropped": dropped}
+            obs.get_event_log().event("store.recovered",
+                                      repaired=repaired, dropped=dropped,
+                                      store=self.root)
+
+    def _recover_digest(self, fragment):
+        """Repair one malformed manifest line, if the evidence allows.
+
+        A torn append leaves a *prefix* of a real digest; when that
+        prefix is valid hex and matches exactly one blob under
+        ``objects/``, the full digest is recovered.  Ambiguous or
+        non-hex damage returns ``None`` (the line is dropped)."""
+        fragment = fragment.lower()
+        if not fragment or len(fragment) >= 64 \
+                or not re.fullmatch(r"[0-9a-f]+", fragment):
+            return None
+        matches = [name[:-len(".fgb")] for name in os.listdir(self._objects)
+                   if name.endswith(".fgb")
+                   and name.startswith(fragment)
+                   and _DIGEST.match(name[:-len(".fgb")])]
+        if len(matches) == 1:
+            return matches[0]
+        return None
 
     def _append_manifest(self, digest):
         # One persistent append handle: a corpus ingest is put-per-run,
@@ -186,10 +235,15 @@ class ShardStore:
         return self._put_common(digest, graph, None)
 
     def _put_common(self, digest, graph, category_edges):
-        metrics = obs.get_metrics()
         written = 0
         if graph is not None:
             written = self._write_object(digest, graph, category_edges)
+        self._note_object(written, digest)
+        self._append_manifest(digest)
+        return digest
+
+    def _note_object(self, written, digest):
+        metrics = obs.get_metrics()
         if metrics.enabled:
             if written:
                 metrics.incr("store.shards_written")
@@ -198,8 +252,6 @@ class ShardStore:
                 metrics.incr("store.dedup_hits")
         if not written:
             obs.get_event_log().event("store.dedup", digest=digest)
-        self._append_manifest(digest)
-        return digest
 
     def put_object(self, graph, category_edges=None):
         """Write a graph as a content-addressed object *without* adding
@@ -213,15 +265,25 @@ class ShardStore:
         digest = text_digest(dumps_graph(graph,
                                          category_edges=category_edges))
         written = self._write_object(digest, graph, category_edges)
-        metrics = obs.get_metrics()
-        if metrics.enabled:
-            if written:
-                metrics.incr("store.shards_written")
-                metrics.incr("store.bytes", written)
-            else:
-                metrics.incr("store.dedup_hits")
-        if not written:
-            obs.get_event_log().event("store.dedup", digest=digest)
+        self._note_object(written, digest)
+        return digest
+
+    def put_object_text(self, text):
+        """:meth:`put_object` for a shard already in canonical text form.
+
+        Idempotent and manifest-free: the measurement service
+        checkpoints each completed run's shard this way, with its own
+        progress journal as the commit point, so a crash between the
+        blob write and the journal append merely re-writes the same
+        digest on resume — nothing is double-counted.  The text is
+        parsed (hardened loader) only when the digest is new.
+        """
+        digest = text_digest(text)
+        written = 0
+        if not os.path.exists(self._blob_path(digest)):
+            graph = load_graph(io.StringIO(text))
+            written = self._write_object(digest, graph, None)
+        self._note_object(written, digest)
         return digest
 
     # ------------------------------------------------------------------

@@ -68,6 +68,75 @@ class TestEngine:
         assert metrics.snapshot()["batch.workers"] == 2
 
 
+class TestCheckpointHooks:
+    """The service-facing ``on_outcome``/``stop`` contract of ``map``."""
+
+    def test_on_outcome_sees_every_slot_once_serial(self):
+        seen = []
+        BatchEngine(1).map(double, range(5),
+                           on_outcome=lambda i, o: seen.append((i, o)))
+        assert sorted(seen) == [(i, 2 * i) for i in range(5)]
+
+    def test_on_outcome_sees_every_slot_once_pool(self):
+        seen = []
+        BatchEngine(2).map(double, range(6),
+                           on_outcome=lambda i, o: seen.append((i, o)))
+        assert sorted(seen) == [(i, 2 * i) for i in range(6)]
+
+    def test_on_outcome_failure_records(self):
+        from repro.batch import FaultPolicy, JobFailure
+
+        def boom(x):
+            if x == 2:
+                raise ValueError("no")
+            return x
+
+        seen = {}
+        engine = BatchEngine(1, faults=FaultPolicy(on_error="collect"))
+        engine.map(boom, range(4),
+                   on_outcome=lambda i, o: seen.__setitem__(i, o))
+        assert isinstance(seen[2], JobFailure)
+        assert seen[0] == 0 and seen[3] == 3
+
+    def test_stop_leaves_pending_slots_serial(self):
+        from repro.batch import PENDING
+        done = []
+
+        def work(x):
+            done.append(x)
+            return x
+
+        outcomes = BatchEngine(1).map(work, range(10),
+                                      stop=lambda: len(done) >= 3)
+        assert done == [0, 1, 2]
+        assert outcomes[:3] == [0, 1, 2]
+        assert all(o is PENDING for o in outcomes[3:])
+
+    def test_stop_before_start_leaves_all_pending(self):
+        from repro.batch import PENDING
+        outcomes = BatchEngine(1).map(double, range(4),
+                                      stop=lambda: True)
+        assert all(o is PENDING for o in outcomes)
+        outcomes = BatchEngine(3).map(double, range(4),
+                                      stop=lambda: True)
+        assert all(o is PENDING for o in outcomes)
+
+    def test_stop_pool_keeps_resolved_prefix(self):
+        from repro.batch import PENDING
+        resolved = []
+
+        def note(i, o):
+            resolved.append(i)
+
+        outcomes = BatchEngine(2).map(
+            double, range(12), on_outcome=note,
+            stop=lambda: len(resolved) >= 2)
+        for i, outcome in enumerate(outcomes):
+            assert outcome is PENDING or outcome == 2 * i
+        assert any(o is PENDING for o in outcomes)
+        assert len(resolved) >= 2
+
+
 class TestMetricsFolding:
     """Worker snapshots fold into the parent; totals match in-process."""
 

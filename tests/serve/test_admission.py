@@ -1,0 +1,82 @@
+"""Admission control: limits, refusal reasons, Retry-After."""
+
+import pytest
+
+from repro.serve import AdmissionController
+
+
+class TestDecide:
+    def test_admits_when_idle(self):
+        decision = AdmissionController().decide(1, 0, 0)
+        assert decision.admitted
+        assert decision.status == 202
+
+    def test_queue_full(self):
+        controller = AdmissionController(queue_depth=2)
+        decision = controller.decide(1, 2, 0)
+        assert not decision.admitted
+        assert decision.status == 429
+        assert decision.reason == "queue_full"
+        assert decision.retry_after >= 1
+
+    def test_tenant_cap(self):
+        controller = AdmissionController(tenant_inflight=3)
+        decision = controller.decide(1, 0, 3)
+        assert not decision.admitted
+        assert decision.status == 429
+        assert decision.reason == "tenant_cap"
+
+    def test_load_shed_only_when_hot(self):
+        controller = AdmissionController(queue_depth=10, shed_runs=5,
+                                         shed_fraction=0.5)
+        # Cold queue: big jobs are welcome.
+        assert controller.decide(50, 0, 0).admitted
+        # Hot queue: big jobs shed, small jobs still flow.
+        shed = controller.decide(50, 5, 0)
+        assert not shed.admitted
+        assert shed.reason == "load_shed"
+        assert controller.decide(5, 5, 0).admitted
+
+    def test_draining_is_503(self):
+        decision = AdmissionController().decide(1, 0, 0, draining=True)
+        assert not decision.admitted
+        assert decision.status == 503
+        assert decision.reason == "draining"
+
+    def test_bad_limits_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionController(queue_depth=0)
+        with pytest.raises(ValueError):
+            AdmissionController(tenant_inflight=0)
+        with pytest.raises(ValueError):
+            AdmissionController(shed_runs=0)
+        with pytest.raises(ValueError):
+            AdmissionController(shed_fraction=0.0)
+
+
+class TestRetryAfter:
+    def test_default_estimate_scales_with_depth(self):
+        controller = AdmissionController()
+        assert controller.retry_after(0) == 1
+        assert controller.retry_after(7) == 7
+
+    def test_ewma_feeds_the_estimate(self):
+        controller = AdmissionController(ewma_alpha=0.5)
+        controller.observe_job_seconds(8.0)
+        assert controller.ewma_seconds == 8.0
+        assert controller.retry_after(2) == 16
+        controller.observe_job_seconds(4.0)
+        assert controller.ewma_seconds == 6.0
+
+    def test_clamped_to_sane_range(self):
+        controller = AdmissionController()
+        controller.observe_job_seconds(10_000.0)
+        assert controller.retry_after(50) == 300
+        controller = AdmissionController()
+        controller.observe_job_seconds(0.001)
+        assert controller.retry_after(1) == 1
+
+    def test_limits_view(self):
+        limits = AdmissionController(queue_depth=8).limits()
+        assert limits["queue_depth"] == 8
+        assert limits["shed_threshold"] == 6

@@ -16,7 +16,8 @@ import pytest
 from repro.cli import build_parser
 
 ROOT = pathlib.Path(__file__).resolve().parents[1]
-DOCS = (ROOT / "docs" / "api.md", ROOT / "README.md")
+DOCS = (ROOT / "docs" / "api.md", ROOT / "docs" / "service.md",
+        ROOT / "README.md")
 
 _FLAG = re.compile(r"(--[a-z][a-z0-9-]*)")
 
@@ -86,6 +87,27 @@ def test_combine_subcommand_and_store_flags_are_documented():
     documented = {flag for _, flag in documented_flags()}
     assert "--store" in documented
     assert "--fanin" in documented
+
+
+def test_serve_subcommand_and_flags_are_documented():
+    """The measurement-service surface must stay documented: the
+    ``serve`` subcommand exists with its admission/drain flags, and
+    docs/service.md names them."""
+    parser = build_parser()
+    subparsers = next(action for action in parser._actions
+                      if isinstance(action, argparse._SubParsersAction))
+    assert "serve" in subparsers.choices
+    serve_options = {opt for action in
+                     subparsers.choices["serve"]._actions
+                     for opt in action.option_strings}
+    assert {"--dir", "--port", "--host", "--jobs", "--queue-depth",
+            "--max-inflight", "--shed-runs", "--timeout", "--retries",
+            "--no-telemetry", "--telemetry-interval"} <= serve_options
+    service_text = (ROOT / "docs" / "service.md").read_text()
+    assert "repro serve" in service_text
+    documented = {flag for _, flag in documented_flags()}
+    assert {"--dir", "--queue-depth", "--max-inflight",
+            "--shed-runs"} <= documented
 
 
 def test_backend_and_warm_start_flags_are_documented():

@@ -40,6 +40,19 @@ class TestPut:
         assert store.put_text(dumps_graph(g)) == store.put(g)
         assert store.distinct == 1
 
+    def test_put_object_text_skips_manifest(self, tmp_path):
+        # The service checkpoint path: durable, content-addressed,
+        # idempotent — and invisible to the corpus manifest.
+        store = ShardStore(tmp_path / "store")
+        g = make_graph()
+        digest = store.put_object_text(dumps_graph(g))
+        assert digest == graph_digest(g)
+        assert store.put_object_text(dumps_graph(g)) == digest
+        assert len(store) == 0
+        assert store.multiplicities() == []
+        assert dumps_graph(store.get(digest)) == dumps_graph(g)
+        assert store.meta(digest)["source_cap"] == g.source_capacity()
+
     def test_put_text_rejects_corrupt_text(self, tmp_path):
         store = ShardStore(tmp_path / "store")
         with pytest.raises(GraphError):
@@ -112,13 +125,67 @@ class TestStoreErrors:
         with pytest.raises(StoreError):
             store.meta("0" * 64)
 
-    def test_malformed_manifest_rejected(self, tmp_path):
+    def test_malformed_manifest_line_dropped_on_recovery(self, tmp_path):
+        # Recovery contract: a line that matches no blob is dropped (and
+        # the manifest rewritten), not a hard open failure.
         root = tmp_path / "store"
-        ShardStore(root).put(make_graph())
+        first = ShardStore(root)
+        digest = first.put(make_graph())
+        first.close()
         with open(root / "manifest", "a") as handle:
             handle.write("THIS IS NOT A DIGEST\n")
-        with pytest.raises(StoreError):
+        store = ShardStore(root, create=False)
+        assert store.recovered == {"repaired": 0, "dropped": 1}
+        assert store.multiplicities() == [(digest, 1)]
+        with open(root / "manifest") as handle:
+            assert handle.read() == digest + "\n"
+        # The rewritten manifest is clean: reopening sees no damage.
+        assert ShardStore(root, create=False).recovered is None
+
+    def test_torn_manifest_line_repaired_from_blobs(self, tmp_path):
+        # A crash mid-append leaves a digest prefix; with the blob on
+        # disk the unique-prefix repair restores the full entry.
+        root = tmp_path / "store"
+        first = ShardStore(root)
+        digest = first.put(make_graph())
+        first.put(make_graph())
+        first.close()
+        with open(root / "manifest", "w") as handle:
+            handle.write(digest + "\n" + digest[:20])
+        store = ShardStore(root, create=False)
+        assert store.recovered == {"repaired": 1, "dropped": 0}
+        assert store.multiplicities() == [(digest, 2)]
+        assert len(store) == 2
+
+    def test_torn_manifest_prefix_without_blob_dropped(self, tmp_path):
+        root = tmp_path / "store"
+        first = ShardStore(root)
+        digest = first.put(make_graph())
+        first.close()
+        # A hex prefix that matches no blob cannot be repaired.
+        with open(root / "manifest", "a") as handle:
+            handle.write("beef")
+        store = ShardStore(root, create=False)
+        assert store.recovered == {"repaired": 0, "dropped": 1}
+        assert store.multiplicities() == [(digest, 1)]
+
+    def test_recovery_emits_event(self, tmp_path):
+        root = tmp_path / "store"
+        first = ShardStore(root)
+        digest = first.put(make_graph())
+        first.close()
+        with open(root / "manifest", "a") as handle:
+            handle.write(digest[:12])
+        obs.enable_events()
+        try:
             ShardStore(root, create=False)
+            events = [e for e in obs.get_event_log().snapshot()
+                      if e["event"] == "store.recovered"]
+            assert len(events) == 1
+            assert events[0]["repaired"] == 1
+            assert events[0]["dropped"] == 0
+        finally:
+            obs.disable_events()
 
     def test_bitrot_detected_on_verify(self, tmp_path):
         root = tmp_path / "store"
